@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every figure benchmark runs its experiment once (rounds=1) — these are
+solver-scale reproductions, not microsecond kernels — and prints the
+series the paper's figure reports (visible with ``pytest -s`` and
+recorded in bench_output.txt).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 1 (flight domain map)."""
+
+import numpy as np
+
+from repro.experiments import fig1_flight_domain
+
+
+def test_bench_fig1_flight_domain(once):
+    res = once(fig1_flight_domain.run, True)
+    # --- the paper's content --------------------------------------------
+    v = res["vehicles"]
+    # all three vehicle classes fly hypersonic
+    for name in ("shuttle", "aotv", "tav"):
+        assert v[name]["mach"].max() > 5.0
+    # the AOTV occupies the high-Mach / low-Reynolds corner that ground
+    # facilities cannot reach (the paper's central argument)
+    aotv_peak_m = v["aotv"]["mach"].max()
+    assert aotv_peak_m > 25.0
+    re_at_peak = v["aotv"]["reynolds"][np.argmax(v["aotv"]["mach"])]
+    env = res["facilities"]
+    assert all(aotv_peak_m > e["mach"][1] for e in env.values())
+    # shuttle trajectory spans several decades of Reynolds number
+    re_sh = v["shuttle"]["reynolds"]
+    assert re_sh.max() / re_sh.min() > 1e2
+    print("\nFig. 1 series (Mach, Re) extremes:")
+    for name, d in v.items():
+        print(f"  {name:8s} M {d['mach'].min():6.1f}-{d['mach'].max():6.1f}"
+              f"  Re {d['reynolds'].min():.2e}-{d['reynolds'].max():.2e}")

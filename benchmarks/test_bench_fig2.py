@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 2 (Titan probe heating pulses)."""
+
+import numpy as np
+
+from repro.experiments import fig2_titan_heating
+
+
+def test_bench_fig2_titan_heating(once):
+    res = once(fig2_titan_heating.run, True)
+    q_conv = res["q_conv_net"]
+    q_rad = res["q_rad"]
+    t = res["t"]
+    # --- the paper's content --------------------------------------------
+    # both pulses rise and fall within the window
+    i_rad = int(np.argmax(q_rad))
+    assert q_rad[i_rad] > 5.0 * min(q_rad[0], q_rad[-1]) + 1.0
+    # the radiative pulse rivals/exceeds the net convective pulse at its
+    # peak (the Titan/Galileo-class result of Ref. 15)
+    assert q_rad[i_rad] > 0.5 * q_conv[i_rad]
+    # heating peaks at hypervelocity conditions high in the atmosphere
+    assert res["V"][i_rad] > 8000.0
+    assert res["h"][i_rad] > 150e3
+    print("\nFig. 2 series: t [s], q_conv_net, q_rad [W/cm^2]")
+    for ti, qc, qr in zip(t, q_conv / 1e4, q_rad / 1e4):
+        print(f"  {ti:7.1f}  {qc:8.1f}  {qr:8.1f}")

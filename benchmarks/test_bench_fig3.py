@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 3 (Titan stagnation-line species)."""
+
+import numpy as np
+
+from repro.experiments import fig3_species_profiles
+
+
+def test_bench_fig3_species_profiles(once):
+    res = once(fig3_species_profiles.run, True)
+    x = res["mole_fractions"]
+    names = res["species"]
+    yd = res["y_over_delta"]
+    # --- the paper's content --------------------------------------------
+    # shock-layer thickness of a few centimetres (paper: 2.24 cm)
+    assert 0.005 < res["delta"] < 0.08
+    # nitrogen species dominate everywhere (N2 and/or N)
+    jN2, jN = names.index("N2"), names.index("N")
+    assert np.all(x[:, jN2] + x[:, jN] > 0.5)
+    # carbonaceous radiator (CN) present in the layer, orders of
+    # magnitude below the major species
+    jCN = names.index("CN")
+    assert 1e-8 < x[:, jCN].max() < 0.1
+    # strong composition gradients through the thermal layer: CN varies
+    # by > 2 decades across y/delta
+    cn = np.maximum(x[:, jCN], 1e-30)
+    assert cn.max() / cn.min() > 1e2
+    print("\nFig. 3 series: y/delta and mole fractions")
+    for j, name in enumerate(names):
+        if x[:, j].max() > 1e-8:
+            print(f"  {name:4s} wall {x[0, j]:.2e}  "
+                  f"mid {x[len(yd) // 2, j]:.2e}  edge {x[-1, j]:.2e}")

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 4 (reacting vs ideal bow-shock shape)."""
+
+import numpy as np
+
+from repro.experiments import fig4_shock_shape
+
+
+def test_bench_fig4_shock_shape(once):
+    res = once(fig4_shock_shape.run, True)
+    # --- the paper's content --------------------------------------------
+    # the reacting (equilibrium) shock stands much closer to the body
+    assert res["standoff_ratio"] > 1.8
+    assert res["equilibrium"]["standoff"] < 0.10   # m, on a 1.3 m nose
+    assert res["ideal"]["standoff"] > 0.10
+    # both shocks wrap the body: radial extent grows along the shock
+    for mode in ("ideal", "equilibrium"):
+        y = res[mode]["y"]
+        ok = np.isfinite(y)
+        assert y[ok][-1] > y[ok][0]
+    print("\nFig. 4 series: standoff ideal "
+          f"{res['ideal']['standoff']:.3f} m, equilibrium "
+          f"{res['equilibrium']['standoff']:.3f} m, ratio "
+          f"{res['standoff_ratio']:.2f}")
+    for mode in ("ideal", "equilibrium"):
+        x, y = res[mode]["x"], res[mode]["y"]
+        ok = np.isfinite(x)
+        pts = ", ".join(f"({a:.2f},{b:.2f})"
+                        for a, b in zip(x[ok][::8], y[ok][::8]))
+        print(f"  {mode:12s} shock locus [m]: {pts}")

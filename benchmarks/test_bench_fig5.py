@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 5 (Orbiter geometry model)."""
+
+import numpy as np
+
+from repro.experiments import fig5_orbiter_geometry
+from repro.geometry.orbiter import ORBITER_LENGTH
+
+
+def test_bench_fig5_orbiter_geometry(once):
+    res = once(fig5_orbiter_geometry.run, True)
+    pf = res["planform"]
+    wp = res["windward_profile"]
+    # --- the engineering dimensions -------------------------------------
+    assert res["length"] == ORBITER_LENGTH
+    assert pf["x"].max() == ORBITER_LENGTH
+    # half span ~ 11.9 m (23.79 m wingspan)
+    assert 10.0 < pf["y"].max() < 13.5
+    # the windward equivalent profile runs nose to tail
+    assert wp["x"][0] == 0.0
+    assert wp["x"][-1] > 0.95 * ORBITER_LENGTH
+    # profile is monotone in x (a marching-solver requirement)
+    assert np.all(np.diff(wp["x"]) > -1e-12)
+    assert len(res["cross_sections"]) >= 5
+    print(f"\nFig. 5: L = {res['length']:.2f} m, half-span = "
+          f"{pf['y'].max():.2f} m, windward ramp angle = 40 deg, "
+          f"{len(res['cross_sections'])} cross sections")

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 6 (windward heating comparison)."""
+
+import numpy as np
+
+from repro.experiments import fig6_windward_heating
+
+
+def test_bench_fig6_windward_heating(once):
+    res = once(fig6_windward_heating.run, True)
+    c = res["comparison"]
+    eq = res["equilibrium"]
+    # --- the paper's content --------------------------------------------
+    # heating decays downstream roughly as x^-1/2 on the windward ramp
+    q1 = np.interp(0.15, eq.x_over_L, eq.q)
+    q2 = np.interp(0.6, eq.x_over_L, eq.q)
+    assert 1.4 < q1 / q2 < 3.5   # (0.6/0.15)^0.5 = 2
+    # the fully catalytic equilibrium curve and the partially catalytic
+    # curve bracket the flight data over the ramp stations
+    ramp = c["x_over_L"] >= 0.1
+    assert np.all(c["equilibrium"][ramp] >= c["flight"][ramp] * 0.8)
+    assert np.all(c["partial_catalytic"][ramp]
+                  <= c["flight"][ramp] * 1.2)
+    # both computed gas models land within a factor ~2 of the data
+    for key in ("equilibrium", "ideal_g12"):
+        ratio = c[key][ramp] / c["flight"][ramp]
+        assert np.all((ratio > 0.4) & (ratio < 2.5))
+    print("\nFig. 6 series: x/L, flight*, equilibrium, ideal g=1.2, "
+          "phi=0.15  [W/cm^2]")
+    for i, x in enumerate(c["x_over_L"]):
+        print(f"  {x:5.3f}  {c['flight'][i]:6.1f}  "
+              f"{c['equilibrium'][i]:6.1f}  {c['ideal_g12'][i]:6.1f}  "
+              f"{c['partial_catalytic'][i]:6.1f}")

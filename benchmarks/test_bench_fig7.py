@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 7 (two-temperature relaxation zone)."""
+
+import numpy as np
+
+from repro.experiments import fig7_shock_relaxation
+
+
+def test_bench_fig7_shock_relaxation(once):
+    res = once(fig7_shock_relaxation.run, True)
+    p = res["profile"]
+    db = res["db"]
+    # --- the paper's content --------------------------------------------
+    # T jumps to the frozen value (~48000 K for 10 km/s into 300 K air)
+    assert 40000.0 < res["T_frozen"] < 55000.0
+    # Tv starts at the freestream value and rises
+    assert p.Tv[0] < 500.0
+    assert p.Tv.max() > 5000.0
+    # both temperatures merge at the equilibrium plateau (~9000-10000 K)
+    assert abs(res["T_equilibrium"] - res["Tv_equilibrium"]) < 100.0
+    assert 8000.0 < res["T_equilibrium"] < 11000.0
+    # N2 dissociates through the zone
+    jN2 = db.index["N2"]
+    assert p.y[-1, jN2] < 0.2 * p.y[0, jN2]
+    # electrons appear (ionizing air)
+    assert p.electron_number_density.max() > 1e18
+    # mass flux is conserved along the zone (DAE closure check)
+    m = p.rho * p.u
+    assert np.max(np.abs(m / m[0] - 1.0)) < 1e-6
+    print("\nFig. 7 series: x [mm], T [K], Tv [K], y_N2, n_e [1/m^3]")
+    for frac in (0, 10, 30, 60, 100, 150, 200, -1):
+        i = frac if frac >= 0 else len(p.x) - 1
+        if i >= len(p.x):
+            continue
+        print(f"  {p.x[i] * 1e3:8.3f}  {p.T[i]:7.0f}  {p.Tv[i]:7.0f}  "
+              f"{p.y[i, jN2]:.3f}  "
+              f"{p.electron_number_density[i]:.2e}")

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 8 (nonequilibrium spectra comparison)."""
+
+import numpy as np
+
+from repro.experiments import fig8_spectra
+
+
+def test_bench_fig8_spectra(once):
+    res = once(fig8_spectra.run, True)
+    lam = res["wavelength"]
+    I = res["smeared"]
+    # --- the paper's content --------------------------------------------
+    # violet band complex (N2+ 1- at 391 nm / N2 2+ at 337 nm) is a major
+    # feature
+    violet = (lam > 0.32e-6) & (lam < 0.40e-6)
+    assert I[violet].max() > 0.15 * I.max()
+    # near-IR atomic lines present (N/O multiplets, 0.74-0.87 um)
+    nir = (lam > 0.73e-6) & (lam < 0.88e-6)
+    assert I[nir].max() > 0.1 * I.max()
+    # mid-visible trough between the two complexes
+    mid = (lam > 0.55e-6) & (lam < 0.63e-6)
+    assert I[mid].mean() < 0.2 * I.max()
+    # computed and (synthetic) measured spectra correlate on log scale
+    assert res["log_correlation"] > 0.5
+    print(f"\nFig. 8: log-spectrum correlation = "
+          f"{res['log_correlation']:.3f}")
+    print("  lambda [um], computed_rel, measured_rel:")
+    for lm, cr, mr in zip(res["lam_meas"] * 1e6, res["computed_rel"],
+                          res["measured_rel"]):
+        print(f"  {lm:6.3f}  {cr:7.3f}  {mr:7.3f}")

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 9 (N2 contours, Mach-20 hemisphere)."""
+
+import numpy as np
+
+from repro.experiments import fig9_n2_contours
+from repro.experiments.fig9_n2_contours import CONTOUR_LEVELS
+
+
+def test_bench_fig9_n2_contours(once):
+    res = once(fig9_n2_contours.run, True)
+    # --- the paper's content --------------------------------------------
+    # freestream N2 mole fraction ~0.78 upstream of the shock
+    assert abs(res["N2"].max() - 0.79) < 0.02
+    # stagnation-region dissociation drives N2 toward ~0.5
+    assert res["n2_min"] < 0.55
+    # every plotted contour level of the paper exists in the field
+    for lv in CONTOUR_LEVELS:
+        assert len(res["contours"][lv]) > 0, f"missing contour {lv}"
+    # the shock is captured: a thin standoff on the small nose
+    assert 0.001 < res["standoff"] < 0.03
+    # contour levels nest: lower levels hug the body mor closely than
+    # higher ones along the stagnation line
+    sl = res["stagnation_line"]
+    x_first = {}
+    for lv in CONTOUR_LEVELS:
+        below = np.nonzero(sl["N2"] < lv)[0]
+        x_first[lv] = sl["x"][below[-1]] if below.size else np.nan
+    print(f"\nFig. 9: min x_N2 = {res['n2_min']:.3f}, standoff = "
+          f"{res['standoff'] * 1e3:.1f} mm")
+    print("  stagnation-line x positions where x_N2 crosses each level:")
+    for lv in CONTOUR_LEVELS:
+        n_seg = len(res["contours"][lv])
+        print(f"  level {lv:.2f}: {n_seg:4d} contour segments, "
+              f"stag-line crossing x = {x_first[lv] * 1e3:8.2f} mm")

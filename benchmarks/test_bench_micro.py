@@ -1,0 +1,130 @@
+"""Micro-benchmarks and ablations for the load-bearing kernels.
+
+* equilibrium Gibbs solver throughput (batched states/second),
+* EOS ablation: tabulated effective-gamma lookup vs direct Gibbs solve
+  (the design choice behind the era's curve-fit EOS codes),
+* upwind flux kernels,
+* 2-D Euler residual evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gas import IdealGasEOS, TabulatedEOS
+from repro.numerics.fluxes import hlle_flux
+from repro.numerics.upwind import steger_warming_flux, van_leer_flux
+from repro.thermo.eos_table import build_air_table
+from repro.thermo.equilibrium import (EquilibriumGas,
+                                      air_reference_mass_fractions)
+from repro.thermo.species import species_set
+
+
+@pytest.fixture(scope="module")
+def air_gas():
+    db = species_set("air11")
+    return EquilibriumGas(db, air_reference_mass_fractions(db))
+
+
+@pytest.fixture(scope="module")
+def eos_table():
+    return build_air_table(n_rho=32, n_e=48)
+
+
+@pytest.fixture(scope="module")
+def state_batch():
+    rng = np.random.default_rng(7)
+    rho = 10.0 ** rng.uniform(-5, 0, 2000)
+    e = 10.0 ** rng.uniform(5.5, 7.5, 2000)
+    return rho, e
+
+
+def test_bench_equilibrium_solver_batch(benchmark, air_gas):
+    rho = np.full(2000, 0.01)
+    T = np.linspace(500.0, 12000.0, 2000)
+    y = benchmark(air_gas.composition_rho_T, rho, T)
+    assert y.shape == (2000, 11)
+
+
+def test_bench_eos_direct_gibbs(benchmark, air_gas, state_batch):
+    """Ablation baseline: full Gibbs solve per (rho, e) state."""
+    rho, e = state_batch
+    out = benchmark(lambda: air_gas.state_rho_e(rho, e)["p"])
+    assert np.all(out > 0)
+
+
+def test_bench_eos_table_lookup(benchmark, eos_table, state_batch):
+    """Ablation: the effective-gamma table on the same states.
+
+    The measured speedup (typically 100-1000x) is the reason the era's
+    production codes used curve-fit EOS tables.
+    """
+    rho, e = state_batch
+    out = benchmark(lambda: eos_table.pressure(rho, e))
+    assert np.all(out > 0)
+
+
+def _face_states(n=20000):
+    rng = np.random.default_rng(3)
+    rho = rng.uniform(0.1, 2.0, n)
+    u = rng.uniform(-1500.0, 1500.0, n)
+    p = rng.uniform(1e3, 1e6, n)
+    e = p / (0.4 * rho)
+    U = np.stack([rho, rho * u, rho * (e + 0.5 * u**2)], axis=-1)
+    return U[:-1], U[1:]
+
+
+def test_bench_flux_hlle(benchmark):
+    UL, UR = _face_states()
+    eos = IdealGasEOS(1.4)
+    F = benchmark(hlle_flux, UL, UR, eos)
+    assert np.all(np.isfinite(F))
+
+
+def test_bench_flux_steger_warming(benchmark):
+    UL, UR = _face_states()
+    F = benchmark(steger_warming_flux, UL, UR, 1.4)
+    assert np.all(np.isfinite(F))
+
+
+def test_bench_flux_van_leer(benchmark):
+    UL, UR = _face_states()
+    F = benchmark(van_leer_flux, UL, UR, 1.4)
+    assert np.all(np.isfinite(F))
+
+
+def test_bench_euler2d_residual(benchmark):
+    from repro.geometry import Hemisphere
+    from repro.grid import blunt_body_grid
+    from repro.solvers.euler2d import AxisymmetricEulerSolver
+
+    body = Hemisphere(1.0)
+    grid = blunt_body_grid(body, n_s=41, n_normal=61)
+    s = AxisymmetricEulerSolver(grid, IdealGasEOS(1.4))
+    s.set_freestream(0.01, 2400.0, 0.01 * 287.0 * 220.0)
+    R = benchmark(s.residual, s.U)
+    assert R.shape == s.U.shape
+
+
+def test_bench_ns2d_residual(benchmark):
+    from repro.geometry import Hemisphere
+    from repro.grid import blunt_body_grid
+    from repro.solvers.ns2d import AxisymmetricNSSolver
+
+    body = Hemisphere(0.1)
+    grid = blunt_body_grid(body, n_s=31, n_normal=51)
+    s = AxisymmetricNSSolver(grid, IdealGasEOS(1.4), T_wall=300.0)
+    s.set_freestream(5e-4, 1800.0, 5e-4 * 287.0 * 220.0)
+    R = benchmark(s.residual, s.U)
+    assert R.shape == s.U.shape
+
+
+def test_bench_kinetics_wdot(benchmark):
+    from repro.thermo.kinetics import park_air_mechanism
+    mech = park_air_mechanism("air11")
+    rng = np.random.default_rng(5)
+    y = rng.random((3000, 11))
+    y /= y.sum(axis=1, keepdims=True)
+    rho = np.full(3000, 0.01)
+    T = np.linspace(2000.0, 12000.0, 3000)
+    w = benchmark(mech.wdot, rho, T, y)
+    assert w.shape == (3000, 11)

@@ -1,0 +1,59 @@
+"""Benchmark: strong scaling of the decomposed stencil solvers.
+
+The venue-context experiment: speedup/efficiency vs worker count at fixed
+problem size, through the shared-memory halo-exchange pool.  On a
+single-core container the table quantifies synchronisation overhead (and
+cache-blocking effects) instead of true speedup — the harness reports the
+visible CPU count so the numbers are interpretable either way.
+"""
+
+import os
+
+import numpy as np
+
+from repro.parallel.scaling import run_strong_scaling
+from repro.postprocess.tables import format_table
+
+
+def test_bench_strong_scaling_heat(once):
+    res = once(run_strong_scaling, "heat5",
+               shape=(768, 768), n_steps=10, workers=(1, 2, 4))
+    assert len(res.times) == 3
+    assert all(t > 0 for t in res.times)
+    rows = [(p, t, s, e) for p, t, s, e in res.rows()]
+    print(f"\nStrong scaling, heat5 768x768x10 steps "
+          f"(host cpus: {res.cpu_count}; serial "
+          f"{res.serial_time:.3f} s)")
+    print(format_table(["workers", "time [s]", "speedup", "efficiency"],
+                       rows))
+    # sanity: the parallel pool produces a finite, positive timing table
+    # and (given >1 cpu) improves with workers; on 1 cpu we only require
+    # it completes and the overhead stays bounded
+    if res.cpu_count >= 4:
+        assert res.speedups[-1] > 1.5
+    else:
+        assert res.times[-1] < 50 * res.serial_time
+
+
+def test_bench_strong_scaling_euler(once):
+    # 1-D Euler kernel through the same pool
+    n = 40000
+    xc = (np.arange(n) + 0.5) / n
+    U0 = np.zeros((n, 3))
+    U0[:, 0] = np.where(xc < 0.5, 1.0, 0.125)
+    U0[:, 2] = np.where(xc < 0.5, 1.0, 0.1) / 0.4
+
+    from repro.parallel import SharedMemoryStencilPool
+
+    def run_all():
+        out = {}
+        for p in (1, 2):
+            pool = SharedMemoryStencilPool("euler1d_hlle", n_workers=p)
+            _, t = pool.run(U0, 10, {"dt_dx": 0.2})
+            out[p] = t
+        return out
+
+    times = once(run_all)
+    print("\nEuler-kernel pool times:",
+          {p: f"{t:.3f} s" for p, t in times.items()})
+    assert all(t > 0 for t in times.values())

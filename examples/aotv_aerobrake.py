@@ -1,0 +1,66 @@
+"""AOTV aerobraking-pass analysis (the paper's motivating vehicle).
+
+Simulates an aeroassisted orbital transfer vehicle's atmospheric pass:
+integrates the shallow aerobraking trajectory, evaluates the aerothermal
+environment along it (convective heating by Fay–Riddell-class similarity,
+radiative heating by Tauber–Sutton), and reports the conditions a TPS
+designer needs: peak heating, total heat load, peak dynamic pressure, and
+the altitude/velocity corridor — the "extended periods of hypervelocity
+flight at high altitudes" regime the paper calls the hardest to simulate
+in ground facilities.
+
+Run:  python examples/aotv_aerobrake.py
+"""
+
+import numpy as np
+
+from repro.atmosphere import EarthAtmosphere
+from repro.heating import sutton_graves_heating
+from repro.postprocess.ascii_plot import ascii_plot
+from repro.postprocess.tables import format_table
+from repro.radiation import tauber_sutton_radiative
+from repro.trajectory import AOTV, integrate_entry
+
+
+def main():
+    atm = EarthAtmosphere()
+    tr = integrate_entry(AOTV, atm, h0=122e3, V0=9800.0,
+                         gamma0_deg=-4.7, t_max=1500.0)
+    tr = tr.resample(400)
+    q_conv = sutton_graves_heating(tr.rho, tr.V, AOTV.nose_radius)
+    q_rad = tauber_sutton_radiative(tr.rho, tr.V, AOTV.nose_radius)
+    q_total = q_conv + q_rad
+    i_pk = int(np.argmax(q_total))
+    heat_load = float(np.trapezoid(q_total, tr.t))
+
+    print("AOTV aerobraking pass (entry 9.8 km/s at 122 km, "
+          "gamma = -4.7 deg)")
+    print(ascii_plot([(tr.t, tr.h / 1e3, "altitude [km]")],
+                     xlabel="time [s]", ylabel="h [km]", height=12))
+    print(ascii_plot(
+        [(tr.t, q_conv / 1e4, "convective"),
+         (tr.t, np.maximum(q_rad, 1.0) / 1e4, "radiative")],
+        xlabel="time [s]", ylabel="q [W/cm^2]", height=14))
+    rows = [
+        ("perigee altitude [km]", float(tr.h.min() / 1e3)),
+        ("exit velocity [m/s]", float(tr.V[-1])),
+        ("velocity depletion [m/s]", float(tr.V[0] - tr.V[-1])),
+        ("peak convective q [W/cm^2]", float(q_conv.max() / 1e4)),
+        ("peak radiative q [W/cm^2]", float(q_rad.max() / 1e4)),
+        ("peak total q [W/cm^2]", float(q_total[i_pk] / 1e4)),
+        ("time of peak heating [s]", float(tr.t[i_pk])),
+        ("integrated heat load [J/cm^2]", heat_load / 1e4),
+        ("peak dynamic pressure [kPa]",
+         float(tr.dynamic_pressure.max() / 1e3)),
+        ("peak Mach number", float(tr.mach.max())),
+    ]
+    print(format_table(["quantity", "value"], rows, floatfmt=".4g"))
+    if tr.h[-1] > tr.h[0]:
+        print("\nPass outcome: vehicle exited the atmosphere "
+              "(aerobraking succeeded).")
+    else:
+        print("\nPass outcome: vehicle was captured (descent continued).")
+
+
+if __name__ == "__main__":
+    main()

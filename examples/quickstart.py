@@ -1,0 +1,86 @@
+"""Quickstart: the CAT toolkit in five minutes.
+
+Walks the core layers bottom-up: equilibrium air chemistry, shock
+relations, entry heating, and a small shock-capturing CFD run — each step
+printing the numbers a hypersonics engineer would sanity-check.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.atmosphere import EarthAtmosphere
+from repro.core.gas import IdealGasEOS
+from repro.heating import sutton_graves_heating
+from repro.postprocess.tables import format_table
+from repro.solvers.euler1d import Euler1DSolver
+from repro.solvers.shock import equilibrium_normal_shock, normal_shock_ideal
+from repro.thermo.equilibrium import (EquilibriumGas,
+                                      air_reference_mass_fractions)
+from repro.thermo.species import species_set
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. equilibrium air chemistry
+    # ------------------------------------------------------------------
+    db = species_set("air11")
+    gas = EquilibriumGas(db, air_reference_mass_fractions(db))
+    print("1) Equilibrium air composition at 1 atm:")
+    rows = []
+    for T in (300.0, 3000.0, 5000.0, 8000.0, 12000.0):
+        y, rho = gas.composition_T_p(np.array(T), np.array(101325.0))
+        x = db.mass_to_mole(np.atleast_2d(y))[0]
+        rows.append((T, float(x[db.index['N2']]),
+                     float(x[db.index['O2']]), float(x[db.index['O']]),
+                     float(x[db.index['N']]),
+                     float(x[db.index['e-']])))
+    print(format_table(["T [K]", "x_N2", "x_O2", "x_O", "x_N", "x_e-"],
+                       rows, floatfmt=".3g"))
+
+    # ------------------------------------------------------------------
+    # 2. real-gas shock physics (the Fig. 4 effect)
+    # ------------------------------------------------------------------
+    atm = EarthAtmosphere()
+    h, V = 65500.0, 6700.0
+    rho_inf = float(atm.density(h))
+    T_inf = float(atm.temperature(h))
+    M = float(atm.mach_number(V, h))
+    ideal = normal_shock_ideal(M)
+    eq = equilibrium_normal_shock(gas, rho_inf, T_inf, V)
+    print(f"\n2) Normal shock at V={V:.0f} m/s, h={h / 1e3:.1f} km "
+          f"(M={M:.1f}):")
+    print(f"   ideal gas:       T2 = {T_inf * ideal['T_ratio']:8.0f} K, "
+          f"rho2/rho1 = {float(ideal['rho_ratio']):.2f}")
+    print(f"   equilibrium air: T2 = {eq['T2']:8.0f} K, "
+          f"rho2/rho1 = {1.0 / eq['eps']:.2f}   <- chemistry absorbs the "
+          f"shock heating")
+
+    # ------------------------------------------------------------------
+    # 3. entry heating
+    # ------------------------------------------------------------------
+    q = float(sutton_graves_heating(rho_inf, V, 1.3))
+    print(f"\n3) Stagnation heating (Sutton-Graves, R_n=1.3 m): "
+          f"{q / 1e4:.1f} W/cm^2")
+
+    # ------------------------------------------------------------------
+    # 4. a CFD run: Sod shock tube vs the exact solution
+    # ------------------------------------------------------------------
+    x = np.linspace(0.0, 1.0, 201)
+    xc = 0.5 * (x[1:] + x[:-1])
+    solver = Euler1DSolver(x, IdealGasEOS(1.4))
+    solver.set_initial(np.where(xc < 0.5, 1.0, 0.125), 0.0,
+                       np.where(xc < 0.5, 1.0, 0.1))
+    solver.run(0.2)
+    from repro.numerics.riemann import sod_exact
+    rho, u, p = solver.primitives()
+    re, _, _ = sod_exact(solver.xc, 0.2)
+    print(f"\n4) Sod shock tube, 200 cells, MUSCL+HLLE: "
+          f"L1 density error = {np.abs(rho - re).mean():.4f} "
+          f"({solver.steps} steps)")
+    print("\nNext: python -m repro.experiments.runner   "
+          "(regenerates every paper figure)")
+
+
+if __name__ == "__main__":
+    main()

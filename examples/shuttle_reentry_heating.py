@@ -1,0 +1,69 @@
+"""Shuttle Orbiter windward heating through the entry (the E+BL / PNS
+use case).
+
+Marches the windward-heating PNS solver along three points of a gliding
+Shuttle entry trajectory, compares equilibrium fully catalytic vs a
+tile-like partially catalytic wall, and overlays the synthetic STS-3
+data at the Fig. 6 point.
+
+Run:  python examples/shuttle_reentry_heating.py
+"""
+
+import numpy as np
+
+from repro.atmosphere import EarthAtmosphere
+from repro.experiments.data import STS3_SYNTHETIC
+from repro.geometry import OrbiterWindwardProfile
+from repro.postprocess.ascii_plot import ascii_plot
+from repro.postprocess.tables import format_table
+from repro.solvers.pns import WindwardHeatingPNS
+from repro.thermo.equilibrium import (EquilibriumGas,
+                                      air_reference_mass_fractions)
+from repro.thermo.species import species_set
+
+
+#: Three representative points of the entry (h [m], V [m/s], alpha [deg]).
+TRAJECTORY_POINTS = [
+    (75000.0, 7200.0, 40.0),
+    (71300.0, 6740.0, 40.0),   # the STS-3 / Fig. 6 point
+    (60000.0, 4500.0, 35.0),
+]
+
+
+def main():
+    atm = EarthAtmosphere()
+    db = species_set("air11")
+    gas = EquilibriumGas(db, air_reference_mass_fractions(db))
+    rows = []
+    curves = []
+    for h, V, alpha in TRAJECTORY_POINTS:
+        body = OrbiterWindwardProfile(alpha_deg=alpha, nose_radius=1.3)
+        pns = WindwardHeatingPNS(body, gas=gas)
+        full = pns.solve(rho_inf=float(atm.density(h)),
+                         T_inf=float(atm.temperature(h)), V=V,
+                         T_wall=1100.0, n_stations=40)
+        tile = pns.solve(rho_inf=float(atm.density(h)),
+                         T_inf=float(atm.temperature(h)), V=V,
+                         T_wall=1100.0, n_stations=40,
+                         catalytic_phi=0.15)
+        rows.append((h / 1e3, V, full.q_stag / 1e4,
+                     tile.q[0] / 1e4,
+                     float(np.interp(0.2, full.x_over_L, full.q)) / 1e4))
+        curves.append((full.x_over_L, full.q / 1e4,
+                       f"h={h / 1e3:.0f}km"))
+    print("Shuttle windward-centerline heating "
+          "(equivalent-axisymmetric PNS march)")
+    print(ascii_plot(curves + [(STS3_SYNTHETIC["x_over_L"],
+                                STS3_SYNTHETIC["q_w_cm2"],
+                                "STS-3 @71km (synthetic)")],
+                     logy=True, xlabel="x/L", ylabel="q [W/cm^2]"))
+    print(format_table(
+        ["h [km]", "V [m/s]", "q_stag FC [W/cm^2]",
+         "q_stag tile [W/cm^2]", "q(x/L=0.2) [W/cm^2]"], rows))
+    print("\nThe tile (phi=0.15) column is the paper's catalytic-"
+          "efficiency story: finite surface catalysis cuts the heat flux "
+          "roughly in half relative to the fully catalytic assumption.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup script.
+
+Metadata is duplicated from pyproject.toml so that ``pip install -e .``
+works in fully offline environments (no wheel/build isolation available),
+where pip falls back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Computational aerothermodynamics (CAT) toolkit: real-gas CFD "
+        "solvers (NS/PNS/E+BL/VSL), equilibrium and two-temperature air "
+        "chemistry, radiation, and entry-heating analysis"
+    ),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

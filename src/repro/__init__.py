@@ -1,0 +1,14 @@
+"""repro — a computational aerothermodynamics (CAT) toolkit.
+
+Python reproduction of Deiwert & Green, "Computational
+Aerothermodynamics" (NASA TM-89450, 1987): high-temperature real-gas
+thermochemistry, radiation, and the four CAT solver families (NS, PNS,
+E+BL, VSL) with entry-heating analysis on top.
+
+Start at :mod:`repro.core` (the high-level API), the README quickstart,
+or ``python -m repro``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,56 @@
+"""Command-line entry point.
+
+``python -m repro``                 — overview and quick sanity numbers
+``python -m repro figures [--full]`` — regenerate every paper figure
+``python -m repro stagnation V H RN`` — stagnation environment at
+                                        (V [m/s], h [m], R_n [m])
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _overview() -> None:
+    import numpy as np
+
+    from repro.core import make_gas
+    print(__doc__)
+    gas = make_gas("equilibrium-air")
+    y, _ = gas.composition_T_p(np.array(8000.0), np.array(101325.0))
+    x = gas.db.mass_to_mole(np.atleast_2d(y))[0]
+    print("sanity: equilibrium air at 8000 K, 1 atm -> "
+          f"x_N = {x[gas.db.index['N']]:.3f}, "
+          f"x_O = {x[gas.db.index['O']]:.3f} (mostly dissociated)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        _overview()
+        return 0
+    cmd = argv[0]
+    if cmd == "figures":
+        from repro.experiments.runner import run_all
+        run_all(quick="--full" not in argv)
+        return 0
+    if cmd == "stagnation":
+        if len(argv) != 4:
+            print("usage: python -m repro stagnation V[m/s] h[m] Rn[m]")
+            return 2
+        from repro.core import stagnation_environment
+        V, h, rn = map(float, argv[1:4])
+        env = stagnation_environment(V=V, h=h, nose_radius=rn)
+        print(f"V = {V:.0f} m/s, h = {h / 1e3:.1f} km, R_n = {rn} m:")
+        print(f"  q_conv   = {env['q_conv'] / 1e4:10.2f} W/cm^2")
+        print(f"  q_rad    = {env['q_rad'] / 1e4:10.2f} W/cm^2")
+        print(f"  standoff = {env['standoff'] * 100:10.2f} cm")
+        print(f"  p_stag   = {env['p_stag'] / 1e3:10.2f} kPa")
+        print(f"  T_edge   = {env['T_edge']:10.0f} K")
+        return 0
+    print(f"unknown command {cmd!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

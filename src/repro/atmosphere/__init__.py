@@ -1,0 +1,17 @@
+"""Planetary atmosphere models for entry-trajectory analysis.
+
+* :mod:`repro.atmosphere.earth` — US Standard Atmosphere 1976 (layered,
+  with an isothermal exponential extension above 86 km).
+* :mod:`repro.atmosphere.titan` — engineering N2/CH4 Titan model (the
+  Fig. 2/3 probe-entry substrate).
+* :mod:`repro.atmosphere.jupiter` — H2/He Jupiter model (Galileo-class
+  checks).
+"""
+
+from repro.atmosphere.base import Atmosphere
+from repro.atmosphere.earth import EarthAtmosphere
+from repro.atmosphere.titan import TitanAtmosphere
+from repro.atmosphere.jupiter import JupiterAtmosphere
+
+__all__ = ["Atmosphere", "EarthAtmosphere", "TitanAtmosphere",
+           "JupiterAtmosphere"]

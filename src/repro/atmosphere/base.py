@@ -1,0 +1,58 @@
+"""Common interface for planetary atmosphere models."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Atmosphere"]
+
+
+class Atmosphere(abc.ABC):
+    """Altitude -> ambient state.  All methods are vectorised over h [m]."""
+
+    #: Specific gas constant of the (frozen) ambient mixture [J/(kg K)].
+    gas_constant: float
+    #: Frozen ratio of specific heats of the ambient mixture.
+    gamma: float
+    #: Planet radius [m] (for trajectory gravity).
+    planet_radius: float
+    #: Gravitational parameter GM [m^3/s^2].
+    mu_grav: float
+
+    @abc.abstractmethod
+    def temperature(self, h):
+        """Ambient temperature [K]."""
+
+    @abc.abstractmethod
+    def pressure(self, h):
+        """Ambient pressure [Pa]."""
+
+    def density(self, h):
+        """Ambient density [kg/m^3] from the ideal-gas law."""
+        return self.pressure(h) / (self.gas_constant * self.temperature(h))
+
+    def sound_speed(self, h):
+        """Frozen ambient speed of sound [m/s]."""
+        return np.sqrt(self.gamma * self.gas_constant
+                       * self.temperature(h))
+
+    def viscosity(self, h):
+        """Ambient viscosity [Pa s] (Sutherland with model constants)."""
+        from repro.transport.viscosity import sutherland_viscosity
+        return sutherland_viscosity(self.temperature(h))
+
+    def gravity(self, h):
+        """Local gravitational acceleration [m/s^2]."""
+        r = self.planet_radius + np.asarray(h, dtype=float)
+        return self.mu_grav / r**2
+
+    def mach_number(self, V, h):
+        """Flight Mach number."""
+        return np.asarray(V, dtype=float) / self.sound_speed(h)
+
+    def reynolds_per_meter(self, V, h):
+        """Unit Reynolds number rho V / mu [1/m]."""
+        return (self.density(h) * np.asarray(V, dtype=float)
+                / self.viscosity(h))

@@ -1,0 +1,92 @@
+"""US Standard Atmosphere 1976.
+
+Layered analytic implementation up to 86 km geometric altitude (converted
+internally to geopotential), with an isothermal exponential extension above
+(adequate for the flight-domain map of Fig. 1, which tops out near the
+AOTV's ~120 km perigee-pass altitudes; USSA76's true thermosphere departs
+from isothermal but the density magnitude there is already <1e-6 of sea
+level and the figure is logarithmic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import G0_EARTH, MU_EARTH, R_EARTH
+from repro.atmosphere.base import Atmosphere
+
+__all__ = ["EarthAtmosphere"]
+
+# layer base geopotential altitude [m], lapse rate [K/m]
+_H_BASE = np.array([0.0, 11000.0, 20000.0, 32000.0, 47000.0, 51000.0,
+                    71000.0, 84852.0])
+_LAPSE = np.array([-6.5e-3, 0.0, 1.0e-3, 2.8e-3, 0.0, -2.8e-3, -2.0e-3])
+
+_R_AIR = 287.0528
+_T0 = 288.15
+_P0 = 101325.0
+
+
+def _precompute():
+    """Base temperature and pressure of each layer."""
+    T = [_T0]
+    p = [_P0]
+    for i in range(len(_LAPSE)):
+        dz = _H_BASE[i + 1] - _H_BASE[i]
+        Tb, pb, L = T[-1], p[-1], _LAPSE[i]
+        T_top = Tb + L * dz
+        if abs(L) > 1e-12:
+            p_top = pb * (T_top / Tb) ** (-G0_EARTH / (L * _R_AIR))
+        else:
+            p_top = pb * np.exp(-G0_EARTH * dz / (_R_AIR * Tb))
+        T.append(T_top)
+        p.append(p_top)
+    return np.array(T), np.array(p)
+
+
+_T_BASE, _P_BASE = _precompute()
+
+
+class EarthAtmosphere(Atmosphere):
+    """US Standard Atmosphere 1976 with exponential extension above 86 km."""
+
+    gas_constant = _R_AIR
+    gamma = 1.4
+    planet_radius = R_EARTH
+    mu_grav = MU_EARTH
+
+    def _geopotential(self, h):
+        h = np.asarray(h, dtype=float)
+        return R_EARTH * h / (R_EARTH + h)
+
+    def _layer_index(self, hgp):
+        return np.clip(np.searchsorted(_H_BASE[1:], hgp, side="right"),
+                       0, len(_LAPSE) - 1)
+
+    def temperature(self, h):
+        hgp = self._geopotential(h)
+        i = self._layer_index(np.minimum(hgp, _H_BASE[-1]))
+        T = _T_BASE[i] + _LAPSE[i] * (np.minimum(hgp, _H_BASE[-1])
+                                      - _H_BASE[i])
+        # isothermal above 86 km geometric (~84.852 km geopotential)
+        return np.where(hgp > _H_BASE[-1], _T_BASE[-1], T)
+
+    def pressure(self, h):
+        hgp = self._geopotential(h)
+        hc = np.minimum(hgp, _H_BASE[-1])
+        i = self._layer_index(hc)
+        Tb = _T_BASE[i]
+        pb = _P_BASE[i]
+        L = _LAPSE[i]
+        dz = hc - _H_BASE[i]
+        T = Tb + L * dz
+        grad = np.where(np.abs(L) > 1e-12,
+                        (np.maximum(T, 1.0) / Tb)
+                        ** (-G0_EARTH / (np.where(np.abs(L) > 1e-12, L, 1.0)
+                                         * _R_AIR)),
+                        np.exp(-G0_EARTH * dz / (_R_AIR * Tb)))
+        p = pb * grad
+        # exponential tail above the table
+        tail = np.exp(-G0_EARTH * (hgp - _H_BASE[-1])
+                      / (_R_AIR * _T_BASE[-1]))
+        return np.where(hgp > _H_BASE[-1], _P_BASE[-1] * tail, p)

@@ -1,0 +1,39 @@
+"""Engineering model of Jupiter's upper atmosphere (H2/He).
+
+Used by the Galileo-probe-class checks (the paper's VSL heritage: HYVIS /
+RASLE / COLTS sized the Galileo TPS).  A simple isothermal-stratosphere /
+adiabatic-troposphere model about the 1-bar reference level; altitudes are
+measured from the 1-bar level (positive up), as is conventional for the
+gas giants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import MU_JUPITER, R_JUPITER
+from repro.atmosphere.base import Atmosphere
+
+__all__ = ["JupiterAtmosphere"]
+
+_T_STRAT = 165.0       # K, near the 1-bar level
+_P_REF = 1.0e5         # Pa at h = 0
+
+
+class JupiterAtmosphere(Atmosphere):
+    """Isothermal H2/He (0.89/0.11 by mole) model about the 1-bar level."""
+
+    #: mean molar mass 0.89*2.016 + 0.11*4.003 = 2.234 g/mol
+    gas_constant = 8.31446 / 2.234e-3
+    gamma = 1.45
+    planet_radius = R_JUPITER
+    mu_grav = MU_JUPITER
+
+    def temperature(self, h):
+        return np.full_like(np.asarray(h, dtype=float), _T_STRAT)
+
+    def pressure(self, h):
+        h = np.asarray(h, dtype=float)
+        g0 = self.mu_grav / self.planet_radius**2
+        scale = self.gas_constant * _T_STRAT / g0
+        return _P_REF * np.exp(-h / scale)

@@ -1,0 +1,65 @@
+"""Engineering model of Titan's atmosphere (N2 with a few percent CH4).
+
+The Fig. 2/3 experiment (RASLE Titan-probe solutions of Ref. 15) needs an
+entry atmosphere for Saturn's largest moon.  We use a piecewise-linear
+temperature profile fitted to the Voyager-era structure the 1985 study had
+available — 94 K at the surface, a tropopause minimum of ~71 K near 40 km,
+warming through the stratosphere to ~170 K near 200 km and roughly
+isothermal above (the organic-haze region the paper mentions) — integrated
+hydrostatically for pressure.
+
+This is a *substitution* for the mission-specific engineering model
+(documented in DESIGN.md): what matters for the heating-pulse experiment is
+the density scale height (~40 km at entry-interface altitudes) and surface
+pressure (1.5 bar), both honoured here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import MU_TITAN, R_TITAN
+from repro.atmosphere.base import Atmosphere
+
+__all__ = ["TitanAtmosphere"]
+
+#: Temperature profile nodes: altitude [m] -> T [K].
+_H_NODES = np.array([0.0, 40e3, 100e3, 200e3, 400e3, 800e3, 1500e3])
+_T_NODES = np.array([94.0, 71.0, 130.0, 170.0, 175.0, 178.0, 180.0])
+
+_P_SURFACE = 1.5 * 101325.0
+
+
+class TitanAtmosphere(Atmosphere):
+    """Hydrostatic Titan model over a piecewise-linear T profile."""
+
+    #: N2 with ~5 mol% CH4: mean molar mass ~27.4 g/mol.
+    gas_constant = 8.31446 / 27.42e-3
+    gamma = 1.4
+    planet_radius = R_TITAN
+    mu_grav = MU_TITAN
+
+    def __init__(self, n_quad: int = 4000):
+        # precompute ln p on a fine grid by hydrostatic quadrature
+        h = np.linspace(0.0, _H_NODES[-1], n_quad)
+        T = np.interp(h, _H_NODES, _T_NODES)
+        g = self.mu_grav / (self.planet_radius + h) ** 2
+        integrand = g / (self.gas_constant * T)
+        lnp = np.log(_P_SURFACE) - np.concatenate(
+            ([0.0], np.cumsum(0.5 * (integrand[1:] + integrand[:-1])
+                              * np.diff(h))))
+        self._h_grid = h
+        self._lnp_grid = lnp
+
+    def temperature(self, h):
+        h = np.asarray(h, dtype=float)
+        return np.interp(h, _H_NODES, _T_NODES)
+
+    def pressure(self, h):
+        h = np.asarray(h, dtype=float)
+        lnp = np.interp(h, self._h_grid, self._lnp_grid)
+        # exponential continuation above the grid
+        top = self._lnp_grid[-1] - (h - self._h_grid[-1]) * (
+            self.mu_grav / (self.planet_radius + self._h_grid[-1]) ** 2
+            / (self.gas_constant * _T_NODES[-1]))
+        return np.exp(np.where(h > self._h_grid[-1], top, lnp))

@@ -1,0 +1,154 @@
+"""Physical constants used throughout the CAT toolkit.
+
+All values are SI unless the name says otherwise.  Chemistry literature
+(reaction-rate coefficients in particular) is CGS-molar; conversion helpers
+for those units live here so the rest of the library never hand-rolls unit
+factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants (CODATA, truncated to the precision the solvers need)
+# ---------------------------------------------------------------------------
+
+#: Universal gas constant [J/(mol K)].
+R_UNIVERSAL = 8.31446261815324
+
+#: Boltzmann constant [J/K].
+K_BOLTZMANN = 1.380649e-23
+
+#: Avogadro constant [1/mol].
+N_AVOGADRO = 6.02214076e23
+
+#: Planck constant [J s].
+H_PLANCK = 6.62607015e-34
+
+#: Speed of light in vacuum [m/s].
+C_LIGHT = 2.99792458e8
+
+#: Stefan-Boltzmann constant [W/(m^2 K^4)].
+SIGMA_SB = 5.670374419e-8
+
+#: Elementary charge [C].
+E_CHARGE = 1.602176634e-19
+
+#: Electron mass [kg].
+M_ELECTRON = 9.1093837015e-31
+
+#: First radiation constant for spectral radiance, 2 h c^2 [W m^2 / sr].
+C1_RADIANCE = 2.0 * H_PLANCK * C_LIGHT**2
+
+#: Second radiation constant, h c / k  [m K].
+C2_RADIATION = H_PLANCK * C_LIGHT / K_BOLTZMANN
+
+# ---------------------------------------------------------------------------
+# Standard reference values
+# ---------------------------------------------------------------------------
+
+#: Standard atmospheric pressure [Pa].
+P_ATM = 101325.0
+
+#: Standard reference temperature for thermodynamic tables [K].
+T_REF = 298.15
+
+#: One Torr in pascals.
+TORR = 133.322
+
+#: Standard gravitational acceleration at Earth's surface [m/s^2].
+G0_EARTH = 9.80665
+
+# ---------------------------------------------------------------------------
+# Planetary data used by the atmosphere and trajectory substrates
+# ---------------------------------------------------------------------------
+
+#: Earth mean radius [m].
+R_EARTH = 6.371e6
+
+#: Earth gravitational parameter GM [m^3/s^2].
+MU_EARTH = 3.986004418e14
+
+#: Titan mean radius [m].
+R_TITAN = 2.575e6
+
+#: Titan gravitational parameter GM [m^3/s^2].
+MU_TITAN = 8.978e12
+
+#: Jupiter equatorial radius [m].
+R_JUPITER = 7.1492e7
+
+#: Jupiter gravitational parameter GM [m^3/s^2].
+MU_JUPITER = 1.26686534e17
+
+# ---------------------------------------------------------------------------
+# Unit conversions for chemistry (CGS-molar <-> SI)
+# ---------------------------------------------------------------------------
+
+#: Multiply a cm^3/(mol s) bimolecular rate coefficient by this to get
+#: m^3/(mol s).
+CM3_PER_MOL_TO_M3_PER_MOL = 1.0e-6
+
+#: Multiply a cm^6/(mol^2 s) termolecular rate coefficient by this to get
+#: m^6/(mol^2 s).
+CM6_PER_MOL2_TO_M6_PER_MOL2 = 1.0e-12
+
+#: Calories (thermochemical) to joules.
+CAL_TO_J = 4.184
+
+
+def arrhenius_si(a_cgs: float, order: int) -> float:
+    """Convert a CGS-molar Arrhenius pre-exponential to SI-molar.
+
+    Parameters
+    ----------
+    a_cgs:
+        Pre-exponential in cm^3/(mol s) (``order=2``) or cm^6/(mol^2 s)
+        (``order=3``).  First-order (1/s) coefficients pass through.
+    order:
+        Overall reaction order (1, 2 or 3).
+    """
+    if order == 1:
+        return a_cgs
+    if order == 2:
+        return a_cgs * CM3_PER_MOL_TO_M3_PER_MOL
+    if order == 3:
+        return a_cgs * CM6_PER_MOL2_TO_M6_PER_MOL2
+    raise ValueError(f"unsupported reaction order: {order}")
+
+
+def ev_to_joule(ev: float) -> float:
+    """Electron-volts to joules."""
+    return ev * E_CHARGE
+
+
+def wavenumber_to_joule(cm1: float) -> float:
+    """Spectroscopic wavenumber (1/cm) to photon energy in joules."""
+    return H_PLANCK * C_LIGHT * cm1 * 100.0
+
+
+def wavenumber_to_kelvin(cm1: float) -> float:
+    """Spectroscopic wavenumber (1/cm) to characteristic temperature [K]."""
+    return wavenumber_to_joule(cm1) / K_BOLTZMANN
+
+
+def planck_lambda(wavelength_m, temperature):
+    """Planck spectral radiance B_lambda(T) [W/(m^2 sr m)].
+
+    Vectorised over both arguments (NumPy broadcasting applies).
+    """
+    import numpy as np
+
+    lam = np.asarray(wavelength_m, dtype=float)
+    t = np.asarray(temperature, dtype=float)
+    x = C2_RADIATION / (lam * np.maximum(t, 1.0e-30))
+    # expm1 keeps precision for small x (long wavelengths / high T)
+    return C1_RADIANCE / lam**5 / np.expm1(np.clip(x, 1e-12, 700.0))
+
+
+#: Loschmidt-like reference number density at 1 atm, 273.15 K [1/m^3].
+N_LOSCHMIDT = P_ATM / (K_BOLTZMANN * 273.15)
+
+#: Square root of pi, used by line-shape and similarity solutions.
+SQRT_PI = math.sqrt(math.pi)

@@ -1,0 +1,19 @@
+"""Public facade of the CAT toolkit.
+
+Most users need only::
+
+    from repro.core import (IdealGasEOS, TabulatedEOS, FreeStream,
+                            FlightCondition)
+
+plus the solver entry points re-exported here.  Everything else is
+importable from its subpackage.
+"""
+
+from repro.core.gas import GasEOS, IdealGasEOS, TabulatedEOS
+from repro.core.state import FlightCondition, FreeStream
+from repro.core.api import (heat_pulse, make_gas, stagnation_environment,
+                            windward_heating)
+
+__all__ = ["GasEOS", "IdealGasEOS", "TabulatedEOS", "FreeStream",
+           "FlightCondition", "stagnation_environment",
+           "windward_heating", "heat_pulse", "make_gas"]

@@ -1,0 +1,139 @@
+"""High-level mission-analysis API.
+
+One-call entry points for the common CAT questions, wired through the
+full solver stack:
+
+* :func:`stagnation_environment` — "what does the stagnation point see at
+  this flight condition?" (equilibrium shock, VSL heating, radiation).
+* :func:`windward_heating` — "what does the windward centerline see?"
+  (PNS march with catalysis).
+* :func:`heat_pulse` — "what does the whole trajectory integrate to?"
+  (correlation-level convective + radiative pulse and load).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere import EarthAtmosphere
+from repro.errors import InputError
+from repro.heating import sutton_graves_heating
+from repro.radiation.correlations import tauber_sutton_radiative
+from repro.thermo.equilibrium import (EquilibriumGas,
+                                      air_reference_mass_fractions,
+                                      titan_reference_mass_fractions)
+from repro.thermo.species import species_set
+
+__all__ = ["stagnation_environment", "windward_heating", "heat_pulse",
+           "make_gas"]
+
+
+def make_gas(name: str) -> EquilibriumGas:
+    """Build a named equilibrium gas model.
+
+    Options: "equilibrium-air", "titan", "jupiter".
+    """
+    if name == "equilibrium-air":
+        db = species_set("air11")
+        return EquilibriumGas(db, air_reference_mass_fractions(db))
+    if name == "titan":
+        db = species_set("titan9")
+        return EquilibriumGas(db, titan_reference_mass_fractions(db))
+    if name == "jupiter":
+        db = species_set("jupiter3")
+        y = np.zeros(db.n)
+        y[db.index["H2"]] = 0.75
+        y[db.index["He"]] = 0.25
+        return EquilibriumGas(db, y)
+    raise InputError(f"unknown gas model {name!r}; options: "
+                     f"equilibrium-air, titan, jupiter")
+
+
+def stagnation_environment(*, V, h, nose_radius, atmosphere=None,
+                           gas="equilibrium-air", T_wall=1500.0,
+                           quick=True) -> dict:
+    """Full stagnation-point aerothermal environment at one condition.
+
+    Returns a dict with the shock state, convective and radiative wall
+    fluxes, shock standoff, stagnation pressure and the shock-layer
+    temperature/species profiles.
+    """
+    from repro.solvers.vsl import StagnationVSL
+
+    atm = atmosphere or EarthAtmosphere()
+    gas_model = make_gas(gas) if isinstance(gas, str) else gas
+    vsl = StagnationVSL(gas_model, nose_radius=nose_radius)
+    sol = vsl.solve(rho_inf=float(atm.density(h)),
+                    T_inf=float(atm.temperature(h)), V=float(V),
+                    T_wall=T_wall,
+                    n_profile=40 if quick else 100,
+                    n_lambda=150 if quick else 400)
+    return {
+        "q_conv": sol.q_conv,
+        "q_rad": sol.q_rad,
+        "standoff": sol.standoff,
+        "p_stag": sol.p_stag,
+        "T_edge": float(sol.T[-1]),
+        "shock": sol.shock,
+        "profiles": {"y": sol.y, "T": sol.T,
+                     "composition": sol.composition},
+        "solution": sol,
+    }
+
+
+def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
+                     atmosphere=None, gas="equilibrium-air",
+                     T_wall=1200.0, catalytic_phi=1.0,
+                     n_stations=40) -> dict:
+    """Windward-centerline heating distribution at one condition."""
+    from repro.geometry import OrbiterWindwardProfile
+    from repro.solvers.pns import WindwardHeatingPNS
+
+    atm = atmosphere or EarthAtmosphere()
+    body = OrbiterWindwardProfile(alpha_deg=alpha_deg,
+                                  nose_radius=nose_radius, length=length)
+    if isinstance(gas, str) and gas.startswith("ideal"):
+        gamma = float(gas.split(":")[1]) if ":" in gas else 1.4
+        pns = WindwardHeatingPNS(body, gamma=gamma)
+    else:
+        gas_model = make_gas(gas) if isinstance(gas, str) else gas
+        pns = WindwardHeatingPNS(body, gas=gas_model)
+    res = pns.solve(rho_inf=float(atm.density(h)),
+                    T_inf=float(atm.temperature(h)), V=float(V),
+                    T_wall=T_wall, n_stations=n_stations,
+                    catalytic_phi=catalytic_phi)
+    return {"x_over_L": res.x_over_L, "q": res.q, "q_stag": res.q_stag,
+            "result": res}
+
+
+def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth") -> dict:
+    """Correlation-level heating pulse along an integrated trajectory.
+
+    Parameters
+    ----------
+    trajectory:
+        A :class:`repro.trajectory.entry.Trajectory`.
+    nose_radius:
+        [m].
+    atmosphere_key:
+        Sutton-Graves constant selector ("earth", "titan", "jupiter").
+
+    Returns dict with per-time q_conv, q_rad, totals and the peak point.
+    """
+    q_conv = sutton_graves_heating(trajectory.rho, trajectory.V,
+                                   nose_radius,
+                                   atmosphere=atmosphere_key)
+    if atmosphere_key == "earth":
+        q_rad = tauber_sutton_radiative(trajectory.rho, trajectory.V,
+                                        nose_radius)
+    else:
+        q_rad = np.zeros_like(q_conv)
+    q_total = q_conv + q_rad
+    i = int(np.argmax(q_total))
+    return {"t": trajectory.t, "q_conv": q_conv, "q_rad": q_rad,
+            "q_total": q_total,
+            "heat_load": float(np.trapezoid(q_total, trajectory.t)),
+            "peak": {"t": float(trajectory.t[i]),
+                     "q": float(q_total[i]),
+                     "h": float(trajectory.h[i]),
+                     "V": float(trajectory.V[i])}}

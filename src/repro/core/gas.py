@@ -1,0 +1,111 @@
+"""Equation-of-state abstraction consumed by the CFD solvers.
+
+Two concrete models cover the paper's "ideal gas" and "equilibrium real
+gas" modes:
+
+* :class:`IdealGasEOS` — calorically perfect gas (gamma, R constant).
+* :class:`TabulatedEOS` — equilibrium air through the effective-gamma
+  lookup table (:mod:`repro.thermo.eos_table`), the variable-gamma device
+  of the era's production codes.
+
+Both expose the same three vectorised methods the flux routines need:
+``pressure(rho, e)``, ``sound_speed(rho, e)``, ``temperature(rho, e)``,
+where ``e`` is specific *internal* energy (no kinetic part).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["GasEOS", "IdealGasEOS", "TabulatedEOS"]
+
+
+@runtime_checkable
+class GasEOS(Protocol):
+    """Minimal EOS interface for the finite-volume solvers."""
+
+    def pressure(self, rho, e): ...
+    def sound_speed(self, rho, e): ...
+    def temperature(self, rho, e): ...
+
+
+class IdealGasEOS:
+    """Calorically perfect gas p = (gamma - 1) rho e."""
+
+    def __init__(self, gamma: float = 1.4, R: float = 287.0528):
+        if gamma <= 1.0:
+            raise InputError("gamma must exceed 1")
+        self.gamma = gamma
+        self.R = R
+        self.cv = R / (gamma - 1.0)
+        self.cp = self.cv * gamma
+
+    def pressure(self, rho, e):
+        return (self.gamma - 1.0) * np.asarray(rho, float) * np.asarray(
+            e, float)
+
+    def sound_speed(self, rho, e):
+        e = np.maximum(np.asarray(e, float), 1e-30)
+        return np.sqrt(self.gamma * (self.gamma - 1.0) * e)
+
+    def temperature(self, rho, e):
+        return np.asarray(e, float) / self.cv
+
+    def e_from_T(self, T):
+        """Internal energy at temperature T [J/kg]."""
+        return self.cv * np.asarray(T, float)
+
+    def e_from_p_rho(self, p, rho):
+        return np.asarray(p, float) / ((self.gamma - 1.0)
+                                       * np.asarray(rho, float))
+
+    def gamma_eff(self, rho, e):
+        return np.full(np.broadcast_shapes(np.shape(rho), np.shape(e)),
+                       self.gamma)
+
+
+class TabulatedEOS:
+    """Equilibrium real gas via the effective-gamma table.
+
+    Parameters
+    ----------
+    table:
+        An :class:`~repro.thermo.eos_table.EquilibriumEOSTable`; defaults
+        to the cached standard-air table.
+    """
+
+    def __init__(self, table=None):
+        if table is None:
+            from repro.thermo.eos_table import build_air_table
+            table = build_air_table()
+        self.table = table
+
+    def pressure(self, rho, e):
+        return self.table.pressure(rho, e)
+
+    def sound_speed(self, rho, e):
+        return self.table.sound_speed(rho, e)
+
+    def temperature(self, rho, e):
+        return self.table.temperature(rho, e)
+
+    def e_from_p_rho(self, p, rho, *, tol=1e-10, max_iter=60):
+        """Invert p(rho, e) for e (monotone in e; bisection-safe secant)."""
+        p = np.asarray(p, dtype=float)
+        rho = np.asarray(rho, dtype=float)
+        e = p / (0.4 * rho)  # ideal-gas initial guess
+        for _ in range(max_iter):
+            f = self.pressure(rho, e) - p
+            if np.all(np.abs(f) < tol * np.maximum(p, 1.0)):
+                return e
+            de = np.maximum(1e-4 * e, 1.0)
+            dpde = (self.pressure(rho, e + de) - self.pressure(rho, e)) / de
+            e = np.maximum(e - f / np.maximum(dpde, 1e-10), 1e3)
+        return e
+
+    def gamma_eff(self, rho, e):
+        return self.table.lookup(rho, e)[0]

@@ -1,0 +1,85 @@
+"""Flight-condition and freestream state containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["FreeStream", "FlightCondition"]
+
+
+@dataclass(frozen=True)
+class FreeStream:
+    """Uniform upstream state for a solver run.
+
+    Velocity is the magnitude; solvers orient it along their own axes.
+    """
+
+    rho: float            #: density [kg/m^3]
+    T: float              #: temperature [K]
+    V: float              #: speed [m/s]
+    p: float | None = None  #: pressure [Pa]; derived if omitted
+    gamma: float = 1.4
+    R: float = 287.0528
+
+    def __post_init__(self):
+        if self.rho <= 0 or self.T <= 0 or self.V < 0:
+            raise InputError("freestream requires rho, T > 0 and V >= 0")
+        if self.p is None:
+            object.__setattr__(self, "p", self.rho * self.R * self.T)
+
+    @property
+    def a(self) -> float:
+        """Frozen sound speed [m/s]."""
+        return float(np.sqrt(self.gamma * self.R * self.T))
+
+    @property
+    def mach(self) -> float:
+        return self.V / self.a
+
+    @property
+    def dynamic_pressure(self) -> float:
+        return 0.5 * self.rho * self.V**2
+
+    @property
+    def e_internal(self) -> float:
+        """Ideal-gas specific internal energy [J/kg]."""
+        return self.p / ((self.gamma - 1.0) * self.rho)
+
+    @property
+    def total_enthalpy(self) -> float:
+        """h0 = h + V^2/2 with the ideal-gas caloric relation [J/kg]."""
+        return (self.gamma * self.e_internal + 0.5 * self.V**2)
+
+
+@dataclass(frozen=True)
+class FlightCondition:
+    """A (velocity, altitude) point on a trajectory, with the atmosphere.
+
+    This is the CAT-facing description: the solvers receive the derived
+    :class:`FreeStream`.
+    """
+
+    V: float                     #: flight speed [m/s]
+    h: float                     #: altitude [m]
+    alpha_deg: float = 0.0       #: angle of attack [deg]
+    atmosphere: object = None    #: Atmosphere model (Earth by default)
+
+    def __post_init__(self):
+        if self.atmosphere is None:
+            from repro.atmosphere import EarthAtmosphere
+            object.__setattr__(self, "atmosphere", EarthAtmosphere())
+
+    def freestream(self, *, gamma: float = 1.4) -> FreeStream:
+        atm = self.atmosphere
+        return FreeStream(rho=float(atm.density(self.h)),
+                          T=float(atm.temperature(self.h)),
+                          V=self.V, gamma=gamma,
+                          R=atm.gas_constant)
+
+    @property
+    def mach(self) -> float:
+        return float(self.atmosphere.mach_number(self.V, self.h))

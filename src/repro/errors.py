@@ -1,0 +1,60 @@
+"""Exception hierarchy for the CAT toolkit.
+
+Every error the library raises deliberately derives from :class:`CatError`
+so callers can catch toolkit failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class CatError(Exception):
+    """Base class for all errors raised by the `repro` toolkit."""
+
+
+class ConvergenceError(CatError):
+    """An iterative solver failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual (solver-defined norm), if known.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class InputError(CatError, ValueError):
+    """User-supplied input is out of the physically meaningful range."""
+
+
+class SpeciesError(CatError, KeyError):
+    """Unknown chemical species or inconsistent species set."""
+
+
+class GridError(CatError):
+    """Grid construction or metric evaluation failed."""
+
+
+class StabilityError(CatError):
+    """A time-marching solution became non-physical (NaN, negative density)."""
+
+    def __init__(self, message: str, *, step: int | None = None) -> None:
+        super().__init__(message)
+        self.step = step
+
+
+class TableRangeError(CatError):
+    """A tabulated property lookup fell outside the table's domain."""
+
+    def __init__(self, message: str, *, value: float | None = None,
+                 lo: float | None = None, hi: float | None = None) -> None:
+        super().__init__(message)
+        self.value = value
+        self.lo = lo
+        self.hi = hi

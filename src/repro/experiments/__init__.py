@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper figure.
+
+Each module exposes ``run(quick=False) -> dict`` (the computed series) and
+``main()`` (a printable report).  The benchmark harness regenerates every
+figure through these drivers; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments import (fig1_flight_domain, fig2_titan_heating,
+                               fig3_species_profiles, fig4_shock_shape,
+                               fig5_orbiter_geometry, fig6_windward_heating,
+                               fig7_shock_relaxation, fig8_spectra,
+                               fig9_n2_contours)
+
+__all__ = ["fig1_flight_domain", "fig2_titan_heating",
+           "fig3_species_profiles", "fig4_shock_shape",
+           "fig5_orbiter_geometry", "fig6_windward_heating",
+           "fig7_shock_relaxation", "fig8_spectra", "fig9_n2_contours"]

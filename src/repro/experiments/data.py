@@ -1,0 +1,47 @@
+"""Synthetic stand-ins for flight and shock-tube reference data.
+
+The paper overlays proprietary/archival measurements we do not have:
+
+* Fig. 6: STS-3 windward-centerline heating (Refs. 17, 20),
+* Fig. 8: shock-tube emission spectra (Ref. 22).
+
+Per the reproduction's substitution policy (DESIGN.md), the arrays below
+are **synthetic digitizations**: hand-written values placed where the
+paper's symbols sit relative to its computed curves.  They exist so the
+comparison code paths (interpolation onto data abscissae, band agreement
+metrics) are exercised; they are *not* measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["STS3_SYNTHETIC", "SHOCK_TUBE_SPECTRUM_SYNTHETIC"]
+
+#: Synthetic STS-3 windward heating: (x/L, q [W/cm^2]).  The flight tiles
+#: were partially catalytic, so the points sit below the fully catalytic
+#: equilibrium curve and above the non-catalytic floor, decaying roughly
+#: as x^-1/2 downstream of the nose region.
+STS3_SYNTHETIC = {
+    "x_over_L": np.array([0.025, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40,
+                          0.50, 0.60]),
+    "q_w_cm2": np.array([13.5, 9.8, 7.2, 5.9, 5.1, 4.1, 3.5, 3.1, 2.8]),
+}
+
+#: Synthetic shock-tube spectrum for the Fig. 8 comparison:
+#: (wavelength [um], relative spectral radiance).  Features: N2+ first
+#: negative + N2 second positive violet complex, CN-free air, NO bands in
+#: the UV, N/O atomic lines in the near IR — the structure Park's
+#: experiment shows at 10 km/s, 0.1 Torr.
+SHOCK_TUBE_SPECTRUM_SYNTHETIC = {
+    "wavelength_um": np.array([
+        0.22, 0.24, 0.26, 0.28, 0.30, 0.32, 0.330, 0.337, 0.345,
+        0.36, 0.38, 0.391, 0.400, 0.42, 0.45, 0.50, 0.55, 0.60,
+        0.65, 0.70, 0.74, 0.747, 0.76, 0.777, 0.79, 0.82, 0.845,
+        0.868, 0.90, 0.95, 1.00]),
+    "radiance_rel": np.array([
+        0.02, 0.04, 0.06, 0.08, 0.09, 0.12, 0.30, 0.55, 0.25,
+        0.10, 0.35, 1.00, 0.45, 0.12, 0.06, 0.05, 0.05, 0.06,
+        0.07, 0.09, 0.25, 0.55, 0.20, 0.90, 0.25, 0.45, 0.50,
+        0.55, 0.15, 0.10, 0.08]),
+}

@@ -1,0 +1,69 @@
+"""Fig. 1 — Flight domain and simulation capability.
+
+Reynolds number (vehicle length scale) versus Mach number along integrated
+entry/cruise trajectories for the three vehicle classes the paper's
+introduction motivates (Shuttle Orbiter, AOTV aeropass, TAV cruise), with
+the ground-facility simulation envelopes overlaid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere import EarthAtmosphere
+from repro.postprocess.ascii_plot import ascii_plot
+from repro.trajectory import AOTV, SHUTTLE, TAV, integrate_entry
+
+__all__ = ["run", "main", "FACILITY_ENVELOPES"]
+
+#: Ground-facility envelopes as (M, Re) polygon vertices — representative
+#: mid-1980s capability boxes (conventional tunnels, shock tunnels,
+#: ballistic ranges).
+FACILITY_ENVELOPES = {
+    "wind tunnels": {"mach": (0.1, 10.0), "reynolds": (1e5, 1e8)},
+    "shock tunnels": {"mach": (6.0, 25.0), "reynolds": (1e4, 5e6)},
+    "ballistic ranges": {"mach": (2.0, 20.0), "reynolds": (1e5, 1e7)},
+}
+
+
+def run(quick: bool = False) -> dict:
+    """Integrate the three trajectories and return (M, Re) loci."""
+    atm = EarthAtmosphere()
+    rtol = 1e-6 if quick else 1e-8
+    out = {"facilities": FACILITY_ENVELOPES, "vehicles": {}}
+    cases = {
+        "shuttle": (SHUTTLE, dict(h0=120e3, V0=7800.0, gamma0_deg=-1.2)),
+        "aotv": (AOTV, dict(h0=122e3, V0=9800.0, gamma0_deg=-4.7,
+                            t_max=1200.0)),
+        "tav": (TAV, dict(h0=80e3, V0=6500.0, gamma0_deg=-0.5,
+                          t_max=1500.0, V_stop=800.0)),
+    }
+    for name, (veh, kw) in cases.items():
+        tr = integrate_entry(veh, atm, rtol=rtol, **kw)
+        # restrict to the aerothermodynamically relevant portion
+        keep = (tr.h < 125e3) & (tr.mach > 0.5)
+        out["vehicles"][name] = {
+            "mach": tr.mach[keep],
+            "reynolds": np.maximum(tr.reynolds[keep], 1.0),
+            "altitude": tr.h[keep],
+            "velocity": tr.V[keep],
+        }
+    return out
+
+
+def main(quick: bool = False) -> str:
+    res = run(quick)
+    series = [(v["mach"], v["reynolds"], name)
+              for name, v in res["vehicles"].items()]
+    txt = ascii_plot(series, logy=True, title="Fig. 1 - flight domain",
+                     xlabel="Mach number", ylabel="Reynolds number")
+    lines = [txt, "", "facility envelopes:"]
+    for name, env in res["facilities"].items():
+        lines.append(f"  {name:18s} M {env['mach'][0]:>4g}-"
+                     f"{env['mach'][1]:<4g}  Re {env['reynolds'][0]:.0e}-"
+                     f"{env['reynolds'][1]:.0e}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

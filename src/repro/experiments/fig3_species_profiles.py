@@ -1,0 +1,61 @@
+"""Fig. 3 — Chemical species profiles on the Titan-probe stagnation line.
+
+Equilibrium shock-layer composition (mole fraction vs y/delta) at the
+peak-heating point of the Titan entry — the Ref. 15 RASLE plot: N2
+dominant across the layer, H2/HCN/CN/C2 trace species varying by orders
+of magnitude through the thermal boundary layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere import TitanAtmosphere
+from repro.postprocess.ascii_plot import ascii_plot
+from repro.solvers.vsl import StagnationVSL
+from repro.thermo.equilibrium import (EquilibriumGas,
+                                      titan_reference_mass_fractions)
+from repro.thermo.species import species_set
+from repro.experiments.fig2_titan_heating import ENTRY
+
+__all__ = ["run", "main"]
+
+#: Peak-heating flight condition (from the fig. 2 trajectory; frozen here
+#: so fig. 3 can run standalone).
+PEAK_CONDITION = dict(h=287e3, V=10068.0)
+
+
+def run(quick: bool = False) -> dict:
+    atm = TitanAtmosphere()
+    db = species_set("titan9")
+    gas = EquilibriumGas(db, titan_reference_mass_fractions(db))
+    vsl = StagnationVSL(gas, nose_radius=0.64)
+    sol = vsl.solve(rho_inf=float(atm.density(PEAK_CONDITION["h"])),
+                    T_inf=float(atm.temperature(PEAK_CONDITION["h"])),
+                    V=PEAK_CONDITION["V"], T_wall=1800.0,
+                    n_profile=40 if quick else 100,
+                    n_lambda=120 if quick else 300)
+    x = sol.mole_fractions(db)
+    return {"y_over_delta": sol.y / sol.y[-1], "mole_fractions": x,
+            "species": db.names, "T": sol.T, "delta": sol.y[-1],
+            "solution": sol, "db": db}
+
+
+def main(quick: bool = True) -> str:
+    res = run(quick)
+    yd = res["y_over_delta"]
+    series = []
+    for name in ("N2", "H2", "H", "N", "CN", "HCN", "C2"):
+        j = res["species"].index(name)
+        x = np.maximum(res["mole_fractions"][:, j], 1e-12)
+        if x.max() > 1e-10:
+            series.append((yd, x, name))
+    txt = ascii_plot(series, logy=True,
+                     title="Fig. 3 - species on the stagnation line "
+                           f"(delta = {res['delta'] * 100:.2f} cm)",
+                     xlabel="y/delta", ylabel="mole fraction")
+    return txt
+
+
+if __name__ == "__main__":
+    print(main())

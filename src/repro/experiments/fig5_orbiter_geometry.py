@@ -1,0 +1,51 @@
+"""Fig. 5 — Space Shuttle Orbiter geometry (the PNS simulation shape).
+
+Generates the planform outline, windward-centerline profile at angle of
+attack, and fuselage cross sections of the equivalent engineering
+geometry model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import OrbiterWindwardProfile
+from repro.geometry.orbiter import (ORBITER_LENGTH, orbiter_cross_sections,
+                                    orbiter_planform)
+from repro.postprocess.ascii_plot import ascii_plot
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = False) -> dict:
+    x_pf, y_pf = orbiter_planform(120 if quick else 240)
+    prof = OrbiterWindwardProfile(alpha_deg=40.0, nose_radius=1.3)
+    s = np.linspace(0.0, prof.s_max, 80 if quick else 200)
+    x_w, r_w = prof.point(s)
+    return {
+        "planform": {"x": x_pf, "y": y_pf},
+        "windward_profile": {"x": x_w, "r": r_w, "s": s},
+        "cross_sections": orbiter_cross_sections(),
+        "length": ORBITER_LENGTH,
+        "profile": prof,
+    }
+
+
+def main(quick: bool = True) -> str:
+    res = run(quick)
+    pf = res["planform"]
+    wp = res["windward_profile"]
+    top = ascii_plot([(pf["x"], pf["y"], "planform half-outline")],
+                     title="Fig. 5 - Orbiter geometry [m]",
+                     xlabel="x [m]", ylabel="y [m]", height=14)
+    side = ascii_plot([(wp["x"], wp["r"],
+                        "windward equivalent profile (alpha=40deg)")],
+                      xlabel="x [m]", ylabel="r [m]", height=12)
+    n_cs = len(res["cross_sections"])
+    return (f"{top}\n\n{side}\n\ncross sections at x/L = "
+            + ", ".join(f"{xl:g}" for xl, _, _ in res["cross_sections"])
+            + f"  (L = {res['length']:.2f} m)")
+
+
+if __name__ == "__main__":
+    print(main())

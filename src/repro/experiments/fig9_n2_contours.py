@@ -1,0 +1,86 @@
+"""Fig. 9 — N2 mole-fraction contours, Mach-20 equilibrium flow over a
+hemisphere (the Ref. 26 upwind NS result).
+
+Condition: Mach 20 at 20 km altitude.  The bow shock is captured by the
+upwind solver; behind it the equilibrium composition (recovered per cell
+from the conserved (rho, e) state by the Gibbs solver) shows N2 depleting
+from the freestream 0.78 mole fraction toward ~0.5 at the stagnation
+region — the paper's contour levels run 0.50 to 0.75.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atmosphere import EarthAtmosphere
+from repro.core.gas import TabulatedEOS
+from repro.geometry import Hemisphere
+from repro.grid import blunt_body_grid
+from repro.postprocess.ascii_plot import ascii_contour
+from repro.postprocess.contours import contour_lines
+from repro.solvers.ns2d import AxisymmetricNSSolver
+from repro.thermo.equilibrium import (EquilibriumGas,
+                                      air_reference_mass_fractions)
+from repro.thermo.species import species_set
+
+__all__ = ["run", "main", "CONDITION", "CONTOUR_LEVELS"]
+
+#: Fig. 9 flight condition.
+CONDITION = dict(mach=20.0, h=20000.0, nose_radius=0.1, T_wall=1500.0)
+
+#: The paper's plotted contour levels.
+CONTOUR_LEVELS = (0.50, 0.55, 0.60, 0.65, 0.70, 0.75)
+
+
+def run(quick: bool = False) -> dict:
+    atm = EarthAtmosphere()
+    h = CONDITION["h"]
+    rho = float(atm.density(h))
+    T = float(atm.temperature(h))
+    V = CONDITION["mach"] * float(atm.sound_speed(h))
+    p = rho * atm.gas_constant * T
+    body = Hemisphere(CONDITION["nose_radius"])
+    grid = blunt_body_grid(body,
+                           n_s=31 if quick else 49,
+                           n_normal=41 if quick else 61,
+                           density_ratio=0.08, margin=3.0,
+                           wall_cluster_beta=1.8)
+    solver = AxisymmetricNSSolver(grid, TabulatedEOS(),
+                                  T_wall=CONDITION["T_wall"])
+    solver.set_freestream(rho, V, p)
+    solver.run(n_steps=1200 if quick else 2600, cfl=0.3)
+    f = solver.fields()
+    # equilibrium composition per cell from the conserved state
+    db = species_set("air11")
+    gas = EquilibriumGas(db, air_reference_mass_fractions(db))
+    y_mass = gas.solver.solve_rho_e(f["rho"].ravel(), f["e"].ravel(),
+                                    gas.b, T_guess=f["T"].ravel())[0]
+    x_mole = db.mass_to_mole(y_mass).reshape(f["rho"].shape + (db.n,))
+    n2 = x_mole[..., db.index["N2"]]
+    segs = {lv: contour_lines(f["x"], f["y"], n2, lv)
+            for lv in CONTOUR_LEVELS}
+    # stagnation-line profile (i = 0 ray)
+    return {"solver": solver, "x": f["x"], "y": f["y"], "N2": n2,
+            "T": f["T"], "contours": segs,
+            "stagnation_line": {"x": f["x"][0], "N2": n2[0],
+                                "T": f["T"][0]},
+            "condition": dict(CONDITION, V=V, rho=rho, T_inf=T),
+            "n2_min": float(n2.min()),
+            "standoff": solver.stagnation_standoff()}
+
+
+def main(quick: bool = True) -> str:
+    res = run(quick)
+    txt = ascii_contour(res["x"], res["y"], res["N2"], CONTOUR_LEVELS)
+    header = ("Fig. 9 - N2 mole fraction, Mach 20 hemisphere "
+              f"(V = {res['condition']['V']:.0f} m/s, h = 20 km)\n")
+    footer = (f"\nminimum N2 mole fraction {res['n2_min']:.3f}; "
+              f"standoff {res['standoff'] * 1e3:.1f} mm; contour levels "
+              f"present: "
+              + ", ".join(f"{lv:g}" for lv in CONTOUR_LEVELS
+                          if res['contours'][lv]))
+    return header + txt + footer
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,48 @@
+"""Run every figure experiment and print a combined report.
+
+``python -m repro.experiments.runner [--full]``
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (fig1_flight_domain, fig2_titan_heating,
+                               fig3_species_profiles, fig4_shock_shape,
+                               fig5_orbiter_geometry,
+                               fig6_windward_heating,
+                               fig7_shock_relaxation, fig8_spectra,
+                               fig9_n2_contours)
+
+__all__ = ["run_all"]
+
+_MODULES = [
+    ("fig1", fig1_flight_domain),
+    ("fig2", fig2_titan_heating),
+    ("fig3", fig3_species_profiles),
+    ("fig4", fig4_shock_shape),
+    ("fig5", fig5_orbiter_geometry),
+    ("fig6", fig6_windward_heating),
+    ("fig7", fig7_shock_relaxation),
+    ("fig8", fig8_spectra),
+    ("fig9", fig9_n2_contours),
+]
+
+
+def run_all(quick: bool = True, *, stream=None) -> dict:
+    """Run every experiment; returns {name: seconds}."""
+    stream = stream or sys.stdout
+    timings = {}
+    for name, mod in _MODULES:
+        t0 = time.perf_counter()
+        print(f"\n{'=' * 78}\n{name}: {mod.__doc__.splitlines()[0]}"
+              f"\n{'=' * 78}", file=stream)
+        print(mod.main(quick=quick), file=stream)
+        timings[name] = time.perf_counter() - t0
+        print(f"[{name} completed in {timings[name]:.1f} s]", file=stream)
+    return timings
+
+
+if __name__ == "__main__":
+    run_all(quick="--full" not in sys.argv)

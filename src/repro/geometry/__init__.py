@@ -1,0 +1,8 @@
+"""Axisymmetric body geometries for the blunt-body and marching solvers."""
+
+from repro.geometry.bodies import (AxisymBody, Hemisphere, Sphere,
+                                   SphereCone, Biconic)
+from repro.geometry.orbiter import OrbiterWindwardProfile
+
+__all__ = ["AxisymBody", "Sphere", "Hemisphere", "SphereCone", "Biconic",
+           "OrbiterWindwardProfile"]

@@ -1,0 +1,181 @@
+"""Analytic axisymmetric bodies.
+
+Bodies are parameterised by surface arc length ``s`` measured from the
+stagnation point along the generator.  Each body reports:
+
+* ``point(s) -> (x, r)`` — axial and radial coordinates,
+* ``angle(s)`` — local surface inclination theta (angle between the surface
+  tangent and the body axis; pi/2 at a blunt stagnation point),
+* ``curvature(s)`` — generator curvature kappa(s),
+
+all vectorised.  These are exactly the inputs the VSL/BL/PNS marching
+solvers need (metric coefficients and the r(s) axisymmetric spreading term).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["AxisymBody", "Sphere", "Hemisphere", "SphereCone", "Biconic"]
+
+
+class AxisymBody(abc.ABC):
+    """Axisymmetric body described by its generator curve."""
+
+    #: Nose radius at the stagnation point [m].
+    nose_radius: float
+    #: Total generator arc length available [m].
+    s_max: float
+
+    @abc.abstractmethod
+    def point(self, s):
+        """Return (x, r) coordinates at arc length s."""
+
+    @abc.abstractmethod
+    def angle(self, s):
+        """Surface inclination theta(s) [rad]."""
+
+    @abc.abstractmethod
+    def curvature(self, s):
+        """Generator curvature [1/m]."""
+
+    def radius(self, s):
+        """Radial coordinate r(s) (axisymmetric spreading metric)."""
+        return self.point(s)[1]
+
+    def arc_grid(self, n: int, s_end: float | None = None):
+        """Uniform arc-length stations from the stagnation point."""
+        s_end = self.s_max if s_end is None else s_end
+        if s_end > self.s_max + 1e-12:
+            raise InputError(f"s_end {s_end} beyond body length "
+                             f"{self.s_max}")
+        return np.linspace(0.0, s_end, n)
+
+
+class Sphere(AxisymBody):
+    """Full sphere of radius rn (generator: quarter to half circle)."""
+
+    def __init__(self, nose_radius: float, *, max_angle_deg: float = 90.0):
+        if nose_radius <= 0:
+            raise InputError("nose_radius must be positive")
+        self.nose_radius = nose_radius
+        self._phi_max = np.deg2rad(max_angle_deg)
+        self.s_max = nose_radius * self._phi_max
+
+    def point(self, s):
+        phi = np.asarray(s, dtype=float) / self.nose_radius
+        x = self.nose_radius * (1.0 - np.cos(phi))
+        r = self.nose_radius * np.sin(phi)
+        return x, r
+
+    def angle(self, s):
+        phi = np.asarray(s, dtype=float) / self.nose_radius
+        return np.pi / 2.0 - phi
+
+    def curvature(self, s):
+        return np.full_like(np.asarray(s, dtype=float),
+                            1.0 / self.nose_radius)
+
+
+class Hemisphere(Sphere):
+    """Hemisphere — the Fig. 9 Mach-20 test body."""
+
+    def __init__(self, nose_radius: float):
+        super().__init__(nose_radius, max_angle_deg=90.0)
+
+
+class SphereCone(AxisymBody):
+    """Spherically blunted cone (the classic entry-probe forebody).
+
+    Parameters
+    ----------
+    nose_radius:
+        Spherical nose radius [m].
+    half_angle_deg:
+        Cone half angle [deg].
+    length:
+        Axial length from nose tip to base [m].
+    """
+
+    def __init__(self, nose_radius: float, half_angle_deg: float,
+                 length: float):
+        if not (0 < half_angle_deg < 90):
+            raise InputError("cone half angle must be in (0, 90) deg")
+        self.nose_radius = nose_radius
+        self.half_angle = np.deg2rad(half_angle_deg)
+        self.length = length
+        # sphere-cone tangency at phi_t = pi/2 - half_angle
+        self._phi_t = np.pi / 2.0 - self.half_angle
+        self._s_t = nose_radius * self._phi_t
+        x_t = nose_radius * (1.0 - np.cos(self._phi_t))
+        if length <= x_t:
+            raise InputError("length shorter than the spherical cap")
+        self._x_t = x_t
+        self._r_t = nose_radius * np.sin(self._phi_t)
+        cone_run = (length - x_t) / np.cos(self.half_angle)
+        self.s_max = self._s_t + cone_run
+
+    def point(self, s):
+        s = np.asarray(s, dtype=float)
+        phi = np.minimum(s, self._s_t) / self.nose_radius
+        x_sph = self.nose_radius * (1.0 - np.cos(phi))
+        r_sph = self.nose_radius * np.sin(phi)
+        ds = np.maximum(s - self._s_t, 0.0)
+        x_cone = self._x_t + ds * np.cos(self.half_angle)
+        r_cone = self._r_t + ds * np.sin(self.half_angle)
+        on_cone = s > self._s_t
+        return (np.where(on_cone, x_cone, x_sph),
+                np.where(on_cone, r_cone, r_sph))
+
+    def angle(self, s):
+        s = np.asarray(s, dtype=float)
+        phi = np.minimum(s, self._s_t) / self.nose_radius
+        return np.where(s > self._s_t, self.half_angle, np.pi / 2.0 - phi)
+
+    def curvature(self, s):
+        s = np.asarray(s, dtype=float)
+        return np.where(s > self._s_t, 0.0, 1.0 / self.nose_radius)
+
+
+class Biconic(AxisymBody):
+    """Spherically blunted biconic (the PNS test shape of Ref. 19).
+
+    A nose sphere followed by two conical frusta with decreasing half
+    angles.
+    """
+
+    def __init__(self, nose_radius: float, angle1_deg: float,
+                 length1: float, angle2_deg: float, length2: float):
+        if angle2_deg >= angle1_deg:
+            raise InputError("biconic requires angle2 < angle1")
+        self._fore = SphereCone(nose_radius, angle1_deg, length1)
+        self.nose_radius = nose_radius
+        self._th2 = np.deg2rad(angle2_deg)
+        self._s1 = self._fore.s_max
+        x1, r1 = self._fore.point(self._s1)
+        self._x1, self._r1 = float(x1), float(r1)
+        self.length = length1 + length2
+        self.s_max = self._s1 + length2 / np.cos(self._th2)
+
+    def point(self, s):
+        s = np.asarray(s, dtype=float)
+        x_f, r_f = self._fore.point(np.minimum(s, self._s1))
+        ds = np.maximum(s - self._s1, 0.0)
+        x_a = self._x1 + ds * np.cos(self._th2)
+        r_a = self._r1 + ds * np.sin(self._th2)
+        aft = s > self._s1
+        return np.where(aft, x_a, x_f), np.where(aft, r_a, r_f)
+
+    def angle(self, s):
+        s = np.asarray(s, dtype=float)
+        return np.where(s > self._s1, self._th2,
+                        self._fore.angle(np.minimum(s, self._s1)))
+
+    def curvature(self, s):
+        s = np.asarray(s, dtype=float)
+        return np.where(s > self._s1, 0.0,
+                        self._fore.curvature(np.minimum(s, self._s1)))

@@ -1,0 +1,142 @@
+"""Shuttle-Orbiter-like windward geometry (the Fig. 5 shape).
+
+The PNS and E+BL experiments (Figs. 4 and 6) run on the *windward
+centerline* of the Orbiter at high angle of attack.  Following the
+axisymmetric-analogue practice of the era (Ref. 18), we model the windward
+symmetry-plane profile as an equivalent axisymmetric body: a spherical nose
+(R_n ~ 1.3 m effective at alpha ~ 30-40 deg) followed by a shallow ramp
+whose local inclination equals alpha plus the local surface slope of the
+lower fuselage.
+
+The full planform/cross-section outline (for rendering Fig. 5) is a
+piecewise description of the Orbiter's true dimensions: 32.77 m length,
+23.79 m span, double-delta wing with 81/45-deg sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+from repro.geometry.bodies import AxisymBody
+
+__all__ = ["OrbiterWindwardProfile", "orbiter_planform",
+           "orbiter_cross_sections", "ORBITER_LENGTH"]
+
+#: Orbiter fuselage reference length [m].
+ORBITER_LENGTH = 32.77
+
+
+class OrbiterWindwardProfile(AxisymBody):
+    """Equivalent-axisymmetric windward centerline at angle of attack.
+
+    Parameters
+    ----------
+    alpha_deg:
+        Angle of attack.  The equivalent body's surface inclination is
+        ``alpha`` far from the nose (the windward surface is nearly flat),
+        blended from the 90-deg stagnation value over the nose region.
+    nose_radius:
+        Effective windward nose radius (~1.3 m for the Orbiter).
+    """
+
+    def __init__(self, alpha_deg: float = 40.0, nose_radius: float = 1.3,
+                 length: float = ORBITER_LENGTH):
+        if not (0.0 < alpha_deg < 90.0):
+            raise InputError("alpha must be in (0, 90) deg")
+        self.alpha = np.deg2rad(alpha_deg)
+        self.nose_radius = nose_radius
+        self.length = length
+        # spherical cap until the surface angle reaches alpha
+        self._phi_t = np.pi / 2.0 - self.alpha
+        self._s_t = nose_radius * self._phi_t
+        self._x_t = nose_radius * (1.0 - np.cos(self._phi_t))
+        self._r_t = nose_radius * np.sin(self._phi_t)
+        run = (length - self._x_t) / np.cos(self.alpha)
+        self.s_max = self._s_t + run
+
+    def point(self, s):
+        s = np.asarray(s, dtype=float)
+        phi = np.minimum(s, self._s_t) / self.nose_radius
+        x_sph = self.nose_radius * (1.0 - np.cos(phi))
+        r_sph = self.nose_radius * np.sin(phi)
+        ds = np.maximum(s - self._s_t, 0.0)
+        x_aft = self._x_t + ds * np.cos(self.alpha)
+        r_aft = self._r_t + ds * np.sin(self.alpha)
+        aft = s > self._s_t
+        return np.where(aft, x_aft, x_sph), np.where(aft, r_aft, r_sph)
+
+    def angle(self, s):
+        s = np.asarray(s, dtype=float)
+        phi = np.minimum(s, self._s_t) / self.nose_radius
+        return np.where(s > self._s_t, self.alpha, np.pi / 2.0 - phi)
+
+    def curvature(self, s):
+        s = np.asarray(s, dtype=float)
+        return np.where(s > self._s_t, 0.0, 1.0 / self.nose_radius)
+
+    def x_over_L(self, s):
+        """Normalised axial station x/L for plotting against flight data."""
+        x, _ = self.point(s)
+        return x / self.length
+
+    def s_at_x(self, x):
+        """Invert x(s) (monotonic) for arc length at an axial station."""
+        x = np.asarray(x, dtype=float)
+        # nose: x = rn (1-cos phi) => phi = arccos(1 - x/rn)
+        on_nose = x <= self._x_t
+        phi = np.arccos(np.clip(1.0 - x / self.nose_radius, -1.0, 1.0))
+        s_nose = self.nose_radius * phi
+        s_aft = self._s_t + (x - self._x_t) / np.cos(self.alpha)
+        return np.where(on_nose, s_nose, s_aft)
+
+
+def orbiter_planform(n: int = 200):
+    """Top-view outline of the Orbiter (x from nose, y half-span) [m].
+
+    Piecewise-linear engineering outline of the double-delta planform:
+    returns arrays (x, y) tracing nose -> wing glove -> wing -> wing tip ->
+    trailing edge -> body flap centerline.
+    """
+    L = ORBITER_LENGTH
+    pts = np.array([
+        (0.00 * L, 0.000),   # nose apex
+        (0.05 * L, 0.030 * L),
+        (0.15 * L, 0.060 * L),
+        (0.40 * L, 0.080 * L),   # glove start (81-deg strake)
+        (0.62 * L, 0.160 * L),   # strake -> wing break
+        (0.80 * L, 0.363 * L),   # 45-deg main wing leading edge to tip
+        (0.95 * L, 0.363 * L),   # wing tip chord
+        (0.98 * L, 0.120 * L),   # trailing edge toward body
+        (1.00 * L, 0.070 * L),   # body flap corner
+        (1.00 * L, 0.000),       # centerline aft
+    ])
+    # resample each segment for a smooth-looking outline
+    xs, ys = [], []
+    for (x0, y0), (x1, y1) in zip(pts[:-1], pts[1:]):
+        m = max(int(n * 0.1), 2)
+        t = np.linspace(0.0, 1.0, m, endpoint=False)
+        xs.append(x0 + (x1 - x0) * t)
+        ys.append(y0 + (y1 - y0) * t)
+    xs.append(np.array([pts[-1][0]]))
+    ys.append(np.array([pts[-1][1]]))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def orbiter_cross_sections(stations=(0.1, 0.3, 0.5, 0.7, 0.9), n: int = 60):
+    """Fuselage cross-section outlines at x/L stations (for Fig. 5).
+
+    Returns a list of (x_over_L, y, z) tuples; each (y, z) traces a
+    rounded-bottom / flat-top engineering section.
+    """
+    out = []
+    L = ORBITER_LENGTH
+    for xl in stations:
+        # width and height grow toward mid-body then hold
+        w = 0.5 * 0.17 * L * min(xl / 0.3, 1.0)   # half width
+        hgt = 0.20 * L * min(xl / 0.35, 1.0)      # total height
+        t = np.linspace(-np.pi / 2, np.pi / 2, n)
+        y = w * np.cos(t)
+        z = np.where(t < 0, 0.55 * hgt * np.sin(t), 0.45 * hgt * np.sin(t))
+        out.append((xl, y, z))
+    return out

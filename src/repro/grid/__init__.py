@@ -1,0 +1,18 @@
+"""Structured grid generation and metrics.
+
+"Efficient grid-generation and solution-adaptive techniques will be
+necessary to optimize the use of memory even on future supercomputers" —
+this subpackage provides the algebraic blunt-body grid generator the 2-D
+solvers run on, clustering (stretching) functions, finite-volume metrics,
+and a 1-D solution-adaptive redistribution tool.
+"""
+
+from repro.grid.stretching import (geometric_stretch, roberts_cluster,
+                                   tanh_cluster)
+from repro.grid.structured import StructuredGrid2D
+from repro.grid.algebraic import blunt_body_grid, normal_ray_grid
+from repro.grid.adaptation import adapt_1d
+
+__all__ = ["geometric_stretch", "roberts_cluster", "tanh_cluster",
+           "StructuredGrid2D", "blunt_body_grid", "normal_ray_grid",
+           "adapt_1d"]

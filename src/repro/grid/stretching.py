@@ -1,0 +1,73 @@
+"""One-dimensional grid clustering (stretching) functions.
+
+All functions map a uniform parameter eta in [0, 1] (n points) onto a
+clustered distribution in [0, 1]; multiply by the physical extent to use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+
+__all__ = ["tanh_cluster", "roberts_cluster", "geometric_stretch"]
+
+
+def tanh_cluster(n: int, beta: float = 2.0, *, end: str = "min"):
+    """Hyperbolic-tangent clustering.
+
+    Parameters
+    ----------
+    n:
+        Number of points.
+    beta:
+        Stretching strength (0 -> uniform, larger -> tighter clustering).
+    end:
+        "min" clusters toward 0, "max" toward 1, "both" toward both ends.
+    """
+    if n < 2:
+        raise GridError("need at least 2 points")
+    eta = np.linspace(0.0, 1.0, n)
+    if beta <= 0:
+        return eta
+    if end == "min":
+        s = 1.0 + np.tanh(beta * (eta - 1.0)) / np.tanh(beta)
+    elif end == "max":
+        s = np.tanh(beta * eta) / np.tanh(beta)
+    elif end == "both":
+        s = 0.5 * (1.0 + np.tanh(beta * (2.0 * eta - 1.0))
+                   / np.tanh(beta))
+    else:
+        raise GridError(f"unknown end {end!r}")
+    # enforce exact endpoints against roundoff
+    s[0], s[-1] = 0.0, 1.0
+    return s
+
+
+def roberts_cluster(n: int, beta: float = 1.05):
+    """Roberts' transformation clustering toward 0 (wall).
+
+    ``beta`` slightly above 1 gives strong wall clustering; beta -> inf is
+    uniform.
+    """
+    if n < 2:
+        raise GridError("need at least 2 points")
+    if beta <= 1.0:
+        raise GridError("Roberts beta must exceed 1")
+    eta = np.linspace(0.0, 1.0, n)
+    bp = (beta + 1.0) / (beta - 1.0)
+    num = bp ** (1.0 - eta)
+    s = ((beta + 1.0) - (beta - 1.0) * num) / (num + 1.0)
+    s[0], s[-1] = 0.0, 1.0
+    return s
+
+
+def geometric_stretch(n: int, ratio: float = 1.1):
+    """Geometric progression of spacings (ratio between adjacent cells)."""
+    if n < 2:
+        raise GridError("need at least 2 points")
+    if abs(ratio - 1.0) < 1e-12:
+        return np.linspace(0.0, 1.0, n)
+    d = ratio ** np.arange(n - 1)
+    s = np.concatenate(([0.0], np.cumsum(d)))
+    return s / s[-1]

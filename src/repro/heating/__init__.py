@@ -1,0 +1,17 @@
+"""Engineering aerothermal heating correlations and catalysis models.
+
+The design-code layer the paper's solvers were validated against:
+Fay–Riddell and Sutton–Graves stagnation convective heating, Lees' laminar
+heating distribution, reference-enthalpy flat-plate heating, Tauber–Sutton
+radiative heating, and catalytic-wall heating factors.
+"""
+
+from repro.heating.fay_riddell import fay_riddell_heating
+from repro.heating.sutton_graves import sutton_graves_heating
+from repro.heating.lees import lees_distribution
+from repro.heating.reference_enthalpy import flat_plate_heating
+from repro.heating.catalysis import catalytic_factor, CatalyticWall
+
+__all__ = ["fay_riddell_heating", "sutton_graves_heating",
+           "lees_distribution", "flat_plate_heating", "catalytic_factor",
+           "CatalyticWall"]

@@ -1,0 +1,58 @@
+"""Fay–Riddell stagnation-point convective heating.
+
+The classic correlation for dissociated-air stagnation heating::
+
+    q = 0.763 Pr^-0.6 (rho_e mu_e)^0.4 (rho_w mu_w)^0.1
+        sqrt(due/dx) (h0e - hw) [1 + (Le^0.52 - 1) hD/h0e]
+
+with the modified-Newtonian stagnation velocity gradient::
+
+    due/dx = (1/R_n) sqrt(2 (p_e - p_inf) / rho_e)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["fay_riddell_heating", "newtonian_velocity_gradient"]
+
+
+def newtonian_velocity_gradient(nose_radius, p_e, p_inf, rho_e):
+    """Stagnation velocity gradient due/dx [1/s]."""
+    if nose_radius <= 0:
+        raise InputError("nose radius must be positive")
+    return (1.0 / nose_radius) * np.sqrt(
+        2.0 * np.maximum(p_e - p_inf, 0.0) / rho_e)
+
+
+def fay_riddell_heating(*, rho_e, mu_e, rho_w, mu_w, due_dx, h0e, hw,
+                        prandtl=0.71, lewis=1.4, h_dissociation=0.0,
+                        catalytic=True):
+    """Stagnation-point heat flux [W/m^2].
+
+    Parameters
+    ----------
+    rho_e, mu_e:
+        Boundary-layer-edge (stagnation external) density and viscosity.
+    rho_w, mu_w:
+        Wall-temperature density and viscosity.
+    due_dx:
+        Stagnation velocity gradient [1/s].
+    h0e, hw:
+        Edge total enthalpy and wall enthalpy [J/kg].
+    h_dissociation:
+        Dissociation enthalpy content of the edge gas [J/kg].
+    catalytic:
+        Fully catalytic wall (True) recovers chemical energy via the
+        Lewis-number term; non-catalytic (False) loses the atom
+        recombination energy entirely.
+    """
+    base = (0.763 * prandtl**-0.6
+            * (rho_e * mu_e) ** 0.4 * (rho_w * mu_w) ** 0.1
+            * np.sqrt(due_dx) * (h0e - hw))
+    frac = np.clip(h_dissociation / np.maximum(h0e, 1.0), 0.0, 1.0)
+    if catalytic:
+        return base * (1.0 + (lewis**0.52 - 1.0) * frac)
+    return base * (1.0 - frac)

@@ -1,0 +1,76 @@
+"""Lees' laminar heating distribution over blunt bodies.
+
+Local-similarity result: the heat flux at arc position s relative to the
+stagnation value is::
+
+    q(s)/q0 = [ rho_e mu_e u_e r^2 / sqrt(2 I(s)) ] / lim_{s->0}(same)
+    I(s)    = integral_0^s rho_e mu_e u_e r^2 ds'
+
+The stagnation limit is finite (both numerator and sqrt-integral vanish
+like s^2), handled analytically from the stagnation velocity gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["lees_distribution"]
+
+
+def lees_distribution(s, r, rho_e, mu_e, u_e, due_dx):
+    """Normalised laminar heating q(s)/q(0) along an axisymmetric body.
+
+    Parameters
+    ----------
+    s:
+        Arc-length stations from the stagnation point (s[0] may be 0).
+    r:
+        Body radius at each station.
+    rho_e, mu_e, u_e:
+        Boundary-layer-edge state at each station (arrays over s).
+    due_dx:
+        Stagnation-point velocity gradient (sets the s->0 limit).
+
+    Returns
+    -------
+    q/q0 array over the stations.
+    """
+    s = np.asarray(s, dtype=float)
+    r = np.asarray(r, dtype=float)
+    rho_e = np.asarray(rho_e, dtype=float)
+    mu_e = np.asarray(mu_e, dtype=float)
+    u_e = np.asarray(u_e, dtype=float)
+    if s.ndim != 1 or np.any(np.diff(s) <= 0):
+        raise InputError("s must be strictly increasing")
+    G = rho_e * mu_e * u_e * r * r
+    # G ~ c s^3 near the stagnation point, which a plain trapezoid rule
+    # integrates poorly on the first panels (denting the distribution near
+    # the nose).  Integrate H = G/s^3 against the weight s^3 instead:
+    # exact for the cubic startup, trapezoid-accurate elsewhere.
+    s_safe = np.maximum(s, 1e-30)
+    H = G / s_safe**3
+    # s -> 0 limit of H: with u_e ~ K s and r ~ s, H -> rho mu K; the raw
+    # quotient 0/0 explodes when the first station carries clamped
+    # near-zero values
+    tiny = s < 1e-8 * max(s[-1], 1e-300)
+    if np.any(tiny):
+        H = np.where(tiny, rho_e * mu_e * due_dx, H)
+    panels = 0.25 * 0.5 * (H[1:] + H[:-1]) * (s[1:] ** 4 - s[:-1] ** 4)
+    I0 = G[0] * s[0] / 4.0 if s[0] > 0 else 0.0
+    I = I0 + np.concatenate(([0.0], np.cumsum(panels)))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f = G / np.sqrt(2.0 * I)
+    # stagnation limit: u_e ~ K s, r ~ s => G ~ rho mu K s^3,
+    # I ~ rho mu K s^4/4, f -> rho mu K s^3 / sqrt(rho mu K s^4 / 2)
+    #   = sqrt(2 rho_e mu_e K) s  ... which still vanishes; the *heating*
+    # normalisation divides by the same structure, so form q/q0 as
+    # f(s)/f0(s) with f0 the stagnation asymptote evaluated consistently:
+    f0 = np.sqrt(2.0 * rho_e * mu_e * due_dx) * s
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = f / f0
+    # fill the s->0 singular quotient with its limit, 1
+    small = s < 1e-6 * max(s[-1], 1e-12)
+    ratio = np.where(small | ~np.isfinite(ratio), 1.0, ratio)
+    return ratio

@@ -1,0 +1,40 @@
+"""Sutton–Graves stagnation-point heating correlation.
+
+q = k sqrt(rho / R_n) V^3, with k a gas-composition constant.  The air
+value is the flight-mechanics standard; the N2 value serves the Titan
+entry, and H2/He the Jupiter entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sutton_graves_heating", "SG_CONSTANTS"]
+
+#: Sutton-Graves constants k [kg^0.5 / m] by atmosphere.
+SG_CONSTANTS = {
+    "earth": 1.7415e-4,
+    "air": 1.7415e-4,
+    "titan": 1.7407e-4,   # N2-dominated: air-like within the correlation
+    "jupiter": 6.35e-5,   # H2/He
+    "mars": 1.9027e-4,
+}
+
+
+def sutton_graves_heating(rho, V, nose_radius, *, atmosphere="earth"):
+    """Stagnation convective heat flux [W/m^2].
+
+    Parameters
+    ----------
+    rho:
+        Freestream density [kg/m^3].
+    V:
+        Flight speed [m/s].
+    nose_radius:
+        [m].
+    atmosphere:
+        Key in :data:`SG_CONSTANTS`.
+    """
+    k = SG_CONSTANTS[atmosphere]
+    return k * np.sqrt(np.asarray(rho, float) / nose_radius) \
+        * np.asarray(V, float) ** 3

@@ -1,0 +1,33 @@
+"""CFD numerics: fluxes, reconstruction, Riemann solvers, integrators.
+
+The discretisation toolbox under the four solver families:
+
+* upwind face fluxes — HLLE (any convex EOS), van Leer and Steger–Warming
+  flux-vector splitting, AUSM+ (ideal gas),
+* MUSCL reconstruction with TVD limiters,
+* an exact ideal-gas Riemann solver for validation,
+* explicit SSP Runge–Kutta time integration with CFL control,
+* point-implicit source treatment and (block-)tridiagonal solvers for the
+  stiff chemistry and line-implicit viscous terms.
+"""
+
+from repro.numerics.fluxes import (euler_flux, hlle_flux, primitives,
+                                   rotate_to_normal, rotate_from_normal)
+from repro.numerics.upwind import (ausm_plus_flux, steger_warming_flux,
+                                   van_leer_flux)
+from repro.numerics.limiters import minmod, superbee, van_albada, van_leer
+from repro.numerics.muscl import muscl_interface_states
+from repro.numerics.riemann import exact_riemann, sample_riemann, sod_exact
+from repro.numerics.time_integration import (cfl_timestep_1d,
+                                             ssp_rk2_step, ssp_rk3_step)
+from repro.numerics.tridiag import block_thomas, thomas
+from repro.numerics.implicit import point_implicit_species_update
+
+__all__ = [
+    "euler_flux", "hlle_flux", "primitives", "rotate_to_normal",
+    "rotate_from_normal", "ausm_plus_flux", "steger_warming_flux",
+    "van_leer_flux", "minmod", "superbee", "van_albada", "van_leer",
+    "muscl_interface_states", "exact_riemann", "sample_riemann",
+    "sod_exact", "cfl_timestep_1d", "ssp_rk2_step", "ssp_rk3_step",
+    "block_thomas", "thomas", "point_implicit_species_update",
+]

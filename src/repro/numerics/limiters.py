@@ -1,0 +1,48 @@
+"""TVD slope limiters.
+
+Each limiter takes the two one-sided differences ``a`` (left) and ``b``
+(right) of a cell and returns the limited slope.  All are symmetric,
+vanish when ``a*b <= 0`` (extrema), and lie inside the second-order TVD
+region (verified by property tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minmod", "van_leer", "van_albada", "superbee"]
+
+
+def minmod(a, b):
+    """Most dissipative TVD limiter."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return np.where(a * b > 0.0,
+                    np.where(np.abs(a) < np.abs(b), a, b), 0.0)
+
+
+def van_leer(a, b):
+    """van Leer's harmonic limiter."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    prod = a * b
+    return np.where(prod > 0.0, 2.0 * prod / (a + b + 1e-300), 0.0)
+
+
+def van_albada(a, b):
+    """van Albada's smooth limiter."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    prod = a * b
+    return np.where(prod > 0.0,
+                    prod * (a + b) / (a * a + b * b + 1e-300), 0.0)
+
+
+def superbee(a, b):
+    """Roe's superbee — least dissipative of the classical TVD limiters."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    s1 = minmod(2.0 * a, b)
+    s2 = minmod(a, 2.0 * b)
+    pick = np.where(np.abs(s1) > np.abs(s2), s1, s2)
+    return np.where(a * b > 0.0, pick, 0.0)

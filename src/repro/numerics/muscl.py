@@ -1,0 +1,54 @@
+"""MUSCL interface reconstruction.
+
+Second-order TVD reconstruction of interface states from cell averages
+along one axis, with any limiter from :mod:`repro.numerics.limiters`.
+First-order (no reconstruction) is a degenerate case used near boundaries
+and for the most violent transients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.limiters import minmod
+
+__all__ = ["muscl_interface_states"]
+
+
+def muscl_interface_states(W, *, axis: int = 0, limiter=minmod,
+                           order: int = 2):
+    """Left/right states at the interior faces along ``axis``.
+
+    Parameters
+    ----------
+    W:
+        Cell-centred array; reconstruction acts along ``axis`` and leaves
+        other axes (including a trailing variable axis) untouched.
+    limiter:
+        Slope limiter (two-argument form).
+    order:
+        1 (piecewise constant) or 2 (MUSCL).
+
+    Returns
+    -------
+    (WL, WR):
+        States on the left/right side of each of the ``n-1`` interior
+        faces (arrays with ``n-1`` entries along ``axis``).
+    """
+    W = np.asarray(W, dtype=float)
+    W = np.moveaxis(W, axis, 0)
+    n = W.shape[0]
+    if n < 2:
+        raise ValueError("need at least two cells to form a face")
+    if order == 1 or n < 3:
+        WL = W[:-1]
+        WR = W[1:]
+    else:
+        d = W[1:] - W[:-1]                      # n-1 differences
+        # limited slope per interior cell (cells 1..n-2)
+        slope = limiter(d[:-1], d[1:])          # n-2 slopes
+        slopes = np.concatenate([np.zeros_like(W[:1]), slope,
+                                 np.zeros_like(W[:1])], axis=0)
+        WL = W[:-1] + 0.5 * slopes[:-1]
+        WR = W[1:] - 0.5 * slopes[1:]
+    return (np.moveaxis(WL, 0, axis), np.moveaxis(WR, 0, axis))

@@ -1,0 +1,166 @@
+"""Exact Riemann solver for the calorically perfect gas.
+
+Classic two-state exact solution (Toro's formulation): Newton iteration on
+the star-region pressure, then self-similar sampling.  Used to validate the
+approximate fluxes and the 1-D Euler solver (Sod problem).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InputError
+
+__all__ = ["exact_riemann", "sample_riemann", "sod_exact"]
+
+
+def _pressure_function(p, rho_k, p_k, a_k, gamma):
+    """f_k(p) and its derivative for the star-pressure iteration."""
+    g = gamma
+    if p > p_k:  # shock
+        A = 2.0 / ((g + 1.0) * rho_k)
+        B = (g - 1.0) / (g + 1.0) * p_k
+        sq = np.sqrt(A / (p + B))
+        f = (p - p_k) * sq
+        df = sq * (1.0 - 0.5 * (p - p_k) / (p + B))
+    else:        # rarefaction
+        f = (2.0 * a_k / (g - 1.0)) * ((p / p_k) ** ((g - 1.0)
+                                                     / (2.0 * g)) - 1.0)
+        df = (1.0 / (rho_k * a_k)) * (p / p_k) ** (-(g + 1.0) / (2.0 * g))
+    return f, df
+
+
+def exact_riemann(rho_l, u_l, p_l, rho_r, u_r, p_r, gamma=1.4, *,
+                  tol=1e-12, max_iter=100):
+    """Star-region state of the exact Riemann problem.
+
+    Returns
+    -------
+    dict with ``p_star``, ``u_star`` and the four outer states echoed.
+
+    Raises
+    ------
+    InputError
+        If the initial states generate vacuum.
+    """
+    a_l = np.sqrt(gamma * p_l / rho_l)
+    a_r = np.sqrt(gamma * p_r / rho_r)
+    # vacuum check
+    if (2.0 / (gamma - 1.0)) * (a_l + a_r) <= (u_r - u_l):
+        raise InputError("initial states generate vacuum")
+    # initial guess: two-rarefaction approximation
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p = ((a_l + a_r - 0.5 * (gamma - 1.0) * (u_r - u_l))
+         / (a_l / p_l**z + a_r / p_r**z)) ** (1.0 / z)
+    p = max(p, 1e-10 * min(p_l, p_r))
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, rho_l, p_l, a_l, gamma)
+        f_r, df_r = _pressure_function(p, rho_r, p_r, a_r, gamma)
+        g_val = f_l + f_r + (u_r - u_l)
+        dp = -g_val / (df_l + df_r)
+        p_new = max(p + dp, 1e-12 * min(p_l, p_r))
+        if abs(p_new - p) < tol * p:
+            p = p_new
+            break
+        p = p_new
+    else:
+        raise ConvergenceError("exact Riemann star-pressure iteration "
+                               "failed", iterations=max_iter)
+    f_l, _ = _pressure_function(p, rho_l, p_l, a_l, gamma)
+    f_r, _ = _pressure_function(p, rho_r, p_r, a_r, gamma)
+    u = 0.5 * (u_l + u_r) + 0.5 * (f_r - f_l)
+    return {"p_star": p, "u_star": u,
+            "left": (rho_l, u_l, p_l), "right": (rho_r, u_r, p_r),
+            "gamma": gamma}
+
+
+def sample_riemann(sol, xi):
+    """Sample the self-similar solution at speeds ``xi = x/t``.
+
+    Returns (rho, u, p) arrays.
+    """
+    g = sol["gamma"]
+    p_s, u_s = sol["p_star"], sol["u_star"]
+    rho_l, u_l, p_l = sol["left"]
+    rho_r, u_r, p_r = sol["right"]
+    a_l = np.sqrt(g * p_l / rho_l)
+    a_r = np.sqrt(g * p_r / rho_r)
+    xi = np.asarray(xi, dtype=float)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    gp1 = g + 1.0
+    gm1 = g - 1.0
+
+    left_of_contact = xi <= u_s
+    # --- left side -----------------------------------------------------
+    if p_s > p_l:  # left shock
+        s_l = u_l - a_l * np.sqrt(gp1 / (2 * g) * p_s / p_l
+                                  + gm1 / (2 * g))
+        rho_sl = rho_l * ((p_s / p_l + gm1 / gp1)
+                          / (gm1 / gp1 * p_s / p_l + 1.0))
+        in_l = xi < s_l
+        rho = np.where(in_l, rho_l, rho_sl)
+        u = np.where(in_l, u_l, u_s)
+        p = np.where(in_l, p_l, p_s)
+    else:          # left rarefaction
+        a_sl = a_l * (p_s / p_l) ** (gm1 / (2 * g))
+        head = u_l - a_l
+        tail = u_s - a_sl
+        in_l = xi < head
+        in_fan = (xi >= head) & (xi < tail)
+        rho_fan = rho_l * (2.0 / gp1 + gm1 / (gp1 * a_l)
+                           * (u_l - xi)) ** (2.0 / gm1)
+        u_fan = 2.0 / gp1 * (a_l + gm1 / 2.0 * u_l + xi)
+        p_fan = p_l * (2.0 / gp1 + gm1 / (gp1 * a_l)
+                       * (u_l - xi)) ** (2.0 * g / gm1)
+        rho_sl = rho_l * (p_s / p_l) ** (1.0 / g)
+        rho = np.where(in_l, rho_l, np.where(in_fan, rho_fan, rho_sl))
+        u = np.where(in_l, u_l, np.where(in_fan, u_fan, u_s))
+        p = np.where(in_l, p_l, np.where(in_fan, p_fan, p_s))
+    rho_left, u_left, p_left = rho.copy(), u.copy(), p.copy()
+
+    # --- right side ----------------------------------------------------
+    if p_s > p_r:  # right shock
+        s_r = u_r + a_r * np.sqrt(gp1 / (2 * g) * p_s / p_r
+                                  + gm1 / (2 * g))
+        rho_sr = rho_r * ((p_s / p_r + gm1 / gp1)
+                          / (gm1 / gp1 * p_s / p_r + 1.0))
+        out_r = xi > s_r
+        rho = np.where(out_r, rho_r, rho_sr)
+        u = np.where(out_r, u_r, u_s)
+        p = np.where(out_r, p_r, p_s)
+    else:          # right rarefaction
+        a_sr = a_r * (p_s / p_r) ** (gm1 / (2 * g))
+        head = u_r + a_r
+        tail = u_s + a_sr
+        out_r = xi > head
+        in_fan = (xi <= head) & (xi > tail)
+        rho_fan = rho_r * (2.0 / gp1 - gm1 / (gp1 * a_r)
+                           * (u_r - xi)) ** (2.0 / gm1)
+        u_fan = 2.0 / gp1 * (-a_r + gm1 / 2.0 * u_r + xi)
+        p_fan = p_r * (2.0 / gp1 - gm1 / (gp1 * a_r)
+                       * (u_r - xi)) ** (2.0 * g / gm1)
+        rho_sr = rho_r * (p_s / p_r) ** (1.0 / g)
+        rho = np.where(out_r, rho_r, np.where(in_fan, rho_fan, rho_sr))
+        u = np.where(out_r, u_r, np.where(in_fan, u_fan, u_s))
+        p = np.where(out_r, p_r, np.where(in_fan, p_fan, p_s))
+
+    rho = np.where(left_of_contact, rho_left, rho)
+    u = np.where(left_of_contact, u_left, u)
+    p = np.where(left_of_contact, p_left, p)
+    return rho, u, p
+
+
+def sod_exact(x, t, *, gamma=1.4, x0=0.5):
+    """Exact Sod shock-tube solution at time t on grid x.
+
+    Standard initial data: (rho, u, p) = (1, 0, 1) | (0.125, 0, 0.1).
+    Returns (rho, u, p).
+    """
+    if t <= 0:
+        raise InputError("t must be positive")
+    sol = exact_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1, gamma)
+    xi = (np.asarray(x, dtype=float) - x0) / t
+    return sample_riemann(sol, xi)

@@ -1,0 +1,44 @@
+"""Explicit time integration: CFL control and SSP Runge–Kutta steps.
+
+The steady-state solvers march "in a time-like manner until a steady state
+is asymptotically achieved" (the paper's words); these helpers provide the
+stable step sizes and strong-stability-preserving update formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StabilityError
+
+__all__ = ["cfl_timestep_1d", "ssp_rk2_step", "ssp_rk3_step",
+           "check_state"]
+
+
+def cfl_timestep_1d(dx, u, a, cfl=0.5):
+    """Global explicit timestep dt = cfl * min(dx / (|u| + a))."""
+    dx = np.asarray(dx, dtype=float)
+    wave = np.abs(np.asarray(u, dtype=float)) + np.asarray(a, dtype=float)
+    return float(cfl * np.min(dx / np.maximum(wave, 1e-12)))
+
+
+def ssp_rk2_step(U, dt, residual):
+    """Heun / SSP-RK2 update: U^{n+1} = (U + U1 + dt R(U1)) / 2."""
+    U1 = U + dt * residual(U)
+    return 0.5 * (U + U1 + dt * residual(U1))
+
+
+def ssp_rk3_step(U, dt, residual):
+    """Shu–Osher SSP-RK3 update."""
+    U1 = U + dt * residual(U)
+    U2 = 0.75 * U + 0.25 * (U1 + dt * residual(U1))
+    return U / 3.0 + 2.0 / 3.0 * (U2 + dt * residual(U2))
+
+
+def check_state(U, *, step: int | None = None, label: str = "solver"):
+    """Raise StabilityError on NaN or non-positive density/energy."""
+    U = np.asarray(U)
+    if not np.all(np.isfinite(U)):
+        raise StabilityError(f"{label}: non-finite state", step=step)
+    if np.any(U[..., 0] <= 0.0):
+        raise StabilityError(f"{label}: non-positive density", step=step)

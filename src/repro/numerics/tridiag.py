@@ -1,0 +1,91 @@
+"""(Block-)tridiagonal direct solvers.
+
+Thomas algorithm for scalar systems (vectorised over a batch axis) and its
+block generalisation for the line-implicit viscous/chemistry updates the
+paper-era implicit codes relied on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["thomas", "block_thomas"]
+
+
+def thomas(a, b, c, d):
+    """Solve tridiagonal systems b_i x_i + a_i x_{i-1} + c_i x_{i+1} = d_i.
+
+    Parameters
+    ----------
+    a:
+        Sub-diagonal, shape (..., n) with a[..., 0] ignored.
+    b:
+        Diagonal, shape (..., n).
+    c:
+        Super-diagonal, shape (..., n) with c[..., -1] ignored.
+    d:
+        Right-hand side, shape (..., n).
+
+    Leading axes are independent systems solved simultaneously.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    c = np.asarray(c, dtype=float)
+    d = np.asarray(d, dtype=float)
+    n = b.shape[-1]
+    if not (a.shape[-1] == c.shape[-1] == d.shape[-1] == n):
+        raise InputError("tridiagonal bands must share the last-axis size")
+    cp = np.empty_like(b)
+    dp = np.empty_like(d)
+    cp[..., 0] = c[..., 0] / b[..., 0]
+    dp[..., 0] = d[..., 0] / b[..., 0]
+    for i in range(1, n):
+        m = b[..., i] - a[..., i] * cp[..., i - 1]
+        cp[..., i] = c[..., i] / m
+        dp[..., i] = (d[..., i] - a[..., i] * dp[..., i - 1]) / m
+    x = np.empty_like(d)
+    x[..., -1] = dp[..., -1]
+    for i in range(n - 2, -1, -1):
+        x[..., i] = dp[..., i] - cp[..., i] * x[..., i + 1]
+    return x
+
+
+def block_thomas(A, B, C, D):
+    """Solve block-tridiagonal systems.
+
+    Parameters
+    ----------
+    A, B, C:
+        Sub/main/super diagonal blocks, shape (n, m, m); A[0] and C[-1]
+        are ignored.
+    D:
+        Right-hand side, shape (n, m).
+
+    Returns
+    -------
+    x, shape (n, m).
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    C = np.asarray(C, dtype=float)
+    D = np.asarray(D, dtype=float)
+    n, m = D.shape
+    if B.shape != (n, m, m):
+        raise InputError("block shapes inconsistent with RHS")
+    Cp = np.empty_like(C)
+    Dp = np.empty_like(D)
+    Binv = np.linalg.inv(B[0])
+    Cp[0] = Binv @ C[0]
+    Dp[0] = Binv @ D[0]
+    for i in range(1, n):
+        M = B[i] - A[i] @ Cp[i - 1]
+        Minv = np.linalg.inv(M)
+        Cp[i] = Minv @ C[i]
+        Dp[i] = Minv @ (D[i] - A[i] @ Dp[i - 1])
+    x = np.empty_like(D)
+    x[-1] = Dp[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = Dp[i] - Cp[i] @ x[i + 1]
+    return x

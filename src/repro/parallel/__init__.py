@@ -1,0 +1,24 @@
+"""Shared-memory parallel substrate (domain decomposition + halo exchange).
+
+The paper closes with the supercomputing challenge: "the development of
+methods and data structures that are optimized for supercomputer
+processing".  This subpackage provides the multiprocessor pattern in pure
+Python: 1-D block domain decomposition, MPI-style halo exchange (the API
+deliberately mirrors the mpi4py buffer idioms — ghost rows are copied
+into/out of contiguous buffers), and a fork-based shared-memory worker
+pool that runs registered stencil kernels with barrier synchronisation.
+
+mpi4py itself is unavailable in the offline environment; the
+process+shared-memory pool reproduces the *scaling shape* (speedup vs
+workers with halo-synchronisation overhead) that the original Cray-era
+claims were about.  See ``benchmarks/test_bench_scaling.py``.
+"""
+
+from repro.parallel.decomposition import Block1D, partition_1d
+from repro.parallel.halo import exchange_halos_inplace, with_halo
+from repro.parallel.executor import SharedMemoryStencilPool
+from repro.parallel.kernels import KERNELS, heat5_step, euler1d_hlle_step
+
+__all__ = ["Block1D", "partition_1d", "exchange_halos_inplace",
+           "with_halo", "SharedMemoryStencilPool", "KERNELS",
+           "heat5_step", "euler1d_hlle_step"]

@@ -1,0 +1,72 @@
+"""Block domain decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InputError
+
+__all__ = ["Block1D", "partition_1d"]
+
+
+@dataclass(frozen=True)
+class Block1D:
+    """One block of a 1-D decomposition along the leading array axis.
+
+    ``lo:hi`` is the owned (interior) index range in the global array;
+    ``halo`` ghost rows on each interior side come from the neighbours.
+    """
+
+    rank: int
+    n_ranks: int
+    lo: int
+    hi: int
+    halo: int
+
+    @property
+    def n_owned(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def has_left(self) -> bool:
+        return self.rank > 0
+
+    @property
+    def has_right(self) -> bool:
+        return self.rank < self.n_ranks - 1
+
+    @property
+    def padded_lo(self) -> int:
+        """Global start including the left halo (clamped at the domain)."""
+        return self.lo - (self.halo if self.has_left else 0)
+
+    @property
+    def padded_hi(self) -> int:
+        return self.hi + (self.halo if self.has_right else 0)
+
+    def owned_slice_in_padded(self) -> slice:
+        """Slice of the owned rows inside the padded local array."""
+        start = self.halo if self.has_left else 0
+        return slice(start, start + self.n_owned)
+
+
+def partition_1d(n: int, n_ranks: int, *, halo: int = 1) -> list[Block1D]:
+    """Split n rows into nearly equal contiguous blocks.
+
+    The first ``n % n_ranks`` blocks get one extra row (the classical
+    balanced decomposition).
+    """
+    if n_ranks < 1:
+        raise InputError("need at least one rank")
+    if n < n_ranks:
+        raise InputError(f"cannot split {n} rows over {n_ranks} ranks")
+    base = n // n_ranks
+    extra = n % n_ranks
+    blocks = []
+    lo = 0
+    for r in range(n_ranks):
+        size = base + (1 if r < extra else 0)
+        blocks.append(Block1D(rank=r, n_ranks=n_ranks, lo=lo, hi=lo + size,
+                              halo=halo))
+        lo += size
+    return blocks

@@ -1,0 +1,46 @@
+"""Halo (ghost-row) exchange.
+
+Serial reference implementation over a list of per-block arrays; the
+shared-memory pool performs the equivalent copies through the shared
+global array.  The buffer-in/buffer-out structure intentionally mirrors
+the ``comm.Send(buf) / comm.Recv(buf)`` idiom of MPI codes so the
+decomposition logic would port to mpi4py unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+from repro.parallel.decomposition import Block1D
+
+__all__ = ["with_halo", "exchange_halos_inplace", "strip_halo"]
+
+
+def with_halo(global_array: np.ndarray, block: Block1D) -> np.ndarray:
+    """Copy a block's padded (halo-included) local array out of the
+    global array."""
+    return np.array(global_array[block.padded_lo:block.padded_hi])
+
+
+def strip_halo(local: np.ndarray, block: Block1D) -> np.ndarray:
+    """Return the owned rows of a padded local array (a view)."""
+    return local[block.owned_slice_in_padded()]
+
+
+def exchange_halos_inplace(locals_: list[np.ndarray],
+                           blocks: list[Block1D]) -> None:
+    """Fill every block's ghost rows from its neighbours' owned rows."""
+    if len(locals_) != len(blocks):
+        raise InputError("one local array per block required")
+    h = blocks[0].halo
+    for i, (arr, blk) in enumerate(zip(locals_, blocks)):
+        own = blk.owned_slice_in_padded()
+        if blk.has_left:
+            left = locals_[i - 1]
+            left_own = blocks[i - 1].owned_slice_in_padded()
+            arr[:h] = left[left_own][-h:]
+        if blk.has_right:
+            right = locals_[i + 1]
+            right_own = blocks[i + 1].owned_slice_in_padded()
+            arr[own.stop:own.stop + h] = right[right_own][:h]

@@ -1,0 +1,58 @@
+"""Registered stencil kernels for the shared-memory pool.
+
+A kernel advances the *owned* rows of a padded local block one step::
+
+    kernel(local_padded, out_owned, params) -> None
+
+Kernels must be module-level (picklable by name) and touch only NumPy —
+they are the "vector loops" of the Cray-era codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KERNELS", "heat5_step", "euler1d_hlle_step"]
+
+
+def heat5_step(local: np.ndarray, out: np.ndarray, params: dict) -> None:
+    """Explicit 5-point heat-equation step on a 2-D block.
+
+    du/dt = alpha laplacian(u); boundary columns are held fixed
+    (Dirichlet), and the j-direction is entirely local to the block.
+    """
+    r = params.get("r", 0.2)  # alpha dt / dx^2
+    u = local
+    interior = u[1:-1, 1:-1]
+    lap = (u[2:, 1:-1] + u[:-2, 1:-1] + u[1:-1, 2:] + u[1:-1, :-2]
+           - 4.0 * interior)
+    new = u.copy()
+    new[1:-1, 1:-1] = interior + r * lap
+    # write the owned rows (caller aligned `out` with the owned slice)
+    out[...] = new[params["own"]]
+
+
+def euler1d_hlle_step(local: np.ndarray, out: np.ndarray,
+                      params: dict) -> None:
+    """First-order HLLE Euler step on a 1-D block of cells (rows x 3).
+
+    Ghost rows supply the upwind neighbours; the global domain boundary
+    rows are transmissive (held by the driver).
+    """
+    from repro.core.gas import IdealGasEOS
+    from repro.numerics.fluxes import hlle_flux
+
+    eos = IdealGasEOS(params.get("gamma", 1.4))
+    dt_dx = params["dt_dx"]
+    U = local
+    F = hlle_flux(U[:-1], U[1:], eos)            # faces between rows
+    new = U.copy()
+    new[1:-1] = U[1:-1] - dt_dx * (F[1:] - F[:-1])
+    out[...] = new[params["own"]]
+
+
+#: Name -> kernel registry used by the worker processes.
+KERNELS = {
+    "heat5": heat5_step,
+    "euler1d_hlle": euler1d_hlle_step,
+}

@@ -1,0 +1,68 @@
+"""Strong-scaling measurement harness.
+
+Runs a registered kernel at fixed global problem size across worker
+counts and reports times, speedups and parallel efficiencies — the table
+a Cray-era applications paper would show.  On a single-core container the
+curve measures synchronisation/copy overhead (and cache effects) rather
+than true speedup; the harness reports ``cpu_count`` alongside so results
+are interpretable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.executor import SharedMemoryStencilPool
+
+__all__ = ["ScalingResult", "run_strong_scaling"]
+
+
+@dataclass
+class ScalingResult:
+    """Strong-scaling study output."""
+
+    kernel: str
+    grid_shape: tuple
+    n_steps: int
+    workers: list[int]
+    times: list[float]
+    serial_time: float
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+
+    @property
+    def speedups(self) -> list[float]:
+        return [self.serial_time / t for t in self.times]
+
+    @property
+    def efficiencies(self) -> list[float]:
+        return [s / p for s, p in zip(self.speedups, self.workers)]
+
+    def rows(self):
+        """(workers, time, speedup, efficiency) tuples for tabulation."""
+        return list(zip(self.workers, self.times, self.speedups,
+                        self.efficiencies))
+
+
+def run_strong_scaling(kernel: str = "heat5", *, shape=(1024, 1024),
+                       n_steps: int = 20, workers=(1, 2, 4),
+                       params: dict | None = None,
+                       seed: int = 0) -> ScalingResult:
+    """Measure strong scaling of a kernel at fixed problem size."""
+    rng = np.random.default_rng(seed)
+    U0 = rng.random(shape)
+    params = dict(params or {})
+    if kernel == "heat5":
+        params.setdefault("r", 0.2)
+    _, t_serial = SharedMemoryStencilPool(kernel, n_workers=1).run_serial(
+        U0, n_steps, params)
+    times = []
+    for p in workers:
+        pool = SharedMemoryStencilPool(kernel, n_workers=p)
+        _, t = pool.run(U0, n_steps, params)
+        times.append(t)
+    return ScalingResult(kernel=kernel, grid_shape=tuple(shape),
+                         n_steps=n_steps, workers=list(workers),
+                         times=times, serial_time=t_serial)

@@ -1,0 +1,14 @@
+"""Post-processing: contour extraction, ASCII plotting, table formatting.
+
+"Rapid advancements in computer graphics technology will be indispensable"
+— in an offline terminal environment, this subpackage is the graphics
+stack: marching-squares contour extraction from structured fields (Fig. 9's
+mole-fraction contours), ASCII line/contour rendering for the examples,
+and fixed-width table formatting for the benchmark reports.
+"""
+
+from repro.postprocess.contours import contour_lines
+from repro.postprocess.ascii_plot import ascii_contour, ascii_plot
+from repro.postprocess.tables import format_table
+
+__all__ = ["contour_lines", "ascii_plot", "ascii_contour", "format_table"]

@@ -1,0 +1,118 @@
+"""ASCII rendering of line plots and contour fields.
+
+The examples run in a plain terminal; these helpers produce readable
+figures without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["ascii_plot", "ascii_contour"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(series, *, width=72, height=20, logx=False, logy=False,
+               title="", xlabel="", ylabel=""):
+    """Render one or more (x, y[, label]) series as an ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Iterable of (x, y) or (x, y, label) tuples.
+    logx, logy:
+        Logarithmic axes (non-positive data are dropped).
+
+    Returns
+    -------
+    Multi-line string.
+    """
+    cleaned = []
+    for item in series:
+        x = np.asarray(item[0], dtype=float)
+        y = np.asarray(item[1], dtype=float)
+        label = item[2] if len(item) > 2 else ""
+        ok = np.isfinite(x) & np.isfinite(y)
+        if logx:
+            ok &= x > 0
+        if logy:
+            ok &= y > 0
+        if not np.any(ok):
+            continue
+        x, y = x[ok], y[ok]
+        cleaned.append((np.log10(x) if logx else x,
+                        np.log10(y) if logy else y, label))
+    if not cleaned:
+        raise InputError("nothing plottable")
+    x_all = np.concatenate([c[0] for c in cleaned])
+    y_all = np.concatenate([c[1] for c in cleaned])
+    x0, x1 = float(x_all.min()), float(x_all.max())
+    y0, y1 = float(y_all.min()), float(y_all.max())
+    if x1 - x0 < 1e-300:
+        x1 = x0 + 1.0
+    if y1 - y0 < 1e-300:
+        y1 = y0 + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for k, (x, y, _label) in enumerate(cleaned):
+        m = _MARKERS[k % len(_MARKERS)]
+        ci = np.clip(((x - x0) / (x1 - x0) * (width - 1)).astype(int),
+                     0, width - 1)
+        ri = np.clip(((y1 - y) / (y1 - y0) * (height - 1)).astype(int),
+                     0, height - 1)
+        for r, c in zip(ri, ci):
+            canvas[r][c] = m
+    def fmt(v, is_log):  # noqa: E306
+        return f"1e{v:.1f}" if is_log else f"{v:.3g}"
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    legend = "  ".join(f"{_MARKERS[k % len(_MARKERS)]}={c[2]}"
+                       for k, c in enumerate(cleaned) if c[2])
+    if legend:
+        lines.append(legend)
+    for r, row in enumerate(canvas):
+        tag = ""
+        if r == 0:
+            tag = fmt(y1, logy)
+        elif r == height - 1:
+            tag = fmt(y0, logy)
+        lines.append(f"{tag:>9s} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 10 + fmt(x0, logx)
+                 + fmt(x1, logx).rjust(width - len(fmt(x0, logx))))
+    if xlabel or ylabel:
+        lines.append(f"{'x: ' + xlabel if xlabel else '':<40s}"
+                     f"{'y: ' + ylabel if ylabel else ''}")
+    return "\n".join(lines)
+
+
+def ascii_contour(x, y, f, levels, *, width=70, height=26):
+    """Render contour bands of a structured field as character cells.
+
+    Each grid sample is binned onto a terminal cell and drawn with a digit
+    giving the highest level index below its value.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    f = np.asarray(f, dtype=float).ravel()
+    if not (x.size == y.size == f.size):
+        raise InputError("x, y, f must have equal sizes")
+    levels = np.asarray(levels, dtype=float)
+    x0, x1 = x.min(), x.max()
+    y0, y1 = y.min(), y.max()
+    canvas = [[" "] * width for _ in range(height)]
+    ci = np.clip(((x - x0) / max(x1 - x0, 1e-300)
+                  * (width - 1)).astype(int), 0, width - 1)
+    ri = np.clip(((y1 - y) / max(y1 - y0, 1e-300)
+                  * (height - 1)).astype(int), 0, height - 1)
+    idx = np.searchsorted(levels, f)
+    chars = "." + "123456789abcdefgh"
+    for r, c, k in zip(ri, ci, idx):
+        canvas[r][c] = chars[min(k, len(chars) - 1)]
+    lines = ["".join(row) for row in canvas]
+    lines.append(f"levels: " + ", ".join(
+        f"{chars[k + 1]}>{lv:g}" for k, lv in enumerate(levels)))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Marching-squares contour extraction on structured (possibly
+curvilinear) grids."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["contour_lines"]
+
+# marching-squares segment table: case -> list of (edge_a, edge_b) pairs;
+# edges: 0 bottom (j), 1 right (i+1), 2 top (j+1), 3 left (i)
+_SEGMENTS = {
+    0: [], 15: [],
+    1: [(3, 0)], 14: [(3, 0)],
+    2: [(0, 1)], 13: [(0, 1)],
+    3: [(3, 1)], 12: [(3, 1)],
+    4: [(1, 2)], 11: [(1, 2)],
+    6: [(0, 2)], 9: [(0, 2)],
+    7: [(3, 2)], 8: [(3, 2)],
+    5: [(3, 0), (1, 2)],
+    10: [(0, 1), (3, 2)],
+}
+
+
+def _edge_point(edge, i, j, x, y, f, level):
+    """Linear interpolation of the level crossing on a cell edge."""
+    if edge == 0:
+        (i0, j0), (i1, j1) = (i, j), (i + 1, j)
+    elif edge == 1:
+        (i0, j0), (i1, j1) = (i + 1, j), (i + 1, j + 1)
+    elif edge == 2:
+        (i0, j0), (i1, j1) = (i, j + 1), (i + 1, j + 1)
+    else:
+        (i0, j0), (i1, j1) = (i, j), (i, j + 1)
+    f0, f1 = f[i0, j0], f[i1, j1]
+    t = 0.5 if f1 == f0 else np.clip((level - f0) / (f1 - f0), 0.0, 1.0)
+    return (x[i0, j0] + t * (x[i1, j1] - x[i0, j0]),
+            y[i0, j0] + t * (y[i1, j1] - y[i0, j0]))
+
+
+def contour_lines(x, y, f, level):
+    """Extract contour segments f == level from a structured field.
+
+    Parameters
+    ----------
+    x, y, f:
+        Node coordinate and field arrays, all shape (ni, nj).
+    level:
+        Contour value.
+
+    Returns
+    -------
+    List of ((x0, y0), (x1, y1)) segments.  Segments are unordered (no
+    polyline stitching) — sufficient for rendering and for locating
+    contour positions in tests.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    f = np.asarray(f, dtype=float)
+    if not (x.shape == y.shape == f.shape) or x.ndim != 2:
+        raise InputError("x, y, f must share a 2-D shape")
+    ni, nj = f.shape
+    segments = []
+    above = f > level
+    for i in range(ni - 1):
+        for j in range(nj - 1):
+            case = (int(above[i, j])
+                    | int(above[i + 1, j]) << 1
+                    | int(above[i + 1, j + 1]) << 2
+                    | int(above[i, j + 1]) << 3)
+            for ea, eb in _SEGMENTS[case]:
+                pa = _edge_point(ea, i, j, x, y, f, level)
+                pb = _edge_point(eb, i, j, x, y, f, level)
+                segments.append((pa, pb))
+    return segments

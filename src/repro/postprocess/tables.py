@@ -1,0 +1,36 @@
+"""Fixed-width table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 *, floatfmt: str = ".4g", title: str = "") -> str:
+    """Render a simple aligned text table.
+
+    Numbers are formatted with ``floatfmt``; everything else with str().
+    """
+    def cell(v):
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, (int,)):
+            return str(v)
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in str_rows:
+        out.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(out)

@@ -1,0 +1,20 @@
+"""Radiative transport: spectral emission, tangent-slab transfer, NEQAIR-lite.
+
+"Computation of the radiation, based on realistic spectral models, is one
+of the most costly parts of the solution process" — this subpackage
+provides the spectral model (molecular band systems + atomic lines over
+0.2–1.2 um), the plane-slab (tangent-slab) transfer the paper's VSL codes
+employ, a nonequilibrium emission mode driven by the vibrational-electronic
+temperature (the NEQAIR role, Ref. 23), and the Tauber–Sutton correlation
+baseline.
+"""
+
+from repro.radiation.spectra import (ATOMIC_LINES, BAND_SYSTEMS,
+                                     BandSystem, EmissionModel)
+from repro.radiation.tangent_slab import tangent_slab_flux
+from repro.radiation.neqair import NonequilibriumRadiator
+from repro.radiation.correlations import tauber_sutton_radiative
+
+__all__ = ["BandSystem", "BAND_SYSTEMS", "ATOMIC_LINES", "EmissionModel",
+           "tangent_slab_flux", "NonequilibriumRadiator",
+           "tauber_sutton_radiative"]

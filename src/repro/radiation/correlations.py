@@ -1,0 +1,47 @@
+"""Engineering radiative-heating correlations (Tauber–Sutton).
+
+q_rad = C * R_n^a * rho^1.22 * f(V)  [W/cm^2 with CGS-ish inputs in the
+original; implemented here in SI with the published tabulated f(V)].
+Valid for Earth entry between ~9 and 16 km/s; used as the design-code
+baseline against the tangent-slab results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["tauber_sutton_radiative"]
+
+# Tauber-Sutton Earth f(V) tabulation (V [m/s] -> f)
+_V_TAB = np.array([9000.0, 10000.0, 11000.0, 12000.0, 13000.0, 14000.0,
+                   15000.0, 16000.0])
+_F_TAB = np.array([1.5, 35.0, 151.0, 359.0, 660.0, 1065.0, 1550.0,
+                   2040.0])
+
+_C = 4.736e4
+_B = 1.22
+
+
+def tauber_sutton_radiative(rho, V, nose_radius):
+    """Stagnation radiative heating [W/m^2] for Earth entry.
+
+    Parameters
+    ----------
+    rho:
+        Freestream density [kg/m^3].
+    V:
+        Velocity [m/s]; clipped into the correlation's 9-16 km/s validity
+        band (f ~ 0 below it).
+    nose_radius:
+        [m].  The exponent a depends weakly on conditions; the common
+        a = 0.6 engineering value is used (valid for modest radii).
+    """
+    rho = np.asarray(rho, dtype=float)
+    V = np.asarray(V, dtype=float)
+    if np.any(rho <= 0):
+        raise InputError("density must be positive")
+    f = np.interp(V, _V_TAB, _F_TAB, left=0.0, right=_F_TAB[-1])
+    q_wcm2 = _C * nose_radius**0.6 * rho**_B * f
+    return q_wcm2 * 1.0e4  # W/cm^2 -> W/m^2

@@ -1,0 +1,75 @@
+"""NEQAIR-lite: nonequilibrium radiation from two-temperature flowfields.
+
+The paper couples "a nonequilibrium radiation analysis (Ref. 23, Park's
+NEQAIR)" to the shock-relaxation flowfield to predict shock-tube emission
+spectra (Fig. 8).  In the two-temperature quasi-steady-state picture the
+electronic states are populated at the vibrational-electronic temperature
+Tv, so the emission model is simply evaluated with ``T_ex = Tv`` layer by
+layer; this module walks a relaxation profile and produces
+
+* the line-of-sight spectral radiance (what a shock-tube spectrometer
+  sees),
+* the wall-directed integrated flux via the tangent slab.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+from repro.radiation.spectra import EmissionModel
+from repro.radiation.tangent_slab import tangent_slab_flux
+from repro.thermo.species import SpeciesDB
+
+__all__ = ["NonequilibriumRadiator"]
+
+
+class NonequilibriumRadiator:
+    """Spectral radiation along two-temperature profiles."""
+
+    def __init__(self, db: SpeciesDB, *, include_lines: bool = True):
+        self.db = db
+        self.model = EmissionModel(db, include_lines=include_lines)
+
+    def spectral_radiance(self, x, rho, y, T_ex, wavelengths):
+        """Line-of-sight radiance [W/(m^2 sr m)] through a 1-D profile.
+
+        Optically thin integration of j_lambda along x (the shock-tube
+        configuration: the spectrometer views across the relaxing slug).
+
+        Parameters
+        ----------
+        x:
+            Positions along the line of sight [m], (nx,).
+        rho, y, T_ex:
+            Profile of density, mass fractions (nx, ns) and excitation
+            temperature (nx,).
+        wavelengths:
+            Grid [m], (nw,).
+        """
+        x = np.asarray(x, dtype=float)
+        if np.any(np.diff(x) <= 0):
+            raise InputError("x must be strictly increasing")
+        n = self.model.number_densities(rho, y)
+        j = self.model.emission_coefficient(wavelengths, n, T_ex)
+        return np.trapezoid(j, x, axis=0)
+
+    def wall_flux(self, y_coord, rho, y, T, T_ex, wavelengths, *,
+                  optically_thin=False):
+        """Tangent-slab wall flux from a shock-layer profile.
+
+        Returns (q_total [W/m^2], q_lambda at the wall).
+        """
+        n = self.model.number_densities(rho, y)
+        j = self.model.emission_coefficient(wavelengths, n, T_ex)
+        return tangent_slab_flux(y_coord, j, T, wavelengths,
+                                 optically_thin=optically_thin)
+
+    def from_relaxation_profile(self, profile, wavelengths):
+        """Spectral radiance seen across a shock-relaxation profile.
+
+        ``profile`` is a
+        :class:`repro.solvers.shock_relaxation.RelaxationProfile`.
+        """
+        return self.spectral_radiance(profile.x, profile.rho, profile.y,
+                                      profile.Tv, wavelengths)

@@ -1,0 +1,176 @@
+"""Spectral emission model: molecular band systems and atomic lines.
+
+Each radiator is a smeared-band (or Gaussian-line) feature::
+
+    j_lambda = n_u * A_eff * (h c / lambda) * phi(lambda) / (4 pi)
+
+with the upper-state number density from a Boltzmann distribution at the
+electronic excitation temperature (T for equilibrium flows, Tv for the
+two-temperature nonequilibrium mode — the NEQAIR-style choice)::
+
+    n_u = n_s * g_u exp(-theta_u / T_ex) / Q_el(T_ex)
+
+The effective transition probabilities A_eff are band-system-integrated
+values of the right order of magnitude for the era's smeared-band models
+(Patch/Nicolet class); the *shape* of the spectrum — which features
+dominate where — is what the Fig. 8 reproduction tests, not absolute
+radiance calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import C_LIGHT, H_PLANCK, N_AVOGADRO
+from repro.errors import SpeciesError
+from repro.thermo.species import SpeciesDB
+from repro.thermo.statmech import SpeciesThermo
+
+__all__ = ["BandSystem", "BAND_SYSTEMS", "ATOMIC_LINES", "EmissionModel"]
+
+
+@dataclass(frozen=True)
+class BandSystem:
+    """One radiating band system (or atomic multiplet)."""
+
+    name: str
+    species: str
+    #: Band-centre wavelength [m].
+    lambda0: float
+    #: Gaussian smearing width (1-sigma) [m].
+    width: float
+    #: Effective transition probability [1/s].
+    a_eff: float
+    #: Upper electronic level energy [K].
+    theta_u: float
+    #: Upper level degeneracy.
+    g_u: int
+
+
+#: Molecular band systems of high-temperature air and Titan gas.
+BAND_SYSTEMS: tuple[BandSystem, ...] = (
+    # air radiators
+    BandSystem("N2+ first negative", "N2+", 0.3914e-6, 0.018e-6,
+               1.4e7, 36633.0, 2),
+    BandSystem("N2 second positive", "N2", 0.3371e-6, 0.020e-6,
+               1.2e7, 95351.0, 6),
+    BandSystem("N2 first positive", "N2", 0.775e-6, 0.10e-6,
+               8.0e4, 85787.0, 6),
+    BandSystem("NO gamma", "NO", 0.247e-6, 0.025e-6,
+               4.0e6, 63257.0, 2),
+    BandSystem("NO beta", "NO", 0.320e-6, 0.040e-6,
+               4.6e5, 66770.0, 4),
+    BandSystem("O2 Schumann-Runge", "O2", 0.280e-6, 0.045e-6,
+               8.0e3, 71641.0, 6),
+    # Titan / carbonaceous radiators
+    BandSystem("CN violet", "CN", 0.3883e-6, 0.015e-6,
+               1.5e7, 37052.0, 2),
+    BandSystem("CN red", "CN", 0.92e-6, 0.12e-6,
+               3.0e5, 13302.0, 4),
+    BandSystem("C2 Swan", "C2", 0.5165e-6, 0.030e-6,
+               7.0e6, 27881.0, 6),
+)
+
+#: Atomic line groups (effective multiplets).
+ATOMIC_LINES: tuple[BandSystem, ...] = (
+    BandSystem("N 746nm triplet", "N", 0.7468e-6, 0.004e-6,
+               4.0e7, 137000.0, 12),
+    BandSystem("N 821nm", "N", 0.8216e-6, 0.004e-6,
+               2.3e7, 121000.0, 12),
+    BandSystem("N 868nm", "N", 0.8680e-6, 0.004e-6,
+               2.7e7, 120000.0, 20),
+    BandSystem("O 777nm triplet", "O", 0.7774e-6, 0.003e-6,
+               3.7e7, 125000.0, 15),
+    BandSystem("O 845nm", "O", 0.8446e-6, 0.003e-6,
+               3.2e7, 127000.0, 9),
+    BandSystem("H alpha", "H", 0.6563e-6, 0.004e-6,
+               4.4e7, 140270.0, 18),
+)
+
+
+class EmissionModel:
+    """Volumetric spectral emission for a species set.
+
+    Parameters
+    ----------
+    db:
+        Species set; only radiators present in the set are active.
+    include_lines:
+        Include the atomic line groups.
+    """
+
+    def __init__(self, db: SpeciesDB, *, include_lines: bool = True):
+        self.db = db
+        systems = [b for b in BAND_SYSTEMS if b.species in db]
+        if include_lines:
+            systems += [b for b in ATOMIC_LINES if b.species in db]
+        if not systems:
+            raise SpeciesError("no radiators present in the species set")
+        self.systems = tuple(systems)
+        # electronic partition data per radiating species
+        self._thermo = {name: SpeciesThermo(db[name])
+                        for name in {b.species for b in self.systems}}
+
+    def upper_state_density(self, system: BandSystem, n_s, T_ex):
+        """Upper-level number density [1/m^3]."""
+        st = self._thermo[system.species]
+        T_ex = np.asarray(T_ex, dtype=float)
+        q_el, _, _ = st._elec_moments(T_ex)
+        boltz = system.g_u * np.exp(
+            -np.clip(system.theta_u / np.maximum(T_ex, 1.0), 0.0, 400.0))
+        return np.asarray(n_s, dtype=float) * boltz / q_el
+
+    def emission_coefficient(self, wavelengths, n_species, T_ex):
+        """Spectral emission coefficient j_lambda [W/(m^3 sr m)].
+
+        Parameters
+        ----------
+        wavelengths:
+            Wavelength grid [m], shape (nw,).
+        n_species:
+            Number densities by species name -> value [1/m^3]
+            (dict, or array over db with shape (..., ns)).
+        T_ex:
+            Electronic excitation temperature [K] (scalar or batch).
+
+        Returns
+        -------
+        j_lambda of shape broadcast(batch) + (nw,).
+        """
+        lam = np.asarray(wavelengths, dtype=float)
+        T_ex = np.asarray(T_ex, dtype=float)
+        if isinstance(n_species, dict):
+            def n_of(name):
+                return np.asarray(n_species.get(name, 0.0), dtype=float)
+        else:
+            arr = np.asarray(n_species, dtype=float)
+
+            def n_of(name):
+                return arr[..., self.db.index[name]]
+
+        out = np.zeros(np.broadcast_shapes(T_ex.shape) + lam.shape)
+        for b in self.systems:
+            n_u = self.upper_state_density(b, n_of(b.species), T_ex)
+            photon = H_PLANCK * C_LIGHT / b.lambda0
+            total = n_u * b.a_eff * photon / (4.0 * np.pi)
+            shape = (np.exp(-0.5 * ((lam - b.lambda0) / b.width) ** 2)
+                     / (b.width * np.sqrt(2.0 * np.pi)))
+            out += total[..., None] * shape
+        return out
+
+    def number_densities(self, rho, y):
+        """Species number densities [1/m^3] from (rho, mass fractions)."""
+        rho = np.asarray(rho, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return rho[..., None] * y / self.db.molar_mass * N_AVOGADRO
+
+    def total_emission(self, rho, y, T_ex, *, lambda_range=(0.2e-6,
+                                                            1.2e-6),
+                       n_lambda=600):
+        """Wavelength-integrated isotropic emission 4*pi*int j [W/m^3]."""
+        lam = np.linspace(*lambda_range, n_lambda)
+        n = self.number_densities(rho, y)
+        j = self.emission_coefficient(lam, n, T_ex)
+        return 4.0 * np.pi * np.trapezoid(j, lam, axis=-1)

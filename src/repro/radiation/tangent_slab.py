@@ -1,0 +1,80 @@
+"""Tangent-slab (plane-parallel) radiative transfer.
+
+The paper's VSL codes carry "detailed spectral radiation transport
+(employing a plane-slab approximation)".  For a slab of layers with
+spectral emission coefficient j_lambda and absorption coefficient
+kappa_lambda (from Kirchhoff's law, kappa = j / B_lambda(T)), the
+one-sided spectral flux arriving at the wall is::
+
+    q_lambda = 2 pi  int  j_lambda(t) E_2(tau(t)) dt
+
+with E_2 the second exponential integral and tau measured from the wall.
+The optically thin limit (tau -> 0) reduces to 2 pi int j dy, i.e. half
+the isotropic emission reaches the wall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import expn
+
+from repro.constants import planck_lambda
+from repro.errors import InputError
+
+__all__ = ["tangent_slab_flux"]
+
+
+def tangent_slab_flux(y, j_lambda, T, wavelengths, *,
+                      optically_thin: bool = False):
+    """Wall-directed radiative flux through a plane slab.
+
+    Parameters
+    ----------
+    y:
+        Layer positions [m], increasing from the wall (y[0] ~ 0), (ny,).
+    j_lambda:
+        Spectral emission coefficient [W/(m^3 sr m)], shape (ny, nw).
+    T:
+        Layer temperatures [K] (for the Kirchhoff absorption), (ny,).
+    wavelengths:
+        Wavelength grid [m], (nw,).
+    optically_thin:
+        Skip absorption entirely.
+
+    Returns
+    -------
+    (q_total, q_lambda_wall):
+        Integrated wall flux [W/m^2] and its spectral density [W/(m^2 m)].
+    """
+    y = np.asarray(y, dtype=float)
+    j = np.asarray(j_lambda, dtype=float)
+    T = np.asarray(T, dtype=float)
+    lam = np.asarray(wavelengths, dtype=float)
+    if j.shape != (y.size, lam.size):
+        raise InputError("j_lambda must have shape (ny, nw)")
+    if np.any(np.diff(y) <= 0):
+        raise InputError("y must be strictly increasing from the wall")
+    dy = np.diff(y)
+    # layer-centred emission and absorption
+    j_mid = 0.5 * (j[1:] + j[:-1])
+    if optically_thin:
+        q_lam = 2.0 * np.pi * np.sum(j_mid * dy[:, None], axis=0)
+        return float(np.trapezoid(q_lam, lam)), q_lam
+    T_mid = 0.5 * (T[1:] + T[:-1])
+    B = planck_lambda(lam[None, :], T_mid[:, None])
+    kappa = j_mid / np.maximum(B, 1e-300)
+    # optical depth from the wall to each layer interface
+    dtau = kappa * dy[:, None]
+    tau_below = np.concatenate([np.zeros((1, lam.size)),
+                                np.cumsum(dtau, axis=0)[:-1]], axis=0)
+    tau_above = tau_below + dtau
+    # per-layer analytic integration with a uniform source function
+    # S = j/kappa: contribution 2 pi S [E3(tau_below) - E3(tau_above)].
+    # This telescopes exactly to pi*B in the optically thick limit and
+    # reduces to 2 pi j E2(tau) dy when the layer is thin — resolution-
+    # robust at both extremes.
+    S = np.where(kappa > 1e-300, j_mid / np.maximum(kappa, 1e-300), 0.0)
+    e3_lo = expn(3, np.clip(tau_below, 0.0, 500.0))
+    e3_hi = expn(3, np.clip(tau_above, 0.0, 500.0))
+    q_lam = 2.0 * np.pi * np.sum(S * (e3_lo - e3_hi), axis=0)
+    return float(np.trapezoid(q_lam, lam)), q_lam

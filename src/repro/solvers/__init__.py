@@ -1,0 +1,25 @@
+"""The four CAT solver families (plus shared shock/stagnation relations).
+
+* :mod:`repro.solvers.shock` — normal/oblique shock and isentropic
+  relations, ideal and equilibrium real gas.
+* :mod:`repro.solvers.euler1d` — 1-D finite-volume Euler (validation).
+* :mod:`repro.solvers.shock_relaxation` — Park-style 1-D post-shock
+  thermochemical relaxation (NS approach #1; Fig. 7).
+* :mod:`repro.solvers.euler2d` / :mod:`repro.solvers.ns2d` — axisymmetric
+  time-marching shock-capturing solvers, ideal or equilibrium air
+  (E of E+BL, and NS approach #2; Figs. 4 and 9).
+* :mod:`repro.solvers.boundary_layer` — compressible laminar boundary
+  layer with equilibrium chemistry and catalytic walls (BL of E+BL).
+* :mod:`repro.solvers.vsl` — viscous-shock-layer stagnation solution with
+  radiation coupling (Figs. 2, 3).
+* :mod:`repro.solvers.pns` — parabolized space-marching windward-heating
+  solver (Fig. 6).
+"""
+
+from repro.solvers.shock import (normal_shock_ideal, oblique_shock_beta,
+                                 equilibrium_normal_shock,
+                                 pitot_pressure_ideal, isentropic_ratios)
+
+__all__ = ["normal_shock_ideal", "oblique_shock_beta",
+           "equilibrium_normal_shock", "pitot_pressure_ideal",
+           "isentropic_ratios"]

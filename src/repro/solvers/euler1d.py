@@ -1,0 +1,159 @@
+"""One-dimensional finite-volume Euler solver.
+
+The validation workhorse: MUSCL + HLLE (or any flux from the numerics
+toolbox) with SSP-RK2 time stepping, verified against the exact Riemann
+solution (Sod problem) in the integration tests and benchmarked in
+bench_upwind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gas import GasEOS, IdealGasEOS
+from repro.errors import InputError
+from repro.numerics.fluxes import hlle_flux, primitives
+from repro.numerics.limiters import minmod
+from repro.numerics.muscl import muscl_interface_states
+from repro.numerics.time_integration import (cfl_timestep_1d, check_state,
+                                             ssp_rk2_step)
+from repro.numerics.upwind import (ausm_plus_flux, steger_warming_flux,
+                                   van_leer_flux)
+
+__all__ = ["Euler1DSolver"]
+
+_FLUXES = {"hlle": None, "van_leer": van_leer_flux,
+           "steger_warming": steger_warming_flux, "ausm": ausm_plus_flux}
+
+
+class Euler1DSolver:
+    """Shock-capturing 1-D Euler solver on a fixed node grid.
+
+    Parameters
+    ----------
+    x_nodes:
+        Cell-interface coordinates (n+1 for n cells), strictly increasing.
+    eos:
+        Equation of state (defaults to ideal air).
+    flux:
+        "hlle" (any EOS), or "van_leer" / "steger_warming" / "ausm"
+        (ideal gas).
+    order:
+        1 or 2 (MUSCL with the given limiter).
+    bc:
+        ("transmissive"|"reflective", same) for the two ends.
+    """
+
+    def __init__(self, x_nodes, eos: GasEOS | None = None, *,
+                 flux: str = "hlle", order: int = 2, limiter=minmod,
+                 bc=("transmissive", "transmissive")):
+        self.x_nodes = np.asarray(x_nodes, dtype=float)
+        if np.any(np.diff(self.x_nodes) <= 0):
+            raise InputError("x_nodes must be strictly increasing")
+        self.dx = np.diff(self.x_nodes)
+        self.xc = 0.5 * (self.x_nodes[1:] + self.x_nodes[:-1])
+        self.n = self.xc.size
+        self.eos = eos if eos is not None else IdealGasEOS(1.4)
+        if flux not in _FLUXES:
+            raise InputError(f"unknown flux {flux!r}; options: "
+                             f"{sorted(_FLUXES)}")
+        self.flux_name = flux
+        self.order = order
+        self.limiter = limiter
+        self.bc = bc
+        self.U = None
+        self.t = 0.0
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+
+    def set_initial(self, rho, u, p):
+        """Initialise from primitive fields (broadcast to the grid)."""
+        rho = np.broadcast_to(np.asarray(rho, float), (self.n,)).copy()
+        u = np.broadcast_to(np.asarray(u, float), (self.n,)).copy()
+        p = np.broadcast_to(np.asarray(p, float), (self.n,)).copy()
+        e = self._e_from_p_rho(p, rho)
+        self.U = np.stack([rho, rho * u, rho * (e + 0.5 * u * u)], axis=-1)
+        self.t = 0.0
+        self.steps = 0
+        return self
+
+    def _e_from_p_rho(self, p, rho):
+        if hasattr(self.eos, "e_from_p_rho"):
+            return self.eos.e_from_p_rho(p, rho)
+        raise InputError("EOS cannot invert p(rho, e)")
+
+    def _ghost(self, U):
+        """Two ghost cells per side according to the boundary conditions."""
+        left, right = self.bc
+        g = np.empty((U.shape[0] + 4, 3))
+        g[2:-2] = U
+        # left boundary
+        if left == "transmissive":
+            g[0] = U[0]
+            g[1] = U[0]
+        elif left == "reflective":
+            g[0] = U[1] * np.array([1.0, -1.0, 1.0])
+            g[1] = U[0] * np.array([1.0, -1.0, 1.0])
+        else:
+            raise InputError(f"unknown bc {left!r}")
+        if right == "transmissive":
+            g[-1] = U[-1]
+            g[-2] = U[-1]
+        elif right == "reflective":
+            g[-1] = U[-2] * np.array([1.0, -1.0, 1.0])
+            g[-2] = U[-1] * np.array([1.0, -1.0, 1.0])
+        else:
+            raise InputError(f"unknown bc {right!r}")
+        return g
+
+    def _face_flux(self, U):
+        g = self._ghost(U)
+        WL, WR = muscl_interface_states(g, order=self.order,
+                                        limiter=self.limiter)
+        # faces of interest: between cells -1|0 ... n-1|n (n+1 faces) —
+        # the ghost array has n+4 cells and n+3 faces; drop the outermost
+        WL = WL[1:-1]
+        WR = WR[1:-1]
+        if self.flux_name == "hlle":
+            return hlle_flux(WL, WR, self.eos)
+        fn = _FLUXES[self.flux_name]
+        gamma = getattr(self.eos, "gamma", 1.4)
+        return fn(WL, WR, gamma)
+
+    def residual(self, U):
+        """dU/dt = -(F_{i+1/2} - F_{i-1/2}) / dx."""
+        F = self._face_flux(U)
+        return -(F[1:] - F[:-1]) / self.dx[:, None]
+
+    # ------------------------------------------------------------------
+
+    def step(self, dt):
+        self.U = ssp_rk2_step(self.U, dt, self.residual)
+        self.t += dt
+        self.steps += 1
+        check_state(self.U, step=self.steps, label="euler1d")
+
+    def run(self, t_final, *, cfl=0.45, max_steps=100000):
+        """Advance to t_final with CFL-limited steps."""
+        if self.U is None:
+            raise InputError("call set_initial first")
+        while self.t < t_final - 1e-15 and self.steps < max_steps:
+            w = primitives(self.U, self.eos)
+            dt = cfl_timestep_1d(self.dx, w["vel"][0], w["a"], cfl)
+            dt = min(dt, t_final - self.t)
+            self.step(dt)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def primitives(self):
+        """Current (rho, u, p) fields."""
+        w = primitives(self.U, self.eos)
+        return w["rho"], w["vel"][0], w["p"]
+
+    def total_mass(self):
+        return float(np.sum(self.U[:, 0] * self.dx))
+
+    def total_energy(self):
+        return float(np.sum(self.U[:, 2] * self.dx))

@@ -1,0 +1,226 @@
+"""One-dimensional post-shock thermochemical relaxation (Park's approach).
+
+This is the paper's "first approach" to NS codes: a one-dimensional fluid
+model carrying state-of-the-art real-gas physics, used to simulate shock-
+tube experiments (Fig. 7) and, with the radiation module, emission spectra
+(Fig. 8).
+
+Model
+-----
+Steady flow normal to a standing shock.  Immediately behind the shock the
+translational-rotational temperature jumps to its frozen value while the
+composition and the vibrational-electronic pool remain at freestream
+conditions.  Downstream, the inviscid conservation laws hold::
+
+    rho u           = m0
+    p + rho u^2     = P0
+    h + u^2 / 2     = H0
+
+while the species and vibrational-energy fields relax along x::
+
+    d(y_s)/dx = w_s / (rho u)
+    d(e_v)/dx = Q_v / (rho u)
+
+with the Park two-temperature source terms.  At each station the algebraic
+system above is closed for (u, rho, T) given (y, e_v); the resulting DAE
+is integrated with a stiff BDF method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.constants import R_UNIVERSAL
+from repro.errors import ConvergenceError, InputError
+from repro.solvers.shock import frozen_post_shock_state
+from repro.thermo.kinetics import ReactionMechanism, park_air_mechanism
+from repro.thermo.species import SpeciesDB, species_set
+from repro.thermo.two_temperature import TwoTemperatureGas
+
+__all__ = ["ShockRelaxationSolver", "RelaxationProfile"]
+
+
+@dataclass
+class RelaxationProfile:
+    """Post-shock relaxation solution along distance x."""
+
+    x: np.ndarray            #: distance behind the shock [m]
+    T: np.ndarray            #: translational-rotational temperature [K]
+    Tv: np.ndarray           #: vibrational-electronic temperature [K]
+    y: np.ndarray            #: mass fractions (nx, ns)
+    rho: np.ndarray
+    u: np.ndarray
+    p: np.ndarray
+    db: SpeciesDB
+
+    @property
+    def electron_number_density(self):
+        """n_e [1/m^3] (zero when the set carries no electrons)."""
+        from repro.constants import N_AVOGADRO
+        if "e-" not in self.db:
+            return np.zeros_like(self.x)
+        j = self.db.index["e-"]
+        return (self.rho * self.y[:, j] / self.db.molar_mass[j]
+                * N_AVOGADRO)
+
+    def station(self, x_query):
+        """Interpolated state at one or more x positions (dict)."""
+        xq = np.asarray(x_query, dtype=float)
+        out = {"T": np.interp(xq, self.x, self.T),
+               "Tv": np.interp(xq, self.x, self.Tv),
+               "rho": np.interp(xq, self.x, self.rho),
+               "u": np.interp(xq, self.x, self.u),
+               "p": np.interp(xq, self.x, self.p)}
+        out["y"] = np.stack([np.interp(xq, self.x, self.y[:, j])
+                             for j in range(self.y.shape[1])], axis=-1)
+        return out
+
+
+class ShockRelaxationSolver:
+    """Two-temperature post-normal-shock relaxation integrator."""
+
+    def __init__(self, db: SpeciesDB | str = "air11",
+                 mechanism: ReactionMechanism | None = None):
+        self.db = db if isinstance(db, SpeciesDB) else species_set(db)
+        self.mech = mechanism or park_air_mechanism(self.db)
+        self.tt = TwoTemperatureGas(self.db, self.mech)
+
+    # ------------------------------------------------------------------
+
+    def _closure(self, y, ev, m0, P0, H0, u_guess):
+        """Solve the algebraic conservation system for (u, rho, T, p).
+
+        Subsonic (post-shock) branch Newton iteration on u.
+        """
+        thermo = self.tt.thermo
+        R_mix = R_UNIVERSAL * float(np.sum(y / self.db.molar_mass))
+
+        def T_of_u(u):
+            # h = h_tr_rot(T, y) + ev_pool; energy: h = H0 - u^2/2
+            h_tr_target = H0 - 0.5 * u * u - ev
+            # h_tr_rot is linear in T: h = sum y (hf + c T)
+            y_arr = np.asarray(y)
+            hf = float(np.sum(y_arr * self.db.hf0_mass))
+            # per-species tr-rot cp coefficient [J/kg/K]
+            c = float(np.sum(y_arr * self._cp_tr_rot_mass()))
+            return (h_tr_target - hf) / c
+
+        u = float(u_guess)
+        for _ in range(80):
+            T = T_of_u(u)
+            if T <= 0:
+                u *= 0.7
+                continue
+            rho = m0 / u
+            p = rho * R_mix * T
+            F = p + m0 * u - P0
+            # dF/du = d(rho R T)/du + m0; rho=m0/u, dT/du = -u/c
+            c = float(np.sum(np.asarray(y) * self._cp_tr_rot_mass()))
+            dT_du = -u / c
+            dF = (-m0 / u**2) * R_mix * T + (m0 / u) * R_mix * dT_du + m0
+            du = -F / dF
+            u_new = u + np.clip(du, -0.4 * u, 0.4 * u)
+            if abs(u_new - u) < 1e-12 * max(u, 1.0):
+                u = u_new
+                break
+            u = u_new
+        T = T_of_u(u)
+        rho = m0 / u
+        return u, rho, T, rho * R_mix * T
+
+    def _cp_tr_rot_mass(self):
+        """Per-species translational-rotational cp [J/kg/K] (T-independent)."""
+        out = np.empty(self.db.n)
+        for j, st in enumerate(self.tt.thermo.each):
+            out[j] = float(st.cp_tr_rot(300.0)) / self.db.molar_mass[j]
+        return out
+
+    # ------------------------------------------------------------------
+
+    def solve(self, *, u1, p1, T1, y1=None, x_end=0.1, n_out=400,
+              rtol=1e-8, atol=1e-11) -> RelaxationProfile:
+        """Integrate the relaxation zone behind a normal shock.
+
+        Parameters
+        ----------
+        u1, p1, T1:
+            Upstream (shock-frame) speed [m/s], pressure [Pa] and
+            temperature [K].
+        y1:
+            Upstream mass fractions (defaults to 0.767/0.233 air over the
+            solver's species set).
+        x_end:
+            Integration distance behind the shock [m].
+        """
+        db = self.db
+        if y1 is None:
+            y1 = np.zeros(db.n)
+            y1[db.index["N2"]] = 0.767
+            y1[db.index["O2"]] = 0.233
+        y1 = np.asarray(y1, dtype=float)
+        if abs(y1.sum() - 1.0) > 1e-8:
+            raise InputError("upstream mass fractions must sum to 1")
+        R1 = R_UNIVERSAL * float(np.sum(y1 / db.molar_mass))
+        rho1 = p1 / (R1 * T1)
+        # frozen jump with tr-rot caloric gamma (vibration frozen)
+        cp_tr = float(np.sum(y1 * self._cp_tr_rot_mass()))
+        gamma_fr = cp_tr / (cp_tr - R1)
+        post = frozen_post_shock_state(rho1, T1, u1, gamma=gamma_fr, R=R1)
+        # conserved totals from the upstream state
+        m0 = rho1 * u1
+        P0 = p1 + rho1 * u1**2
+        hf = float(np.sum(y1 * db.hf0_mass))
+        ev1 = float(self.tt.e_vib_el(np.array(T1), y1[None, :])[0])
+        h1 = hf + cp_tr * T1 + ev1
+        H0 = h1 + 0.5 * u1**2
+
+        ns = db.n
+        u_state = {"u": post["u2"]}
+
+        def rhs(x, z):
+            y = np.clip(z[:ns], 0.0, 1.0)
+            ev = z[ns]
+            u, rho, T, p = self._closure(y, ev, m0, P0, H0, u_state["u"])
+            u_state["u"] = u
+            Tv = float(self.tt.Tv_from_ev(np.array(ev), y[None, :])[0])
+            w = self.mech.wdot(np.array(rho), np.array(T), y[None, :],
+                               np.array(Tv))[0]
+            qv = float(self.tt.vibrational_energy_source(
+                np.array(rho), np.array(T), np.array(Tv),
+                y[None, :])[0])
+            dz = np.empty(ns + 1)
+            dz[:ns] = w / (rho * u)
+            dz[ns] = qv / (rho * u)
+            return dz
+
+        z0 = np.concatenate([y1, [ev1]])
+        x_eval = np.geomspace(max(x_end * 1e-5, 1e-8), x_end, n_out)
+        x_eval = np.concatenate([[0.0], x_eval])
+        sol = solve_ivp(rhs, (0.0, x_end), z0, method="BDF", rtol=rtol,
+                        atol=atol, t_eval=x_eval, dense_output=False)
+        if not sol.success:
+            raise ConvergenceError(f"relaxation integration failed: "
+                                   f"{sol.message}")
+        # recover algebraic fields along the trajectory
+        nx = sol.t.size
+        T = np.empty(nx)
+        Tv = np.empty(nx)
+        rho = np.empty(nx)
+        u = np.empty(nx)
+        p = np.empty(nx)
+        y_out = np.empty((nx, ns))
+        u_run = post["u2"]
+        for i in range(nx):
+            y = np.clip(sol.y[:ns, i], 0.0, 1.0)
+            ev = sol.y[ns, i]
+            u_i, rho_i, T_i, p_i = self._closure(y, ev, m0, P0, H0, u_run)
+            u_run = u_i
+            T[i], rho[i], u[i], p[i] = T_i, rho_i, u_i, p_i
+            Tv[i] = float(self.tt.Tv_from_ev(np.array(ev),
+                                             y[None, :])[0])
+            y_out[i] = y
+        return RelaxationProfile(x=sol.t, T=T, Tv=Tv, y=y_out, rho=rho,
+                                 u=u, p=p, db=db)

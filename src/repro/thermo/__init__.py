@@ -1,0 +1,36 @@
+"""High-temperature gas thermochemistry.
+
+This subpackage is the real-gas heart of the toolkit (the paper's
+"modeling of high-temperature phenomena"):
+
+* :mod:`repro.thermo.species` — molecular-constant database for air and
+  Titan-atmosphere species.
+* :mod:`repro.thermo.statmech` — rigid-rotor / harmonic-oscillator /
+  electronic-level thermodynamics (cp, h, s, Gibbs) from first principles.
+* :mod:`repro.thermo.nasa7` — NASA 7-coefficient polynomial evaluation and
+  least-squares fitting against the statmech model.
+* :mod:`repro.thermo.mixture` — mass-fraction mixture thermodynamics.
+* :mod:`repro.thermo.equilibrium` — element-potential chemical-equilibrium
+  solver (batched Newton) and derived equilibrium gas properties.
+* :mod:`repro.thermo.eos_table` — tabulated "effective gamma" equilibrium
+  EOS for fast in-solver lookups.
+* :mod:`repro.thermo.kinetics` — finite-rate (Park two-temperature) air
+  reaction mechanism with equilibrium-consistent backward rates.
+* :mod:`repro.thermo.relaxation` — Millikan–White/Park vibrational
+  relaxation times.
+* :mod:`repro.thermo.two_temperature` — two-temperature gas model and
+  energy-exchange source terms.
+"""
+
+from repro.thermo.species import Species, SpeciesDB, SPECIES, species_set
+from repro.thermo.statmech import SpeciesThermo
+from repro.thermo.mixture import MixtureThermo
+
+__all__ = [
+    "Species",
+    "SpeciesDB",
+    "SPECIES",
+    "species_set",
+    "SpeciesThermo",
+    "MixtureThermo",
+]

@@ -1,0 +1,467 @@
+"""Chemical-equilibrium composition solver (element-potential method).
+
+The paper's "equilibrium real gas" model assumes reactions are fast enough
+that the local thermochemical state is a function of two state variables
+only.  This module computes that state for arbitrary mixtures by minimising
+Gibbs free energy subject to element (and charge) conservation — the
+element-potential / STANJAN formulation, solved with a damped Newton
+iteration that is **batched** over many thermodynamic states at once (the
+solvers hand in whole grids of cells).
+
+Formulation
+-----------
+At fixed density and temperature, the equilibrium molar concentration of
+species ``j`` is::
+
+    c_j = (p0 / R T) * exp(-g0_j/(R T) + sum_k a_kj lam_k)
+
+where ``a_kj`` is the element-composition matrix (charge appended as an
+extra row) and ``lam_k`` are the element potentials — the Newton unknowns.
+The constraints are ``sum_j a_kj c_j = rho * b_k`` with ``b_k`` the moles of
+element ``k`` per kilogram of mixture.
+
+Fixed-(T, p) states append ``ln rho`` as one extra unknown with the ideal-
+mixture pressure equation as the extra constraint; fixed-(rho, e) states run
+an outer temperature iteration around the (rho, T) kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import R_UNIVERSAL
+from repro.errors import ConvergenceError, InputError
+from repro.thermo.mixture import MixtureThermo
+from repro.thermo.species import SpeciesDB, species_set
+from repro.thermo.statmech import P_STANDARD, ThermoSet
+
+__all__ = ["element_moles", "EquilibriumSolver", "EquilibriumGas"]
+
+_R = R_UNIVERSAL
+
+#: Exponent clip applied to ln(c RT/p0): keeps every intermediate finite in
+#: float64 even from a terrible starting guess.
+_EXP_CLIP = 500.0
+
+#: Reference homonuclear/reference molecule used to build the "cold" part of
+#: the initial element-potential guess.
+_REF_MOLECULE = {"N": "N2", "O": "O2", "H": "H2", "C": "C2"}
+
+
+def element_moles(db: SpeciesDB, y) -> np.ndarray:
+    """Moles of each conservation constraint per kg of mixture.
+
+    Parameters
+    ----------
+    db:
+        Species set defining the constraint rows (elements, then charge when
+        ions are present).
+    y:
+        Mass fractions, shape (..., n_species).
+
+    Returns
+    -------
+    b:
+        Shape (..., n_constraints).  The charge row is the net charge in
+        mol/kg (zero for any physically sensible input).
+    """
+    y = np.asarray(y, dtype=float)
+    n_moles = y / db.molar_mass  # mol of species per kg
+    return n_moles @ db.comp_matrix.T
+
+
+class EquilibriumSolver:
+    """Batched Gibbs-minimisation solver over a fixed species set."""
+
+    def __init__(self, db: SpeciesDB | str):
+        self.db = db if isinstance(db, SpeciesDB) else species_set(db)
+        self.thermo = ThermoSet(self.db)
+        self.mix = MixtureThermo(self.db)
+        self._A = self.db.comp_matrix          # (K, n)
+        self.K = self._A.shape[0]
+        # index of the atomic / reference-molecule species used for guesses
+        self._atom_idx: dict[int, int] = {}
+        self._mol_idx: dict[int, tuple[int, int]] = {}
+        for k, el in enumerate(self.db.elements):
+            for j, sp in enumerate(self.db.species):
+                if (sp.charge == 0 and sp.formula.get(el) == 1
+                        and sp.n_atoms == 1):
+                    self._atom_idx[k] = j
+            ref = _REF_MOLECULE.get(el)
+            if ref is not None and ref in self.db:
+                j = self.db.index[ref]
+                self._mol_idx[k] = (j, self.db[j].formula[el])
+
+    # ------------------------------------------------------------------
+    # core (rho, T) kernel
+    # ------------------------------------------------------------------
+
+    def _guess_lambda(self, rho, T, b, gt):
+        """Initial element potentials: elementwise min of an "all atoms" and
+        an "all reference molecules" estimate (the equilibrium potential can
+        exceed neither)."""
+        B = rho.shape[0]
+        lam = np.zeros((B, self.K))
+        ln_rtp0 = np.log(_R * T / P_STANDARD)
+        for k in range(self.K - (1 if self.db.has_ions else 0)):
+            bk = np.maximum(b[:, k], 1e-30)
+            cand = np.full(B, np.inf)
+            ja = self._atom_idx.get(k)
+            if ja is not None:
+                cand = gt[:, ja] + np.log(0.5 * rho * bk) + ln_rtp0
+            jm = self._mol_idx.get(k)
+            if jm is not None:
+                j, nu = jm
+                lam_mol = (gt[:, j]
+                           + np.log(0.5 * rho * bk / nu) + ln_rtp0) / nu
+                cand = np.minimum(cand, lam_mol)
+            lam[:, k] = np.where(np.isfinite(cand), cand, 0.0)
+            # absent elements: drive their species to zero
+            lam[:, k] = np.where(b[:, k] > 1e-30, lam[:, k], -200.0)
+        # second pass: any neutral molecule bounds the potentials of all its
+        # elements given the current estimates of the others (this is what
+        # captures CH4/HCN-dominated cold states).
+        n_el = self.K - (1 if self.db.has_ions else 0)
+        for _pass in range(2):
+            for j, sp in enumerate(self.db.species):
+                if sp.charge != 0 or sp.n_atoms < 2:
+                    continue
+                for k in range(n_el):
+                    a_kj = self._A[k, j]
+                    if a_kj == 0:
+                        continue
+                    bk = np.maximum(b[:, k], 1e-30)
+                    others = sum(self._A[m, j] * lam[:, m]
+                                 for m in range(n_el) if m != k)
+                    cand = (gt[:, j] + np.log(0.5 * rho * bk / a_kj)
+                            + ln_rtp0 - others) / a_kj
+                    good = b[:, k] > 1e-30
+                    lam[:, k] = np.where(good,
+                                         np.minimum(lam[:, k], cand),
+                                         lam[:, k])
+        return lam
+
+    def solve_rho_T(self, rho, T, b, *, tol=1.0e-11, max_iter=250,
+                    lam0=None, return_lambda=False):
+        """Equilibrium composition at fixed density and temperature.
+
+        Parameters
+        ----------
+        rho, T:
+            Density [kg/m^3] and temperature [K]; any broadcast-compatible
+            shapes S.
+        b:
+            Constraint moles per kg, shape S + (K,) or (K,) (broadcast).
+        lam0:
+            Optional warm-start element potentials from a previous solve.
+
+        Returns
+        -------
+        y:
+            Mass fractions, shape S + (n_species,).  With
+            ``return_lambda=True``, also the converged potentials.
+        """
+        rho_in = np.asarray(rho, dtype=float)
+        T_in = np.asarray(T, dtype=float)
+        shape = np.broadcast_shapes(rho_in.shape, T_in.shape)
+        rho_f = np.broadcast_to(rho_in, shape).reshape(-1)
+        T_f = np.broadcast_to(T_in, shape).reshape(-1)
+        b_in = np.asarray(b, dtype=float)
+        b_f = np.broadcast_to(b_in, shape + (self.K,)).reshape(-1, self.K)
+        if np.any(rho_f <= 0.0) or np.any(T_f <= 0.0):
+            raise InputError("rho and T must be positive")
+
+        B = rho_f.size
+        A = self._A                               # (K, n)
+        gt = self.thermo.g0_over_RT(T_f)          # (B, n)
+        c_ref = P_STANDARD / (_R * T_f)           # (B,)
+        lam = (self._guess_lambda(rho_f, T_f, b_f, gt) if lam0 is None
+               else np.array(np.broadcast_to(lam0, (B, self.K)), dtype=float))
+        target = rho_f[:, None] * b_f             # (B, K)
+        scale = np.maximum(np.max(np.abs(target), axis=1, keepdims=True),
+                           1e-30)
+
+        def concentrations(lam):
+            expo = -gt + lam @ A                   # (B, n)
+            return c_ref[:, None] * np.exp(np.clip(expo, -_EXP_CLIP,
+                                                   _EXP_CLIP))
+
+        def residual(c):
+            return c @ A.T - target                # (B, K)
+
+        c = concentrations(lam)
+        F = residual(c)
+        fnorm = np.max(np.abs(F) / scale, axis=1)
+        active = fnorm > tol
+        for _ in range(max_iter):
+            if not np.any(active):
+                break
+            # Jacobian J_km = sum_j a_kj a_mj c_j  (symmetric PSD)
+            Jc = c[:, None, :] * A[None, :, :]       # (B, K, n)
+            J = Jc @ A.T                             # (B, K, K)
+            # Tikhonov regularisation keeps rows for absent/frozen elements
+            # from making the system numerically singular.
+            trace = np.einsum("bkk->b", J)
+            mu = 1e-14 * np.maximum(trace, 1e-30)
+            J = J + mu[:, None, None] * np.eye(self.K)
+            try:
+                dlam = np.linalg.solve(J, -F[:, :, None])[:, :, 0]
+            except np.linalg.LinAlgError:
+                dlam = np.stack([np.linalg.lstsq(J[i], -F[i], rcond=None)[0]
+                                 for i in range(B)])
+            # trust region on the potentials
+            mx = np.max(np.abs(dlam), axis=1, keepdims=True)
+            dlam *= np.minimum(1.0, 4.0 / np.maximum(mx, 1e-30))
+            dlam[~active] = 0.0
+            # backtracking line search (vectorised)
+            step = np.ones((B, 1))
+            for _ls in range(8):
+                c_new = concentrations(lam + step * dlam)
+                f_new = np.max(np.abs(residual(c_new)) / scale, axis=1)
+                worse = active & (f_new > fnorm * (1.0 - 1e-4 * step[:, 0]))
+                if not np.any(worse):
+                    break
+                step[worse] *= 0.5
+            lam = lam + step * dlam
+            c = concentrations(lam)
+            F = residual(c)
+            fnorm = np.max(np.abs(F) / scale, axis=1)
+            active = fnorm > tol
+        bad = fnorm > 1e-6
+        if np.any(bad) and lam0 is not None:
+            # a stale warm start can strand individual states; re-solve just
+            # those from the cold-start guess.
+            idx = np.nonzero(bad)[0]
+            y_r, lam_r = self.solve_rho_T(rho_f[idx], T_f[idx], b_f[idx],
+                                          tol=tol, max_iter=max_iter,
+                                          return_lambda=True)
+            c[idx] = y_r * rho_f[idx, None] / self.db.molar_mass
+            lam[idx] = lam_r
+            fnorm[idx] = 0.0
+            bad = fnorm > 1e-6
+        if np.any(bad):
+            raise ConvergenceError(
+                f"equilibrium solve failed for "
+                f"{int(np.count_nonzero(bad))}/{B} state(s)",
+                iterations=max_iter, residual=float(np.max(fnorm)))
+        y = c * self.db.molar_mass / rho_f[:, None]
+        # element conservation guarantees sum(y)=1 up to atomic-mass
+        # consistency of the database; renormalise the leftover ppm.
+        y /= np.sum(y, axis=1, keepdims=True)
+        y = y.reshape(shape + (self.db.n,))
+        if return_lambda:
+            return y, lam.reshape(shape + (self.K,))
+        return y
+
+    # ------------------------------------------------------------------
+    # (T, p) states — outer iteration on density
+    # ------------------------------------------------------------------
+
+    def solve_T_p(self, T, p, b, *, tol=1.0e-10, max_iter=60):
+        """Equilibrium composition and density at fixed (T, p).
+
+        Returns ``(y, rho)``.
+        """
+        T_in = np.asarray(T, dtype=float)
+        p_in = np.asarray(p, dtype=float)
+        shape = np.broadcast_shapes(T_in.shape, p_in.shape)
+        T_f = np.broadcast_to(T_in, shape).astype(float)
+        p_f = np.broadcast_to(p_in, shape).astype(float)
+        b_arr = np.asarray(b, dtype=float)
+        # initial density from a cold-composition molar mass estimate
+        mbar = 0.02  # kg/mol ballpark; corrected by the iteration
+        rho = p_f * mbar / (_R * T_f)
+        lam = None
+        for it in range(max_iter):
+            y, lam = self.solve_rho_T(rho, T_f, b_arr, lam0=lam,
+                                      return_lambda=True)
+            R_mix = self.mix.gas_constant(y)
+            p_calc = rho * R_mix * T_f
+            ratio = p_f / p_calc
+            if np.all(np.abs(ratio - 1.0) < tol):
+                return y, rho
+            # p is (weakly) super-linear in rho at fixed T; a damped
+            # fixed-point on log rho converges in a handful of iterations.
+            rho = rho * ratio
+        raise ConvergenceError("solve_T_p density iteration failed",
+                               iterations=max_iter,
+                               residual=float(np.max(np.abs(ratio - 1.0))))
+
+    # ------------------------------------------------------------------
+    # (rho, e) states — outer iteration on temperature
+    # ------------------------------------------------------------------
+
+    def solve_rho_e(self, rho, e, b, *, T_guess=None, tol=1.0e-9,
+                    max_iter=80):
+        """Equilibrium state at fixed density and specific internal energy.
+
+        Returns ``(y, T)``.  ``e`` includes chemical formation energy on the
+        database 0 K basis.
+        """
+        rho_in = np.asarray(rho, dtype=float)
+        e_in = np.asarray(e, dtype=float)
+        shape = np.broadcast_shapes(rho_in.shape, e_in.shape)
+        rho_f = np.broadcast_to(rho_in, shape).astype(float)
+        e_f = np.broadcast_to(e_in, shape).astype(float)
+        b_arr = np.asarray(b, dtype=float)
+        T = (np.full(shape, 4000.0) if T_guess is None
+             else np.array(np.broadcast_to(T_guess, shape), dtype=float))
+        scale = np.maximum(np.abs(e_f), 1e4)
+        # e_eq(T) at fixed rho is strictly increasing, so a bracketed Newton
+        # on the *equilibrium* slope (frozen cv underestimates it by up to
+        # ~5x through dissociation ridges and would oscillate) is globally
+        # convergent.
+        T_lo = np.full(shape, 50.0)
+        T_hi = np.full(shape, 1.0e5)
+        lam = None
+
+        def e_of(Tx, lam0):
+            y, lam1 = self.solve_rho_T(rho_f, Tx, b_arr, lam0=lam0,
+                                       return_lambda=True)
+            return self.mix.e_mass(Tx, y), y, lam1
+
+        for it in range(max_iter):
+            e_cur, y, lam = e_of(T, lam)
+            f = e_cur - e_f
+            if np.all(np.abs(f) < tol * scale):
+                return y, T
+            np.copyto(T_hi, T, where=f > 0)
+            np.copyto(T_lo, T, where=f <= 0)
+            dTfd = 0.01 * T
+            e_pert, _, _ = e_of(T + dTfd, lam)
+            cv_eq = np.maximum((e_pert - e_cur) / dTfd, 10.0)
+            T_new = T - f / cv_eq
+            outside = (T_new <= T_lo) | (T_new >= T_hi)
+            T = np.where(outside, 0.5 * (T_lo + T_hi), T_new)
+        f = np.abs(self.mix.e_mass(T, y) - e_f)
+        if np.any(f > 1e-5 * scale):
+            raise ConvergenceError(
+                "solve_rho_e temperature iteration failed",
+                iterations=max_iter, residual=float(np.max(f / scale)))
+        return y, T
+
+
+class EquilibriumGas:
+    """Equilibrium real-gas model with fixed elemental composition.
+
+    This is the "equilibrium air" (or Titan gas, ...) object the solvers
+    consume: local thermochemical state fully determined by two variables.
+
+    Parameters
+    ----------
+    db:
+        Species set (name or :class:`SpeciesDB`).
+    y_reference:
+        Reference (e.g. freestream) mass fractions that fix the elemental
+        composition, either a dict of name->Y or an array over the set.
+    """
+
+    def __init__(self, db: SpeciesDB | str, y_reference):
+        self.db = db if isinstance(db, SpeciesDB) else species_set(db)
+        if isinstance(y_reference, dict):
+            y = np.zeros(self.db.n)
+            for name, val in y_reference.items():
+                y[self.db.index[name]] = val
+        else:
+            y = np.asarray(y_reference, dtype=float)
+            if y.shape != (self.db.n,):
+                raise InputError(
+                    f"y_reference must have shape ({self.db.n},)")
+        if abs(float(np.sum(y)) - 1.0) > 1e-6:
+            raise InputError("reference mass fractions must sum to 1")
+        self.y_ref = y / np.sum(y)
+        self.b = element_moles(self.db, self.y_ref)
+        self.solver = EquilibriumSolver(self.db)
+        self.mix = self.solver.mix
+
+    # -- state evaluations ----------------------------------------------------
+
+    def composition_rho_T(self, rho, T):
+        """Equilibrium mass fractions at (rho, T)."""
+        return self.solver.solve_rho_T(rho, T, self.b)
+
+    def composition_T_p(self, T, p):
+        """Equilibrium mass fractions and density at (T, p)."""
+        return self.solver.solve_T_p(T, p, self.b)
+
+    def state_rho_T(self, rho, T):
+        """Full state dict at (rho, T): y, p, e, h, a_frozen, gamma_eff."""
+        y = self.composition_rho_T(rho, T)
+        p = self.mix.pressure(rho, T, y)
+        e = self.mix.e_mass(T, y)
+        h = self.mix.h_mass(T, y)
+        return {"y": y, "p": p, "e": e, "h": h, "T": np.asarray(T, float),
+                "rho": np.asarray(rho, float),
+                "a_frozen": self.mix.sound_speed_frozen(T, y),
+                "gamma_eff": 1.0 + p / (np.asarray(rho, float)
+                                        * np.maximum(e, 1.0))}
+
+    def state_rho_e(self, rho, e, *, T_guess=None):
+        """Full state dict at (rho, e) — the NS-solver entry point."""
+        y, T = self.solver.solve_rho_e(rho, e, self.b, T_guess=T_guess)
+        p = self.mix.pressure(rho, T, y)
+        return {"y": y, "p": p, "T": T, "e": np.asarray(e, float),
+                "rho": np.asarray(rho, float),
+                "h": self.mix.h_mass(T, y),
+                "a_frozen": self.mix.sound_speed_frozen(T, y),
+                "gamma_eff": 1.0 + p / (np.asarray(rho, float)
+                                        * np.maximum(np.asarray(e, float),
+                                                     1.0))}
+
+    def state_T_p(self, T, p):
+        """Full state dict at (T, p)."""
+        y, rho = self.composition_T_p(T, p)
+        e = self.mix.e_mass(T, y)
+        return {"y": y, "p": np.asarray(p, float), "T": np.asarray(T, float),
+                "rho": rho, "e": e, "h": self.mix.h_mass(T, y),
+                "a_frozen": self.mix.sound_speed_frozen(T, y),
+                "gamma_eff": 1.0 + np.asarray(p, float)
+                / (rho * np.maximum(e, 1.0))}
+
+    def sound_speed_equilibrium(self, rho, T, *, rel=1.0e-4):
+        """Equilibrium speed of sound a_e = sqrt((dp/drho)_s) [m/s].
+
+        Evaluated from centered finite differences of the equilibrium
+        surface: a^2 = (dp/drho)_e + (p/rho^2)(dp/de)_rho.
+        """
+        rho = np.asarray(rho, dtype=float)
+        T = np.asarray(T, dtype=float)
+        st = self.state_rho_T(rho, T)
+        e0, p0 = st["e"], st["p"]
+        drho = rho * rel
+        de = np.maximum(np.abs(e0), 1e4) * rel
+        # dp/drho at constant e and dp/de at constant rho via rho_e states
+        sp1 = self.state_rho_e(rho + drho, e0, T_guess=T)
+        sm1 = self.state_rho_e(rho - drho, e0, T_guess=T)
+        dpdr = (sp1["p"] - sm1["p"]) / (2.0 * drho)
+        se1 = self.state_rho_e(rho, e0 + de, T_guess=T)
+        se0 = self.state_rho_e(rho, e0 - de, T_guess=T)
+        dpde = (se1["p"] - se0["p"]) / (2.0 * de)
+        a2 = dpdr + p0 / rho**2 * dpde
+        return np.sqrt(np.maximum(a2, 1.0))
+
+
+def air_reference_mass_fractions(db: SpeciesDB, *, with_argon=None):
+    """Standard-air reference mass fractions over ``db``.
+
+    Uses Y(N2)=0.767, Y(O2)=0.233 (the usual CAT convention) or, when the
+    set contains Ar, Y = (0.7553, 0.2314, 0.0129) for (N2, O2, Ar).
+    """
+    y = np.zeros(db.n)
+    has_ar = "Ar" in db if with_argon is None else with_argon
+    if has_ar and "Ar" in db:
+        y[db.index["N2"]] = 0.7553
+        y[db.index["O2"]] = 0.2314
+        y[db.index["Ar"]] = 0.0129
+    else:
+        y[db.index["N2"]] = 0.767
+        y[db.index["O2"]] = 0.233
+    return y
+
+
+def titan_reference_mass_fractions(db: SpeciesDB, ch4_mole_fraction=0.05):
+    """Titan-atmosphere reference composition (N2 with a few % CH4)."""
+    x = np.zeros(db.n)
+    x[db.index["N2"]] = 1.0 - ch4_mole_fraction
+    x[db.index["CH4"]] = ch4_mole_fraction
+    return db.mole_to_mass(x)

@@ -1,0 +1,129 @@
+"""NASA 7-coefficient thermodynamic polynomials.
+
+Production CAT codes of the paper's era consumed curve-fit thermodynamics
+(Gordon–McBride style).  This module provides
+
+* :class:`Nasa7Poly` — a two-range evaluator with the standard functional
+  form::
+
+      cp/R   = a1 + a2 T + a3 T^2 + a4 T^3 + a5 T^4
+      h/(RT) = a1 + a2 T/2 + a3 T^2/3 + a4 T^3/4 + a5 T^4/5 + a6/T
+      s/R    = a1 ln T + a2 T + a3 T^2/2 + a4 T^3/3 + a5 T^4/4 + a7
+
+* :func:`fit_nasa7` — least-squares fitting of a polynomial to any property
+  source (we fit against the statmech model, which both exercises the
+  fitting path and provides a fast drop-in approximation).
+
+The toolkit's solvers use the statmech model directly; the polynomial layer
+exists for interoperability, speed-sensitive table generation, and as an
+accuracy cross-check (see the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import R_UNIVERSAL as R
+from repro.errors import InputError, TableRangeError
+from repro.thermo.statmech import SpeciesThermo
+
+__all__ = ["Nasa7Poly", "fit_nasa7"]
+
+
+@dataclass(frozen=True)
+class Nasa7Poly:
+    """Two-range NASA-7 polynomial for one species (molar units)."""
+
+    name: str
+    T_low: float
+    T_mid: float
+    T_high: float
+    #: Coefficients (a1..a7) for the low range [T_low, T_mid].
+    coeffs_low: tuple[float, ...]
+    #: Coefficients (a1..a7) for the high range [T_mid, T_high].
+    coeffs_high: tuple[float, ...]
+
+    def __post_init__(self):
+        if not (self.T_low < self.T_mid < self.T_high):
+            raise InputError("require T_low < T_mid < T_high")
+        if len(self.coeffs_low) != 7 or len(self.coeffs_high) != 7:
+            raise InputError("NASA-7 polynomials need exactly 7 coefficients")
+
+    def _select(self, T):
+        T = np.asarray(T, dtype=float)
+        if np.any(T < self.T_low - 1e-9) or np.any(T > self.T_high + 1e-9):
+            raise TableRangeError(
+                f"temperature outside fit range for {self.name}",
+                lo=self.T_low, hi=self.T_high)
+        a_lo = np.asarray(self.coeffs_low)
+        a_hi = np.asarray(self.coeffs_high)
+        use_hi = (T >= self.T_mid)[..., None]
+        return T, np.where(use_hi, a_hi, a_lo)
+
+    def cp(self, T):
+        """Molar cp [J/(mol K)]."""
+        T, a = self._select(T)
+        return R * (a[..., 0] + a[..., 1] * T + a[..., 2] * T**2
+                    + a[..., 3] * T**3 + a[..., 4] * T**4)
+
+    def h(self, T):
+        """Molar enthalpy [J/mol]."""
+        T, a = self._select(T)
+        return R * T * (a[..., 0] + a[..., 1] * T / 2 + a[..., 2] * T**2 / 3
+                        + a[..., 3] * T**3 / 4 + a[..., 4] * T**4 / 5
+                        + a[..., 5] / T)
+
+    def s(self, T):
+        """Standard-state molar entropy [J/(mol K)]."""
+        T, a = self._select(T)
+        return R * (a[..., 0] * np.log(T) + a[..., 1] * T
+                    + a[..., 2] * T**2 / 2 + a[..., 3] * T**3 / 3
+                    + a[..., 4] * T**4 / 4 + a[..., 6])
+
+    def g0(self, T):
+        """Standard-state molar Gibbs function [J/mol]."""
+        T = np.asarray(T, dtype=float)
+        return self.h(T) - T * self.s(T)
+
+
+def _fit_range(cp_fn, h_ref, s_ref, T_ref, T_a, T_b, n_samples):
+    """Fit a1..a5 to cp on [T_a, T_b]; pin a6, a7 from h, s at T_ref.
+
+    The basis is evaluated in the scaled variable z = T/T_b (raw powers of
+    T up to T^4 at 2e4 K make the normal equations hopelessly conditioned);
+    the coefficients are rescaled back to the standard NASA convention.
+    """
+    T = np.linspace(T_a, T_b, n_samples)
+    z = T / T_b
+    A = np.stack([np.ones_like(z), z, z**2, z**3, z**4], axis=1)
+    # weight by 1/cp so the relative error is what's minimised
+    cp = cp_fn(T) / R
+    w = 1.0 / np.maximum(cp, 1e-3)
+    coef, *_ = np.linalg.lstsq(A * w[:, None], cp * w, rcond=None)
+    a1, a2, a3, a4, a5 = coef / T_b ** np.arange(5)
+    # integrate cp to enthalpy/entropy, pinning the reference values
+    a6 = (h_ref / R - (a1 * T_ref + a2 * T_ref**2 / 2 + a3 * T_ref**3 / 3
+                       + a4 * T_ref**4 / 4 + a5 * T_ref**5 / 5))
+    a7 = (s_ref / R - (a1 * np.log(T_ref) + a2 * T_ref + a3 * T_ref**2 / 2
+                       + a4 * T_ref**3 / 3 + a5 * T_ref**4 / 4))
+    return (float(a1), float(a2), float(a3), float(a4), float(a5),
+            float(a6), float(a7))
+
+
+def fit_nasa7(source: SpeciesThermo, *, T_low=200.0, T_mid=1000.0,
+              T_high=6000.0, n_samples=200) -> Nasa7Poly:
+    """Fit a two-range NASA-7 polynomial to a statmech property source.
+
+    The low and high ranges are fit independently on cp; the integration
+    constants are pinned so that h and s are *exact* at ``T_mid``, which
+    makes the polynomial continuous in h and s across the break (cp may
+    have a small jump — the standard behaviour of published NASA fits).
+    """
+    h_mid = float(source.h(T_mid))
+    s_mid = float(source.s(T_mid))
+    lo = _fit_range(source.cp, h_mid, s_mid, T_mid, T_low, T_mid, n_samples)
+    hi = _fit_range(source.cp, h_mid, s_mid, T_mid, T_mid, T_high, n_samples)
+    return Nasa7Poly(name=source.sp.name, T_low=T_low, T_mid=T_mid,
+                     T_high=T_high, coeffs_low=lo, coeffs_high=hi)

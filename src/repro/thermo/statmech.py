@@ -1,0 +1,285 @@
+"""Statistical-mechanics thermodynamics for single species.
+
+Everything is derived from the molecular constants in
+:mod:`repro.thermo.species` with the rigid-rotor / harmonic-oscillator /
+electronic-level (RRHO+E) model:
+
+* translation — classical (Sackur–Tetrode entropy),
+* rotation — classical limit (valid above a few θ_rot; only H2 at cryogenic
+  temperatures falls outside the intended envelope),
+* vibration — quantum harmonic oscillator per mode, energy measured from the
+  zero-point level (the zero-point offset is folded into the 0 K formation
+  enthalpy),
+* electronic — explicit low-lying level sums.
+
+Energies are referenced so that ``h(T=0) == hf0`` for every species, which
+makes reaction enthalpies, equilibrium constants and kinetics backward rates
+mutually consistent by construction.
+
+All public methods are vectorised over temperature (scalar in → scalar-like
+0-d array out; array in → array out) and return **molar** quantities
+(J/mol/K, J/mol).  Per-mass helpers divide by the molar mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import H_PLANCK, K_BOLTZMANN, N_AVOGADRO, R_UNIVERSAL
+from repro.thermo.species import Species, SpeciesDB
+
+__all__ = ["P_STANDARD", "SpeciesThermo", "ThermoSet"]
+
+#: Standard-state pressure for Gibbs functions and Kp [Pa].
+P_STANDARD = 1.0e5
+
+_R = R_UNIVERSAL
+
+
+def _as_T(T):
+    """Coerce temperature input to a positive float array."""
+    t = np.asarray(T, dtype=float)
+    return np.maximum(t, 1.0e-3)
+
+
+class SpeciesThermo:
+    """Thermodynamic property evaluator for one species."""
+
+    def __init__(self, species: Species):
+        self.sp = species
+        self.M = species.molar_mass
+        m_kg = self.M / N_AVOGADRO
+        # ln of the translational partition-function prefactor:
+        # q_tr/V = (2 pi m k T / h^2)^{3/2};  store ln[(2 pi m k / h^2)^{3/2}]
+        self._ln_qtr_pref = 1.5 * np.log(
+            2.0 * np.pi * m_kg * K_BOLTZMANN / H_PLANCK**2)
+        lv = species.elec_levels or ((1, 0.0),)
+        self._g_el = np.array([g for g, _ in lv], dtype=float)
+        self._th_el = np.array([t for _, t in lv], dtype=float)
+        self._vib = tuple(species.vib_modes)
+        geom = species.geometry
+        if geom == "atom":
+            self._rot_dof = 0.0
+            self._ln_qrot_pref = None
+        elif geom == "linear":
+            self._rot_dof = 2.0
+            th = species.theta_rot[0]
+            self._ln_qrot_pref = -np.log(species.sigma_sym * th)
+        else:
+            self._rot_dof = 3.0
+            ta, tb, tc = species.theta_rot
+            self._ln_qrot_pref = (0.5 * np.log(np.pi / (ta * tb * tc))
+                                  - np.log(species.sigma_sym))
+
+    # -- per-mode pieces -----------------------------------------------------
+
+    def _vib_e(self, T):
+        """Vibrational energy above the zero point [J/mol]."""
+        T = _as_T(T)
+        e = np.zeros_like(T)
+        for th, g in self._vib:
+            x = th / T
+            e += g * _R * th / np.expm1(np.clip(x, 1e-12, 500.0))
+        return e
+
+    def _vib_cv(self, T):
+        T = _as_T(T)
+        cv = np.zeros_like(T)
+        for th, g in self._vib:
+            x = np.clip(th / T, 1e-12, 250.0)
+            ex = np.exp(x)
+            cv += g * _R * x * x * ex / (ex - 1.0) ** 2
+        return cv
+
+    def _vib_lnq(self, T):
+        T = _as_T(T)
+        lnq = np.zeros_like(T)
+        for th, g in self._vib:
+            x = np.clip(th / T, 1e-12, 500.0)
+            lnq += -g * np.log(-np.expm1(-x))
+        return lnq
+
+    def _elec_moments(self, T):
+        """Return (q_el, <θ>, <θ²>) Boltzmann-weighted over levels."""
+        T = _as_T(T)
+        # shape: levels x T...
+        x = self._th_el.reshape((-1,) + (1,) * T.ndim) / T
+        w = self._g_el.reshape((-1,) + (1,) * T.ndim) * np.exp(
+            -np.clip(x, 0.0, 500.0))
+        q = np.sum(w, axis=0)
+        th = self._th_el.reshape((-1,) + (1,) * T.ndim)
+        m1 = np.sum(w * th, axis=0) / q
+        m2 = np.sum(w * th * th, axis=0) / q
+        return q, m1, m2
+
+    # -- public API ------------------------------------------------------------
+
+    def cp(self, T):
+        """Molar heat capacity at constant pressure [J/(mol K)]."""
+        T = _as_T(T)
+        q, m1, m2 = self._elec_moments(T)
+        cv_el = _R * (m2 - m1 * m1) / T**2
+        return (2.5 * _R + 0.5 * self._rot_dof * _R + self._vib_cv(T)
+                + cv_el)
+
+    def cv(self, T):
+        """Molar heat capacity at constant volume [J/(mol K)]."""
+        return self.cp(T) - _R
+
+    def h(self, T):
+        """Molar enthalpy, including formation enthalpy [J/mol].
+
+        Referenced so h(0 K) = hf0.
+        """
+        T = _as_T(T)
+        q, m1, _ = self._elec_moments(T)
+        e_el = _R * m1
+        return (self.sp.hf0 + 2.5 * _R * T + 0.5 * self._rot_dof * _R * T
+                + self._vib_e(T) + e_el)
+
+    def e(self, T):
+        """Molar internal energy [J/mol]."""
+        return self.h(T) - _R * _as_T(T)
+
+    def s(self, T, p=P_STANDARD):
+        """Molar entropy at temperature T and pressure p [J/(mol K)]."""
+        T = _as_T(T)
+        p = np.asarray(p, dtype=float)
+        ln_qtr = (self._ln_qtr_pref + 1.5 * np.log(T)
+                  + np.log(K_BOLTZMANN * T / p))
+        s_tr = _R * (ln_qtr + 2.5)
+        if self._rot_dof == 0.0:
+            s_rot = np.zeros_like(T)
+        elif self._rot_dof == 2.0:
+            s_rot = _R * (self._ln_qrot_pref + np.log(T) + 1.0)
+        else:
+            s_rot = _R * (self._ln_qrot_pref + 1.5 * np.log(T) + 1.5)
+        s_vib = _R * self._vib_lnq(T) + self._vib_e(T) / T
+        q, m1, _ = self._elec_moments(T)
+        s_el = _R * np.log(q) + _R * m1 / T
+        return s_tr + s_rot + s_vib + s_el
+
+    def g0(self, T):
+        """Standard-state molar Gibbs function g0 = h - T s(T, p0) [J/mol]."""
+        T = _as_T(T)
+        return self.h(T) - T * self.s(T, P_STANDARD)
+
+    def gibbs(self, T, p):
+        """Molar Gibbs function of the pure gas at (T, p) [J/mol]."""
+        T = _as_T(T)
+        return self.h(T) - T * self.s(T, p)
+
+    # -- two-temperature split ---------------------------------------------
+
+    def h_tr_rot(self, T):
+        """Translational+rotational enthalpy (incl. formation) [J/mol].
+
+        This is the heavy-particle-temperature part of the two-temperature
+        split; vibration and electronic excitation live at Tv.
+        """
+        T = _as_T(T)
+        return self.sp.hf0 + (2.5 + 0.5 * self._rot_dof) * _R * T
+
+    def cp_tr_rot(self, T):
+        T = _as_T(T)
+        return np.full_like(T, (2.5 + 0.5 * self._rot_dof) * _R)
+
+    def e_vib_el(self, Tv):
+        """Vibrational-electronic molar energy at vibrational temp Tv."""
+        Tv = _as_T(Tv)
+        q, m1, _ = self._elec_moments(Tv)
+        return self._vib_e(Tv) + _R * m1
+
+    def cv_vib_el(self, Tv):
+        """d e_vib_el / dTv [J/(mol K)]."""
+        Tv = _as_T(Tv)
+        q, m1, m2 = self._elec_moments(Tv)
+        return self._vib_cv(Tv) + _R * (m2 - m1 * m1) / Tv**2
+
+    # -- per-mass conveniences -----------------------------------------------
+
+    def cp_mass(self, T):
+        """Specific heat at constant pressure [J/(kg K)]."""
+        return self.cp(T) / self.M
+
+    def h_mass(self, T):
+        """Specific enthalpy [J/kg]."""
+        return self.h(T) / self.M
+
+    def e_mass(self, T):
+        """Specific internal energy [J/kg]."""
+        return self.e(T) / self.M
+
+    def e_vib_el_mass(self, Tv):
+        """Specific vibrational-electronic energy [J/kg]."""
+        return self.e_vib_el(Tv) / self.M
+
+    def cv_vib_el_mass(self, Tv):
+        return self.cv_vib_el(Tv) / self.M
+
+
+class ThermoSet:
+    """Batch evaluator over a whole :class:`~repro.thermo.species.SpeciesDB`.
+
+    Methods return arrays with a trailing species axis: input T of shape
+    ``S`` produces output of shape ``S + (n_species,)``.  This is the layout
+    the equilibrium solver and kinetics use (cells × species, C-contiguous in
+    species — the short, vectorised axis).
+    """
+
+    def __init__(self, db: SpeciesDB):
+        self.db = db
+        self.each = tuple(SpeciesThermo(sp) for sp in db.species)
+
+    def _stack(self, fn_name: str, T):
+        T = np.asarray(T, dtype=float)
+        out = np.empty(T.shape + (self.db.n,), dtype=float)
+        for j, st in enumerate(self.each):
+            out[..., j] = getattr(st, fn_name)(T)
+        return out
+
+    def cp(self, T):
+        """Molar cp per species, shape (..., n)."""
+        return self._stack("cp", T)
+
+    def h(self, T):
+        """Molar enthalpy per species (incl. formation), shape (..., n)."""
+        return self._stack("h", T)
+
+    def e(self, T):
+        return self._stack("e", T)
+
+    def s0(self, T):
+        """Standard-state entropy per species, shape (..., n)."""
+        return self._stack("s", T)
+
+    def g0(self, T):
+        """Standard-state Gibbs per species, shape (..., n)."""
+        return self._stack("g0", T)
+
+    def g0_over_RT(self, T):
+        """Dimensionless standard Gibbs g0/(R T), shape (..., n)."""
+        T = np.asarray(T, dtype=float)
+        return self.g0(T) / (_R * T[..., None])
+
+    def h_mass(self, T):
+        """Specific enthalpy per species [J/kg], shape (..., n)."""
+        return self.h(T) / self.db.molar_mass
+
+    def e_mass(self, T):
+        return self.e(T) / self.db.molar_mass
+
+    def cp_mass(self, T):
+        return self.cp(T) / self.db.molar_mass
+
+    def cv_mass(self, T):
+        return (self.cp(T) - _R) / self.db.molar_mass
+
+    def e_vib_el_mass(self, Tv):
+        return self._stack("e_vib_el", Tv) / self.db.molar_mass
+
+    def cv_vib_el_mass(self, Tv):
+        return self._stack("cv_vib_el", Tv) / self.db.molar_mass
+
+    def h_tr_rot_mass(self, T):
+        return self._stack("h_tr_rot", T) / self.db.molar_mass

@@ -1,0 +1,182 @@
+"""Two-temperature (T, Tv) thermochemical-nonequilibrium gas model.
+
+Implements the Park-style split the paper describes ("additional energy
+equations to describe the energy exchange between the various energy
+modes"): heavy-particle translation and rotation live at ``T``; vibration,
+electronic excitation and free electrons live at ``Tv``.
+
+The model supplies
+
+* the vibrational-electronic energy pool ``e_v(Tv, y)`` and its inversion,
+* the total energy ``e(T, Tv, y)`` and the (T, Tv) recovery from
+  conservative variables,
+* the Landau–Teller translational-vibrational energy-exchange source term,
+* the chemistry-vibration coupling source (molecules created/destroyed
+  carry the vibrational energy of the pool).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.thermo.kinetics import ReactionMechanism
+from repro.thermo.relaxation import VibrationalRelaxation
+from repro.thermo.species import SpeciesDB, species_set
+from repro.thermo.statmech import ThermoSet
+
+__all__ = ["TwoTemperatureGas"]
+
+
+class TwoTemperatureGas:
+    """Two-temperature gas: energies, inversions and exchange sources."""
+
+    def __init__(self, db: SpeciesDB | str,
+                 mechanism: ReactionMechanism | None = None):
+        self.db = db if isinstance(db, SpeciesDB) else species_set(db)
+        self.thermo = ThermoSet(self.db)
+        self.relax = VibrationalRelaxation(self.db)
+        self.mechanism = mechanism
+
+    # ------------------------------------------------------------------
+    # energies
+    # ------------------------------------------------------------------
+
+    def e_vib_el(self, Tv, y):
+        """Mixture vibrational-electronic energy [J/kg]."""
+        y = np.asarray(y, dtype=float)
+        return np.sum(y * self.thermo.e_vib_el_mass(Tv), axis=-1)
+
+    def cv_vib_el(self, Tv, y):
+        """d e_v / d Tv [J/(kg K)]."""
+        y = np.asarray(y, dtype=float)
+        return np.sum(y * self.thermo.cv_vib_el_mass(Tv), axis=-1)
+
+    def e_tr_rot(self, T, y):
+        """Translational-rotational + formation energy [J/kg].
+
+        (h_tr_rot includes formation enthalpy; subtract RT to get energy.)
+        """
+        y = np.asarray(y, dtype=float)
+        from repro.constants import R_UNIVERSAL
+        h_tr = np.sum(y * self.thermo.h_tr_rot_mass(T), axis=-1)
+        R_mix = R_UNIVERSAL * np.sum(y / self.db.molar_mass, axis=-1)
+        return h_tr - R_mix * np.asarray(T, dtype=float)
+
+    def cv_tr_rot(self, T, y):
+        """Translational-rotational specific heat at constant volume."""
+        y = np.asarray(y, dtype=float)
+        from repro.constants import R_UNIVERSAL
+        cp_tr = np.sum(y * self.thermo._stack("cp_tr_rot", np.asarray(
+            T, dtype=float)) / self.db.molar_mass, axis=-1)
+        R_mix = R_UNIVERSAL * np.sum(y / self.db.molar_mass, axis=-1)
+        return cp_tr - R_mix
+
+    def e_total(self, T, Tv, y):
+        """Total internal energy e = e_tr_rot(T) + e_v(Tv) [J/kg]."""
+        return self.e_tr_rot(T, y) + self.e_vib_el(Tv, y)
+
+    # ------------------------------------------------------------------
+    # inversions
+    # ------------------------------------------------------------------
+
+    def Tv_from_ev(self, ev, y, *, Tv_guess=None, tol=1e-9, max_iter=80):
+        """Invert the vibrational-electronic pool for Tv (batched Newton)."""
+        ev = np.asarray(ev, dtype=float)
+        y = np.asarray(y, dtype=float)
+        Tv = (np.full(ev.shape, 2000.0) if Tv_guess is None
+              else np.array(np.broadcast_to(Tv_guess, ev.shape),
+                            dtype=float))
+        scale = np.maximum(np.abs(ev), 1e2)
+        for _ in range(max_iter):
+            f = self.e_vib_el(Tv, y) - ev
+            if np.all(np.abs(f) <= tol * scale):
+                return Tv
+            cv = np.maximum(self.cv_vib_el(Tv, y), 1e-3)
+            dTv = np.clip(-f / cv, -0.5 * Tv, 2.0 * Tv)
+            Tv = np.clip(Tv + dTv, 10.0, 1.0e5)
+        f = np.abs(self.e_vib_el(Tv, y) - ev)
+        if np.any(f > 1e-4 * scale):
+            raise ConvergenceError("Tv_from_ev failed", iterations=max_iter,
+                                   residual=float(np.max(f / scale)))
+        return Tv
+
+    def T_from_e_ev(self, e, ev, y, *, T_guess=None, tol=1e-9, max_iter=80):
+        """Recover (T, Tv) from total and vibrational energies.
+
+        ``e`` is total internal energy (incl. formation); ``ev`` the
+        vibrational-electronic pool.  Returns ``(T, Tv)``.
+        """
+        Tv = self.Tv_from_ev(ev, y)
+        e_tr = np.asarray(e, dtype=float) - np.asarray(ev, dtype=float)
+        y = np.asarray(y, dtype=float)
+        T = (np.full(e_tr.shape, 1000.0) if T_guess is None
+             else np.array(np.broadcast_to(T_guess, e_tr.shape),
+                           dtype=float))
+        scale = np.maximum(np.abs(e_tr), 1e3)
+        for _ in range(max_iter):
+            f = self.e_tr_rot(T, y) - e_tr
+            if np.all(np.abs(f) <= tol * scale):
+                return T, Tv
+            cv = np.maximum(self.cv_tr_rot(T, y), 10.0)
+            dT = np.clip(-f / cv, -0.5 * T, 2.0 * T)
+            T = np.clip(T + dT, 10.0, 1.0e5)
+        raise ConvergenceError("T_from_e_ev failed", iterations=max_iter)
+
+    # ------------------------------------------------------------------
+    # exchange source terms
+    # ------------------------------------------------------------------
+
+    def landau_teller_source(self, rho, T, Tv, y, *, park=True):
+        """Translational->vibrational-electronic energy transfer [W/m^3].
+
+        Q_TV = sum_s rho y_s (e_v_s(T) - e_v_s(Tv)) / tau_s — positive when
+        translation is hotter than the pool.  Vibrating molecules use the
+        Millikan–White(+Park) time; atomic/ionic species with low-lying
+        electronic levels use the Park collision-limited time as an
+        effective electronic-translational channel (without it the pool
+        could never equilibrate in fully dissociated gas).
+        """
+        rho = np.asarray(rho, dtype=float)
+        y = np.asarray(y, dtype=float)
+        ev_T = self.thermo.e_vib_el_mass(T)
+        ev_Tv = self.thermo.e_vib_el_mass(Tv)
+        idx = self.relax.vib_idx
+        tau = self.relax.times(rho, T, y, park=park)
+        q = np.sum(rho[..., None] * y[..., idx]
+                   * (ev_T[..., idx] - ev_Tv[..., idx]) / tau, axis=-1)
+        # electronic relaxation of non-vibrating species
+        from repro.constants import K_BOLTZMANN, N_AVOGADRO
+        from repro.thermo.relaxation import park_correction_time
+        el_idx = np.array([j for j, sp in enumerate(self.db.species)
+                           if not sp.vib_modes
+                           and len(sp.elec_levels) > 1], dtype=int)
+        if el_idx.size:
+            n_total = (rho * np.sum(y / self.db.molar_mass, axis=-1)
+                       * N_AVOGADRO)
+            tau_el = park_correction_time(
+                np.asarray(T, float)[..., None], n_total[..., None],
+                self.db.molar_mass[el_idx])
+            q = q + np.sum(rho[..., None] * y[..., el_idx]
+                           * (ev_T[..., el_idx] - ev_Tv[..., el_idx])
+                           / tau_el, axis=-1)
+        return q
+
+    def chemistry_vibration_source(self, rho, T, Tv, y):
+        """Vibrational energy carried by created/destroyed species [W/m^3].
+
+        Non-preferential model: each species produced (destroyed) adds
+        (removes) its pool energy evaluated at Tv.
+        """
+        if self.mechanism is None:
+            raise ConvergenceError("no mechanism attached")
+        wdot = self.mechanism.wdot(rho, T, y, Tv)
+        ev_s = self.thermo.e_vib_el_mass(Tv)
+        return np.sum(wdot * ev_s, axis=-1)
+
+    def vibrational_energy_source(self, rho, T, Tv, y, *, park=True):
+        """Total d(rho e_v)/dt source: Landau-Teller + chemistry coupling."""
+        q = self.landau_teller_source(rho, T, Tv, y, park=park)
+        if self.mechanism is not None:
+            q = q + self.chemistry_vibration_source(rho, T, Tv, y)
+        return q

@@ -1,0 +1,8 @@
+"""Atmospheric-entry trajectory integration (3-DOF planar)."""
+
+from repro.trajectory.entry import (EntryVehicle, Trajectory,
+                                    integrate_entry, AOTV, SHUTTLE,
+                                    TAV, TITAN_PROBE)
+
+__all__ = ["EntryVehicle", "Trajectory", "integrate_entry", "AOTV",
+           "SHUTTLE", "TAV", "TITAN_PROBE"]

@@ -1,0 +1,180 @@
+"""Three-degree-of-freedom planar entry dynamics.
+
+Standard planar entry equations over a spherical non-rotating planet::
+
+    dV/dt     = -D/m - g sin(gamma)
+    dgamma/dt = [ L/m - (g - V^2/r) cos(gamma) ] / V
+    dh/dt     = V sin(gamma)
+    ds/dt     = V cos(gamma) * R_p / r
+
+with gamma the flight-path angle (negative below horizontal), D and L the
+drag and lift from the vehicle's ballistic characteristics, integrated with
+a stiff-safe adaptive RK (scipy).  Termination events: surface impact,
+atmospheric exit (skip-out), or velocity floor.
+
+The canned vehicles (SHUTTLE, AOTV, TAV, TITAN_PROBE) carry representative
+mass/area/aero numbers for the Fig. 1 flight-domain map; they are stated to
+one significant figure on purpose — the figure's axes span seven decades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.atmosphere.base import Atmosphere
+from repro.errors import InputError
+
+__all__ = ["EntryVehicle", "Trajectory", "integrate_entry",
+           "SHUTTLE", "AOTV", "TAV", "TITAN_PROBE"]
+
+
+@dataclass(frozen=True)
+class EntryVehicle:
+    """Ballistic/aerodynamic description of an entry vehicle."""
+
+    name: str
+    mass: float                 #: [kg]
+    area: float                 #: aerodynamic reference area [m^2]
+    cd: float                   #: drag coefficient
+    cl: float = 0.0             #: lift coefficient (planar, lift-up > 0)
+    nose_radius: float = 1.0    #: [m], for heating correlations
+    length: float = 10.0        #: reference length [m], for Reynolds number
+
+    @property
+    def ballistic_coefficient(self) -> float:
+        """m / (Cd A) [kg/m^2]."""
+        return self.mass / (self.cd * self.area)
+
+    def with_bank(self, lift_fraction: float) -> "EntryVehicle":
+        """Return a copy with the lift scaled (crude bank-angle modulation)."""
+        return replace(self, cl=self.cl * lift_fraction)
+
+
+#: Shuttle-Orbiter-like: ~100 t, large planform, high angle of attack.
+SHUTTLE = EntryVehicle("shuttle", mass=99000.0, area=250.0, cd=0.84,
+                       cl=0.84, nose_radius=1.3, length=32.8)
+
+#: Aeroassisted orbital transfer vehicle: light, blunt, lift-down pass.
+AOTV = EntryVehicle("aotv", mass=4500.0, area=38.0, cd=1.4, cl=0.4,
+                    nose_radius=2.3, length=7.0)
+
+#: Transatmospheric vehicle: slender, efficient, sustained hypersonic glide.
+TAV = EntryVehicle("tav", mass=30000.0, area=120.0, cd=0.12, cl=0.35,
+                   nose_radius=0.5, length=25.0)
+
+#: Titan entry probe (Ref. 15): 60-deg sphere-cone ballistic capsule.
+TITAN_PROBE = EntryVehicle("titan-probe", mass=190.0, area=1.65, cd=1.5,
+                           cl=0.0, nose_radius=0.64, length=1.45)
+
+
+@dataclass
+class Trajectory:
+    """Integrated entry history with derived aerothermal quantities."""
+
+    t: np.ndarray           #: time [s]
+    h: np.ndarray           #: altitude [m]
+    V: np.ndarray           #: velocity [m/s]
+    gamma: np.ndarray       #: flight-path angle [rad]
+    s: np.ndarray           #: downrange [m]
+    vehicle: EntryVehicle
+    atmosphere: Atmosphere
+
+    @property
+    def rho(self):
+        return self.atmosphere.density(self.h)
+
+    @property
+    def mach(self):
+        return self.atmosphere.mach_number(self.V, self.h)
+
+    @property
+    def reynolds(self):
+        """Reynolds number based on vehicle reference length."""
+        return (self.atmosphere.reynolds_per_meter(self.V, self.h)
+                * self.vehicle.length)
+
+    @property
+    def dynamic_pressure(self):
+        return 0.5 * self.rho * self.V**2
+
+    def index_of_peak(self, quantity) -> int:
+        """Index of the maximum of an arbitrary derived array."""
+        return int(np.argmax(np.asarray(quantity)))
+
+    def resample(self, n: int) -> "Trajectory":
+        """Uniform-in-time resampling (for plotting/benchmarks)."""
+        tt = np.linspace(self.t[0], self.t[-1], n)
+        interp = lambda f: np.interp(tt, self.t, f)  # noqa: E731
+        return Trajectory(tt, interp(self.h), interp(self.V),
+                          interp(self.gamma), interp(self.s),
+                          self.vehicle, self.atmosphere)
+
+
+def integrate_entry(vehicle: EntryVehicle, atmosphere: Atmosphere, *,
+                    h0: float, V0: float, gamma0_deg: float,
+                    t_max: float = 4000.0, h_stop: float = 0.0,
+                    V_stop: float = 200.0, rtol: float = 1e-8,
+                    max_step: float | None = None) -> Trajectory:
+    """Integrate a planar entry from (h0, V0, gamma0).
+
+    Parameters
+    ----------
+    vehicle, atmosphere:
+        Vehicle ballistic description and the planet's atmosphere model.
+    h0, V0:
+        Entry-interface altitude [m] and inertial-relative speed [m/s].
+    gamma0_deg:
+        Initial flight-path angle in degrees (negative = descending).
+    h_stop, V_stop:
+        Termination altitude [m] / speed [m/s].
+
+    Returns
+    -------
+    Trajectory
+    """
+    if V0 <= 0 or h0 <= h_stop:
+        raise InputError("need V0 > 0 and h0 above h_stop")
+    Rp = atmosphere.planet_radius
+    beta_inv = vehicle.cd * vehicle.area / vehicle.mass
+    lod = (vehicle.cl / vehicle.cd) if vehicle.cd > 0 else 0.0
+
+    def rhs(t, u):
+        V, gamma, h, s = u
+        V = max(V, 1.0)
+        rho = float(atmosphere.density(h))
+        g = float(atmosphere.gravity(h))
+        r = Rp + h
+        q = 0.5 * rho * V * V
+        a_drag = q * beta_inv
+        a_lift = a_drag * lod
+        dV = -a_drag - g * np.sin(gamma)
+        dgamma = (a_lift - (g - V * V / r) * np.cos(gamma)) / V
+        dh = V * np.sin(gamma)
+        ds = V * np.cos(gamma) * Rp / r
+        return [dV, dgamma, dh, ds]
+
+    def hit_ground(t, u):
+        return u[2] - h_stop
+    hit_ground.terminal = True
+    hit_ground.direction = -1
+
+    def slowed(t, u):
+        return u[0] - V_stop
+    slowed.terminal = True
+    slowed.direction = -1
+
+    def skip_out(t, u):
+        return u[2] - 1.5 * h0
+    skip_out.terminal = True
+    skip_out.direction = 1
+
+    sol = solve_ivp(rhs, (0.0, t_max),
+                    [V0, np.deg2rad(gamma0_deg), h0, 0.0],
+                    method="RK45", rtol=rtol, atol=1e-6,
+                    max_step=t_max / 400 if max_step is None else max_step,
+                    events=[hit_ground, slowed, skip_out], dense_output=False)
+    V, gamma, h, s = sol.y
+    return Trajectory(sol.t, h, V, gamma, s, vehicle, atmosphere)

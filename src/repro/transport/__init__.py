@@ -1,0 +1,34 @@
+"""Transport properties: viscosity, conductivity, diffusion, turbulence.
+
+Laminar transport follows the standard CAT recipe: per-species viscosities
+from Blottner curve fits (air species) or Chapman–Enskog kinetic theory with
+Lennard–Jones collision integrals (everything else), Eucken conductivities,
+Wilke semi-empirical mixing, and constant-Lewis-number diffusion.  Small-
+scale turbulent transport is modelled with an algebraic (Cebeci–Smith type)
+eddy viscosity, as the paper prescribes ("eddy-viscosity and
+eddy-conductivity approaches").
+"""
+
+from repro.transport.viscosity import (blottner_viscosity,
+                                       kinetic_theory_viscosity,
+                                       species_viscosities,
+                                       sutherland_viscosity)
+from repro.transport.conductivity import eucken_conductivity
+from repro.transport.mixture_rules import wilke_mixture
+from repro.transport.diffusion import (binary_diffusion_coefficient,
+                                       lewis_diffusivity)
+from repro.transport.turbulence import cebeci_smith_eddy_viscosity
+from repro.transport.properties import TransportModel
+
+__all__ = [
+    "blottner_viscosity",
+    "kinetic_theory_viscosity",
+    "species_viscosities",
+    "sutherland_viscosity",
+    "eucken_conductivity",
+    "wilke_mixture",
+    "binary_diffusion_coefficient",
+    "lewis_diffusivity",
+    "cebeci_smith_eddy_viscosity",
+    "TransportModel",
+]

@@ -1,0 +1,51 @@
+"""Thermal conductivity from the Eucken relation.
+
+For each species, the modified Eucken correction ties conductivity to
+viscosity and the internal heat capacity::
+
+    k = mu * (cp_trans + 1.9 * cp_internal)
+      = mu * (5/2 cv_trans + 1.9 (cp - 5/2 R - R)) / M   in molar terms
+
+We use the common CAT simplification k = mu (cp + 5/4 R/M) for the
+translational-dominant limit and the modified form when internal modes are
+active; both reduce to the monatomic Eucken value k = 2.5 mu cv for atoms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import R_UNIVERSAL as R
+from repro.thermo.species import SpeciesDB, species_set
+from repro.thermo.statmech import ThermoSet
+
+__all__ = ["eucken_conductivity", "species_conductivities"]
+
+
+def eucken_conductivity(mu, cp_molar, molar_mass):
+    """Modified Eucken conductivity [W/(m K)] for one species.
+
+    Parameters
+    ----------
+    mu:
+        Species viscosity [Pa s].
+    cp_molar:
+        Molar heat capacity at constant pressure [J/(mol K)].
+    molar_mass:
+        [kg/mol].
+    """
+    mu = np.asarray(mu, dtype=float)
+    cp = np.asarray(cp_molar, dtype=float)
+    # split cp into translational (5/2 R) and internal parts
+    cp_int = np.maximum(cp - 2.5 * R, 0.0)
+    # Eucken factors: 15/4 R on translation (via cv=3/2R), 1.3 on internal
+    k_molar = mu * (3.75 * R + 1.3 * cp_int)
+    return k_molar / molar_mass
+
+
+def species_conductivities(db: SpeciesDB | str, T, mu_species):
+    """Conductivity of every species, shape (..., n) [W/(m K)]."""
+    db = db if isinstance(db, SpeciesDB) else species_set(db)
+    thermo = ThermoSet(db)
+    cp = thermo.cp(T)
+    return eucken_conductivity(mu_species, cp, db.molar_mass)

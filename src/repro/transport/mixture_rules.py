@@ -1,0 +1,48 @@
+"""Wilke's semi-empirical mixing rule for viscosity and conductivity.
+
+The standard CAT mixture rule::
+
+    phi_ij = [1 + sqrt(mu_i/mu_j) (M_j/M_i)^{1/4}]^2
+             / sqrt(8 (1 + M_i/M_j))
+    mu_mix = sum_i x_i mu_i / sum_j x_j phi_ij
+
+vectorised over leading batch axes; the (i, j) species work is O(n^2) with
+n <= 19, negligible against the batch axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.thermo.species import SpeciesDB, species_set
+
+__all__ = ["wilke_mixture"]
+
+
+def wilke_mixture(db: SpeciesDB | str, x, prop):
+    """Mix a per-species property with Wilke's rule.
+
+    Parameters
+    ----------
+    db:
+        Species set (provides molar masses).
+    x:
+        Mole fractions, shape (..., n).
+    prop:
+        Per-species property (viscosity or conductivity), shape (..., n).
+
+    Returns
+    -------
+    Mixture property, shape (...).
+    """
+    db = db if isinstance(db, SpeciesDB) else species_set(db)
+    x = np.asarray(x, dtype=float)
+    prop = np.asarray(prop, dtype=float)
+    M = db.molar_mass
+    Mr = M[:, None] / M[None, :]              # M_i / M_j
+    # phi[..., i, j]
+    ratio = prop[..., :, None] / np.maximum(prop[..., None, :], 1e-300)
+    phi = (1.0 + np.sqrt(ratio) * (1.0 / Mr) ** 0.25) ** 2
+    phi = phi / np.sqrt(8.0 * (1.0 + Mr))
+    denom = np.einsum("...j,...ij->...i", x, phi)
+    return np.sum(x * prop / np.maximum(denom, 1e-300), axis=-1)

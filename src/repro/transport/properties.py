@@ -1,0 +1,78 @@
+"""High-level mixture transport model used by the viscous solvers.
+
+Bundles species viscosities, Eucken conductivities, Wilke mixing and
+Lewis-number diffusion behind one object so that solvers can ask for
+``(mu, k, D)`` at a batch of states in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.thermo.species import SpeciesDB, species_set
+from repro.thermo.statmech import ThermoSet
+from repro.transport.conductivity import eucken_conductivity
+from repro.transport.diffusion import DEFAULT_LEWIS, lewis_diffusivity
+from repro.transport.mixture_rules import wilke_mixture
+from repro.transport.viscosity import species_viscosities
+
+__all__ = ["TransportModel"]
+
+
+class TransportModel:
+    """Mixture transport properties over a fixed species set.
+
+    Parameters
+    ----------
+    db:
+        Species set (or name).
+    lewis:
+        Constant Lewis number for the effective diffusivity.
+    """
+
+    def __init__(self, db: SpeciesDB | str, *, lewis: float = DEFAULT_LEWIS):
+        self.db = db if isinstance(db, SpeciesDB) else species_set(db)
+        self.thermo = ThermoSet(self.db)
+        self.lewis = lewis
+
+    def viscosity(self, T, y):
+        """Mixture viscosity [Pa s] via Blottner/LJ + Wilke."""
+        x = self.db.mass_to_mole(np.maximum(np.asarray(y, float), 1e-30))
+        mu_s = species_viscosities(self.db, T)
+        return wilke_mixture(self.db, x, mu_s)
+
+    def conductivity(self, T, y):
+        """Frozen mixture thermal conductivity [W/(m K)]."""
+        x = self.db.mass_to_mole(np.maximum(np.asarray(y, float), 1e-30))
+        mu_s = species_viscosities(self.db, T)
+        cp = self.thermo.cp(T)
+        k_s = eucken_conductivity(mu_s, cp, self.db.molar_mass)
+        return wilke_mixture(self.db, x, k_s)
+
+    def diffusivity(self, rho, T, y):
+        """Effective (constant-Lewis) diffusion coefficient [m^2/s]."""
+        k = self.conductivity(T, y)
+        y_arr = np.asarray(y, dtype=float)
+        cp_mass = np.sum(y_arr * self.thermo.cp_mass(T), axis=-1)
+        return lewis_diffusivity(k, rho, cp_mass, self.lewis)
+
+    def prandtl(self, T, y):
+        """Frozen Prandtl number Pr = mu cp / k."""
+        y_arr = np.asarray(y, dtype=float)
+        cp_mass = np.sum(y_arr * self.thermo.cp_mass(T), axis=-1)
+        return self.viscosity(T, y) * cp_mass / self.conductivity(T, y)
+
+    def all_properties(self, rho, T, y):
+        """Return dict with mu, k, D, Pr in one pass (shares species work)."""
+        y_arr = np.maximum(np.asarray(y, dtype=float), 1e-30)
+        x = self.db.mass_to_mole(y_arr)
+        mu_s = species_viscosities(self.db, T)
+        cp_molar = self.thermo.cp(T)
+        k_s = eucken_conductivity(mu_s, cp_molar, self.db.molar_mass)
+        mu = wilke_mixture(self.db, x, mu_s)
+        k = wilke_mixture(self.db, x, k_s)
+        cp_mass = np.sum(np.asarray(y, float) * cp_molar
+                         / self.db.molar_mass, axis=-1)
+        D = lewis_diffusivity(k, rho, cp_mass, self.lewis)
+        return {"mu": mu, "k": k, "D": D, "Pr": mu * cp_mass / k,
+                "cp": cp_mass}

@@ -1,0 +1,134 @@
+"""Species viscosities: Blottner fits, kinetic theory, Sutherland.
+
+Blottner's curve fit (the standard for CAT air chemistry)::
+
+    mu = 0.1 * exp[ (A ln T + B) ln T + C ]       [Pa s]
+
+For species without published Blottner coefficients (the Titan set) we use
+first-order Chapman–Enskog theory with Lennard–Jones (12-6) collision
+integrals via the Neufeld correlation::
+
+    mu = 2.6693e-6 * sqrt(M_gmol * T) / (sigma^2 * Omega22)   [Pa s]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpeciesError
+from repro.thermo.species import SpeciesDB, species_set
+
+__all__ = ["BLOTTNER_COEFFS", "LENNARD_JONES", "blottner_viscosity",
+           "kinetic_theory_viscosity", "sutherland_viscosity",
+           "species_viscosities"]
+
+#: Blottner (A, B, C) coefficients for air species.
+BLOTTNER_COEFFS: dict[str, tuple[float, float, float]] = {
+    "N2": (0.0268142, 0.3177838, -11.3155513),
+    "O2": (0.0449290, -0.0826158, -9.2019475),
+    "NO": (0.0436378, -0.0335511, -9.5767430),
+    "N": (0.0115572, 0.6031679, -12.4327495),
+    "O": (0.0203144, 0.4294404, -11.6031403),
+    # ions behave transport-wise like their neutral parents at the
+    # Blottner level of fidelity
+    "N2+": (0.0268142, 0.3177838, -11.3155513),
+    "O2+": (0.0449290, -0.0826158, -9.2019475),
+    "NO+": (0.0436378, -0.0335511, -9.5767430),
+    "N+": (0.0115572, 0.6031679, -12.4327495),
+    "O+": (0.0203144, 0.4294404, -11.6031403),
+}
+
+#: Lennard-Jones parameters (sigma [Angstrom], eps/k [K]).
+LENNARD_JONES: dict[str, tuple[float, float]] = {
+    "N2": (3.798, 71.4),
+    "O2": (3.467, 106.7),
+    "NO": (3.492, 116.7),
+    "N": (3.298, 71.4),
+    "O": (3.050, 106.7),
+    "Ar": (3.542, 93.3),
+    "H2": (2.827, 59.7),
+    "H": (2.708, 37.0),
+    "He": (2.551, 10.22),
+    "C": (3.385, 30.6),
+    "CH4": (3.758, 148.6),
+    "CN": (3.856, 75.0),
+    "C2": (3.913, 78.8),
+    "HCN": (3.630, 569.1),
+    # ions: parent values
+    "N2+": (3.798, 71.4),
+    "O2+": (3.467, 106.7),
+    "NO+": (3.492, 116.7),
+    "N+": (3.298, 71.4),
+    "O+": (3.050, 106.7),
+}
+
+
+def blottner_viscosity(name: str, T):
+    """Blottner curve-fit viscosity [Pa s] for an air species."""
+    try:
+        a, b, c = BLOTTNER_COEFFS[name]
+    except KeyError:
+        raise SpeciesError(f"no Blottner coefficients for {name!r}") \
+            from None
+    lnT = np.log(np.asarray(T, dtype=float))
+    return 0.1 * np.exp((a * lnT + b) * lnT + c)
+
+
+def _omega22(t_star):
+    """Neufeld correlation for the (2,2) reduced collision integral."""
+    t = np.maximum(np.asarray(t_star, dtype=float), 1e-3)
+    return (1.16145 * t**-0.14874 + 0.52487 * np.exp(-0.77320 * t)
+            + 2.16178 * np.exp(-2.43787 * t))
+
+
+def kinetic_theory_viscosity(name: str, T, molar_mass: float):
+    """Chapman–Enskog LJ viscosity [Pa s].
+
+    Parameters
+    ----------
+    name:
+        Species name (keys :data:`LENNARD_JONES`).
+    T:
+        Temperature [K].
+    molar_mass:
+        Molar mass [kg/mol].
+    """
+    try:
+        sigma, eps_k = LENNARD_JONES[name]
+    except KeyError:
+        raise SpeciesError(f"no Lennard-Jones parameters for {name!r}") \
+            from None
+    T = np.asarray(T, dtype=float)
+    omega = _omega22(T / eps_k)
+    m_gmol = molar_mass * 1.0e3
+    return 2.6693e-6 * np.sqrt(m_gmol * T) / (sigma**2 * omega)
+
+
+def sutherland_viscosity(T, *, mu_ref=1.716e-5, T_ref=273.15, S=110.4):
+    """Sutherland's law for air [Pa s] — the ideal-gas-solver default."""
+    T = np.asarray(T, dtype=float)
+    return mu_ref * (T / T_ref) ** 1.5 * (T_ref + S) / (T + S)
+
+
+#: Electron viscosity is negligible on heavy-particle scales.
+_MU_ELECTRON = 1.0e-9
+
+
+def species_viscosities(db: SpeciesDB | str, T):
+    """Viscosity of every species in the set, shape (..., n) [Pa s].
+
+    Uses Blottner where available, kinetic theory otherwise, and a
+    negligible placeholder for free electrons.
+    """
+    db = db if isinstance(db, SpeciesDB) else species_set(db)
+    T = np.asarray(T, dtype=float)
+    out = np.empty(T.shape + (db.n,))
+    for j, sp in enumerate(db.species):
+        if sp.name == "e-":
+            out[..., j] = _MU_ELECTRON
+        elif sp.name in BLOTTNER_COEFFS:
+            out[..., j] = blottner_viscosity(sp.name, T)
+        else:
+            out[..., j] = kinetic_theory_viscosity(sp.name, T,
+                                                   sp.molar_mass)
+    return out

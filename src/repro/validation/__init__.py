@@ -1,0 +1,19 @@
+"""Code-validation tooling.
+
+"The last challenge to be mentioned here is code validation, in which
+much work remains to be done" — this subpackage provides the
+infrastructure the test suite uses for it: error norms, observed-order
+estimation from grid sequences, and closed-form reference solutions
+(Couette flow, isentropic nozzle relations) beyond the exact Riemann
+solver in :mod:`repro.numerics.riemann`.
+"""
+
+from repro.validation.metrics import (error_norms, observed_order,
+                                      richardson_extrapolate)
+from repro.validation.exact import (couette_temperature_profile,
+                                    couette_velocity_profile,
+                                    isentropic_nozzle_mach)
+
+__all__ = ["error_norms", "observed_order", "richardson_extrapolate",
+           "couette_velocity_profile", "couette_temperature_profile",
+           "isentropic_nozzle_mach"]

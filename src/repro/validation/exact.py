@@ -1,0 +1,72 @@
+"""Closed-form reference solutions for viscous-solver validation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InputError
+
+__all__ = ["couette_velocity_profile", "couette_temperature_profile",
+           "isentropic_nozzle_mach"]
+
+
+def couette_velocity_profile(y, h, u_wall):
+    """Incompressible constant-viscosity Couette flow: u = u_w y / h."""
+    y = np.asarray(y, dtype=float)
+    if h <= 0:
+        raise InputError("gap height must be positive")
+    return u_wall * y / h
+
+
+def couette_temperature_profile(y, h, u_wall, *, T0, Th, mu, k):
+    """Compressible-dissipation Couette temperature profile.
+
+    For constant properties the energy equation integrates to::
+
+        T(y) = T0 + (Th - T0) y/h + (mu u_w^2 / (2 k)) (y/h)(1 - y/h)
+
+    — the classic viscous-dissipation parabola used to validate the
+    NS solver's shear/heat coupling.
+    """
+    y = np.asarray(y, dtype=float)
+    eta = y / h
+    return (T0 + (Th - T0) * eta
+            + mu * u_wall**2 / (2.0 * k) * eta * (1.0 - eta))
+
+
+def isentropic_nozzle_mach(area_ratio, gamma=1.4, *, supersonic=True,
+                           tol=1e-12, max_iter=200):
+    """Mach number from the isentropic area-Mach relation A/A*.
+
+    Parameters
+    ----------
+    area_ratio:
+        A/A* >= 1.
+    supersonic:
+        Select the supersonic branch.
+    """
+    ar = float(area_ratio)
+    if ar < 1.0:
+        raise InputError("area ratio must be >= 1")
+    if ar == 1.0:
+        return 1.0
+    g = gamma
+
+    def f(M):
+        t = (2.0 / (g + 1.0)) * (1.0 + 0.5 * (g - 1.0) * M * M)
+        return t ** ((g + 1.0) / (2.0 * (g - 1.0))) / M - ar
+
+    lo, hi = (1.0 + 1e-12, 100.0) if supersonic else (1e-8, 1.0 - 1e-12)
+    flo, fhi = f(lo), f(hi)
+    if flo * fhi > 0:
+        raise ConvergenceError("area-Mach bracketing failed")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        fm = f(mid)
+        if abs(fm) < tol:
+            return mid
+        if flo * fm < 0:
+            hi, fhi = mid, fm
+        else:
+            lo, flo = mid, fm
+    return 0.5 * (lo + hi)

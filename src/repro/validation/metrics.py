@@ -1,0 +1,63 @@
+"""Error norms and convergence-order estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InputError
+
+__all__ = ["error_norms", "observed_order", "richardson_extrapolate"]
+
+
+def error_norms(computed, exact, *, weights=None) -> dict:
+    """L1/L2/Linf error norms (optionally volume-weighted).
+
+    Returns dict with keys "l1", "l2", "linf".
+    """
+    c = np.asarray(computed, dtype=float).ravel()
+    e = np.asarray(exact, dtype=float).ravel()
+    if c.shape != e.shape:
+        raise InputError("computed/exact shape mismatch")
+    d = np.abs(c - e)
+    if weights is None:
+        w = np.full(c.size, 1.0 / c.size)
+    else:
+        w = np.asarray(weights, dtype=float).ravel()
+        w = w / w.sum()
+    return {"l1": float(np.sum(w * d)),
+            "l2": float(np.sqrt(np.sum(w * d * d))),
+            "linf": float(d.max())}
+
+
+def observed_order(h, err) -> float:
+    """Observed convergence order from (h, error) pairs (least squares).
+
+    Requires at least two grids; fits log(err) = p log(h) + c.
+    """
+    h = np.asarray(h, dtype=float)
+    err = np.asarray(err, dtype=float)
+    if h.size < 2 or h.size != err.size:
+        raise InputError("need matching h/err arrays with >= 2 entries")
+    if np.any(h <= 0) or np.any(err <= 0):
+        raise InputError("h and err must be positive")
+    p = np.polyfit(np.log(h), np.log(err), 1)[0]
+    return float(p)
+
+
+def richardson_extrapolate(f_coarse, f_fine, ratio: float, order: float):
+    """Richardson extrapolation toward the zero-grid-spacing limit.
+
+    Parameters
+    ----------
+    f_coarse, f_fine:
+        Solution functionals on two grids (fine spacing = coarse/ratio).
+    ratio:
+        Grid refinement ratio (> 1).
+    order:
+        Formal (or observed) order of the scheme.
+    """
+    if ratio <= 1.0:
+        raise InputError("refinement ratio must exceed 1")
+    r_p = ratio**order
+    return (r_p * np.asarray(f_fine, dtype=float)
+            - np.asarray(f_coarse, dtype=float)) / (r_p - 1.0)

@@ -1,0 +1,203 @@
+"""Tests for time integration, tridiagonal solvers, point-implicit update."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError, StabilityError
+from repro.numerics.implicit import point_implicit_species_update
+from repro.numerics.time_integration import (cfl_timestep_1d, check_state,
+                                             ssp_rk2_step, ssp_rk3_step)
+from repro.numerics.tridiag import block_thomas, thomas
+from repro.thermo.kinetics import park_air_mechanism
+
+
+class TestCFL:
+    def test_uniform(self):
+        dt = cfl_timestep_1d(0.01, np.zeros(5), np.full(5, 100.0), cfl=0.5)
+        assert dt == pytest.approx(0.5 * 0.01 / 100.0)
+
+    def test_fastest_wave_controls(self):
+        u = np.array([0.0, 500.0, -800.0])
+        a = np.array([300.0, 300.0, 300.0])
+        dt = cfl_timestep_1d(0.01, u, a, cfl=1.0)
+        assert dt == pytest.approx(0.01 / 1100.0)
+
+
+class TestSSPRK:
+    def test_exponential_decay_order(self):
+        # dy/dt = -y: compare convergence order of RK2 vs RK3
+        def residual(y):
+            return -y
+
+        def integrate(stepper, dt):
+            y = np.array([1.0])
+            t = 0.0
+            while t < 1.0 - 1e-12:
+                y = stepper(y, dt, residual)
+                t += dt
+            return float(y[0])
+
+        exact = np.exp(-1.0)
+        e2 = [abs(integrate(ssp_rk2_step, dt) - exact)
+              for dt in (0.1, 0.05)]
+        e3 = [abs(integrate(ssp_rk3_step, dt) - exact)
+              for dt in (0.1, 0.05)]
+        order2 = np.log2(e2[0] / e2[1])
+        order3 = np.log2(e3[0] / e3[1])
+        assert order2 == pytest.approx(2.0, abs=0.3)
+        assert order3 == pytest.approx(3.0, abs=0.3)
+
+    def test_linear_residual_exactness_rk3(self):
+        # RK3 integrates quadratic-in-t exactly for residual R(t-like)
+        def residual(y):
+            return np.array([2.0])  # dy/dt const
+        y = ssp_rk3_step(np.array([1.0]), 0.5, residual)
+        assert float(y[0]) == pytest.approx(2.0)
+
+
+class TestCheckState:
+    def test_ok(self):
+        check_state(np.array([[1.0, 2.0, 3.0]]))
+
+    def test_nan_raises(self):
+        with pytest.raises(StabilityError):
+            check_state(np.array([[np.nan, 0.0, 0.0]]), step=7)
+
+    def test_negative_density_raises(self):
+        with pytest.raises(StabilityError):
+            check_state(np.array([[-1.0, 0.0, 1.0]]))
+
+
+class TestThomas:
+    @given(n=st.integers(min_value=3, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_against_dense_solve(self, n):
+        rng = np.random.default_rng(n)
+        b = 4.0 + rng.random(n)
+        a = rng.random(n) * 0.5
+        c = rng.random(n) * 0.5
+        d = rng.random(n)
+        x = thomas(a, b, c, d)
+        A = np.diag(b) + np.diag(a[1:], -1) + np.diag(c[:-1], 1)
+        assert np.allclose(A @ x, d, atol=1e-10)
+
+    def test_batched(self, rng):
+        B, n = 5, 12
+        b = 4.0 + rng.random((B, n))
+        a = rng.random((B, n)) * 0.5
+        c = rng.random((B, n)) * 0.5
+        d = rng.random((B, n))
+        x = thomas(a, b, c, d)
+        for k in range(B):
+            A = np.diag(b[k]) + np.diag(a[k, 1:], -1) + np.diag(c[k, :-1],
+                                                                1)
+            assert np.allclose(A @ x[k], d[k], atol=1e-10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InputError):
+            thomas(np.zeros(3), np.ones(4), np.zeros(4), np.ones(4))
+
+
+class TestBlockThomas:
+    def test_against_dense(self, rng):
+        n, m = 8, 3
+        A = rng.random((n, m, m)) * 0.2
+        C = rng.random((n, m, m)) * 0.2
+        B = np.tile(np.eye(m) * 3.0, (n, 1, 1)) + rng.random((n, m, m))
+        D = rng.random((n, m))
+        x = block_thomas(A, B, C, D)
+        # build dense
+        K = np.zeros((n * m, n * m))
+        for i in range(n):
+            K[i * m:(i + 1) * m, i * m:(i + 1) * m] = B[i]
+            if i > 0:
+                K[i * m:(i + 1) * m, (i - 1) * m:i * m] = A[i]
+            if i < n - 1:
+                K[i * m:(i + 1) * m, (i + 1) * m:(i + 2) * m] = C[i]
+        x_dense = np.linalg.solve(K, D.ravel()).reshape(n, m)
+        assert np.allclose(x, x_dense, atol=1e-9)
+
+    def test_scalar_blocks_match_thomas(self, rng):
+        n = 10
+        b = 4.0 + rng.random(n)
+        a = rng.random(n) * 0.3
+        c = rng.random(n) * 0.3
+        d = rng.random(n)
+        x1 = thomas(a, b, c, d)
+        x2 = block_thomas(a[:, None, None], b[:, None, None],
+                          c[:, None, None], d[:, None])
+        assert np.allclose(x1, x2[:, 0], atol=1e-12)
+
+    def test_bad_shapes(self):
+        with pytest.raises(InputError):
+            block_thomas(np.zeros((3, 2, 2)), np.zeros((4, 2, 2)),
+                         np.zeros((3, 2, 2)), np.zeros((3, 2)))
+
+
+class TestPointImplicit:
+    def test_matches_explicit_for_tiny_dt(self):
+        mech = park_air_mechanism("air5")
+        db = mech.db
+        y = np.zeros((2, 5))
+        y[:, db.index["N2"]], y[:, db.index["O2"]] = 0.767, 0.233
+        rho = np.full(2, 0.05)
+        T = np.full(2, 6000.0)
+        dt = 1e-12
+        y_pi = point_implicit_species_update(mech, rho, T, y, dt,
+                                             limit=False)
+        w = mech.wdot(rho, T, y) / rho[..., None]
+        y_ex = y + dt * w
+        # the implicit correction is O(dt^2 J w): allow it on top of the
+        # explicit step
+        assert np.allclose(y_pi, y_ex, rtol=1e-4,
+                           atol=1e-5 * np.abs(dt * w).max())
+
+    def test_stable_for_large_dt(self):
+        # explicit Euler would blow up at this dt; point-implicit stays
+        # bounded and mass fractions remain physical
+        mech = park_air_mechanism("air5")
+        db = mech.db
+        y = np.zeros((1, 5))
+        y[:, db.index["N2"]], y[:, db.index["O2"]] = 0.767, 0.233
+        rho = np.array([0.1])
+        T = np.array([8000.0])
+        for _ in range(50):
+            y = point_implicit_species_update(mech, rho, T, y, 1e-4)
+        assert np.all(y >= 0.0) and np.all(y <= 1.0)
+        # mass closure is exact up to the finite-difference Jacobian
+        # truncation error, which the enormous dt*J here amplifies
+        assert np.allclose(y.sum(axis=-1), 1.0, atol=1e-4)
+
+    def test_element_conservation_through_stiff_transient(self, air5):
+        # the step limiter must not trade atoms between elements
+        from repro.thermo.equilibrium import element_moles
+        mech = park_air_mechanism("air5")
+        db = mech.db
+        y = np.zeros((1, 5))
+        y[:, db.index["N2"]], y[:, db.index["O2"]] = 0.767, 0.233
+        b0 = element_moles(db, y)
+        rho = np.array([0.1])
+        T = np.array([6000.0])
+        dt = 1e-7
+        for _ in range(200):
+            y = point_implicit_species_update(mech, rho, T, y, dt)
+            dt = min(dt * 1.3, 0.02)
+        b1 = element_moles(db, y)
+        assert np.allclose(b1, b0, rtol=1e-6)
+
+    def test_drives_toward_equilibrium(self, air5_gas):
+        mech = park_air_mechanism("air5")
+        db = mech.db
+        y = np.zeros((1, 5))
+        y[:, db.index["N2"]], y[:, db.index["O2"]] = 0.767, 0.233
+        rho = np.array([0.1])
+        T = np.array([6000.0])
+        y_eq = air5_gas.composition_rho_T(rho, T)
+        d0 = np.abs(y - y_eq).max()
+        dt = 1e-7
+        for _ in range(400):
+            y = point_implicit_species_update(mech, rho, T, y, dt)
+            dt = min(dt * 1.3, 0.02)
+        d1 = np.abs(y - y_eq).max()
+        assert d1 < 0.05 * d0

@@ -1,0 +1,91 @@
+"""Property tests for limiters and MUSCL reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.limiters import minmod, superbee, van_albada, van_leer
+from repro.numerics.muscl import muscl_interface_states
+
+LIMITERS = [minmod, van_leer, van_albada, superbee]
+SLOPES = st.floats(min_value=-100.0, max_value=100.0)
+
+
+class TestLimiterProperties:
+    @pytest.mark.parametrize("lim", LIMITERS)
+    @given(a=SLOPES, b=SLOPES)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_at_extrema(self, lim, a, b):
+        if a * b <= 0:
+            assert float(lim(a, b)) == 0.0
+
+    @pytest.mark.parametrize("lim", LIMITERS)
+    @given(a=SLOPES, b=SLOPES)
+    @settings(max_examples=60, deadline=None)
+    def test_tvd_bound(self, lim, a, b):
+        # |phi| <= 2 min(|a|, |b|) for all classical TVD limiters
+        s = float(lim(a, b))
+        assert abs(s) <= 2.0 * min(abs(a), abs(b)) + 1e-12
+
+    @pytest.mark.parametrize("lim", LIMITERS)
+    @given(a=SLOPES, b=SLOPES)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, lim, a, b):
+        assert float(lim(a, b)) == pytest.approx(float(lim(b, a)),
+                                                 rel=1e-12, abs=1e-12)
+
+    @pytest.mark.parametrize("lim", LIMITERS)
+    @given(a=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_equal_slopes_pass_through(self, lim, a):
+        assert float(lim(a, a)) == pytest.approx(a, rel=1e-9)
+
+    def test_minmod_picks_smaller(self):
+        assert float(minmod(1.0, 3.0)) == 1.0
+        assert float(minmod(-3.0, -2.0)) == -2.0
+
+    def test_superbee_least_dissipative(self):
+        # superbee >= minmod in magnitude when both are active
+        a, b = 1.0, 2.0
+        assert abs(float(superbee(a, b))) >= abs(float(minmod(a, b)))
+
+
+class TestMUSCL:
+    def test_linear_data_reproduced_exactly(self):
+        # second-order reconstruction is exact for linear data
+        x = np.arange(10.0)
+        W = 3.0 * x + 1.0
+        WL, WR = muscl_interface_states(W)
+        # interior faces: left and right states agree at the face value
+        face_vals = 3.0 * (x[:-1] + 0.5) + 1.0
+        assert np.allclose(WL[1:-1], face_vals[1:-1])
+        assert np.allclose(WR[1:-1], face_vals[1:-1])
+
+    def test_first_order_mode(self):
+        W = np.array([1.0, 2.0, 5.0, 3.0])
+        WL, WR = muscl_interface_states(W, order=1)
+        assert np.allclose(WL, W[:-1])
+        assert np.allclose(WR, W[1:])
+
+    def test_no_new_extrema(self, rng):
+        W = rng.random(50)
+        WL, WR = muscl_interface_states(W)
+        lo, hi = W.min(), W.max()
+        assert WL.min() >= lo - 1e-12 and WL.max() <= hi + 1e-12
+        assert WR.min() >= lo - 1e-12 and WR.max() <= hi + 1e-12
+
+    def test_monotone_data_stays_monotone(self):
+        W = np.sort(np.random.default_rng(3).random(30))
+        WL, WR = muscl_interface_states(W)
+        # interface states ordered like the data
+        assert np.all(WR - WL >= -1e-12)
+
+    def test_vector_axis_handling(self, rng):
+        W = rng.random((6, 8, 4))
+        WL, WR = muscl_interface_states(W, axis=1)
+        assert WL.shape == (6, 7, 4)
+        assert WR.shape == (6, 7, 4)
+
+    def test_too_few_cells_raises(self):
+        with pytest.raises(ValueError):
+            muscl_interface_states(np.array([1.0]))

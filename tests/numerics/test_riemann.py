@@ -1,0 +1,93 @@
+"""Tests for the exact Riemann solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.numerics.riemann import exact_riemann, sample_riemann, sod_exact
+
+
+class TestStarState:
+    def test_sod_star_values(self):
+        # Toro's book: p* = 0.30313, u* = 0.92745 for the Sod problem
+        sol = exact_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        assert sol["p_star"] == pytest.approx(0.30313, rel=1e-4)
+        assert sol["u_star"] == pytest.approx(0.92745, rel=1e-4)
+
+    def test_toro_test2_123_problem(self):
+        # two receding rarefactions: p* = 0.00189, u* = 0
+        sol = exact_riemann(1.0, -2.0, 0.4, 1.0, 2.0, 0.4)
+        assert sol["u_star"] == pytest.approx(0.0, abs=1e-10)
+        assert sol["p_star"] == pytest.approx(0.00189, rel=5e-3)
+
+    def test_toro_test3_strong_shock(self):
+        # left blast: p* = 460.894, u* = 19.5975
+        sol = exact_riemann(1.0, 0.0, 1000.0, 1.0, 0.0, 0.01)
+        assert sol["p_star"] == pytest.approx(460.894, rel=1e-4)
+        assert sol["u_star"] == pytest.approx(19.5975, rel=1e-4)
+
+    def test_symmetric_collision(self):
+        sol = exact_riemann(1.0, 100.0, 1e5, 1.0, -100.0, 1e5)
+        assert sol["u_star"] == pytest.approx(0.0, abs=1e-8)
+        assert sol["p_star"] > 1e5  # compression
+
+    def test_uniform_state_trivial(self):
+        sol = exact_riemann(1.0, 50.0, 1e5, 1.0, 50.0, 1e5)
+        assert sol["p_star"] == pytest.approx(1e5, rel=1e-10)
+        assert sol["u_star"] == pytest.approx(50.0, rel=1e-10)
+
+    def test_vacuum_detection(self):
+        with pytest.raises(InputError):
+            exact_riemann(1.0, -3000.0, 100.0, 1.0, 3000.0, 100.0)
+
+
+class TestSampling:
+    def test_sod_profile_monotonic_density(self):
+        x = np.linspace(0.0, 1.0, 500)
+        rho, u, p = sod_exact(x, 0.2)
+        # density decreases monotonically from left state to shocked state,
+        # with the contact and shock jumps
+        assert rho[0] == pytest.approx(1.0)
+        assert rho[-1] == pytest.approx(0.125)
+        assert u.max() == pytest.approx(0.92745, rel=1e-3)
+
+    def test_sod_shock_position(self):
+        # shock speed for Sod is ~1.7522; at t=0.2, x_s ~ 0.5 + 0.3504
+        x = np.linspace(0.0, 1.0, 4001)
+        rho, u, p = sod_exact(x, 0.2)
+        # find the shock: last jump in p
+        jump = np.nonzero(np.abs(np.diff(p)) > 0.05)[0]
+        x_shock = x[jump[-1]]
+        assert x_shock == pytest.approx(0.5 + 1.7522 * 0.2, abs=2e-3)
+
+    def test_pressure_velocity_continuous_at_contact(self):
+        sol = exact_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        xi = np.array([sol["u_star"] - 1e-9, sol["u_star"] + 1e-9])
+        rho, u, p = sample_riemann(sol, xi)
+        assert p[0] == pytest.approx(p[1], rel=1e-6)
+        assert u[0] == pytest.approx(u[1], rel=1e-6)
+        # density IS discontinuous across the contact
+        assert abs(rho[0] - rho[1]) > 0.05
+
+    def test_t_zero_invalid(self):
+        with pytest.raises(InputError):
+            sod_exact(np.linspace(0, 1, 10), 0.0)
+
+
+class TestEntropyConditions:
+    def test_shock_compression(self):
+        # across the right shock of the Sod problem, density rises
+        sol = exact_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        xi_pre = np.array([1.9])   # ahead of the shock (speed 1.7522)
+        xi_post = np.array([1.6])  # behind
+        rho_pre, _, p_pre = sample_riemann(sol, xi_pre)
+        rho_post, _, p_post = sample_riemann(sol, xi_post)
+        assert rho_post[0] > rho_pre[0]
+        assert p_post[0] > p_pre[0]
+
+    def test_rarefaction_smooth(self):
+        sol = exact_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        xi = np.linspace(-1.1, -0.1, 200)
+        rho, u, p = sample_riemann(sol, xi)
+        # no jumps inside the fan region
+        assert np.abs(np.diff(rho)).max() < 0.02

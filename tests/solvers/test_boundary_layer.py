@@ -1,0 +1,77 @@
+"""Tests for the similarity boundary-layer solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.solvers.boundary_layer import (StagnationSimilarityBL,
+                                          solve_falkner_skan)
+
+
+class TestClassicalValues:
+    def test_blasius(self):
+        sol = solve_falkner_skan(0.0, Pr=0.71, gw=0.999)
+        assert sol.fpp0 == pytest.approx(0.46960, abs=2e-4)
+
+    def test_axisymmetric_stagnation_homann(self):
+        sol = solve_falkner_skan(0.5, Pr=0.71, gw=0.999)
+        assert sol.fpp0 == pytest.approx(0.9277, abs=3e-3)
+
+    def test_velocity_profile_monotone(self):
+        sol = solve_falkner_skan(0.5, Pr=0.71, gw=0.5)
+        assert np.all(np.diff(sol.fp) > -1e-8)
+        assert sol.fp[-1] == pytest.approx(1.0, abs=1e-5)
+
+    def test_reynolds_analogy_ballpark(self):
+        # for Pr=1, gw->cold: g'(0)/f''(0) ~ (1-gw) scaling
+        sol = solve_falkner_skan(0.0, Pr=1.0, gw=0.5)
+        # with Pr=1 and beta=0 the Crocco relation makes g linear in f':
+        # g = gw + (1-gw) f'
+        g_crocco = 0.5 + 0.5 * sol.fp
+        assert np.allclose(sol.g, g_crocco, atol=5e-3)
+
+    def test_cooled_wall_increases_heat_parameter(self):
+        warm = solve_falkner_skan(0.5, Pr=0.71, gw=0.8)
+        cold = solve_falkner_skan(0.5, Pr=0.71, gw=0.2)
+        assert cold.gp0 > warm.gp0
+
+    def test_deep_cooling_with_real_gas_C(self):
+        # the VSL regime: gw ~ 0.05 with C rising toward the wall
+        gpts = np.linspace(0.02, 1.0, 12)
+        Cpts = np.array([3.0, 2.0, 1.66, 1.52, 1.42, 1.34, 1.27, 1.21,
+                         1.15, 1.09, 1.05, 1.0])
+
+        def C(g):
+            return np.interp(np.asarray(g, float), gpts, Cpts)
+
+        sol = solve_falkner_skan(0.5, Pr=0.71, gw=0.05, C_of_g=C)
+        assert 0.1 < sol.gp0 < 1.5
+        assert sol.fp[-1] == pytest.approx(1.0, abs=1e-4)
+
+
+class TestStagnationBLFacade:
+    def test_heating_matches_fay_riddell_shape(self):
+        # q ~ sqrt(K): doubling the velocity gradient raises q by sqrt(2)
+        bl = StagnationSimilarityBL(h0e=1e7, p_e=3e4, rho_e=0.01,
+                                    mu_e=1e-4)
+        q1 = bl.heat_flux(1e6, 1000.0)
+        q2 = bl.heat_flux(1e6, 2000.0)
+        assert q2 / q1 == pytest.approx(np.sqrt(2.0), rel=1e-6)
+
+    def test_heating_scales_with_enthalpy_difference(self):
+        bl = StagnationSimilarityBL(h0e=1e7, p_e=3e4, rho_e=0.01,
+                                    mu_e=1e-4)
+        q_cold = bl.heat_flux(5e5, 1000.0)
+        q_warm = bl.heat_flux(5e6, 1000.0)
+        assert q_cold > q_warm
+
+    def test_invalid_wall_enthalpy(self):
+        bl = StagnationSimilarityBL(h0e=1e7, p_e=3e4, rho_e=0.01,
+                                    mu_e=1e-4)
+        with pytest.raises(InputError):
+            bl.solve(2e7)
+
+    def test_invalid_construction(self):
+        with pytest.raises(InputError):
+            StagnationSimilarityBL(h0e=-1.0, p_e=1e4, rho_e=0.01,
+                                   mu_e=1e-4)

@@ -1,0 +1,90 @@
+"""Integration tests for the axisymmetric Euler solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.gas import IdealGasEOS
+from repro.errors import InputError
+from repro.geometry import Hemisphere, Sphere
+from repro.grid import blunt_body_grid
+from repro.solvers.euler2d import AxisymmetricEulerSolver
+from repro.solvers.shock import normal_shock_ideal, pitot_pressure_ideal
+
+
+@pytest.fixture(scope="module")
+def m8_solution():
+    """Converged Mach-8 hemisphere solution (module-shared)."""
+    body = Hemisphere(1.0)
+    grid = blunt_body_grid(body, n_s=31, n_normal=41, density_ratio=0.2,
+                           margin=2.5)
+    s = AxisymmetricEulerSolver(grid, IdealGasEOS(1.4))
+    rho, T = 0.01, 220.0
+    a = np.sqrt(1.4 * 287.0528 * T)
+    s.set_freestream(rho, 8.0 * a, rho * 287.0528 * T)
+    s.run(n_steps=1500, cfl=0.4)
+    return s
+
+
+class TestM8Hemisphere:
+    def test_standoff_against_billig(self, m8_solution):
+        # Billig correlation for a sphere at M=8: delta/R ~ 0.13
+        delta = m8_solution.stagnation_standoff()
+        assert 0.09 < delta < 0.18
+
+    def test_stagnation_pressure_rayleigh(self, m8_solution):
+        p_inf = 0.01 * 287.0528 * 220.0
+        p_pitot = float(pitot_pressure_ideal(8.0, p_inf))
+        _, _, p_wall = m8_solution.surface_pressure()
+        assert p_wall[0] == pytest.approx(p_pitot, rel=0.04)
+
+    def test_max_temperature_near_total(self, m8_solution):
+        f = m8_solution.fields()
+        T0 = 220.0 * (1.0 + 0.2 * 64.0)
+        assert f["T"].max() == pytest.approx(T0, rel=0.08)
+
+    def test_freestream_ahead_of_shock(self, m8_solution):
+        f = m8_solution.fields()
+        # the outermost cells are undisturbed freestream
+        assert np.allclose(f["rho"][:, -1], 0.01, rtol=1e-3)
+
+    def test_density_jump_at_shock(self, m8_solution):
+        f = m8_solution.fields()
+        ns = normal_shock_ideal(8.0)
+        # stagnation-ray max density ratio approaches the RH value
+        ratio = f["rho"][0].max() / 0.01
+        assert ratio == pytest.approx(float(ns["rho_ratio"]), rel=0.12)
+
+    def test_surface_pressure_decreases_around_body(self, m8_solution):
+        _, _, p_wall = m8_solution.surface_pressure()
+        # monotone decay from stagnation toward the shoulder (Newtonian)
+        assert p_wall[0] > 3.0 * p_wall[-1]
+
+    def test_shock_wraps_body(self, m8_solution):
+        xs, ys = m8_solution.shock_location()
+        ok = np.isfinite(ys)
+        assert np.count_nonzero(ok) > 10
+        assert np.nanmax(ys) > 1.0  # beyond the body radius
+
+
+class TestRobustness:
+    def test_run_without_init_raises(self):
+        body = Sphere(1.0)
+        grid = blunt_body_grid(body, n_s=11, n_normal=11)
+        s = AxisymmetricEulerSolver(grid)
+        with pytest.raises(InputError):
+            s.run(n_steps=1)
+
+    def test_residual_decreases(self, m8_solution):
+        hist = m8_solution.residual_history
+        assert hist[-1] < 0.05 * max(hist[:20])
+
+    def test_first_order_runs(self):
+        body = Hemisphere(1.0)
+        grid = blunt_body_grid(body, n_s=21, n_normal=31)
+        s = AxisymmetricEulerSolver(grid, order=1)
+        rho, T = 0.01, 220.0
+        s.set_freestream(rho, 6.0 * np.sqrt(1.4 * 287.0528 * T),
+                         rho * 287.0528 * T)
+        s.run(n_steps=300)
+        f = s.fields()
+        assert np.all(np.isfinite(f["p"]))

@@ -1,0 +1,80 @@
+"""Ablation tests: upwind scheme choice on the blunt-body solver, and the
+Jupiter (H2/He/H) gas path."""
+
+import numpy as np
+import pytest
+
+from repro.core.gas import IdealGasEOS, TabulatedEOS
+from repro.errors import InputError
+from repro.geometry import Hemisphere
+from repro.grid import blunt_body_grid
+from repro.solvers.euler2d import AxisymmetricEulerSolver
+
+
+def _run(flux, n_steps=900):
+    body = Hemisphere(1.0)
+    grid = blunt_body_grid(body, n_s=25, n_normal=35, density_ratio=0.2,
+                           margin=2.5)
+    s = AxisymmetricEulerSolver(grid, IdealGasEOS(1.4), flux=flux)
+    rho, T = 0.01, 220.0
+    s.set_freestream(rho, 8.0 * np.sqrt(1.4 * 287.0528 * T),
+                     rho * 287.0528 * T)
+    s.run(n_steps=n_steps, cfl=0.35)
+    return s
+
+
+class TestFluxSchemeAblation:
+    @pytest.mark.parametrize("flux", ["hlle", "steger_warming",
+                                      "van_leer"])
+    def test_all_schemes_capture_the_shock(self, flux):
+        s = _run(flux)
+        delta = s.stagnation_standoff()
+        # all upwind schemes land on the same physics within grid error
+        assert 0.08 < delta < 0.20
+
+    def test_scheme_agreement_on_stagnation_pressure(self):
+        results = {flux: _run(flux) for flux in ("hlle",
+                                                 "steger_warming")}
+        p = {k: v.surface_pressure()[2][0] for k, v in results.items()}
+        # coarse-grid shock smearing differs slightly between schemes
+        assert p["hlle"] == pytest.approx(p["steger_warming"], rel=0.05)
+
+    def test_fvs_rejects_real_gas(self):
+        body = Hemisphere(1.0)
+        grid = blunt_body_grid(body, n_s=11, n_normal=11)
+        with pytest.raises(InputError):
+            AxisymmetricEulerSolver(grid, TabulatedEOS(),
+                                    flux="van_leer")
+
+    def test_unknown_flux(self):
+        body = Hemisphere(1.0)
+        grid = blunt_body_grid(body, n_s=11, n_normal=11)
+        with pytest.raises(InputError):
+            AxisymmetricEulerSolver(grid, flux="psychic")
+
+
+class TestJupiterGas:
+    def test_h2_dissociation_equilibrium(self):
+        from repro.thermo.equilibrium import EquilibriumGas
+        from repro.thermo.species import species_set
+        db = species_set("jupiter3")
+        gas = EquilibriumGas(db, {"H2": 0.75, "He": 0.25})
+        # cold: frozen H2/He
+        y_cold, _ = gas.composition_T_p(np.array(300.0), np.array(1e5))
+        assert y_cold[db.index["H2"]] == pytest.approx(0.75, abs=1e-6)
+        # hot: H2 dissociates into H (Galileo shock layers)
+        y_hot, _ = gas.composition_T_p(np.array(6000.0), np.array(1e4))
+        assert y_hot[db.index["H"]] > 0.5
+        assert y_hot[db.index["He"]] == pytest.approx(0.25, abs=1e-6)
+
+    def test_jupiter_shock_density_ratio(self):
+        # Galileo-class entry: even H2 chemistry lifts the density ratio
+        # above the ideal diatomic limit of 6
+        from repro.thermo.equilibrium import EquilibriumGas
+        from repro.thermo.species import species_set
+        from repro.solvers.shock import equilibrium_normal_shock
+        db = species_set("jupiter3")
+        gas = EquilibriumGas(db, {"H2": 0.75, "He": 0.25})
+        res = equilibrium_normal_shock(gas, 1e-4, 165.0, 20000.0)
+        assert 1.0 / res["eps"] > 7.0
+        assert res["T2"] < 25000.0  # far below the frozen value

@@ -1,0 +1,75 @@
+"""Integration tests for the axisymmetric Navier-Stokes solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.gas import IdealGasEOS
+from repro.errors import InputError
+from repro.geometry import Hemisphere
+from repro.grid import blunt_body_grid
+from repro.solvers.ns2d import AxisymmetricNSSolver
+
+
+@pytest.fixture(scope="module")
+def m6_viscous():
+    body = Hemisphere(0.1)
+    grid = blunt_body_grid(body, n_s=25, n_normal=51, density_ratio=0.2,
+                           margin=2.5, wall_cluster_beta=2.5)
+    rho, T = 5e-4, 220.0
+    a = np.sqrt(1.4 * 287.0528 * T)
+    s = AxisymmetricNSSolver(grid, IdealGasEOS(1.4), T_wall=300.0)
+    s.set_freestream(rho, 6.0 * a, rho * 287.0528 * T)
+    s.run(n_steps=2000, cfl=0.3)
+    return s
+
+
+class TestViscousM6:
+    def test_stagnation_heating_vs_fay_riddell(self, m6_viscous):
+        from repro.solvers.shock import frozen_post_shock_state
+        from repro.transport.viscosity import sutherland_viscosity
+        q = m6_viscous.wall_heat_flux()
+        rho, T = 5e-4, 220.0
+        V = 6.0 * np.sqrt(1.4 * 287.0528 * T)
+        ps = frozen_post_shock_state(rho, T, V)
+        h0 = 1004.5 * T + 0.5 * V**2
+        T0 = h0 / 1004.5
+        rho_s = ps["p2"] / (287.0528 * T0)
+        K = (1.0 / 0.1) * np.sqrt(2.0 * (ps["p2"] - rho * 287.0528 * T)
+                                  / rho_s)
+        q_fr = (0.763 * 0.72**-0.6 * np.sqrt(rho_s
+                                             * sutherland_viscosity(T0))
+                * np.sqrt(K) * (h0 - 1004.5 * 300.0))
+        assert q[0] == pytest.approx(q_fr, rel=0.25)
+
+    def test_heating_decreases_around_body(self, m6_viscous):
+        q = m6_viscous.wall_heat_flux()
+        # Lees: ~0.5-0.9 of stagnation at 45 deg, lower at the shoulder
+        assert q[-1] < 0.8 * q[0]
+        assert np.all(q > 0)
+
+    def test_no_slip_wall(self, m6_viscous):
+        f = m6_viscous.fields()
+        speed = np.hypot(f["u"][:, 0], f["v"][:, 0])
+        V = 6.0 * np.sqrt(1.4 * 287.0528 * 220.0)
+        # first-cell velocity far below freestream (boundary layer)
+        assert np.all(speed < 0.25 * V)
+
+    def test_wall_shear_positive_off_stagnation(self, m6_viscous):
+        tau = m6_viscous.wall_shear()
+        assert np.all(tau[1:] > 0)
+        # shear vanishes toward the stagnation point
+        assert tau[0] < tau[len(tau) // 2]
+
+    def test_adiabatic_wall_heating_raises(self):
+        body = Hemisphere(0.1)
+        grid = blunt_body_grid(body, n_s=11, n_normal=15)
+        s = AxisymmetricNSSolver(grid, T_wall=None)
+        s.set_freestream(1e-4, 1000.0, 10.0)
+        with pytest.raises(InputError):
+            s.wall_heat_flux()
+
+    def test_viscous_timestep_smaller_than_inviscid(self, m6_viscous):
+        from repro.solvers.euler2d import AxisymmetricEulerSolver
+        dt_ns = m6_viscous.local_timestep(0.5)
+        dt_euler = AxisymmetricEulerSolver.local_timestep(m6_viscous, 0.5)
+        assert np.all(dt_ns <= dt_euler + 1e-18)

@@ -1,0 +1,85 @@
+"""Integration tests for the finite-rate (nonequilibrium) blunt-body
+solver — the paper's "coupling nonequilibrium phenomena to flowfield
+codes" challenge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.geometry import Sphere
+from repro.grid import blunt_body_grid
+from repro.solvers.reacting_euler2d import ReactingEulerSolver
+
+
+def frozen_air5():
+    y0 = np.zeros(5)
+    y0[0], y0[1] = 0.767, 0.233
+    return y0
+
+
+@pytest.fixture(scope="module")
+def noneq_solution():
+    body = Sphere(0.3)
+    grid = blunt_body_grid(body, n_s=19, n_normal=29, density_ratio=0.12,
+                           margin=2.8)
+    s = ReactingEulerSolver(grid, "air5")
+    s.set_freestream(1e-3, 5000.0, 240.0, frozen_air5())
+    s.run(n_steps=500, cfl=0.3)
+    return s
+
+
+class TestNonequilibriumShockLayer:
+    def test_oxygen_dissociates_nitrogen_partially(self, noneq_solution):
+        f = noneq_solution.fields()
+        db = noneq_solution.db
+        stag_y = f["y"][0, 0]
+        assert stag_y[db.index["O2"]] < 0.05       # O2 consumed
+        assert stag_y[db.index["O"]] > 0.15
+        assert 0.01 < stag_y[db.index["N"]] < 0.5  # N2 only partially
+
+    def test_temperature_between_frozen_and_equilibrium(self,
+                                                        noneq_solution,
+                                                        air5_gas):
+        from repro.solvers.shock import (equilibrium_normal_shock,
+                                         frozen_post_shock_state)
+        f = noneq_solution.fields()
+        T_stag = f["T"][0, 0]
+        fr = frozen_post_shock_state(1e-3, 240.0, 5000.0)
+        eq = equilibrium_normal_shock(air5_gas, 1e-3, 240.0, 5000.0)
+        assert eq["T2"] * 0.9 < T_stag < fr["T2"]
+
+    def test_species_mass_closure(self, noneq_solution):
+        f = noneq_solution.fields()
+        assert np.allclose(f["y"].sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_freestream_chemically_frozen(self, noneq_solution):
+        f = noneq_solution.fields()
+        # outer cells: unreacted freestream
+        assert np.allclose(f["y"][:, -1, 0], 0.767, atol=1e-6)
+        assert np.allclose(f["y"][:, -1, 1], 0.233, atol=1e-6)
+
+    def test_standoff_physical(self, noneq_solution):
+        d = noneq_solution.stagnation_standoff()
+        # between the equilibrium (~0.04 Rn) and frozen (~0.11 Rn) limits
+        # (with margin for the coarse grid)
+        assert 0.01 < d / 0.3 < 0.20
+
+    def test_chemistry_toggle(self):
+        # chemistry=False must leave the composition frozen everywhere
+        body = Sphere(0.3)
+        grid = blunt_body_grid(body, n_s=13, n_normal=19,
+                               density_ratio=0.15)
+        s = ReactingEulerSolver(grid, "air5")
+        s.set_freestream(1e-3, 4000.0, 240.0, frozen_air5())
+        s.run(n_steps=60, cfl=0.3, chemistry=False)
+        f = s.fields()
+        assert np.allclose(f["y"][..., 0], 0.767, atol=1e-6)
+
+    def test_input_validation(self):
+        body = Sphere(0.3)
+        grid = blunt_body_grid(body, n_s=9, n_normal=11)
+        s = ReactingEulerSolver(grid, "air5")
+        with pytest.raises(InputError):
+            s.set_freestream(1e-3, 4000.0, 240.0, np.zeros(3))
+        with pytest.raises(InputError):
+            s.run(n_steps=1)

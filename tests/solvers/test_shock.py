@@ -1,0 +1,126 @@
+"""Tests for shock and isentropic relations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError
+from repro.solvers.shock import (equilibrium_normal_shock,
+                                 frozen_post_shock_state, isentropic_ratios,
+                                 normal_shock_ideal, oblique_shock_beta,
+                                 pitot_pressure_ideal)
+
+
+class TestNormalShockIdeal:
+    def test_textbook_mach2(self):
+        ns = normal_shock_ideal(2.0)
+        assert ns["p_ratio"] == pytest.approx(4.5)
+        assert ns["rho_ratio"] == pytest.approx(8.0 / 3.0)
+        assert ns["M2"] == pytest.approx(0.5774, rel=1e-4)
+        assert ns["p0_ratio"] == pytest.approx(0.7209, rel=1e-4)
+
+    def test_subsonic_rejected(self):
+        with pytest.raises(InputError):
+            normal_shock_ideal(0.9)
+
+    @given(M=st.floats(min_value=1.01, max_value=30.0))
+    @settings(max_examples=50, deadline=None)
+    def test_entropy_and_compression(self, M):
+        ns = normal_shock_ideal(M)
+        assert ns["p_ratio"] > 1.0
+        assert ns["rho_ratio"] > 1.0
+        assert ns["T_ratio"] > 1.0
+        assert ns["M2"] < 1.0              # subsonic downstream
+        assert ns["p0_ratio"] <= 1.0       # total-pressure loss
+
+    def test_strong_shock_density_limit(self):
+        ns = normal_shock_ideal(100.0)
+        assert ns["rho_ratio"] == pytest.approx(6.0, rel=1e-3)  # (g+1)/(g-1)
+
+    @given(M=st.floats(min_value=1.01, max_value=20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rankine_hugoniot_closure(self, M):
+        # jump ratios must satisfy mass/momentum/energy identically
+        g = 1.4
+        ns = normal_shock_ideal(M, g)
+        r = ns["rho_ratio"]
+        u2_u1 = 1.0 / r
+        # momentum: p2/p1 = 1 + g M^2 (1 - u2/u1)
+        assert ns["p_ratio"] == pytest.approx(
+            1.0 + g * M * M * (1.0 - u2_u1), rel=1e-12)
+
+
+class TestIsentropic:
+    def test_sonic_values(self):
+        r = isentropic_ratios(1.0)
+        assert r["p0_p"] == pytest.approx(1.893, rel=1e-3)
+        assert r["T0_T"] == pytest.approx(1.2)
+
+    def test_pitot_mach5(self):
+        # Rayleigh pitot at M=5: p02/p1 = 32.65
+        p = pitot_pressure_ideal(5.0, 1.0)
+        assert float(p) == pytest.approx(32.65, rel=1e-3)
+
+
+class TestObliqueShock:
+    def test_known_point(self):
+        # M=3, theta=20 deg -> beta ~ 37.76 deg (weak)
+        beta = oblique_shock_beta(3.0, np.deg2rad(20.0))
+        assert np.rad2deg(beta) == pytest.approx(37.76, abs=0.1)
+
+    def test_strong_branch_larger(self):
+        b_w = oblique_shock_beta(3.0, np.deg2rad(20.0), weak=True)
+        b_s = oblique_shock_beta(3.0, np.deg2rad(20.0), weak=False)
+        assert b_s > b_w
+
+    def test_mach_wave_limit(self):
+        beta = oblique_shock_beta(2.0, 0.0)
+        assert beta == pytest.approx(np.arcsin(0.5), rel=1e-9)
+
+    def test_detachment_raises(self):
+        with pytest.raises(InputError):
+            oblique_shock_beta(2.0, np.deg2rad(35.0))  # max ~23 deg at M=2
+
+    def test_subsonic_raises(self):
+        with pytest.raises(InputError):
+            oblique_shock_beta(0.8, 0.1)
+
+
+class TestEquilibriumShock:
+    def test_density_ratio_exceeds_ideal(self, air_gas):
+        # the Fig. 4 physics: equilibrium shocks are much denser
+        rho1, T1, u1 = 1.56e-4, 233.0, 6700.0
+        res = equilibrium_normal_shock(air_gas, rho1, T1, u1)
+        assert 1.0 / res["eps"] > 10.0     # ideal limit is 6
+
+    def test_temperature_far_below_frozen(self, air_gas):
+        rho1, T1, u1 = 1.56e-4, 233.0, 6700.0
+        res = equilibrium_normal_shock(air_gas, rho1, T1, u1)
+        frozen = frozen_post_shock_state(rho1, T1, u1)
+        assert res["T2"] < 0.4 * frozen["T2"]
+
+    def test_rankine_hugoniot_conservation(self, air_gas):
+        rho1, T1, u1 = 1e-3, 250.0, 5000.0
+        res = equilibrium_normal_shock(air_gas, rho1, T1, u1)
+        # mass
+        m1 = rho1 * u1
+        m2 = res["rho2"] * res["u2"]
+        assert m2 == pytest.approx(m1, rel=1e-8)
+        # momentum
+        mom1 = res["p1"] + rho1 * u1**2
+        mom2 = res["p2"] + res["rho2"] * res["u2"] ** 2
+        assert mom2 == pytest.approx(mom1, rel=1e-8)
+        # energy
+        h2 = float(air_gas.mix.h_mass(np.array(res["T2"]), res["y2"]))
+        assert h2 + 0.5 * res["u2"] ** 2 == pytest.approx(
+            res["h1"] + 0.5 * u1**2, rel=1e-6)
+
+    def test_downstream_composition_is_equilibrium(self, air_gas):
+        res = equilibrium_normal_shock(air_gas, 1e-3, 250.0, 6000.0)
+        y_eq = air_gas.composition_rho_T(np.array(res["rho2"]),
+                                         np.array(res["T2"]))
+        assert np.allclose(res["y2"], y_eq, atol=1e-8)
+
+    def test_subsonic_rejected(self, air_gas):
+        with pytest.raises(InputError):
+            equilibrium_normal_shock(air_gas, 1.0, 300.0, 100.0)

@@ -1,0 +1,122 @@
+"""Integration tests for the VSL and PNS solvers."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere import EarthAtmosphere, TitanAtmosphere
+from repro.errors import InputError
+from repro.geometry import OrbiterWindwardProfile
+from repro.solvers.pns import WindwardHeatingPNS
+from repro.solvers.vsl import StagnationVSL
+
+
+@pytest.fixture(scope="module")
+def titan_vsl_solution(titan_gas):
+    vsl = StagnationVSL(titan_gas, nose_radius=0.64)
+    atm = TitanAtmosphere()
+    h = 287e3
+    return vsl.solve(rho_inf=float(atm.density(h)),
+                     T_inf=float(atm.temperature(h)), V=10000.0,
+                     T_wall=1800.0, n_profile=50, n_lambda=150)
+
+
+class TestVSL:
+    def test_heating_magnitudes(self, titan_vsl_solution):
+        s = titan_vsl_solution
+        # hundreds of W/cm^2 convective; nonzero radiative
+        assert 5e5 < s.q_conv < 2e7
+        assert s.q_rad > 1e4
+
+    def test_standoff_centimetre_scale(self, titan_vsl_solution):
+        assert 0.005 < titan_vsl_solution.standoff < 0.08
+
+    def test_profile_monotonic_geometry(self, titan_vsl_solution):
+        s = titan_vsl_solution
+        assert s.y[0] == 0.0
+        assert np.all(np.diff(s.y) > 0)
+
+    def test_wall_and_edge_temperatures(self, titan_vsl_solution):
+        s = titan_vsl_solution
+        assert s.T[0] == pytest.approx(1800.0, rel=0.1)
+        assert s.T[-1] > 6000.0
+
+    def test_composition_profile_spans_regimes(self, titan_vsl_solution,
+                                               titan9):
+        x = titan_vsl_solution.mole_fractions(titan9)
+        # CN exists somewhere in the layer (the Titan radiator)
+        assert x[:, titan9.index["CN"]].max() > 1e-6
+        # compositions are normalised
+        assert np.allclose(x.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_radiative_spectrum_attached(self, titan_vsl_solution):
+        s = titan_vsl_solution
+        assert s.q_rad_spectrum is not None
+        assert s.q_rad_spectrum.shape == s.wavelengths.shape
+        # CN violet feature in the wall flux spectrum
+        i_violet = np.argmin(np.abs(s.wavelengths - 0.388e-6))
+        assert s.q_rad_spectrum[i_violet] > 0
+
+    def test_invalid_nose_radius(self, titan_gas):
+        with pytest.raises(InputError):
+            StagnationVSL(titan_gas, nose_radius=-1.0)
+
+
+@pytest.fixture(scope="module")
+def sts3_point():
+    atm = EarthAtmosphere()
+    return dict(rho_inf=float(atm.density(71300.0)),
+                T_inf=float(atm.temperature(71300.0)), V=6740.0,
+                T_wall=1100.0)
+
+
+class TestPNS:
+    def test_ideal_mode_stagnation_magnitude(self, sts3_point):
+        body = OrbiterWindwardProfile(40.0, 1.3)
+        res = WindwardHeatingPNS(body, gamma=1.2).solve(
+            n_stations=25, **sts3_point)
+        # tens of W/cm^2 at the STS-3 point
+        assert 1e5 < res.q_stag < 1e6
+
+    def test_equilibrium_mode(self, sts3_point, air_gas):
+        body = OrbiterWindwardProfile(40.0, 1.3)
+        res = WindwardHeatingPNS(body, gas=air_gas).solve(
+            n_stations=25, **sts3_point)
+        assert res.mode == "equilibrium"
+        assert 1e5 < res.q_stag < 1e6
+        # x/L spans the body
+        assert res.x_over_L[0] == pytest.approx(0.0, abs=1e-6)
+        assert res.x_over_L[-1] > 0.9
+
+    def test_heating_decays_downstream(self, sts3_point, air_gas):
+        body = OrbiterWindwardProfile(40.0, 1.3)
+        res = WindwardHeatingPNS(body, gas=air_gas).solve(
+            n_stations=25, **sts3_point)
+        q1 = np.interp(0.1, res.x_over_L, res.q)
+        q2 = np.interp(0.6, res.x_over_L, res.q)
+        assert q1 > 1.5 * q2
+
+    def test_catalysis_reduces_heating(self, sts3_point, air_gas):
+        body = OrbiterWindwardProfile(40.0, 1.3)
+        pns = WindwardHeatingPNS(body, gas=air_gas)
+        full = pns.solve(n_stations=15, **sts3_point)
+        part = pns.solve(n_stations=15, catalytic_phi=0.1, **sts3_point)
+        assert np.all(part.q < full.q)
+        assert part.q[0] < 0.7 * full.q[0]
+
+    def test_edge_expansion_consistency(self, sts3_point, air_gas):
+        body = OrbiterWindwardProfile(40.0, 1.3)
+        res = WindwardHeatingPNS(body, gas=air_gas).solve(
+            n_stations=25, **sts3_point)
+        # edge velocity rises through the nose expansion and holds on the
+        # constant-angle ramp (p_e constant there by modified Newtonian)
+        assert res.u_e[-1] >= res.u_e[1]
+        assert res.u_e[1] > res.u_e[0]
+        assert res.p_e[-1] < res.p_e[0]
+        # edge temperature below stagnation everywhere off the nose
+        assert np.all(res.T_e[1:] < res.T_e[0] + 1.0)
+
+    def test_invalid_velocity(self, air_gas):
+        body = OrbiterWindwardProfile(40.0, 1.3)
+        with pytest.raises(InputError):
+            WindwardHeatingPNS(body, gas=air_gas).solve(
+                rho_inf=1e-4, T_inf=220.0, V=-5.0)

@@ -1,0 +1,117 @@
+"""Tests for the high-level API facade and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core import (heat_pulse, make_gas, stagnation_environment,
+                        windward_heating)
+from repro.errors import InputError
+
+
+class TestMakeGas:
+    def test_named_models(self):
+        for name, major in (("equilibrium-air", "N2"), ("titan", "N2"),
+                            ("jupiter", "H2")):
+            gas = make_gas(name)
+            assert gas.y_ref[gas.db.index[major]] > 0.5
+
+    def test_unknown_raises(self):
+        with pytest.raises(InputError):
+            make_gas("venusian-sulfur")
+
+
+class TestStagnationEnvironment:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return stagnation_environment(V=6700.0, h=65500.0,
+                                      nose_radius=1.3)
+
+    def test_cross_validates_with_sutton_graves(self, env):
+        from repro.atmosphere import EarthAtmosphere
+        from repro.heating import sutton_graves_heating
+        atm = EarthAtmosphere()
+        q_sg = float(sutton_graves_heating(atm.density(65500.0), 6700.0,
+                                           1.3))
+        # two independent routes to the same number: VSL similarity vs
+        # the design correlation
+        assert env["q_conv"] == pytest.approx(q_sg, rel=0.35)
+
+    def test_standoff_consistent_with_euler_solver(self, env):
+        # the Fig. 4 equilibrium standoff on the same body was ~6 cm
+        assert 0.03 < env["standoff"] < 0.10
+
+    def test_profiles_shape(self, env):
+        p = env["profiles"]
+        assert p["T"].shape == p["y"].shape
+        assert p["composition"].shape[0] == p["y"].shape[0]
+
+    def test_radiation_small_at_6p7kms(self, env):
+        # air radiation is minor below ~9 km/s
+        assert env["q_rad"] < 0.2 * env["q_conv"]
+
+    def test_jupiter_entry_path(self):
+        # Galileo-class: H2 dissociation buffers the shock-layer
+        # temperature far below the frozen value even at 15 km/s
+        from repro.atmosphere import JupiterAtmosphere
+        env = stagnation_environment(V=15000.0, h=150e3,
+                                     nose_radius=0.35, gas="jupiter",
+                                     atmosphere=JupiterAtmosphere(),
+                                     T_wall=2500.0)
+        assert env["q_conv"] > 1e6
+        assert env["T_edge"] < 8000.0   # vs ~30000 K frozen
+
+
+class TestWindwardHeating:
+    def test_ideal_gas_string_spec(self):
+        res = windward_heating(V=6740.0, h=71300.0, alpha_deg=40.0,
+                               gas="ideal:1.2", n_stations=15)
+        assert res["q_stag"] > 1e5
+        assert res["q"].shape == res["x_over_L"].shape
+
+    def test_catalysis_parameter(self, air_gas):
+        full = windward_heating(V=6740.0, h=71300.0, alpha_deg=40.0,
+                                gas=air_gas, n_stations=12)
+        part = windward_heating(V=6740.0, h=71300.0, alpha_deg=40.0,
+                                gas=air_gas, n_stations=12,
+                                catalytic_phi=0.2)
+        assert part["q_stag"] == full["q_stag"]  # stag value pre-factor
+        assert np.all(part["q"] < full["q"])
+
+
+class TestHeatPulse:
+    def test_aotv_pulse(self):
+        from repro.atmosphere import EarthAtmosphere
+        from repro.trajectory import AOTV, integrate_entry
+        tr = integrate_entry(AOTV, EarthAtmosphere(), h0=122e3,
+                             V0=9800.0, gamma0_deg=-4.7, t_max=1200.0)
+        pulse = heat_pulse(tr, AOTV.nose_radius)
+        assert pulse["heat_load"] > 0
+        assert pulse["peak"]["q"] == pulse["q_total"].max()
+        # peak heating near perigee
+        assert abs(pulse["peak"]["h"] - tr.h.min()) < 20e3
+
+    def test_titan_key_disables_air_radiation(self):
+        from repro.atmosphere import TitanAtmosphere
+        from repro.trajectory import TITAN_PROBE, integrate_entry
+        tr = integrate_entry(TITAN_PROBE, TitanAtmosphere(), h0=800e3,
+                             V0=12000.0, gamma0_deg=-40.0,
+                             V_stop=1000.0)
+        pulse = heat_pulse(tr, 0.64, atmosphere_key="titan")
+        assert np.all(pulse["q_rad"] == 0.0)
+        assert pulse["q_conv"].max() > 1e5
+
+
+class TestCLI:
+    def test_overview(self, capsys):
+        from repro.__main__ import main
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "sanity" in out
+
+    def test_unknown_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["teleport"]) == 2
+
+    def test_stagnation_usage(self, capsys):
+        from repro.__main__ import main
+        assert main(["stagnation", "1"]) == 2

@@ -1,0 +1,162 @@
+"""Failure-injection tests: the library must fail loudly and typed.
+
+Every deliberate error path raises a :class:`repro.errors.CatError`
+subclass with diagnostic payload — never a bare numpy warning or a
+silent NaN field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (CatError, ConvergenceError, InputError,
+                          StabilityError)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_cat_errors(self):
+        for exc in (ConvergenceError("x"), InputError("x"),
+                    StabilityError("x")):
+            assert isinstance(exc, CatError)
+
+    def test_convergence_error_payload(self):
+        e = ConvergenceError("failed", iterations=42, residual=1e-3)
+        assert e.iterations == 42
+        assert e.residual == 1e-3
+
+    def test_stability_error_payload(self):
+        e = StabilityError("boom", step=7)
+        assert e.step == 7
+
+    def test_input_error_is_value_error(self):
+        # so generic callers catching ValueError still work
+        assert isinstance(InputError("x"), ValueError)
+
+
+class TestSolverBlowupDetection:
+    def test_euler2d_detects_nan_state(self):
+        from repro.core.gas import IdealGasEOS
+        from repro.geometry import Hemisphere
+        from repro.grid import blunt_body_grid
+        from repro.solvers.euler2d import AxisymmetricEulerSolver
+        body = Hemisphere(1.0)
+        grid = blunt_body_grid(body, n_s=11, n_normal=11)
+        s = AxisymmetricEulerSolver(grid, IdealGasEOS(1.4))
+        s.set_freestream(0.01, 2000.0, 700.0)
+        s.U[3, 3, 0] = np.nan
+        with pytest.raises(StabilityError):
+            s.step(0.4)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_euler1d_detects_blowup_from_huge_cfl(self):
+        # overflow warnings en route to the StabilityError are the point
+        from repro.solvers.euler1d import Euler1DSolver
+        x = np.linspace(0.0, 1.0, 51)
+        xc = 0.5 * (x[1:] + x[:-1])
+        s = Euler1DSolver(x)
+        s.set_initial(np.where(xc < 0.5, 1.0, 0.125), 0.0,
+                      np.where(xc < 0.5, 1.0, 0.1))
+        with pytest.raises(StabilityError):
+            for _ in range(200):
+                s.step(0.5)   # dt >> CFL limit for dx = 0.02
+
+    def test_vsl_grid_rejects_negative_radius_cells(self):
+        from repro.errors import GridError
+        from repro.grid.structured import StructuredGrid2D
+        x, y = np.meshgrid(np.linspace(0, 1, 4), np.linspace(-0.5, 0.5, 4),
+                           indexing="ij")
+        g = StructuredGrid2D(x, y)
+        with pytest.raises(GridError):
+            g.axisymmetric_volumes()
+
+
+class TestEquilibriumSolverRobustness:
+    def test_unreachable_energy_raises_convergence_error(self, air_gas):
+        # requesting e far above the single-ionization model's reach
+        with pytest.raises(ConvergenceError):
+            air_gas.state_rho_e(np.array([10.0]), np.array([5e9]))
+
+    def test_negative_density_raises_input_error(self, air_gas):
+        with pytest.raises(InputError):
+            air_gas.composition_rho_T(np.array([-0.1]), np.array([300.0]))
+
+    def test_shock_below_sound_speed(self, air_gas):
+        from repro.solvers.shock import equilibrium_normal_shock
+        with pytest.raises(InputError):
+            equilibrium_normal_shock(air_gas, 1.0, 300.0, 10.0)
+
+
+class TestAdaptationOnPhysics:
+    def test_adapt_concentrates_points_in_relaxation_front(self):
+        """Solution-adaptive redistribution on a relaxation-zone-like
+        temperature profile (the paper's grid-adaptation challenge)."""
+        from repro.grid.adaptation import adapt_1d, gradient_weight
+        x = np.linspace(0.0, 0.02, 200)
+        # frozen-shock relaxation shape: sharp exponential decay near 0
+        T = 9000.0 + 39000.0 * np.exp(-x / 5e-4)
+        w = gradient_weight(x, T, alpha=4.0)
+        x2 = adapt_1d(x, w)
+        n_front_before = np.count_nonzero(x < 1e-3)
+        n_front_after = np.count_nonzero(x2 < 1e-3)
+        assert n_front_after > 2 * n_front_before
+        assert np.all(np.diff(x2) > 0)
+
+
+class TestVSLRadiativeCoolingAblation:
+    @pytest.fixture(scope="class")
+    def solutions(self, titan_gas):
+        from repro.atmosphere import TitanAtmosphere
+        from repro.solvers.vsl import StagnationVSL
+        vsl = StagnationVSL(titan_gas, nose_radius=0.64)
+        atm = TitanAtmosphere()
+        h = 287e3
+        kw = dict(rho_inf=float(atm.density(h)),
+                  T_inf=float(atm.temperature(h)), V=10500.0,
+                  T_wall=1800.0, n_profile=40, n_lambda=120)
+        cooled = vsl.solve(radiative_cooling=True, **kw)
+        uncooled = vsl.solve(radiative_cooling=False, **kw)
+        return cooled, uncooled
+
+    def test_cooling_reduces_radiative_flux(self, solutions):
+        cooled, uncooled = solutions
+        assert cooled.q_rad <= uncooled.q_rad
+
+    def test_cooling_does_not_change_convection(self, solutions):
+        cooled, uncooled = solutions
+        assert cooled.q_conv == pytest.approx(uncooled.q_conv, rel=1e-12)
+
+
+class TestMixtureEntropy:
+    def test_entropy_increases_with_T(self, air_gas, air11):
+        y = air_gas.y_ref
+        s1 = float(air_gas.mix.s_mass(np.array(300.0), np.array(1e5), y))
+        s2 = float(air_gas.mix.s_mass(np.array(1000.0), np.array(1e5), y))
+        assert s2 > s1
+
+    def test_entropy_decreases_with_p(self, air_gas):
+        y = air_gas.y_ref
+        s1 = float(air_gas.mix.s_mass(np.array(500.0), np.array(1e4), y))
+        s2 = float(air_gas.mix.s_mass(np.array(500.0), np.array(1e6), y))
+        assert s1 > s2
+        # ideal-gas: ds = -R ln(p2/p1)
+        from repro.constants import R_UNIVERSAL
+        R_mix = float(air_gas.mix.gas_constant(y))
+        assert s1 - s2 == pytest.approx(R_mix * np.log(100.0), rel=1e-6)
+
+    def test_air_entropy_magnitude(self, air_gas):
+        # standard air entropy at 298 K, 1 bar: ~6860 J/(kg K)
+        s = float(air_gas.mix.s_mass(np.array(298.15), np.array(1e5),
+                                     air_gas.y_ref))
+        assert s == pytest.approx(6860.0, rel=0.02)
+
+    def test_isentrope_consistency_with_pns_expansion(self, air_gas):
+        # expanding isentropically and re-evaluating s returns the same s
+        from repro.geometry import OrbiterWindwardProfile
+        from repro.solvers.pns import WindwardHeatingPNS
+        body = OrbiterWindwardProfile(40.0, 1.3)
+        pns = WindwardHeatingPNS(body, gas=air_gas)
+        s_target = 9000.0
+        T = pns._T_of_s_p(s_target, 2000.0, 4000.0)
+        y, _ = air_gas.composition_T_p(np.array(T), np.array(2000.0))
+        s_back = float(air_gas.mix.s_mass(np.array(T), np.array(2000.0),
+                                          y))
+        assert s_back == pytest.approx(s_target, rel=1e-6)

@@ -1,0 +1,172 @@
+"""Tests for axisymmetric body geometries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError
+from repro.geometry import (Biconic, Hemisphere, OrbiterWindwardProfile,
+                            Sphere, SphereCone)
+from repro.geometry.orbiter import (ORBITER_LENGTH, orbiter_cross_sections,
+                                    orbiter_planform)
+
+
+class TestSphere:
+    def test_stagnation_point(self):
+        s = Sphere(0.5)
+        x, r = s.point(0.0)
+        assert float(x) == 0.0 and float(r) == 0.0
+        assert float(s.angle(0.0)) == pytest.approx(np.pi / 2)
+
+    def test_equator(self):
+        s = Sphere(1.0)
+        x, r = s.point(np.pi / 2)  # quarter arc
+        assert float(x) == pytest.approx(1.0)
+        assert float(r) == pytest.approx(1.0)
+        assert float(s.angle(np.pi / 2)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_curvature(self):
+        s = Sphere(2.0)
+        ss = s.arc_grid(10)
+        assert np.allclose(s.curvature(ss), 0.5)
+
+    def test_invalid(self):
+        with pytest.raises(InputError):
+            Sphere(-1.0)
+
+    @given(phi=st.floats(min_value=0.0, max_value=np.pi / 2))
+    @settings(max_examples=30, deadline=None)
+    def test_on_circle(self, phi):
+        rn = 1.7
+        s = Sphere(rn)
+        x, r = s.point(rn * phi)
+        assert (x - rn) ** 2 + r**2 == pytest.approx(rn**2, rel=1e-12)
+
+
+class TestArcLengthConsistency:
+    """|d(point)/ds| == 1 for an arc-length parameterisation."""
+
+    @pytest.mark.parametrize("body", [
+        Sphere(0.7),
+        SphereCone(0.5, 45.0, 3.0),
+        Biconic(0.3, 25.0, 2.0, 10.0, 3.0),
+        OrbiterWindwardProfile(40.0),
+    ])
+    def test_unit_speed(self, body):
+        s = np.linspace(1e-4, body.s_max * 0.999, 400)
+        x, r = body.point(s)
+        ds = np.gradient(s)
+        speed = np.sqrt(np.gradient(x) ** 2 + np.gradient(r) ** 2) / ds
+        # interior points (away from slope discontinuities) are unit speed
+        assert np.median(np.abs(speed - 1.0)) < 1e-3
+
+    @pytest.mark.parametrize("body", [
+        Sphere(0.7),
+        SphereCone(0.5, 45.0, 3.0),
+        OrbiterWindwardProfile(40.0),
+    ])
+    def test_tangent_matches_angle(self, body):
+        # dense sampling: the nose region is a small fraction of long
+        # bodies and needs resolution for the finite-difference tangent
+        s = np.linspace(1e-3, body.s_max * 0.99, 4000)
+        x, r = body.point(s)
+        theta = body.angle(s)
+        dx = np.gradient(x, s)
+        dr = np.gradient(r, s)
+        # the surface inclination satisfies tan(theta) = dr/dx away from
+        # the stagnation point (theta -> pi/2)
+        interior = np.abs(theta - np.pi / 2) > 0.15
+        assert np.allclose(np.arctan2(dr[interior], dx[interior]),
+                           theta[interior], atol=0.02)
+
+
+class TestSphereCone:
+    def test_tangency_continuity(self):
+        sc = SphereCone(0.64, 60.0, 1.0)
+        s_t = sc._s_t
+        eps = 1e-9
+        x1, r1 = sc.point(s_t - eps)
+        x2, r2 = sc.point(s_t + eps)
+        assert float(x1) == pytest.approx(float(x2), abs=1e-6)
+        assert float(r1) == pytest.approx(float(r2), abs=1e-6)
+        # angle continuous at tangency
+        assert float(sc.angle(s_t - eps)) == pytest.approx(
+            float(sc.angle(s_t + eps)), abs=1e-6)
+
+    def test_cone_angle_on_flank(self):
+        sc = SphereCone(0.64, 60.0, 1.0)
+        assert float(sc.angle(sc.s_max * 0.99)) == pytest.approx(
+            np.deg2rad(60.0))
+
+    def test_length_respected(self):
+        sc = SphereCone(0.2, 30.0, 2.0)
+        x_end, _ = sc.point(sc.s_max)
+        assert float(x_end) == pytest.approx(2.0, rel=1e-9)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(InputError):
+            SphereCone(0.5, 95.0, 2.0)
+        with pytest.raises(InputError):
+            SphereCone(1.0, 45.0, 0.1)  # shorter than the cap
+
+
+class TestBiconic:
+    def test_angle_sequence(self):
+        b = Biconic(0.3, 25.0, 2.0, 10.0, 3.0)
+        assert float(b.angle(1e-6)) == pytest.approx(np.pi / 2, rel=1e-3)
+        assert float(b.angle(b._s1 * 0.9)) == pytest.approx(
+            np.deg2rad(25.0))
+        assert float(b.angle(b.s_max * 0.99)) == pytest.approx(
+            np.deg2rad(10.0))
+
+    def test_invalid_ordering(self):
+        with pytest.raises(InputError):
+            Biconic(0.3, 10.0, 2.0, 25.0, 3.0)
+
+    def test_radius_monotone(self):
+        b = Biconic(0.3, 25.0, 2.0, 10.0, 3.0)
+        s = np.linspace(0, b.s_max, 200)
+        assert np.all(np.diff(b.radius(s)) > -1e-12)
+
+
+class TestOrbiterProfile:
+    def test_x_over_L_range(self):
+        o = OrbiterWindwardProfile(40.0)
+        s = np.linspace(0, o.s_max, 100)
+        xl = o.x_over_L(s)
+        assert xl[0] == pytest.approx(0.0)
+        assert xl[-1] == pytest.approx(1.0, rel=1e-9)
+
+    def test_s_at_x_roundtrip(self):
+        o = OrbiterWindwardProfile(30.0)
+        s = np.linspace(1e-3, o.s_max, 50)
+        x, _ = o.point(s)
+        s2 = o.s_at_x(x)
+        assert np.allclose(s2, s, rtol=1e-9, atol=1e-9)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(InputError):
+            OrbiterWindwardProfile(0.0)
+        with pytest.raises(InputError):
+            OrbiterWindwardProfile(90.0)
+
+    def test_ramp_angle_equals_alpha(self):
+        o = OrbiterWindwardProfile(35.0)
+        assert float(o.angle(o.s_max * 0.9)) == pytest.approx(
+            np.deg2rad(35.0))
+
+
+class TestOrbiterOutline:
+    def test_planform_dimensions(self):
+        x, y = orbiter_planform()
+        assert x.max() == pytest.approx(ORBITER_LENGTH, rel=1e-9)
+        # half span ~ 11.9 m
+        assert y.max() == pytest.approx(0.363 * ORBITER_LENGTH, rel=1e-9)
+        assert np.all(y >= 0.0)
+
+    def test_cross_sections(self):
+        secs = orbiter_cross_sections()
+        assert len(secs) == 5
+        for xl, y, z in secs:
+            assert 0 < xl < 1
+            assert y.shape == z.shape

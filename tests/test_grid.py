@@ -1,0 +1,168 @@
+"""Tests for grid stretching, structured metrics and adaptation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GridError
+from repro.geometry import Hemisphere, Sphere
+from repro.grid import (StructuredGrid2D, adapt_1d, blunt_body_grid,
+                        geometric_stretch, normal_ray_grid, roberts_cluster,
+                        tanh_cluster)
+from repro.grid.adaptation import gradient_weight
+
+
+class TestStretching:
+    @pytest.mark.parametrize("fn,kw", [
+        (tanh_cluster, {"beta": 2.0}),
+        (tanh_cluster, {"beta": 3.0, "end": "max"}),
+        (tanh_cluster, {"beta": 3.0, "end": "both"}),
+        (roberts_cluster, {"beta": 1.05}),
+        (geometric_stretch, {"ratio": 1.2}),
+    ])
+    def test_endpoints_and_monotonicity(self, fn, kw):
+        s = fn(41, **kw)
+        assert s[0] == 0.0 and s[-1] == 1.0
+        assert np.all(np.diff(s) > 0)
+
+    def test_tanh_min_clusters_at_wall(self):
+        s = tanh_cluster(50, beta=3.0, end="min")
+        assert s[1] - s[0] < (1.0 / 49) / 3
+
+    def test_zero_beta_uniform(self):
+        s = tanh_cluster(11, beta=0.0)
+        assert np.allclose(np.diff(s), 0.1)
+
+    def test_geometric_ratio_exact(self):
+        s = geometric_stretch(20, ratio=1.3)
+        d = np.diff(s)
+        assert np.allclose(d[1:] / d[:-1], 1.3, rtol=1e-10)
+
+    def test_invalid(self):
+        with pytest.raises(GridError):
+            tanh_cluster(1)
+        with pytest.raises(GridError):
+            roberts_cluster(10, beta=0.9)
+        with pytest.raises(GridError):
+            tanh_cluster(10, end="sideways")
+
+
+class TestStructuredGrid:
+    def test_cartesian_unit_cells(self):
+        x, y = np.meshgrid(np.arange(4.0), np.arange(3.0), indexing="ij")
+        g = StructuredGrid2D(x, y)
+        assert g.ni == 3 and g.nj == 2
+        assert np.allclose(g.area, 1.0)
+        assert np.allclose(g.face_length_i, 1.0)
+        assert np.allclose(g.face_length_j, 1.0)
+
+    def test_metric_identity_cartesian(self):
+        x, y = np.meshgrid(np.linspace(0, 2, 7), np.linspace(0, 1, 5),
+                           indexing="ij")
+        g = StructuredGrid2D(x, y)
+        assert g.metric_identity_residual() < 1e-14
+
+    def test_metric_identity_curvilinear(self):
+        # polar-ish grid: the telescoping identity must still hold exactly
+        r = np.linspace(1.0, 2.0, 8)
+        th = np.linspace(0.0, np.pi / 3, 10)
+        R, TH = np.meshgrid(r, th, indexing="ij")
+        g = StructuredGrid2D(R * np.cos(TH), R * np.sin(TH))
+        assert g.metric_identity_residual() < 1e-13
+
+    def test_total_area_preserved(self):
+        # annular sector area check
+        r = np.linspace(1.0, 2.0, 40)
+        th = np.linspace(0.0, np.pi / 2, 60)
+        R, TH = np.meshgrid(r, th, indexing="ij")
+        g = StructuredGrid2D(R * np.cos(TH), R * np.sin(TH))
+        exact = 0.5 * (2.0**2 - 1.0**2) * (np.pi / 2)
+        assert g.area.sum() == pytest.approx(exact, rel=1e-3)
+
+    def test_degenerate_cell_rejected(self):
+        x, y = np.meshgrid(np.arange(3.0), np.arange(3.0), indexing="ij")
+        x[1, 1] = x[0, 1]  # collapse: makes a zero/negative-area cell?
+        y2 = y.copy()
+        y2[1, 1] = y2[1, 0]
+        # fully collapse one cell corner onto another to force area ~ 0
+        x3 = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        y3 = np.array([[0.0, 1.0], [0.0, 1.0], [0.0, 1.0]])
+        with pytest.raises(GridError):
+            StructuredGrid2D(x3, y3)
+
+    def test_shape_validation(self):
+        with pytest.raises(GridError):
+            StructuredGrid2D(np.zeros((3, 3)), np.zeros((3, 4)))
+        with pytest.raises(GridError):
+            StructuredGrid2D(np.zeros(3), np.zeros(3))
+
+    def test_axisymmetric_volumes_positive(self):
+        body = Sphere(1.0)
+        g = normal_ray_grid(body, n_s=12, n_normal=8, offset=0.4)
+        vol = g.axisymmetric_volumes()
+        assert np.all(vol > 0)
+
+
+class TestBluntBodyGrid:
+    def test_wall_nodes_on_body(self):
+        body = Hemisphere(1.0)
+        g = normal_ray_grid(body, n_s=21, n_normal=11, offset=0.5)
+        s = body.arc_grid(21)
+        xb, rb = body.point(s)
+        assert np.allclose(g.x[:, 0], xb, atol=1e-12)
+        assert np.allclose(g.y[:, 0], rb, atol=1e-12)
+
+    def test_outer_boundary_upstream_of_nose(self):
+        body = Hemisphere(1.0)
+        g = blunt_body_grid(body, n_s=31, n_normal=21, density_ratio=0.12)
+        # stagnation ray: outer x < 0 (ahead of the nose at x=0)
+        assert g.x[0, -1] < 0.0
+
+    def test_grid_valid_cells(self):
+        body = Hemisphere(0.5)
+        g = blunt_body_grid(body, n_s=41, n_normal=31)
+        assert np.all(g.area > 0)
+        assert g.metric_identity_residual() < 1e-12
+
+    def test_wall_clustering(self):
+        body = Hemisphere(1.0)
+        g = normal_ray_grid(body, n_s=5, n_normal=40, offset=0.5,
+                            wall_cluster_beta=3.0)
+        d_wall = np.hypot(g.x[0, 1] - g.x[0, 0], g.y[0, 1] - g.y[0, 0])
+        d_out = np.hypot(g.x[0, -1] - g.x[0, -2], g.y[0, -1] - g.y[0, -2])
+        assert d_wall < d_out / 3
+
+
+class TestAdaptation:
+    def test_uniform_weight_is_identity(self):
+        x = np.linspace(0, 1, 30)
+        x2 = adapt_1d(x, np.ones_like(x))
+        assert np.allclose(x2, x, atol=1e-12)
+
+    def test_clusters_at_gradient(self):
+        x = np.linspace(0, 1, 101)
+        f = np.tanh((x - 0.5) / 0.02)   # sharp front at 0.5
+        w = gradient_weight(x, f, alpha=5.0)
+        x2 = adapt_1d(x, w)
+        # more points in [0.45, 0.55] than before
+        n_before = np.count_nonzero((x > 0.45) & (x < 0.55))
+        n_after = np.count_nonzero((x2 > 0.45) & (x2 < 0.55))
+        assert n_after > 2 * n_before
+
+    def test_endpoints_fixed(self):
+        x = np.linspace(2.0, 5.0, 40)
+        w = 1.0 + np.exp(-((x - 3.0) / 0.1) ** 2)
+        x2 = adapt_1d(x, w)
+        assert x2[0] == 2.0 and x2[-1] == 5.0
+        assert np.all(np.diff(x2) > 0)
+
+    def test_n_new_resampling(self):
+        x = np.linspace(0, 1, 50)
+        x2 = adapt_1d(x, np.ones_like(x), n_new=80)
+        assert x2.size == 80
+
+    def test_invalid(self):
+        with pytest.raises(GridError):
+            adapt_1d(np.array([0.0, 0.0, 1.0]), np.ones(3))
+        with pytest.raises(GridError):
+            adapt_1d(np.linspace(0, 1, 5), np.zeros(5))

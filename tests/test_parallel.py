@@ -1,0 +1,127 @@
+"""Tests for the domain-decomposition / shared-memory parallel substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError
+from repro.parallel import (SharedMemoryStencilPool, exchange_halos_inplace,
+                            partition_1d, with_halo)
+from repro.parallel.halo import strip_halo
+
+
+class TestPartition:
+    @given(n=st.integers(min_value=8, max_value=5000),
+           p=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_covers_domain_exactly(self, n, p):
+        blocks = partition_1d(n, p)
+        assert blocks[0].lo == 0
+        assert blocks[-1].hi == n
+        for a, b in zip(blocks[:-1], blocks[1:]):
+            assert a.hi == b.lo                      # contiguous
+        sizes = [b.n_owned for b in blocks]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1          # balanced
+
+    def test_invalid(self):
+        with pytest.raises(InputError):
+            partition_1d(4, 8)
+        with pytest.raises(InputError):
+            partition_1d(10, 0)
+
+    def test_padding_clamped_at_edges(self):
+        blocks = partition_1d(10, 2, halo=2)
+        assert blocks[0].padded_lo == 0
+        assert blocks[-1].padded_hi == 10
+        assert blocks[0].padded_hi == blocks[0].hi + 2
+
+    def test_owned_slice_alignment(self):
+        blocks = partition_1d(12, 3, halo=1)
+        g = np.arange(12.0)
+        for blk in blocks:
+            local = with_halo(g, blk)
+            owned = strip_halo(local, blk)
+            assert np.array_equal(owned, g[blk.lo:blk.hi])
+
+
+class TestHaloExchange:
+    def test_ghost_rows_match_neighbours(self):
+        g = np.arange(20.0).reshape(20, 1) * np.ones((1, 3))
+        blocks = partition_1d(20, 4, halo=1)
+        locals_ = [with_halo(g, b) for b in blocks]
+        # scramble ghosts, then exchange must restore them
+        for loc, b in zip(locals_, blocks):
+            if b.has_left:
+                loc[0] = -99.0
+            if b.has_right:
+                loc[-1] = -99.0
+        exchange_halos_inplace(locals_, blocks)
+        for loc, b in zip(locals_, blocks):
+            rebuilt = with_halo(g, b)
+            assert np.array_equal(loc, rebuilt)
+
+    def test_mismatched_lists(self):
+        blocks = partition_1d(10, 2)
+        with pytest.raises(InputError):
+            exchange_halos_inplace([np.zeros(5)], blocks)
+
+
+class TestPoolCorrectness:
+    def test_heat_parallel_equals_serial(self, rng):
+        U0 = rng.random((120, 60))
+        pool = SharedMemoryStencilPool("heat5", n_workers=3)
+        u_par, _ = pool.run(U0, 25, {"r": 0.2})
+        u_ser, _ = pool.run_serial(U0, 25, {"r": 0.2})
+        assert np.array_equal(u_par, u_ser)
+
+    def test_heat_conserves_interior_physics(self, rng):
+        # diffusion smooths: variance decreases
+        U0 = rng.random((80, 40))
+        pool = SharedMemoryStencilPool("heat5", n_workers=2)
+        u, _ = pool.run(U0, 60, {"r": 0.2})
+        assert u[1:-1, 1:-1].var() < U0[1:-1, 1:-1].var()
+
+    def test_euler_kernel_matches_serial_and_physics(self):
+        # Sod tube through the parallel kernel
+        n = 200
+        xc = (np.arange(n) + 0.5) / n
+        U0 = np.zeros((n, 3))
+        rho = np.where(xc < 0.5, 1.0, 0.125)
+        p = np.where(xc < 0.5, 1.0, 0.1)
+        U0[:, 0] = rho
+        U0[:, 2] = p / 0.4
+        dt_dx = 0.2  # dt/dx with dt ~ 0.001, dx = 0.005
+        pool = SharedMemoryStencilPool("euler1d_hlle", n_workers=2)
+        u_par, _ = pool.run(U0, 40, {"dt_dx": dt_dx})
+        u_ser, _ = pool.run_serial(U0, 40, {"dt_dx": dt_dx})
+        assert np.allclose(u_par, u_ser, atol=1e-14)
+        # a shock moved right: density between the states appeared
+        assert np.any((u_par[:, 0] > 0.2) & (u_par[:, 0] < 0.9))
+
+    def test_worker_count_one(self, rng):
+        U0 = rng.random((50, 20))
+        pool = SharedMemoryStencilPool("heat5", n_workers=1)
+        u_par, _ = pool.run(U0, 10, {"r": 0.2})
+        u_ser, _ = pool.run_serial(U0, 10, {"r": 0.2})
+        assert np.array_equal(u_par, u_ser)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(InputError):
+            SharedMemoryStencilPool("warp_drive")
+
+    def test_invalid_workers(self):
+        with pytest.raises(InputError):
+            SharedMemoryStencilPool("heat5", n_workers=0)
+
+
+class TestScalingHarness:
+    def test_result_structure(self):
+        from repro.parallel.scaling import run_strong_scaling
+        res = run_strong_scaling(shape=(128, 64), n_steps=4,
+                                 workers=(1, 2))
+        assert len(res.times) == 2
+        assert len(res.speedups) == 2
+        assert all(t > 0 for t in res.times)
+        rows = res.rows()
+        assert rows[0][0] == 1 and len(rows[0]) == 4

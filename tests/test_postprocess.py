@@ -1,0 +1,107 @@
+"""Tests for contour extraction, ASCII plotting, tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.postprocess import (ascii_contour, ascii_plot, contour_lines,
+                               format_table)
+
+
+class TestContours:
+    def test_circle_contour(self):
+        # f = x^2 + y^2: the level-1 contour is the unit circle
+        x, y = np.meshgrid(np.linspace(-2, 2, 80),
+                           np.linspace(-2, 2, 80), indexing="ij")
+        segs = contour_lines(x, y, x**2 + y**2, 1.0)
+        assert len(segs) > 20
+        for (xa, ya), (xb, yb) in segs:
+            assert np.hypot(xa, ya) == pytest.approx(1.0, abs=0.05)
+            assert np.hypot(xb, yb) == pytest.approx(1.0, abs=0.05)
+
+    def test_linear_field_exact(self):
+        # f = x: contour x = 0.5 exactly
+        x, y = np.meshgrid(np.linspace(0, 1, 11), np.linspace(0, 1, 6),
+                           indexing="ij")
+        segs = contour_lines(x, y, x, 0.55)
+        assert segs
+        for (xa, _), (xb, _) in segs:
+            assert xa == pytest.approx(0.55, abs=1e-12)
+            assert xb == pytest.approx(0.55, abs=1e-12)
+
+    def test_no_contour_outside_range(self):
+        x, y = np.meshgrid(np.linspace(0, 1, 5), np.linspace(0, 1, 5),
+                           indexing="ij")
+        assert contour_lines(x, y, x, 5.0) == []
+
+    def test_works_on_curvilinear_grids(self):
+        r = np.linspace(1.0, 2.0, 30)
+        th = np.linspace(0, np.pi / 2, 30)
+        R, TH = np.meshgrid(r, th, indexing="ij")
+        x, y = R * np.cos(TH), R * np.sin(TH)
+        segs = contour_lines(x, y, R, 1.5)
+        for (xa, ya), (xb, yb) in segs:
+            assert np.hypot(xa, ya) == pytest.approx(1.5, abs=0.02)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InputError):
+            contour_lines(np.zeros((3, 3)), np.zeros((3, 3)),
+                          np.zeros((4, 3)), 0.5)
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        x = np.linspace(0, 10, 50)
+        out = ascii_plot([(x, np.sin(x), "sine")], title="T")
+        assert "T" in out and "sine" in out
+        assert "*" in out
+
+    def test_log_axes_drop_nonpositive(self):
+        x = np.array([-1.0, 1.0, 10.0, 100.0])
+        y = np.array([1.0, 1.0, 2.0, 3.0])
+        out = ascii_plot([(x, y)], logx=True)
+        assert "1e" in out
+
+    def test_multiple_series_markers(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_plot([(x, x, "a"), (x, 1 - x, "b")])
+        assert "*" in out and "o" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(InputError):
+            ascii_plot([(np.array([-1.0]), np.array([1.0]))], logx=True)
+
+    def test_constant_series_ok(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_plot([(x, np.ones(5))])
+        assert "*" in out
+
+
+class TestAsciiContour:
+    def test_bands_rendered(self):
+        x, y = np.meshgrid(np.linspace(0, 1, 40), np.linspace(0, 1, 40),
+                           indexing="ij")
+        out = ascii_contour(x, y, x + y, [0.5, 1.0, 1.5])
+        assert "levels" in out
+        assert any(c in out for c in "123")
+
+    def test_size_mismatch(self):
+        with pytest.raises(InputError):
+            ascii_contour(np.zeros(4), np.zeros(5), np.zeros(4), [0.5])
+
+
+class TestTables:
+    def test_alignment_and_values(self):
+        out = format_table(["a", "bb"], [(1, 2.34567), (10, 0.001)])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.346" in out
+        assert "10" in out
+
+    def test_title(self):
+        out = format_table(["x"], [(1,)], title="hello")
+        assert out.startswith("hello")
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out

@@ -1,0 +1,173 @@
+"""Tests for the spectral emission model and tangent-slab transfer."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SIGMA_SB, planck_lambda
+from repro.errors import InputError, SpeciesError
+from repro.radiation import (EmissionModel, NonequilibriumRadiator,
+                             tangent_slab_flux, tauber_sutton_radiative)
+from repro.thermo.species import species_set
+
+
+@pytest.fixture(scope="module")
+def air_em(air11_mod):
+    return EmissionModel(air11_mod)
+
+
+@pytest.fixture(scope="module")
+def air11_mod():
+    return species_set("air11")
+
+
+class TestEmissionModel:
+    def test_radiators_filtered_by_set(self, air11_mod, titan9):
+        em_air = EmissionModel(air11_mod)
+        names = {b.species for b in em_air.systems}
+        assert "CN" not in names and "N2+" in names
+        em_titan = EmissionModel(species_set("titan9"))
+        names_t = {b.species for b in em_titan.systems}
+        assert "CN" in names_t and "N2+" not in names_t
+
+    def test_no_radiators_raises(self):
+        with pytest.raises(SpeciesError):
+            EmissionModel(species_set("jupiter2"), include_lines=False)
+
+    def test_emission_grows_steeply_with_temperature(self, air_em,
+                                                     air11_mod):
+        y = np.zeros(air11_mod.n)
+        y[air11_mod.index["N2"]] = 1.0
+        j1 = air_em.total_emission(np.array(1e-2), y, np.array(6000.0))
+        j2 = air_em.total_emission(np.array(1e-2), y, np.array(9000.0))
+        assert j2 > 30 * j1  # Boltzmann factor of a ~10^5 K level
+
+    def test_spectral_feature_positions(self, air_em, air11_mod):
+        # shocked-air violet region: the spectrum peaks at the N2+ first
+        # negative (391 nm) or N2 second positive (337 nm) system
+        lam = np.linspace(0.2e-6, 1.0e-6, 1500)
+        y = np.zeros(air11_mod.n)
+        y[air11_mod.index["N2+"]] = 0.05
+        y[air11_mod.index["N2"]] = 0.95
+        n = air_em.number_densities(np.array(1e-2), y)
+        j = air_em.emission_coefficient(lam, n, np.array(10000.0))
+        peak_lam = lam[np.argmax(j)]
+        assert peak_lam == pytest.approx(0.3914e-6, abs=0.01e-6)
+        # and the N2 2+ system is present as a secondary feature
+        i337 = np.argmin(np.abs(lam - 0.3371e-6))
+        assert j[i337] > 0.05 * j.max()
+
+    def test_linear_in_density(self, air_em, air11_mod):
+        y = np.zeros(air11_mod.n)
+        y[air11_mod.index["N"]] = 1.0
+        j1 = air_em.total_emission(np.array(1e-3), y, np.array(9000.0))
+        j2 = air_em.total_emission(np.array(2e-3), y, np.array(9000.0))
+        assert j2 / j1 == pytest.approx(2.0, rel=1e-9)
+
+    def test_dict_and_array_inputs_agree(self, air_em, air11_mod):
+        lam = np.linspace(0.3e-6, 0.5e-6, 50)
+        y = np.zeros(air11_mod.n)
+        y[air11_mod.index["N2"]] = 1.0
+        n_arr = air_em.number_densities(np.array(1e-2), y)
+        j_arr = air_em.emission_coefficient(lam, n_arr, np.array(8000.0))
+        n_dict = {"N2": float(n_arr[air11_mod.index["N2"]])}
+        j_dict = air_em.emission_coefficient(lam, n_dict,
+                                             np.array(8000.0))
+        assert np.allclose(j_arr, j_dict, rtol=1e-12)
+
+
+class TestTangentSlab:
+    def test_optically_thin_limit(self):
+        # uniform thin slab: q = 2 pi j L per wavelength
+        ny, nw = 20, 5
+        y = np.linspace(0.0, 0.01, ny)
+        lam = np.linspace(0.4e-6, 0.6e-6, nw)
+        j = np.full((ny, nw), 1e3)
+        T = np.full(ny, 8000.0)
+        q, q_lam = tangent_slab_flux(y, j, T, lam, optically_thin=True)
+        assert np.allclose(q_lam, 2 * np.pi * 1e3 * 0.01, rtol=1e-12)
+
+    def test_absorption_reduces_flux(self):
+        ny, nw = 40, 3
+        y = np.linspace(0.0, 0.05, ny)
+        lam = np.linspace(0.4e-6, 0.6e-6, nw)
+        T = np.full(ny, 10000.0)
+        j = np.full((ny, nw), 1e9)  # strongly emitting -> optically thick
+        q_thick, _ = tangent_slab_flux(y, j, T, lam)
+        q_thin, _ = tangent_slab_flux(y, j, T, lam, optically_thin=True)
+        assert q_thick < q_thin
+
+    def test_blackbody_limit(self):
+        # an extremely thick isothermal slab radiates like a black wall:
+        # q_lambda -> pi B_lambda(T)
+        ny = 400
+        y = np.linspace(0.0, 1.0, ny)
+        lam = np.array([0.5e-6])
+        T_val = 8000.0
+        T = np.full(ny, T_val)
+        B = float(planck_lambda(lam[0], T_val))
+        j = np.full((ny, 1), B * 5e3)  # kappa = 5e3 1/m -> tau ~ 5000
+        q, q_lam = tangent_slab_flux(y, j, T, lam)
+        assert q_lam[0] == pytest.approx(np.pi * B, rel=0.01)
+
+    def test_shape_validation(self):
+        with pytest.raises(InputError):
+            tangent_slab_flux(np.linspace(0, 1, 5), np.ones((4, 3)),
+                              np.ones(5), np.ones(3))
+        with pytest.raises(InputError):
+            tangent_slab_flux(np.zeros(5), np.ones((5, 3)), np.ones(5),
+                              np.ones(3))
+
+
+class TestNonequilibriumRadiator:
+    def test_radiance_from_relaxation_profile_shape(self, air11_mod):
+        # synthetic relaxing profile: hot Tv slab
+        from repro.solvers.shock_relaxation import RelaxationProfile
+        nx = 30
+        x = np.linspace(0, 0.02, nx)
+        y = np.zeros((nx, air11_mod.n))
+        y[:, air11_mod.index["N2"]] = 0.6
+        y[:, air11_mod.index["N"]] = 0.4
+        prof = RelaxationProfile(
+            x=x, T=np.full(nx, 9000.0), Tv=np.full(nx, 9000.0), y=y,
+            rho=np.full(nx, 1e-2), u=np.full(nx, 500.0),
+            p=np.full(nx, 1e4), db=air11_mod)
+        rad = NonequilibriumRadiator(air11_mod)
+        lam = np.linspace(0.2e-6, 1.0e-6, 300)
+        I = rad.from_relaxation_profile(prof, lam)
+        assert I.shape == lam.shape
+        assert np.all(I >= 0) and I.max() > 0
+
+    def test_nonequilibrium_exceeds_equilibrium_when_Tv_hot(self,
+                                                            air11_mod):
+        rad = NonequilibriumRadiator(air11_mod)
+        nx = 10
+        x = np.linspace(0, 0.01, nx)
+        y = np.zeros((nx, air11_mod.n))
+        y[:, air11_mod.index["N2"]] = 1.0
+        lam = np.linspace(0.3e-6, 0.45e-6, 100)
+        I_hot = rad.spectral_radiance(x, np.full(nx, 1e-2), y,
+                                      np.full(nx, 12000.0), lam)
+        I_cold = rad.spectral_radiance(x, np.full(nx, 1e-2), y,
+                                       np.full(nx, 6000.0), lam)
+        assert I_hot.max() > 100 * I_cold.max()
+
+
+class TestTauberSutton:
+    def test_magnitude_at_12kms(self):
+        # Earth entry at 12 km/s, rho ~ 2e-4, Rn = 2.3 m (AOTV class):
+        # hundreds of W/cm^2
+        q = float(tauber_sutton_radiative(2e-4, 12000.0, 2.3))
+        assert 1e5 < q < 1e8
+
+    def test_negligible_below_9kms(self):
+        q = float(tauber_sutton_radiative(2e-4, 7000.0, 2.3))
+        assert q == 0.0
+
+    def test_density_scaling(self):
+        q1 = float(tauber_sutton_radiative(1e-4, 12000.0, 1.0))
+        q2 = float(tauber_sutton_radiative(2e-4, 12000.0, 1.0))
+        assert q2 / q1 == pytest.approx(2.0**1.22, rel=1e-9)
+
+    def test_invalid_density(self):
+        with pytest.raises(InputError):
+            tauber_sutton_radiative(-1.0, 12000.0, 1.0)

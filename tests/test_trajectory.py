@@ -1,0 +1,117 @@
+"""Tests for the 3-DOF planar entry integrator."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere import EarthAtmosphere, TitanAtmosphere
+from repro.errors import InputError
+from repro.trajectory import (AOTV, SHUTTLE, TAV, TITAN_PROBE,
+                              integrate_entry)
+
+
+@pytest.fixture(scope="module")
+def earth():
+    return EarthAtmosphere()
+
+
+@pytest.fixture(scope="module")
+def shuttle_entry(earth):
+    return integrate_entry(SHUTTLE, earth, h0=120e3, V0=7800.0,
+                           gamma0_deg=-1.2)
+
+
+class TestBasics:
+    def test_invalid_inputs(self, earth):
+        with pytest.raises(InputError):
+            integrate_entry(SHUTTLE, earth, h0=100e3, V0=-1.0,
+                            gamma0_deg=-1.0)
+        with pytest.raises(InputError):
+            integrate_entry(SHUTTLE, earth, h0=-5.0, V0=7800.0,
+                            gamma0_deg=-1.0)
+
+    def test_ballistic_coefficient(self):
+        assert SHUTTLE.ballistic_coefficient == pytest.approx(
+            99000.0 / (0.84 * 250.0))
+
+    def test_monotone_time(self, shuttle_entry):
+        assert np.all(np.diff(shuttle_entry.t) > 0)
+
+    def test_decelerates(self, shuttle_entry):
+        assert shuttle_entry.V[-1] < 0.3 * shuttle_entry.V[0]
+
+    def test_descends_overall(self, shuttle_entry):
+        assert shuttle_entry.h[-1] < shuttle_entry.h[0]
+
+    def test_downrange_positive(self, shuttle_entry):
+        assert shuttle_entry.s[-1] > 1e5  # gliding entry: >100 km range
+
+
+class TestEnergyConsistency:
+    def test_energy_decreases(self, shuttle_entry):
+        # specific mechanical energy can only be removed by drag
+        tr = shuttle_entry
+        mu = tr.atmosphere.mu_grav
+        r = tr.atmosphere.planet_radius + tr.h
+        energy = 0.5 * tr.V**2 - mu / r
+        assert np.all(np.diff(energy) < 1e-3 * abs(energy[0]))
+
+    def test_vacuum_flight_conserves_energy(self, earth):
+        # a vehicle with zero area never feels drag
+        from repro.trajectory.entry import EntryVehicle
+        ghost = EntryVehicle("ghost", mass=1000.0, area=1e-12, cd=1.0)
+        tr = integrate_entry(ghost, earth, h0=200e3, V0=7000.0,
+                             gamma0_deg=-5.0, t_max=120.0, V_stop=10.0)
+        mu = earth.mu_grav
+        r = earth.planet_radius + tr.h
+        energy = 0.5 * tr.V**2 - mu / r
+        assert np.abs(energy - energy[0]).max() < 1e-4 * abs(energy[0])
+
+
+class TestVehicleFamilies:
+    def test_aotv_aeropass_skips_out(self, earth):
+        # lift-up AOTV pass at shallow angle should exit the atmosphere
+        tr = integrate_entry(AOTV, earth, h0=122e3, V0=9800.0,
+                             gamma0_deg=-4.7, t_max=2000.0)
+        assert tr.h[-1] > 1.2 * 122e3 or tr.V[-1] < 9800.0
+        # it must descend below 90 km during the pass to shed energy
+        assert tr.h.min() < 95e3
+
+    def test_titan_probe_ballistic(self):
+        # a 12 km/s arrival is hyperbolic at Titan (escape ~2.6 km/s), so
+        # the entry angle must be steep for capture
+        titan = TitanAtmosphere()
+        tr = integrate_entry(TITAN_PROBE, titan, h0=800e3, V0=12000.0,
+                             gamma0_deg=-40.0, t_max=2000.0, V_stop=300.0)
+        # ballistic probe: decelerates strongly at high altitude
+        assert tr.V[-1] <= 310.0
+        assert tr.h[tr.index_of_peak(tr.dynamic_pressure)] > 100e3
+
+    def test_peak_heating_indicator(self):
+        titan = TitanAtmosphere()
+        tr = integrate_entry(TITAN_PROBE, titan, h0=800e3, V0=12000.0,
+                             gamma0_deg=-40.0, t_max=2000.0, V_stop=300.0)
+        # rho^0.5 V^3 proxy peaks strictly inside the trajectory
+        q_proxy = np.sqrt(tr.rho) * tr.V**3
+        i = tr.index_of_peak(q_proxy)
+        assert 0 < i < len(tr.t) - 1
+
+    def test_tav_sustains_hypersonic_flight(self, earth):
+        tr = integrate_entry(TAV, earth, h0=80e3, V0=6500.0,
+                             gamma0_deg=-0.5, t_max=1500.0, V_stop=1000.0)
+        # lifting slender vehicle: spends a long time above Mach 5
+        hyper_time = float(np.trapezoid((tr.mach > 5).astype(float), tr.t))
+        assert hyper_time > 200.0
+
+
+class TestResample:
+    def test_resample_preserves_endpoints(self, shuttle_entry):
+        r = shuttle_entry.resample(100)
+        assert r.t.size == 100
+        assert r.t[0] == shuttle_entry.t[0]
+        assert r.t[-1] == shuttle_entry.t[-1]
+        assert r.V[0] == pytest.approx(shuttle_entry.V[0])
+
+    def test_derived_arrays_shapes(self, shuttle_entry):
+        assert shuttle_entry.mach.shape == shuttle_entry.t.shape
+        assert shuttle_entry.reynolds.shape == shuttle_entry.t.shape
+        assert np.all(shuttle_entry.reynolds > 0)

@@ -1,0 +1,154 @@
+"""Tests for the validation tooling (and using it on the solvers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError
+from repro.validation import (couette_temperature_profile,
+                              couette_velocity_profile, error_norms,
+                              isentropic_nozzle_mach, observed_order,
+                              richardson_extrapolate)
+
+
+class TestNorms:
+    def test_zero_error(self):
+        a = np.linspace(0, 1, 10)
+        n = error_norms(a, a)
+        assert n["l1"] == n["l2"] == n["linf"] == 0.0
+
+    def test_norm_ordering(self, rng):
+        a = rng.random(100)
+        b = a + rng.normal(0, 0.1, 100)
+        n = error_norms(a, b)
+        assert n["l1"] <= n["l2"] <= n["linf"]
+
+    def test_weighted(self):
+        c = np.array([1.0, 2.0])
+        e = np.array([0.0, 2.0])
+        n = error_norms(c, e, weights=[3.0, 1.0])
+        assert n["l1"] == pytest.approx(0.75)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InputError):
+            error_norms(np.zeros(3), np.zeros(4))
+
+
+class TestObservedOrder:
+    @given(p=st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_power_law(self, p):
+        h = np.array([0.1, 0.05, 0.025])
+        err = 3.0 * h**p
+        assert observed_order(h, err) == pytest.approx(p, rel=1e-9)
+
+    def test_invalid(self):
+        with pytest.raises(InputError):
+            observed_order([0.1], [0.01])
+        with pytest.raises(InputError):
+            observed_order([0.1, -0.05], [0.01, 0.001])
+
+    def test_euler1d_order_on_smooth_flow(self):
+        """Observed order of the MUSCL scheme on a smooth acoustic pulse."""
+        from repro.core.gas import IdealGasEOS
+        from repro.solvers.euler1d import Euler1DSolver
+
+        errs, hs = [], []
+        for n in (50, 100, 200):
+            x = np.linspace(0.0, 1.0, n + 1)
+            xc = 0.5 * (x[1:] + x[:-1])
+            s = Euler1DSolver(x, IdealGasEOS(1.4))
+            rho0 = 1.0 + 0.05 * np.exp(-200 * (xc - 0.3) ** 2)
+            s.set_initial(rho0, 0.0, rho0**1.4)
+            s.run(0.05, cfl=0.4)
+            # reference: rich grid
+            xr = np.linspace(0.0, 1.0, 1601)
+            xrc = 0.5 * (xr[1:] + xr[:-1])
+            r = Euler1DSolver(xr, IdealGasEOS(1.4))
+            rho0r = 1.0 + 0.05 * np.exp(-200 * (xrc - 0.3) ** 2)
+            r.set_initial(rho0r, 0.0, rho0r**1.4)
+            r.run(0.05, cfl=0.4)
+            rho_ref = np.interp(xc, xrc, r.primitives()[0])
+            errs.append(error_norms(s.primitives()[0], rho_ref)["l1"])
+            hs.append(1.0 / n)
+        p = observed_order(hs, errs)
+        assert 1.2 < p < 2.6   # better than first order on smooth data
+
+
+class TestRichardson:
+    def test_exact_for_pure_power_error(self):
+        exact = 3.14159
+        h = 0.1
+        p = 2.0
+        f_c = exact + 5.0 * h**p
+        f_f = exact + 5.0 * (h / 2) ** p
+        assert richardson_extrapolate(f_c, f_f, 2.0, p) == pytest.approx(
+            exact, rel=1e-12)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(InputError):
+            richardson_extrapolate(1.0, 1.0, 1.0, 2.0)
+
+
+class TestCouette:
+    def test_velocity_linear(self):
+        y = np.linspace(0, 0.01, 5)
+        u = couette_velocity_profile(y, 0.01, 100.0)
+        assert u[0] == 0.0 and u[-1] == 100.0
+
+    def test_temperature_dissipation_bump(self):
+        y = np.linspace(0, 0.01, 101)
+        T = couette_temperature_profile(y, 0.01, 500.0, T0=300.0,
+                                        Th=300.0, mu=1.8e-5, k=0.026)
+        # symmetric parabola peaking at mid-gap
+        assert T[50] == T.max()
+        assert T.max() - 300.0 == pytest.approx(
+            1.8e-5 * 500.0**2 / (8 * 0.026), rel=1e-10)
+
+    def test_invalid_gap(self):
+        with pytest.raises(InputError):
+            couette_velocity_profile(np.zeros(3), -1.0, 10.0)
+
+
+class TestNozzleMach:
+    def test_sonic_throat(self):
+        assert isentropic_nozzle_mach(1.0) == 1.0
+
+    @pytest.mark.parametrize("M", [2.0, 3.0, 5.0])
+    def test_roundtrip_supersonic(self, M):
+        g = 1.4
+        ar = ((2 / (g + 1)) * (1 + 0.5 * (g - 1) * M * M)) \
+            ** ((g + 1) / (2 * (g - 1))) / M
+        assert isentropic_nozzle_mach(ar) == pytest.approx(M, rel=1e-9)
+
+    def test_subsonic_branch(self):
+        M = isentropic_nozzle_mach(2.0, supersonic=False)
+        assert 0.0 < M < 1.0
+
+    def test_invalid(self):
+        with pytest.raises(InputError):
+            isentropic_nozzle_mach(0.5)
+
+
+class TestTurbulentHeating:
+    def test_turbulent_exceeds_laminar_at_high_re(self):
+        from repro.heating.reference_enthalpy import (
+            flat_plate_heating, turbulent_flat_plate_heating)
+        from repro.transport.viscosity import sutherland_viscosity
+        mu_of_h = lambda h: sutherland_viscosity(h / 1004.5)  # noqa: E731
+        kw = dict(rho_e=0.05, u_e=3000.0, h_e=5e5, h_w=8e5,
+                  mu_of_h=mu_of_h, h0e=5e6)
+        q_lam = float(flat_plate_heating(2.0, **kw))
+        q_turb = float(turbulent_flat_plate_heating(2.0, **kw))
+        assert q_turb > 2.0 * q_lam
+
+    def test_x_scaling(self):
+        from repro.heating.reference_enthalpy import (
+            turbulent_flat_plate_heating)
+        from repro.transport.viscosity import sutherland_viscosity
+        mu_of_h = lambda h: sutherland_viscosity(h / 1004.5)  # noqa: E731
+        kw = dict(rho_e=0.05, u_e=3000.0, h_e=5e5, h_w=8e5,
+                  mu_of_h=mu_of_h, h0e=5e6)
+        q = turbulent_flat_plate_heating(np.array([1.0, 32.0]), **kw)
+        # x^-0.2: factor 32 in x -> factor 2 in q
+        assert q[0] / q[1] == pytest.approx(2.0, rel=1e-9)

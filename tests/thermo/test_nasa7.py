@@ -1,0 +1,90 @@
+"""Tests for NASA-7 polynomial evaluation and fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError, TableRangeError
+from repro.thermo.nasa7 import Nasa7Poly, fit_nasa7
+from repro.thermo.species import SPECIES
+from repro.thermo.statmech import SpeciesThermo
+
+
+@pytest.fixture(scope="module")
+def n2_fit():
+    return fit_nasa7(SpeciesThermo(SPECIES["N2"]))
+
+
+class TestEvaluation:
+    def test_invalid_construction(self):
+        with pytest.raises(InputError):
+            Nasa7Poly("x", 1000.0, 500.0, 6000.0, (0,) * 7, (0,) * 7)
+        with pytest.raises(InputError):
+            Nasa7Poly("x", 200.0, 1000.0, 6000.0, (0,) * 6, (0,) * 7)
+
+    def test_out_of_range_raises(self, n2_fit):
+        with pytest.raises(TableRangeError):
+            n2_fit.cp(50.0)
+        with pytest.raises(TableRangeError):
+            n2_fit.cp(1e6)
+
+    def test_constant_cp_poly(self):
+        # a1 = 3.5, everything else zero: cp = 3.5 R exactly
+        from repro.constants import R_UNIVERSAL as R
+        a = (3.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        poly = Nasa7Poly("const", 200.0, 1000.0, 6000.0, a, a)
+        assert float(poly.cp(437.0)) == pytest.approx(3.5 * R)
+        assert float(poly.h(1000.0)) == pytest.approx(3.5 * R * 1000.0)
+
+
+class TestFitQuality:
+    @pytest.mark.parametrize("name", ["N2", "O2", "NO", "N", "O", "e-"])
+    def test_cp_standard_range(self, name):
+        # standard NASA upper limit (6000 K): sub-percent quality
+        src = SpeciesThermo(SPECIES[name])
+        poly = fit_nasa7(src)
+        T = np.linspace(250.0, 5900.0, 300)
+        rel = np.abs(poly.cp(T) / src.cp(T) - 1.0)
+        assert np.max(rel) < 0.01
+
+    @pytest.mark.parametrize("name", ["N2", "N"])
+    def test_cp_wide_range(self, name):
+        # a single quartic stretched to 2e4 K degrades to the few-percent
+        # level (why production fits use three ranges); document the bound
+        src = SpeciesThermo(SPECIES[name])
+        poly = fit_nasa7(src, T_high=20000.0)
+        T = np.linspace(250.0, 19000.0, 300)
+        rel = np.abs(poly.cp(T) / src.cp(T) - 1.0)
+        assert np.max(rel) < 0.05
+
+    def test_h_continuous_at_break(self, n2_fit):
+        eps = 1e-6
+        below = float(n2_fit.h(n2_fit.T_mid - eps))
+        above = float(n2_fit.h(n2_fit.T_mid + eps))
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_s_continuous_at_break(self, n2_fit):
+        eps = 1e-6
+        below = float(n2_fit.s(n2_fit.T_mid - eps))
+        above = float(n2_fit.s(n2_fit.T_mid + eps))
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_h_matches_statmech(self, n2_fit):
+        src = SpeciesThermo(SPECIES["N2"])
+        T = np.linspace(300.0, 5900.0, 50)
+        rel = np.abs(n2_fit.h(T) / src.h(T) - 1.0)
+        assert np.max(rel) < 0.01
+
+    def test_g0_matches_statmech(self, n2_fit):
+        # Gibbs functions feed equilibrium constants: demand good agreement
+        src = SpeciesThermo(SPECIES["N2"])
+        T = np.linspace(500.0, 5900.0, 40)
+        diff = np.abs(n2_fit.g0(T) - src.g0(T))
+        # absolute error in g/(RT) below ~0.05 keeps Kp within ~5%
+        from repro.constants import R_UNIVERSAL as R
+        assert np.max(diff / (R * T)) < 0.05
+
+    def test_fit_range_honored(self):
+        src = SpeciesThermo(SPECIES["O"])
+        poly = fit_nasa7(src, T_low=300.0, T_mid=2000.0, T_high=10000.0)
+        assert poly.T_low == 300.0 and poly.T_high == 10000.0
+        _ = poly.cp(9999.0)

@@ -1,0 +1,108 @@
+"""Tests for Millikan-White/Park vibrational relaxation times."""
+
+import numpy as np
+import pytest
+
+from repro.constants import P_ATM
+from repro.thermo.relaxation import (VibrationalRelaxation,
+                                     millikan_white_time,
+                                     park_correction_time)
+from repro.thermo.species import SPECIES, species_set
+
+
+class TestMillikanWhite:
+    def test_n2_self_relaxation_reference_value(self):
+        # classic MW datum: N2-N2 at 1 atm, p*tau ~ 1e-8 atm-s near 8000 K,
+        # and of order 1e-4 s at 2000 K
+        theta = SPECIES["N2"].theta_v
+        mu = 28.0134 / 2.0
+        tau2000 = float(millikan_white_time(2000.0, P_ATM, theta, mu))
+        tau8000 = float(millikan_white_time(8000.0, P_ATM, theta, mu))
+        assert 1e-6 < tau2000 < 1e-3
+        assert tau8000 < tau2000 / 30.0
+
+    def test_decreases_with_temperature(self):
+        theta = SPECIES["O2"].theta_v
+        T = np.linspace(500.0, 10000.0, 40)
+        tau = millikan_white_time(T, P_ATM, theta, 16.0)
+        assert np.all(np.diff(tau) < 0)
+
+    def test_inverse_pressure_scaling(self):
+        theta = SPECIES["N2"].theta_v
+        t1 = float(millikan_white_time(3000.0, P_ATM, theta, 14.0))
+        t2 = float(millikan_white_time(3000.0, 10 * P_ATM, theta, 14.0))
+        assert t1 / t2 == pytest.approx(10.0, rel=1e-10)
+
+    def test_lighter_collider_relaxes_faster(self):
+        theta = SPECIES["O2"].theta_v
+        mu_heavy = 32.0 * 32.0 / 64.0
+        mu_light = 32.0 * 1.0 / 33.0
+        th = float(millikan_white_time(3000.0, P_ATM, theta, mu_heavy))
+        tl = float(millikan_white_time(3000.0, P_ATM, theta, mu_light))
+        assert tl < th
+
+
+class TestParkCorrection:
+    def test_positive_and_grows_with_temperature(self):
+        n = 1e22
+        t1 = float(park_correction_time(5000.0, n, 28e-3))
+        t2 = float(park_correction_time(20000.0, n, 28e-3))
+        assert t1 > 0
+        # sigma_v ~ T^-2 shrinks faster than c_bar ~ sqrt(T) grows
+        assert t2 > t1
+
+    def test_dominates_at_very_high_T(self):
+        # Park's point: the MW extrapolation is far too fast at extreme
+        # shock temperatures.  The tau_park/tau_MW ratio depends only on T
+        # (both scale as 1/n) and crosses unity above ~2.5e4 K.
+        theta = SPECIES["N2"].theta_v
+        n = 1e21
+        ratios = []
+        for T in (10000.0, 20000.0, 30000.0):
+            p = n * 1.380649e-23 * T
+            tau_mw = float(millikan_white_time(T, p, theta, 14.0))
+            tau_park = float(park_correction_time(T, n, 28e-3))
+            ratios.append(tau_park / tau_mw)
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 1.0
+
+
+class TestMixtureAverage:
+    def test_shapes(self, air11):
+        vr = VibrationalRelaxation(air11)
+        y = np.zeros((3, 11))
+        y[:, air11.index["N2"]] = 0.767
+        y[:, air11.index["O2"]] = 0.233
+        tau = vr.times(np.full(3, 0.01), np.full(3, 5000.0), y)
+        # 6 vibrating species in air11 (N2 O2 NO N2+ O2+ NO+)
+        assert tau.shape == (3, 6)
+        assert np.all(tau > 0)
+
+    def test_o2_relaxes_faster_than_n2(self, air11):
+        vr = VibrationalRelaxation(air11)
+        y = np.zeros((1, 11))
+        y[:, air11.index["N2"]] = 0.767
+        y[:, air11.index["O2"]] = 0.233
+        tau = vr.times(np.array([0.1]), np.array([3000.0]), y, park=False)
+        names = [air11.names[j] for j in vr.vib_idx]
+        tau_n2 = tau[0, names.index("N2")]
+        tau_o2 = tau[0, names.index("O2")]
+        assert tau_o2 < tau_n2
+
+    def test_park_correction_increases_time(self, air11):
+        vr = VibrationalRelaxation(air11)
+        y = np.zeros((1, 11))
+        y[:, air11.index["N2"]] = 1.0
+        t_mw = vr.times(np.array([1e-4]), np.array([12000.0]), y,
+                        park=False)
+        t_full = vr.times(np.array([1e-4]), np.array([12000.0]), y,
+                          park=True)
+        assert np.all(t_full > t_mw)
+
+    def test_atomic_bath_still_finite(self, air11):
+        # composition of pure atoms: vibrating species times remain finite
+        vr = VibrationalRelaxation(air11)
+        y = np.zeros((1, 11))
+        y[:, air11.index["N"]] = 1.0
+        tau = vr.times(np.array([0.01]), np.array([8000.0]), y)
+        assert np.all(np.isfinite(tau)) and np.all(tau > 0)

@@ -1,0 +1,143 @@
+"""Tests for the species database and SpeciesDB views."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpeciesError
+from repro.thermo.species import (AIR5, AIR9, AIR11, SPECIES, SpeciesDB,
+                                  TITAN9, species_set)
+
+
+class TestRegistry:
+    def test_paper_nine_species_present(self):
+        # the paper's dissociating/ionizing air set
+        for name in ("N2", "O2", "N", "O", "NO", "O+", "N+", "NO+", "e-"):
+            assert name in SPECIES
+
+    def test_molar_masses_consistent_with_atoms(self):
+        # molecule masses equal the sum of their atoms (neutral species)
+        atoms = {"N": SPECIES["N"].molar_mass, "O": SPECIES["O"].molar_mass,
+                 "C": SPECIES["C"].molar_mass, "H": SPECIES["H"].molar_mass}
+        for name in ("N2", "O2", "NO", "CN", "C2"):
+            sp = SPECIES[name]
+            calc = sum(atoms[el] * n for el, n in sp.formula.items())
+            assert sp.molar_mass == pytest.approx(calc, rel=1e-6)
+
+    def test_ion_masses_lighter_than_neutrals(self):
+        for neutral, ion in (("N2", "N2+"), ("O2", "O2+"), ("NO", "NO+"),
+                             ("N", "N+"), ("O", "O+")):
+            assert SPECIES[ion].molar_mass < SPECIES[neutral].molar_mass
+            # by exactly one electron mass
+            dm = SPECIES[neutral].molar_mass - SPECIES[ion].molar_mass
+            assert dm == pytest.approx(SPECIES["e-"].molar_mass, rel=1e-9)
+
+    def test_formation_enthalpy_ordering(self):
+        # ionization costs energy: ions above their parents
+        assert SPECIES["N+"].hf0 > SPECIES["N"].hf0
+        assert SPECIES["O+"].hf0 > SPECIES["O"].hf0
+        assert SPECIES["NO+"].hf0 > SPECIES["NO"].hf0
+        # dissociation costs energy: atoms above elemental molecules
+        assert SPECIES["N"].hf0 > 0 and SPECIES["O"].hf0 > 0
+        # reference elements are zero
+        assert SPECIES["N2"].hf0 == 0.0 and SPECIES["O2"].hf0 == 0.0
+
+    def test_dissociation_energy_matches_formation_enthalpies(self):
+        # D0(N2) ~ 2*hf0(N)/R expressed in kelvin
+        from repro.constants import R_UNIVERSAL
+        d0_from_hf = 2 * SPECIES["N"].hf0 / R_UNIVERSAL
+        assert SPECIES["N2"].d0 == pytest.approx(d0_from_hf, rel=0.01)
+        d0_o2 = 2 * SPECIES["O"].hf0 / R_UNIVERSAL
+        assert SPECIES["O2"].d0 == pytest.approx(d0_o2, rel=0.01)
+        d0_no = ((SPECIES["N"].hf0 + SPECIES["O"].hf0 - SPECIES["NO"].hf0)
+                 / R_UNIVERSAL)
+        assert SPECIES["NO"].d0 == pytest.approx(d0_no, rel=0.01)
+
+    def test_charge_bookkeeping(self):
+        assert SPECIES["e-"].charge == -1
+        assert SPECIES["NO+"].charge == +1
+        assert SPECIES["N2"].charge == 0
+
+    def test_geometry_flags(self):
+        assert SPECIES["N"].geometry == "atom"
+        assert not SPECIES["N"].is_molecule
+        assert SPECIES["N2"].geometry == "linear"
+        assert SPECIES["CH4"].geometry == "nonlinear"
+        assert len(SPECIES["CH4"].theta_rot) == 3
+
+    def test_vibrational_mode_degeneracies(self):
+        # CH4 has 9 vibrational DOF: 1 + 2 + 3 + 3
+        dof = sum(g for _, g in SPECIES["CH4"].vib_modes)
+        assert dof == 9
+        # HCN (linear triatomic): 4 = 1 + 2 + 1
+        dof = sum(g for _, g in SPECIES["HCN"].vib_modes)
+        assert dof == 4
+
+    def test_theta_v_accessor(self):
+        assert SPECIES["N2"].theta_v == pytest.approx(3393.5)
+        with pytest.raises(SpeciesError):
+            _ = SPECIES["N"].theta_v
+
+
+class TestSpeciesDB:
+    def test_named_sets(self):
+        assert species_set("air5").names == AIR5
+        assert species_set("air9").names == AIR9
+        assert species_set("air11").names == AIR11
+        assert species_set("titan9").names == TITAN9
+
+    def test_unknown_set_raises(self):
+        with pytest.raises(SpeciesError):
+            species_set("venus99")
+
+    def test_unknown_species_raises(self):
+        with pytest.raises(SpeciesError):
+            SpeciesDB(["N2", "unobtainium"])
+
+    def test_duplicate_species_raises(self):
+        with pytest.raises(SpeciesError):
+            SpeciesDB(["N2", "N2"])
+
+    def test_cache_returns_same_object(self):
+        assert species_set("air11") is species_set("air11")
+
+    def test_indexing(self, air11):
+        assert air11["N2"].name == "N2"
+        assert air11[0].name == "N2"
+        assert "e-" in air11
+        assert "CH4" not in air11
+        with pytest.raises(SpeciesError):
+            air11["CH4"]
+
+    def test_comp_matrix_shape_and_constraints(self, air11, titan9):
+        # air11: N, O elements + charge row
+        assert air11.constraints == ("N", "O", "charge")
+        assert air11.comp_matrix.shape == (3, 11)
+        # titan9: no ions -> no charge row
+        assert titan9.constraints == ("C", "H", "N")
+        assert titan9.comp_matrix.shape == (3, 9)
+
+    def test_comp_matrix_entries(self, air11):
+        jN2 = air11.index["N2"]
+        kN = air11.elements.index("N")
+        assert air11.comp_matrix[kN, jN2] == 2
+        je = air11.index["e-"]
+        assert air11.comp_matrix[-1, je] == -1
+
+    def test_mole_mass_roundtrip(self, air11, rng):
+        x = rng.random((5, air11.n))
+        x /= x.sum(axis=1, keepdims=True)
+        y = air11.mole_to_mass(x)
+        assert np.allclose(y.sum(axis=1), 1.0)
+        x2 = air11.mass_to_mole(y)
+        assert np.allclose(x, x2, atol=1e-12)
+
+    def test_mean_molar_mass_of_pure_species(self, air11):
+        y = np.zeros(air11.n)
+        y[air11.index["O2"]] = 1.0
+        assert air11.mean_molar_mass(y) == pytest.approx(31.9988e-3)
+
+    def test_mean_molar_mass_air(self, air11):
+        y = np.zeros(air11.n)
+        y[air11.index["N2"]] = 0.767
+        y[air11.index["O2"]] = 0.233
+        assert air11.mean_molar_mass(y) == pytest.approx(28.85e-3, rel=1e-3)

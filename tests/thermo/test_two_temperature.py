@@ -1,0 +1,110 @@
+"""Tests for the two-temperature gas model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.thermo.kinetics import park_air_mechanism
+from repro.thermo.two_temperature import TwoTemperatureGas
+
+
+@pytest.fixture(scope="module")
+def tt():
+    return TwoTemperatureGas("air11", park_air_mechanism("air11"))
+
+
+def frozen_air(db):
+    y = np.zeros((1, db.n))
+    y[0, db.index["N2"]] = 0.767
+    y[0, db.index["O2"]] = 0.233
+    return y
+
+
+class TestEnergies:
+    def test_total_energy_split(self, tt, air11):
+        y = frozen_air(air11)
+        T = np.array([5000.0])
+        # equal temperatures: e_total == equilibrium-thermo e
+        from repro.thermo.mixture import MixtureThermo
+        mix = MixtureThermo(air11)
+        e_ref = mix.e_mass(T, y)
+        e_tt = tt.e_total(T, T, y)
+        assert np.allclose(e_tt, e_ref, rtol=1e-12)
+
+    def test_ev_zero_at_low_Tv(self, tt, air11):
+        y = frozen_air(air11)
+        assert float(tt.e_vib_el(np.array([50.0]), y)[0]) < 1.0
+
+    def test_cv_vib_el_positive(self, tt, air11, rng):
+        y = frozen_air(air11)
+        Tv = rng.uniform(300, 12000, 5)
+        assert np.all(tt.cv_vib_el(Tv, np.repeat(y, 5, axis=0)) > 0)
+
+
+class TestInversions:
+    @given(T=st.floats(min_value=300.0, max_value=14000.0),
+           Tv=st.floats(min_value=300.0, max_value=14000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, T, Tv):
+        tt = TwoTemperatureGas("air11")
+        y = frozen_air(tt.db)
+        e = tt.e_total(np.array([T]), np.array([Tv]), y)
+        ev = tt.e_vib_el(np.array([Tv]), y)
+        T2, Tv2 = tt.T_from_e_ev(e, ev, y)
+        assert T2[0] == pytest.approx(T, rel=1e-6)
+        assert Tv2[0] == pytest.approx(Tv, rel=1e-5)
+
+    def test_Tv_from_ev_batched(self, tt, air11, rng):
+        y = np.repeat(frozen_air(air11), 10, axis=0)
+        Tv = rng.uniform(500, 10000, 10)
+        ev = tt.e_vib_el(Tv, y)
+        Tv2 = tt.Tv_from_ev(ev, y)
+        assert np.allclose(Tv2, Tv, rtol=1e-5)
+
+
+class TestLandauTeller:
+    def test_sign_convention(self, tt, air11):
+        y = frozen_air(air11)
+        rho = np.array([0.01])
+        hot_T = tt.landau_teller_source(rho, np.array([9000.0]),
+                                        np.array([2000.0]), y)
+        assert hot_T[0] > 0  # translation heats vibration
+        hot_Tv = tt.landau_teller_source(rho, np.array([2000.0]),
+                                         np.array([9000.0]), y)
+        assert hot_Tv[0] < 0
+
+    def test_zero_at_equilibrium(self, tt, air11):
+        y = frozen_air(air11)
+        q = tt.landau_teller_source(np.array([0.01]), np.array([6000.0]),
+                                    np.array([6000.0]), y)
+        assert abs(q[0]) < 1e-6
+
+    def test_scales_with_density(self, tt, air11):
+        y = frozen_air(air11)
+        q1 = tt.landau_teller_source(np.array([0.001]), np.array([8000.0]),
+                                     np.array([3000.0]), y)
+        q2 = tt.landau_teller_source(np.array([0.01]), np.array([8000.0]),
+                                     np.array([3000.0]), y)
+        # tau ~ 1/p so source ~ rho^2 (up to Park correction)
+        assert q2[0] > 10 * q1[0]
+
+
+class TestChemistryCoupling:
+    def test_dissociation_removes_vibrational_energy(self, tt, air11):
+        # hot frozen air: O2 dissociating, so the pool loses the energy
+        # carried by destroyed molecules (negative source at modest Tv
+        # once weighted by creation of atoms with no pool energy)
+        y = frozen_air(air11)
+        q = tt.chemistry_vibration_source(np.array([0.01]),
+                                          np.array([8000.0]),
+                                          np.array([4000.0]), y)
+        assert q[0] < 0
+
+    def test_total_source_composition(self, tt, air11):
+        y = frozen_air(air11)
+        rho = np.array([0.01])
+        T, Tv = np.array([8000.0]), np.array([4000.0])
+        total = tt.vibrational_energy_source(rho, T, Tv, y)
+        lt = tt.landau_teller_source(rho, T, Tv, y)
+        chem = tt.chemistry_vibration_source(rho, T, Tv, y)
+        assert total[0] == pytest.approx(lt[0] + chem[0], rel=1e-12)

@@ -1,0 +1,133 @@
+"""Tests for Wilke mixing, conductivity, diffusion and the facade model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.thermo.species import SPECIES, species_set
+from repro.transport.conductivity import eucken_conductivity
+from repro.transport.diffusion import (binary_diffusion_coefficient,
+                                       lewis_diffusivity)
+from repro.transport.mixture_rules import wilke_mixture
+from repro.transport.properties import TransportModel
+from repro.transport.viscosity import species_viscosities
+
+
+class TestWilke:
+    def test_pure_species_limit(self, air11):
+        # mixture of one species returns that species' property
+        x = np.zeros(11)
+        x[air11.index["N2"]] = 1.0
+        mu_s = species_viscosities(air11, np.array(1000.0))
+        mu = wilke_mixture(air11, x, mu_s)
+        assert float(mu) == pytest.approx(mu_s[air11.index["N2"]],
+                                          rel=1e-12)
+
+    def test_air_viscosity_room_temperature(self, air11):
+        # Blottner fits target the hypersonic range; at 300 K the O2 fit
+        # overshoots, so allow ~10 % here (the 1000 K check below is tight)
+        x = np.zeros(11)
+        x[air11.index["N2"]] = 0.79
+        x[air11.index["O2"]] = 0.21
+        mu_s = species_viscosities(air11, np.array(300.0))
+        mu = wilke_mixture(air11, x, mu_s)
+        assert float(mu) == pytest.approx(1.85e-5, rel=0.12)
+
+    def test_air_viscosity_1000K(self, air11):
+        # CRC air at 1000 K: 4.15e-5 Pa s
+        x = np.zeros(11)
+        x[air11.index["N2"]] = 0.79
+        x[air11.index["O2"]] = 0.21
+        mu_s = species_viscosities(air11, np.array(1000.0))
+        mu = wilke_mixture(air11, x, mu_s)
+        assert float(mu) == pytest.approx(4.15e-5, rel=0.06)
+
+    @given(w=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_between_pure_limits(self, w):
+        db = species_set("air11")
+        x = np.zeros(11)
+        x[db.index["N2"]] = w
+        x[db.index["O"]] = 1.0 - w
+        mu_s = species_viscosities(db, np.array(2000.0))
+        mu = float(wilke_mixture(db, x, mu_s))
+        lo = min(mu_s[db.index["N2"]], mu_s[db.index["O"]])
+        hi = max(mu_s[db.index["N2"]], mu_s[db.index["O"]])
+        # Wilke can undershoot slightly but stays near the pure bracket
+        assert 0.8 * lo < mu < 1.2 * hi
+
+    def test_batched(self, air11, rng):
+        x = rng.random((4, 11))
+        x /= x.sum(axis=1, keepdims=True)
+        mu_s = species_viscosities(air11, np.full(4, 1500.0))
+        mu = wilke_mixture(air11, x, mu_s)
+        assert mu.shape == (4,)
+
+
+class TestEucken:
+    def test_air_conductivity_room_temperature(self, air11):
+        model = TransportModel(air11)
+        y = np.zeros(11)
+        y[air11.index["N2"]], y[air11.index["O2"]] = 0.767, 0.233
+        k = float(model.conductivity(np.array(300.0), y))
+        assert k == pytest.approx(0.026, rel=0.12)
+
+    def test_monatomic_limit(self):
+        # for an atom: k = mu * 15/4 R / M (Eucken exact monatomic value)
+        from repro.constants import R_UNIVERSAL as R
+        mu = 2.0e-5
+        M = SPECIES["Ar"].molar_mass
+        k = float(eucken_conductivity(mu, 2.5 * R, M))
+        assert k == pytest.approx(mu * 3.75 * R / M, rel=1e-12)
+
+    def test_prandtl_number_air(self, air11):
+        model = TransportModel(air11)
+        y = np.zeros(11)
+        y[air11.index["N2"]], y[air11.index["O2"]] = 0.767, 0.233
+        Pr = float(model.prandtl(np.array(300.0), y))
+        assert Pr == pytest.approx(0.71, rel=0.12)
+
+
+class TestDiffusion:
+    def test_lewis_consistency(self):
+        D = lewis_diffusivity(0.026, 1.2, 1005.0, 1.4)
+        assert float(D) == pytest.approx(1.4 * 0.026 / (1.2 * 1005.0))
+
+    def test_binary_n2_o2_room(self):
+        # D(N2-O2) at 300 K, 1 atm ~ 0.2 cm^2/s
+        D = binary_diffusion_coefficient(
+            "N2", "O2", 300.0, 101325.0,
+            SPECIES["N2"].molar_mass, SPECIES["O2"].molar_mass)
+        assert float(D) == pytest.approx(2.0e-5, rel=0.2)
+
+    def test_binary_scales_inverse_pressure(self):
+        D1 = binary_diffusion_coefficient("N2", "O2", 500.0, 101325.0,
+                                          0.028, 0.032)
+        D2 = binary_diffusion_coefficient("N2", "O2", 500.0, 1013250.0,
+                                          0.028, 0.032)
+        assert float(D1 / D2) == pytest.approx(10.0, rel=1e-10)
+
+
+class TestTransportModelFacade:
+    def test_all_properties_consistent(self, air11, rng):
+        model = TransportModel(air11)
+        y = rng.random((3, 11))
+        y /= y.sum(axis=1, keepdims=True)
+        T = np.array([500.0, 2000.0, 6000.0])
+        rho = np.array([1.0, 0.1, 0.01])
+        props = model.all_properties(rho, T, y)
+        assert np.allclose(props["mu"], model.viscosity(T, y), rtol=1e-12)
+        assert np.allclose(props["k"], model.conductivity(T, y),
+                           rtol=1e-12)
+        assert np.allclose(props["D"], model.diffusivity(rho, T, y),
+                           rtol=1e-12)
+        assert np.all(props["Pr"] > 0.3) and np.all(props["Pr"] < 1.5)
+
+    def test_viscosity_grows_into_plasma_regime(self, air11, air_gas):
+        model = TransportModel(air11)
+        mu = []
+        for T in (300.0, 2000.0, 6000.0):
+            y = air_gas.composition_rho_T(np.array([0.01]),
+                                          np.array([T]))[0]
+            mu.append(float(model.viscosity(np.array(T), y)))
+        assert mu[0] < mu[1] < mu[2]

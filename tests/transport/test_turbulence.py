@@ -1,0 +1,51 @@
+"""Tests for the algebraic eddy-viscosity model."""
+
+import numpy as np
+import pytest
+
+from repro.transport.turbulence import cebeci_smith_eddy_viscosity
+
+
+def _profile(n=200, delta=0.01, ue=500.0):
+    """A 1/7th-power turbulent-ish boundary-layer profile."""
+    y = np.linspace(0.0, 2 * delta, n)
+    u = ue * np.minimum(y / delta, 1.0) ** (1.0 / 7.0)
+    u[0] = 0.0
+    rho = np.full(n, 1.0)
+    mu = np.full(n, 1.8e-5)
+    return y, u, rho, mu
+
+
+class TestCebeciSmith:
+    def test_zero_at_wall(self):
+        y, u, rho, mu = _profile()
+        mu_t = cebeci_smith_eddy_viscosity(y, u, rho, mu)
+        assert mu_t[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_inside_layer(self):
+        y, u, rho, mu = _profile()
+        mu_t = cebeci_smith_eddy_viscosity(y, u, rho, mu)
+        assert np.all(mu_t[1:] >= 0.0)
+        assert mu_t.max() > mu[0]  # eddy exceeds molecular in the layer
+
+    def test_outer_layer_is_clauser_constant(self):
+        y, u, rho, mu = _profile()
+        mu_t = cebeci_smith_eddy_viscosity(y, u, rho, mu)
+        # outer region: constant (rho, ue, delta* all constant here)
+        outer = mu_t[-20:]
+        assert np.allclose(outer, outer[0], rtol=1e-10)
+
+    def test_quiescent_flow_no_turbulence(self):
+        y = np.linspace(0.0, 0.01, 50)
+        u = np.zeros(50)
+        rho = np.ones(50)
+        mu = np.full(50, 1.8e-5)
+        mu_t = cebeci_smith_eddy_viscosity(y, u, rho, mu)
+        assert np.allclose(mu_t, 0.0)
+
+    def test_scales_with_edge_velocity(self):
+        y, u, rho, mu = _profile(ue=500.0)
+        mu_t_1 = cebeci_smith_eddy_viscosity(y, u, rho, mu)
+        y, u2, rho, mu = _profile(ue=1000.0)
+        mu_t_2 = cebeci_smith_eddy_viscosity(y, u2, rho, mu)
+        assert mu_t_2.max() > mu_t_1.max()

@@ -1,0 +1,93 @@
+"""Tests for species and mixture viscosities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpeciesError
+from repro.thermo.species import SPECIES, species_set
+from repro.transport.viscosity import (blottner_viscosity,
+                                       kinetic_theory_viscosity,
+                                       species_viscosities,
+                                       sutherland_viscosity)
+
+
+class TestSutherland:
+    def test_reference_point(self):
+        assert float(sutherland_viscosity(273.15)) == pytest.approx(
+            1.716e-5, rel=1e-10)
+
+    def test_room_temperature_air(self):
+        assert float(sutherland_viscosity(300.0)) == pytest.approx(
+            1.846e-5, rel=0.005)
+
+    @given(T=st.floats(min_value=100.0, max_value=5000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotonic(self, T):
+        assert float(sutherland_viscosity(T * 1.01)) > float(
+            sutherland_viscosity(T))
+
+
+class TestBlottner:
+    def test_n2_room_temperature(self):
+        # should land near the Sutherland air value
+        mu = float(blottner_viscosity("N2", 300.0))
+        assert mu == pytest.approx(1.78e-5, rel=0.05)
+
+    def test_matches_sutherland_moderate_T(self):
+        for T in (300.0, 600.0, 1000.0):
+            mu_b = float(blottner_viscosity("N2", T))
+            mu_s = float(sutherland_viscosity(T))
+            assert mu_b == pytest.approx(mu_s, rel=0.10)
+
+    def test_unknown_species_raises(self):
+        with pytest.raises(SpeciesError):
+            blottner_viscosity("CH4", 300.0)
+
+    def test_increases_with_temperature(self):
+        T = np.linspace(200.0, 10000.0, 30)
+        mu = blottner_viscosity("O2", T)
+        assert np.all(np.diff(mu) > 0)
+
+
+class TestKineticTheory:
+    def test_n2_agrees_with_blottner(self):
+        # two independent models should agree within ~10 %
+        for T in (300.0, 1000.0, 3000.0):
+            mu_kt = float(kinetic_theory_viscosity(
+                "N2", T, SPECIES["N2"].molar_mass))
+            mu_b = float(blottner_viscosity("N2", T))
+            assert mu_kt == pytest.approx(mu_b, rel=0.12)
+
+    def test_ch4_room_temperature(self):
+        # CRC: mu(CH4, 300 K) ~ 1.11e-5 Pa s
+        mu = float(kinetic_theory_viscosity("CH4", 300.0,
+                                            SPECIES["CH4"].molar_mass))
+        assert mu == pytest.approx(1.11e-5, rel=0.1)
+
+    def test_h2_room_temperature(self):
+        # CRC: mu(H2, 300 K) ~ 8.9e-6 Pa s
+        mu = float(kinetic_theory_viscosity("H2", 300.0,
+                                            SPECIES["H2"].molar_mass))
+        assert mu == pytest.approx(8.9e-6, rel=0.1)
+
+    def test_unknown_raises(self):
+        with pytest.raises(SpeciesError):
+            kinetic_theory_viscosity("X99", 300.0, 0.028)
+
+
+class TestSpeciesVector:
+    def test_shapes(self, air11):
+        T = np.linspace(300, 8000, 5)
+        mu = species_viscosities(air11, T)
+        assert mu.shape == (5, 11)
+        assert np.all(mu > 0)
+
+    def test_electron_negligible(self, air11):
+        mu = species_viscosities(air11, np.array([5000.0]))
+        je = air11.index["e-"]
+        assert mu[0, je] < 1e-3 * mu[0, air11.index["N2"]]
+
+    def test_titan_species_covered(self, titan9):
+        mu = species_viscosities(titan9, np.array([300.0, 5000.0]))
+        assert np.all(np.isfinite(mu)) and np.all(mu > 0)
