@@ -32,8 +32,8 @@ def main(argv: list[str] | None = None) -> int:
     cmd = argv[0]
     if cmd == "figures":
         from repro.experiments.runner import run_all
-        run_all(quick="--full" not in argv)
-        return 0
+        res = run_all(quick="--full" not in argv)
+        return 1 if res["failures"] else 0
     if cmd == "stagnation":
         if len(argv) != 4:
             print("usage: python -m repro stagnation V[m/s] h[m] Rn[m]")

@@ -9,6 +9,12 @@ full solver stack:
   (PNS march with catalysis).
 * :func:`heat_pulse` — "what does the whole trajectory integrate to?"
   (correlation-level convective + radiative pulse and load).
+
+Failure semantics: every entry point accepts ``on_failure`` — ``"raise"``
+(default) propagates the typed :class:`~repro.errors.CatError` with its
+attached :class:`~repro.resilience.FailureReport`, while ``"report"``
+returns ``{"ok": False, "error": ..., "report": ...}`` so service-style
+callers handling many conditions degrade per-condition instead of dying.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.atmosphere import EarthAtmosphere
-from repro.errors import InputError
+from repro.errors import CatError, InputError
 from repro.heating import sutton_graves_heating
 from repro.radiation.correlations import tauber_sutton_radiative
 from repro.thermo.equilibrium import (EquilibriumGas,
@@ -49,26 +55,39 @@ def make_gas(name: str) -> EquilibriumGas:
                      f"equilibrium-air, titan, jupiter")
 
 
+def _failure_dict(err: CatError) -> dict:
+    return {"ok": False, "error": err,
+            "error_type": type(err).__name__,
+            "report": getattr(err, "report", None)}
+
+
 def stagnation_environment(*, V, h, nose_radius, atmosphere=None,
                            gas="equilibrium-air", T_wall=1500.0,
-                           quick=True) -> dict:
+                           quick=True, on_failure="raise") -> dict:
     """Full stagnation-point aerothermal environment at one condition.
 
     Returns a dict with the shock state, convective and radiative wall
     fluxes, shock standoff, stagnation pressure and the shock-layer
-    temperature/species profiles.
+    temperature/species profiles.  ``on_failure="report"`` returns the
+    failure dict instead of raising (see the module docstring).
     """
     from repro.solvers.vsl import StagnationVSL
 
     atm = atmosphere or EarthAtmosphere()
     gas_model = make_gas(gas) if isinstance(gas, str) else gas
     vsl = StagnationVSL(gas_model, nose_radius=nose_radius)
-    sol = vsl.solve(rho_inf=float(atm.density(h)),
-                    T_inf=float(atm.temperature(h)), V=float(V),
-                    T_wall=T_wall,
-                    n_profile=40 if quick else 100,
-                    n_lambda=150 if quick else 400)
+    try:
+        sol = vsl.solve(rho_inf=float(atm.density(h)),
+                        T_inf=float(atm.temperature(h)), V=float(V),
+                        T_wall=T_wall,
+                        n_profile=40 if quick else 100,
+                        n_lambda=150 if quick else 400)
+    except CatError as err:
+        if on_failure == "report":
+            return _failure_dict(err)
+        raise
     return {
+        "ok": True,
         "q_conv": sol.q_conv,
         "q_rad": sol.q_rad,
         "standoff": sol.standoff,
@@ -84,8 +103,14 @@ def stagnation_environment(*, V, h, nose_radius, atmosphere=None,
 def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
                      atmosphere=None, gas="equilibrium-air",
                      T_wall=1200.0, catalytic_phi=1.0,
-                     n_stations=40) -> dict:
-    """Windward-centerline heating distribution at one condition."""
+                     n_stations=40, resilience=None,
+                     on_failure="raise") -> dict:
+    """Windward-centerline heating distribution at one condition.
+
+    ``resilience`` enables the PNS per-station continuation fallback
+    (degraded stations are listed in ``result.degraded_stations``);
+    ``on_failure="report"`` returns the failure dict instead of raising.
+    """
     from repro.geometry import OrbiterWindwardProfile
     from repro.solvers.pns import WindwardHeatingPNS
 
@@ -98,12 +123,18 @@ def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
     else:
         gas_model = make_gas(gas) if isinstance(gas, str) else gas
         pns = WindwardHeatingPNS(body, gas=gas_model)
-    res = pns.solve(rho_inf=float(atm.density(h)),
-                    T_inf=float(atm.temperature(h)), V=float(V),
-                    T_wall=T_wall, n_stations=n_stations,
-                    catalytic_phi=catalytic_phi)
-    return {"x_over_L": res.x_over_L, "q": res.q, "q_stag": res.q_stag,
-            "result": res}
+    try:
+        res = pns.solve(rho_inf=float(atm.density(h)),
+                        T_inf=float(atm.temperature(h)), V=float(V),
+                        T_wall=T_wall, n_stations=n_stations,
+                        catalytic_phi=catalytic_phi,
+                        resilience=resilience)
+    except CatError as err:
+        if on_failure == "report":
+            return _failure_dict(err)
+        raise
+    return {"ok": True, "x_over_L": res.x_over_L, "q": res.q,
+            "q_stag": res.q_stag, "result": res}
 
 
 def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth") -> dict:

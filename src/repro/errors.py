@@ -8,7 +8,18 @@ from __future__ import annotations
 
 
 class CatError(Exception):
-    """Base class for all errors raised by the `repro` toolkit."""
+    """Base class for all errors raised by the `repro` toolkit.
+
+    Attributes
+    ----------
+    report:
+        Optional :class:`repro.resilience.report.FailureReport` attached
+        by the resilience layer when a recovery ladder is exhausted —
+        the diagnostic bundle (state snapshot, residual history, retry
+        trace, solver config) that replaces a bare traceback.
+    """
+
+    report = None
 
 
 class ConvergenceError(CatError):
@@ -20,13 +31,26 @@ class ConvergenceError(CatError):
         Number of iterations performed before giving up.
     residual:
         Final residual (solver-defined norm), if known.
+    bad_indices:
+        Flat batch indices of the non-converged states (batched solves).
+    residual_trajectory:
+        Per-iteration residual norms of the failing solve, if recorded.
+    worst:
+        Small dict describing the worst offending state(s) — indices,
+        final residuals and the local thermodynamic inputs.
     """
 
     def __init__(self, message: str, *, iterations: int | None = None,
-                 residual: float | None = None) -> None:
+                 residual: float | None = None, bad_indices=None,
+                 residual_trajectory=None, worst: dict | None = None,
+                 report=None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.bad_indices = bad_indices
+        self.residual_trajectory = residual_trajectory
+        self.worst = worst
+        self.report = report
 
 
 class InputError(CatError, ValueError):
@@ -42,11 +66,14 @@ class GridError(CatError):
 
 
 class StabilityError(CatError):
-    """A time-marching solution became non-physical (NaN, negative density)."""
+    """A time-marching solution became non-physical (NaN, negative
+    density or energy)."""
 
-    def __init__(self, message: str, *, step: int | None = None) -> None:
+    def __init__(self, message: str, *, step: int | None = None,
+                 report=None) -> None:
         super().__init__(message)
         self.step = step
+        self.report = report
 
 
 class TableRangeError(CatError):

@@ -1,12 +1,18 @@
 """Run every figure experiment and print a combined report.
 
 ``python -m repro.experiments.runner [--full]``
+
+The runner is resilient: a failing figure is caught, summarised (with
+its :class:`~repro.resilience.FailureReport` when the resilience layer
+attached one) and the suite continues — one bad flight condition must
+not cost the other eight figures.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+import traceback
 
 from repro.experiments import (fig1_flight_domain, fig2_titan_heating,
                                fig3_species_profiles, fig4_shock_shape,
@@ -30,19 +36,46 @@ _MODULES = [
 ]
 
 
-def run_all(quick: bool = True, *, stream=None) -> dict:
-    """Run every experiment; returns {name: seconds}."""
+def run_all(quick: bool = True, *, stream=None, keep_going: bool = True
+            ) -> dict:
+    """Run every experiment.
+
+    Returns ``{"timings": {name: seconds}, "failures": {name: exc}}``.
+    With ``keep_going`` (the default) a failing figure is reported —
+    including its attached FailureReport, when present — and the rest of
+    the suite still runs; ``keep_going=False`` restores fail-fast.
+    """
     stream = stream or sys.stdout
-    timings = {}
+    timings: dict[str, float] = {}
+    failures: dict[str, Exception] = {}
     for name, mod in _MODULES:
         t0 = time.perf_counter()
         print(f"\n{'=' * 78}\n{name}: {mod.__doc__.splitlines()[0]}"
               f"\n{'=' * 78}", file=stream)
-        print(mod.main(quick=quick), file=stream)
-        timings[name] = time.perf_counter() - t0
-        print(f"[{name} completed in {timings[name]:.1f} s]", file=stream)
-    return timings
+        try:
+            print(mod.main(quick=quick), file=stream)
+        except Exception as err:
+            if not keep_going:
+                raise
+            failures[name] = err
+            print(f"[{name} FAILED: {type(err).__name__}: {err}]",
+                  file=stream)
+            report = getattr(err, "report", None)
+            if report is not None:
+                print(report.summary(), file=stream)
+            else:
+                print("".join(traceback.format_exception(err)).rstrip(),
+                      file=stream)
+        finally:
+            timings[name] = time.perf_counter() - t0
+            print(f"[{name} completed in {timings[name]:.1f} s]",
+                  file=stream)
+    if failures:
+        print(f"\n{len(failures)}/{len(_MODULES)} figure(s) failed: "
+              f"{sorted(failures)}", file=stream)
+    return {"timings": timings, "failures": failures}
 
 
 if __name__ == "__main__":
-    run_all(quick="--full" not in sys.argv)
+    res = run_all(quick="--full" not in sys.argv)
+    raise SystemExit(1 if res["failures"] else 0)

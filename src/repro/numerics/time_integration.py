@@ -35,10 +35,35 @@ def ssp_rk3_step(U, dt, residual):
     return U / 3.0 + 2.0 / 3.0 * (U2 + dt * residual(U2))
 
 
-def check_state(U, *, step: int | None = None, label: str = "solver"):
-    """Raise StabilityError on NaN or non-positive density/energy."""
+def check_state(U, *, step: int | None = None, label: str = "solver",
+                energy_index: int = -1, momentum_indices=None,
+                e_min: float | None = 0.0):
+    """Raise StabilityError on NaN or non-positive density/energy.
+
+    Assumes the conventional conserved layout ``U[..., 0] = rho``,
+    ``U[..., energy_index] = rho E`` and momenta in between (override
+    ``momentum_indices`` for augmented state vectors such as the reacting
+    solver's ``[rho, rho u, rho v, rho E, rho Y_s...]``).
+
+    Checks, in order: every component finite; density positive; total
+    energy positive; internal energy ``rho e = rho E - |rho u|^2/(2 rho)``
+    above ``e_min`` (pass ``e_min=None`` to skip — e.g. states on a
+    heat-of-formation energy basis where e can legitimately be negative).
+    """
     U = np.asarray(U)
     if not np.all(np.isfinite(U)):
         raise StabilityError(f"{label}: non-finite state", step=step)
     if np.any(U[..., 0] <= 0.0):
         raise StabilityError(f"{label}: non-positive density", step=step)
+    if np.any(U[..., energy_index] <= 0.0):
+        raise StabilityError(f"{label}: non-positive total energy",
+                             step=step)
+    if e_min is not None:
+        if momentum_indices is None:
+            last = energy_index % U.shape[-1]
+            momentum_indices = tuple(range(1, last))
+        ke = sum(U[..., m] ** 2 for m in momentum_indices) \
+            / (2.0 * U[..., 0])
+        if np.any(U[..., energy_index] - ke <= e_min):
+            raise StabilityError(f"{label}: non-positive internal energy",
+                                 step=step)

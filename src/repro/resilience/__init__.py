@@ -1,0 +1,26 @@
+"""Solver resilience layer: supervised marching, rollback-retry,
+failure diagnostics and deterministic fault injection.
+
+Production aerothermodynamics runs must degrade gracefully, not die.
+This package provides the machinery the solver stack wires through:
+
+* :class:`RunSupervisor` / :class:`RetryPolicy` — checkpointed marching
+  with automatic rollback and CFL backoff,
+* :func:`supervised_call` — bounded parameter-adjustment retries for
+  one-shot solves,
+* :class:`FailureReport` — the diagnostic bundle every exhausted retry
+  ladder emits,
+* :class:`Checkpoint` — restorable solver snapshots,
+* :class:`FaultInjector` — deterministic NaN / perturbation / Newton
+  faults so every recovery path is exercised by tests.
+"""
+
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.faults import Fault, FaultInjector
+from repro.resilience.report import FailureReport, solver_config
+from repro.resilience.supervisor import (RetryPolicy, RunSupervisor,
+                                         supervised_call)
+
+__all__ = ["Checkpoint", "Fault", "FaultInjector", "FailureReport",
+           "RetryPolicy", "RunSupervisor", "solver_config",
+           "supervised_call"]

@@ -1,0 +1,146 @@
+"""Deterministic fault injection for resilience testing.
+
+Recovery code that is never exercised is recovery code that does not
+work.  A :class:`FaultInjector` arms a scripted set of faults — NaNs or
+multiplicative perturbations in the conserved field at chosen steps and
+cells, or corrupted Newton initial guesses in the equilibrium solver at
+chosen calls and batch indices — and the supervised marching loops apply
+them at exactly the scripted moment.  Every fault is deterministic and
+logged, so a test can assert both that the fault fired and that the
+recovery path survived it.
+
+By default a fault fires **once** (a transient upset: the model for a
+cosmic-ray bitflip or a one-off bad thermodynamic state); a rollback
+therefore retries a clean trajectory.  ``persistent=True`` faults re-fire
+on every matching step and model a reproducible defect that retries
+cannot clear — the path that must end in a :class:`FailureReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Fault", "FaultInjector"]
+
+
+@dataclass
+class Fault:
+    """One scripted fault."""
+
+    kind: str                     #: "nan" | "perturb" | "newton"
+    step: int | None = None       #: marching step to fire at (nan/perturb)
+    cell: tuple | int | None = None
+    component: int = 0
+    factor: float = 10.0          #: multiplier for "perturb"
+    call: int = 0                 #: Newton call index to fire at ("newton")
+    cells: tuple = ()             #: batch indices to poison ("newton")
+    value: float = 120.0          #: poisoned element potential ("newton")
+    persistent: bool = False
+    fired: int = 0
+
+
+class FaultInjector:
+    """Deterministic, scripted fault source shared by the supervised
+    loops (flow-state faults) and the equilibrium solver (Newton
+    faults)."""
+
+    def __init__(self):
+        self.faults: list[Fault] = []
+        self.log: list[dict] = []
+        self._newton_calls = 0
+
+    # -- arming ---------------------------------------------------------
+
+    def inject_nan(self, *, step, cell, component=0, persistent=False):
+        """Poison one state component of one cell with NaN after the
+        given marching step completes."""
+        self.faults.append(Fault(kind="nan", step=int(step), cell=cell,
+                                 component=int(component),
+                                 persistent=persistent))
+        return self
+
+    def inject_perturbation(self, *, step, cell, component=0, factor=10.0,
+                            persistent=False):
+        """Scale one state component of one cell by ``factor`` after the
+        given marching step completes."""
+        self.faults.append(Fault(kind="perturb", step=int(step), cell=cell,
+                                 component=int(component),
+                                 factor=float(factor),
+                                 persistent=persistent))
+        return self
+
+    def inject_newton_failure(self, *, call=0, cells=(), value=120.0,
+                              persistent=False):
+        """Corrupt the equilibrium Newton initial guess (element
+        potentials) for the given batch indices at the given solver call
+        (0 = the next top-level ``solve_rho_T``)."""
+        self.faults.append(Fault(kind="newton", call=int(call),
+                                 cells=tuple(int(c) for c in cells),
+                                 value=float(value),
+                                 persistent=persistent))
+        return self
+
+    # -- firing ---------------------------------------------------------
+
+    @staticmethod
+    def _index(cell, component):
+        idx = cell if isinstance(cell, tuple) else (int(cell),)
+        return idx + (int(component),)
+
+    def apply(self, solver) -> bool:
+        """Fire any armed flow-state faults matching ``solver.steps``.
+
+        Mutates ``solver.U`` in place; returns True when something fired.
+        """
+        fired = False
+        step = int(getattr(solver, "steps", 0) or 0)
+        for f in self.faults:
+            if f.kind not in ("nan", "perturb") or f.step != step:
+                continue
+            if f.fired and not f.persistent:
+                continue
+            idx = self._index(f.cell, f.component)
+            if f.kind == "nan":
+                solver.U[idx] = np.nan
+            else:
+                solver.U[idx] = solver.U[idx] * f.factor
+            f.fired += 1
+            fired = True
+            self.log.append({"kind": f.kind, "step": step,
+                             "cell": f.cell, "component": f.component})
+        return fired
+
+    def corrupt_lambda(self, lam: np.ndarray) -> np.ndarray:
+        """Fire armed Newton faults against a batch of initial element
+        potentials (called once per top-level equilibrium solve)."""
+        call = self._newton_calls
+        self._newton_calls += 1
+        out = lam
+        for f in self.faults:
+            if f.kind != "newton" or f.call != call:
+                continue
+            if f.fired and not f.persistent:
+                continue
+            out = np.array(out, dtype=float)
+            cells = [c for c in f.cells if c < out.shape[0]]
+            out[cells] = f.value
+            f.fired += 1
+            self.log.append({"kind": "newton", "call": call,
+                             "cells": tuple(cells)})
+        return out
+
+    # -- bookkeeping ----------------------------------------------------
+
+    @property
+    def n_fired(self) -> int:
+        return len(self.log)
+
+    def reset(self):
+        """Re-arm every fault and clear the log."""
+        for f in self.faults:
+            f.fired = 0
+        self.log.clear()
+        self._newton_calls = 0
+        return self

@@ -1,0 +1,203 @@
+"""Supervised time-marching: checkpoint / rollback / CFL-backoff retry.
+
+The paper's solvers all "march in a time-like manner until a steady state
+is asymptotically achieved" — and an unsupervised march dies on the first
+transient NaN.  :class:`RunSupervisor` wraps any marching loop with
+
+1. periodic :class:`~repro.resilience.checkpoint.Checkpoint` captures,
+2. a per-step :func:`~repro.numerics.time_integration.check_state` guard,
+3. automatic rollback to the last good checkpoint on
+   :class:`~repro.errors.StabilityError`, with exponential CFL backoff
+   through a bounded retry ladder,
+4. a :class:`~repro.resilience.report.FailureReport` diagnostic bundle on
+   exhaustion — either attached to the raised error or, with
+   ``return_best=True``, delivered alongside the best-so-far state
+   flagged ``converged=False``.
+
+One-shot solves (PNS stations, VSL, the shock-relaxation BDF integration)
+use :func:`supervised_call`, the same bounded-ladder idea expressed as a
+sequence of parameter adjustments instead of CFL backoff.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import CatError, StabilityError
+from repro.numerics.time_integration import check_state
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.report import FailureReport, solver_config
+
+__all__ = ["RetryPolicy", "RunSupervisor", "supervised_call"]
+
+
+@dataclass
+class RetryPolicy:
+    """Knobs of the rollback-retry ladder.
+
+    Attributes
+    ----------
+    max_retries:
+        Rollbacks allowed before the run is declared dead.
+    cfl_backoff:
+        Multiplier applied to the CFL number at each rollback.
+    cfl_min:
+        Ladder floor: a retry that would drop CFL below this gives up.
+    checkpoint_interval:
+        Steps between checkpoint captures.
+    max_wall_time:
+        Optional wall-clock budget [s]; on expiry the march stops and
+        returns the current (best-so-far) state with ``converged=False``.
+    return_best:
+        On retry exhaustion, restore the last good checkpoint and return
+        it flagged ``converged=False`` instead of raising.
+    """
+
+    max_retries: int = 4
+    cfl_backoff: float = 0.5
+    cfl_min: float = 1e-3
+    checkpoint_interval: int = 25
+    max_wall_time: float | None = None
+    return_best: bool = False
+
+
+class RunSupervisor:
+    """Drives a solver's step function under a :class:`RetryPolicy`.
+
+    Parameters
+    ----------
+    solver:
+        Any object exposing ``U`` (conserved field), ``steps`` and —
+        ideally — ``get_state``/``set_state`` (see
+        :class:`~repro.resilience.checkpoint.Checkpoint`).
+    policy:
+        Retry ladder configuration (default :class:`RetryPolicy`).
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; armed
+        faults are applied after every successful step so that the guard
+        and rollback paths are exercised deterministically.
+    label:
+        Name used in errors and reports.
+    """
+
+    def __init__(self, solver, policy: RetryPolicy | None = None, *,
+                 faults=None, label: str | None = None):
+        self.solver = solver
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.faults = faults
+        self.label = label or type(solver).__name__
+        self.attempts: list[dict] = []
+        self.report: FailureReport | None = None
+
+    # ------------------------------------------------------------------
+
+    def _guard(self):
+        """Per-step state validation using the solver's declared layout."""
+        layout = getattr(self.solver, "state_layout", None) or {}
+        check_state(self.solver.U,
+                    step=int(getattr(self.solver, "steps", 0) or 0),
+                    label=self.label, **layout)
+
+    def _build_report(self, err, ckpt, t0) -> FailureReport:
+        hist = list(getattr(self.solver, "residual_history", []) or [])
+        return FailureReport(
+            label=self.label, error=str(err),
+            step=getattr(err, "step", None)
+            or int(getattr(self.solver, "steps", 0) or 0),
+            attempts=list(self.attempts),
+            residual_history=hist[-200:],
+            config=solver_config(self.solver),
+            state=dict(ckpt.payload),
+            wall_time=time.monotonic() - t0)
+
+    # ------------------------------------------------------------------
+
+    def march(self, step_fn, *, n_steps, cfl, tol=None, stop=None) -> bool:
+        """Advance ``step_fn(cfl) -> residual | None`` up to ``n_steps``
+        successful steps with rollback-retry.
+
+        ``stop()`` (optional) ends the march as converged (transient runs
+        marching to a target time); ``tol`` ends it when the returned
+        residual drops below it (steady runs).  Returns the converged
+        flag, which is also set on ``solver.converged``; on exhaustion
+        either raises :class:`StabilityError` carrying a
+        :class:`FailureReport` or — with ``return_best=True`` — restores
+        the last good checkpoint and returns False.
+        """
+        solver, pol = self.solver, self.policy
+        cfl_now = float(cfl)
+        retries = 0
+        t0 = time.monotonic()
+        ckpt = Checkpoint.capture(solver)
+        k = ckpt_k = 0
+        converged = False
+        while k < n_steps:
+            if stop is not None and stop():
+                converged = True
+                break
+            if (pol.max_wall_time is not None
+                    and time.monotonic() - t0 > pol.max_wall_time):
+                break  # budget exhausted: best-so-far, converged=False
+            try:
+                res = step_fn(cfl_now)
+                if self.faults is not None:
+                    self.faults.apply(solver)
+                self._guard()
+            except StabilityError as err:
+                retries += 1
+                self.attempts.append(
+                    {"retry": retries, "cfl": cfl_now,
+                     "step": int(getattr(solver, "steps", k) or k),
+                     "error": str(err)})
+                next_cfl = cfl_now * pol.cfl_backoff
+                if retries > pol.max_retries or next_cfl < pol.cfl_min:
+                    self.report = self._build_report(err, ckpt, t0)
+                    if pol.return_best:
+                        ckpt.restore(solver)
+                        solver.converged = False
+                        return False
+                    exhausted = StabilityError(
+                        f"{self.label}: retry ladder exhausted after "
+                        f"{retries} attempt(s): {err}",
+                        step=getattr(err, "step", None),
+                        report=self.report)
+                    raise exhausted from err
+                ckpt.restore(solver)
+                k = ckpt_k
+                cfl_now = next_cfl
+                continue
+            k += 1
+            if tol is not None and res is not None and res < tol:
+                converged = True
+                break
+            if k % pol.checkpoint_interval == 0:
+                ckpt = Checkpoint.capture(solver)
+                ckpt_k = k
+        solver.converged = converged
+        return converged
+
+
+def supervised_call(fn, *, label, ladder=(), config=None):
+    """Run a one-shot solve through a bounded parameter-adjustment ladder.
+
+    Calls ``fn()`` first as-given, then once per entry of ``ladder``
+    (each entry a dict of keyword overrides for ``fn``) while it raises
+    :class:`~repro.errors.CatError`.  On exhaustion the *original* error
+    is re-raised with a :class:`FailureReport` (ladder trace + config)
+    attached as ``err.report``.
+    """
+    attempts: list[dict] = []
+    last: CatError | None = None
+    for i, overrides in enumerate([{}, *ladder]):
+        try:
+            return fn(**overrides)
+        except CatError as err:
+            last = err
+            attempts.append({"attempt": i, **{k: repr(v) for k, v
+                                              in overrides.items()},
+                             "error": str(err)})
+    report = FailureReport(label=label, error=str(last),
+                           attempts=attempts, config=dict(config or {}))
+    last.report = report
+    raise last

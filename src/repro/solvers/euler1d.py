@@ -64,6 +64,20 @@ class Euler1DSolver:
         self.U = None
         self.t = 0.0
         self.steps = 0
+        self.converged = False
+
+    # ------------------------------------------------------------------
+    # resilience protocol
+    # ------------------------------------------------------------------
+
+    def get_state(self):
+        """Restorable marching state (see repro.resilience)."""
+        return {"U": self.U.copy(), "t": self.t, "steps": self.steps}
+
+    def set_state(self, state):
+        self.U = state["U"]
+        self.t = state["t"]
+        self.steps = state["steps"]
 
     # ------------------------------------------------------------------
 
@@ -134,16 +148,40 @@ class Euler1DSolver:
         self.steps += 1
         check_state(self.U, step=self.steps, label="euler1d")
 
-    def run(self, t_final, *, cfl=0.45, max_steps=100000):
-        """Advance to t_final with CFL-limited steps."""
+    def run(self, t_final, *, cfl=0.45, max_steps=100000, resilience=None,
+            faults=None):
+        """Advance to t_final with CFL-limited steps.
+
+        With ``resilience`` (a :class:`repro.resilience.RetryPolicy`, or
+        ``True`` for the defaults) the march runs under a
+        :class:`repro.resilience.RunSupervisor`: checkpointed, with
+        automatic rollback and CFL backoff on :class:`StabilityError`.
+        ``faults`` optionally injects deterministic faults (testing).
+        """
         if self.U is None:
             raise InputError("call set_initial first")
+        if resilience is not None or faults is not None:
+            from repro.resilience import (RetryPolicy, RunSupervisor)
+            policy = (resilience if isinstance(resilience, RetryPolicy)
+                      else RetryPolicy())
+            sup = RunSupervisor(self, policy, faults=faults,
+                                label="euler1d")
+            sup.march(self._cfl_step(t_final), n_steps=max_steps, cfl=cfl,
+                      stop=lambda: self.t >= t_final - 1e-15)
+            return self
         while self.t < t_final - 1e-15 and self.steps < max_steps:
-            w = primitives(self.U, self.eos)
-            dt = cfl_timestep_1d(self.dx, w["vel"][0], w["a"], cfl)
-            dt = min(dt, t_final - self.t)
-            self.step(dt)
+            self._cfl_step(t_final)(cfl)
+        self.converged = self.t >= t_final - 1e-15
         return self
+
+    def _cfl_step(self, t_final):
+        """One CFL-limited step toward ``t_final`` as a closure over the
+        current CFL number (the supervisor's backoff knob)."""
+        def advance(cfl_now):
+            w = primitives(self.U, self.eos)
+            dt = cfl_timestep_1d(self.dx, w["vel"][0], w["a"], cfl_now)
+            self.step(min(dt, t_final - self.t))
+        return advance
 
     # ------------------------------------------------------------------
 

@@ -78,7 +78,23 @@ class AxisymmetricEulerSolver:
         self.U_inf = None
         self.t = 0.0
         self.steps = 0
+        self.converged = False
         self.residual_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # resilience protocol
+    # ------------------------------------------------------------------
+
+    def get_state(self):
+        """Restorable marching state (see repro.resilience)."""
+        return {"U": self.U.copy(), "t": self.t, "steps": self.steps,
+                "residual_history": list(self.residual_history)}
+
+    def set_state(self, state):
+        self.U = state["U"]
+        self.t = state["t"]
+        self.steps = state["steps"]
+        self.residual_history = state["residual_history"]
 
     # ------------------------------------------------------------------
 
@@ -198,17 +214,37 @@ class AxisymmetricEulerSolver:
         e_min = 1e-8 * float(self.U_inf[3])
         U[..., 3] = np.maximum(U[..., 3], ke + e_min)
 
-    def run(self, *, n_steps=4000, cfl=0.4, tol=1e-8, verbose=False):
+    def run(self, *, n_steps=4000, cfl=0.4, tol=1e-8, verbose=False,
+            resilience=None, faults=None):
         """March to steady state; stops early when the residual drops
-        below ``tol`` (relative density update per step)."""
+        below ``tol`` (relative density update per step).
+
+        With ``resilience`` (a :class:`repro.resilience.RetryPolicy`, or
+        ``True`` for the defaults) the march runs supervised: periodic
+        checkpoints, per-step state guards, automatic rollback with CFL
+        backoff on :class:`StabilityError`, and a
+        :class:`~repro.resilience.FailureReport` on exhaustion.
+        ``faults`` optionally injects deterministic faults (testing).
+        ``self.converged`` records whether ``tol`` was reached.
+        """
         if self.U is None:
             raise InputError("call set_freestream first")
+        if resilience is not None or faults is not None:
+            from repro.resilience import RetryPolicy, RunSupervisor
+            policy = (resilience if isinstance(resilience, RetryPolicy)
+                      else RetryPolicy())
+            sup = RunSupervisor(self, policy, faults=faults,
+                                label=type(self).__name__)
+            sup.march(self.step, n_steps=n_steps, cfl=cfl, tol=tol)
+            return self
         for k in range(n_steps):
             res = self.step(cfl)
             if verbose and k % 200 == 0:
                 print(f"step {self.steps}: res={res:.3e}")
             if res < tol:
                 break
+        self.converged = bool(self.residual_history
+                              and self.residual_history[-1] < tol)
         return self
 
     # ------------------------------------------------------------------
@@ -234,14 +270,12 @@ class AxisymmetricEulerSolver:
         rho_inf = float(self.U_inf[0])
         mask = f["rho"] > threshold * rho_inf
         ni, nj = mask.shape
-        xs = np.full(ni, np.nan)
-        ys = np.full(ni, np.nan)
-        for i in range(ni):
-            idx = np.nonzero(mask[i])[0]
-            if idx.size:
-                j = idx[-1]
-                xs[i] = f["x"][i, j]
-                ys[i] = f["y"][i, j]
+        # outermost exceeding cell per ray: argmax of the reversed mask
+        j_shock = nj - 1 - np.argmax(mask[:, ::-1], axis=1)
+        has_shock = mask.any(axis=1)
+        rays = np.arange(ni)
+        xs = np.where(has_shock, f["x"][rays, j_shock], np.nan)
+        ys = np.where(has_shock, f["y"][rays, j_shock], np.nan)
         return xs, ys
 
     def stagnation_standoff(self):

@@ -13,6 +13,13 @@ The axisymmetric viscous hoop terms are neglected (thin-layer-class
 approximation, standard for blunt-body heating at these Reynolds numbers);
 the energy-balance consequences are quantified against the boundary-layer
 solver in the validation tests.
+
+Resilience: the solver inherits the Euler solver's supervised marching —
+``run(resilience=..., faults=...)`` checkpoints the state, guards every
+step and rolls back with CFL backoff on :class:`StabilityError` (see
+:mod:`repro.resilience`); the viscous timestep limit shrinks with the
+convective one under backoff, so the retry ladder covers both stiffness
+sources.
 """
 
 from __future__ import annotations

@@ -23,7 +23,7 @@ Outputs q(x/L), the Fig. 6 ordinate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -54,6 +54,9 @@ class PNSResult:
     u_e: np.ndarray        #: edge velocity [m/s]
     T_e: np.ndarray        #: edge temperature [K]
     mode: str              #: "equilibrium" or "ideal"
+    #: stations whose isentropic-expansion inversion needed the
+    #: continuation fallback (resilient marches only; empty otherwise)
+    degraded_stations: list = field(default_factory=list)
 
 
 class WindwardHeatingPNS:
@@ -87,8 +90,17 @@ class WindwardHeatingPNS:
     # ------------------------------------------------------------------
 
     def solve(self, *, rho_inf, T_inf, V, T_wall=1200.0, n_stations=60,
-              catalytic_phi=1.0) -> PNSResult:
-        """March the windward ray for one flight condition."""
+              catalytic_phi=1.0, resilience=None) -> PNSResult:
+        """March the windward ray for one flight condition.
+
+        With ``resilience`` truthy, a station whose equilibrium
+        isentropic-expansion inversion fails is recovered by continuation
+        from the previous station's edge state instead of aborting the
+        march; recovered stations are listed in
+        ``PNSResult.degraded_stations``.  Without it the
+        :class:`ConvergenceError` is raised, enriched with a
+        :class:`~repro.resilience.FailureReport` naming the station.
+        """
         if V <= 0:
             raise InputError("V must be positive")
         body = self.body
@@ -106,8 +118,10 @@ class WindwardHeatingPNS:
         cp_max = (stag["p_stag"] - p_inf) / q_dyn
         p_e = np.maximum(p_inf + cp_max * q_dyn * np.sin(theta) ** 2,
                          1.01 * p_inf)
+        degraded: list[int] = []
         if self.mode == "equilibrium":
-            T_e, rho_e, u_e, mu_e = self._expand_equilibrium(stag, p_e)
+            T_e, rho_e, u_e, mu_e = self._expand_equilibrium(
+                stag, p_e, resilience=resilience, degraded=degraded)
         else:
             T_e, rho_e, u_e, mu_e = self._expand_ideal(stag, p_e)
         # Lees distribution normalised at the stagnation point
@@ -122,7 +136,7 @@ class WindwardHeatingPNS:
                         np.array([body.s_max]))[0][0]))
         return PNSResult(s=s, x_over_L=np.asarray(x_over_L), q=q,
                          q_stag=stag["q_stag"], p_e=p_e, u_e=u_e, T_e=T_e,
-                         mode=self.mode)
+                         mode=self.mode, degraded_stations=degraded)
 
     # ------------------------------------------------------------------
     # stagnation starting solutions
@@ -204,19 +218,37 @@ class WindwardHeatingPNS:
         u_e = np.sqrt(np.maximum(2.0 * cp * (stag["T0"] - T_e), 0.0))
         return T_e, rho_e, u_e, sutherland_viscosity(T_e)
 
-    def _expand_equilibrium(self, stag, p_e):
+    def _expand_equilibrium(self, stag, p_e, *, resilience=None,
+                            degraded=None):
         """Isentropic equilibrium expansion from the stagnation state.
 
         For each edge pressure find T with s(T, p_e) = s_stag (bracketed
         secant on the monotone entropy), then the velocity from the
-        enthalpy deficit.
+        enthalpy deficit.  This is the PNS space march: each station's
+        solve warm-starts from the previous one, and under ``resilience``
+        a failed station falls back to the upstream edge temperature
+        (recorded in ``degraded``) so the march survives.
         """
         gas = self.gas
         T_e = np.empty_like(p_e)
         T_guess = stag["T0"]
         for i, p in enumerate(p_e):
-            T_guess = self._T_of_s_p(stag["s_stag"], float(p),
-                                     min(T_guess, stag["T0"]))
+            try:
+                T_guess = self._T_of_s_p(stag["s_stag"], float(p),
+                                         min(T_guess, stag["T0"]))
+            except ConvergenceError as err:
+                if not resilience:
+                    from repro.resilience import FailureReport
+                    err.report = FailureReport(
+                        label="pns", error=str(err), step=i,
+                        config={"station": i, "p_e": float(p),
+                                "T_guess": float(T_guess),
+                                "s_stag": float(stag["s_stag"]),
+                                "mode": self.mode})
+                    raise
+                # continuation fallback: carry the upstream edge state
+                if degraded is not None:
+                    degraded.append(i)
             T_e[i] = T_guess
         y_e, rho_e = gas.composition_T_p(T_e, p_e)
         h_e = gas.mix.h_mass(T_e, y_e)

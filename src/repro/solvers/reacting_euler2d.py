@@ -116,6 +116,30 @@ class ReactingEulerSolver:
         self.U = None
         self.T = None
         self.steps = 0
+        self.converged = False
+        self.residual_history: list[float] = []
+
+    #: state layout for repro.resilience guards: energy at index 3 (the
+    #: trailing components are rho Y_s), and no internal-energy floor —
+    #: the energy lives on the heat-of-formation basis.
+    state_layout = {"energy_index": 3, "momentum_indices": (1, 2),
+                    "e_min": None}
+
+    # ------------------------------------------------------------------
+    # resilience protocol
+    # ------------------------------------------------------------------
+
+    def get_state(self):
+        """Restorable marching state (see repro.resilience)."""
+        return {"U": self.U.copy(), "steps": self.steps,
+                "T": None if self.T is None else self.T.copy(),
+                "residual_history": list(self.residual_history)}
+
+    def set_state(self, state):
+        self.U = state["U"]
+        self.steps = state["steps"]
+        self.T = state["T"]
+        self.residual_history = state["residual_history"]
 
     # ------------------------------------------------------------------
 
@@ -230,7 +254,11 @@ class ReactingEulerSolver:
         return cfl * self.grid.min_cell_size() / speed
 
     def step(self, cfl=0.35, *, chemistry=True):
-        """One forward-Euler flow step + point-implicit chemistry split."""
+        """One forward-Euler flow step + point-implicit chemistry split.
+
+        Returns the relative density-update residual (as the Euler
+        solver does), so steady marches can monitor convergence.
+        """
         dt = self.local_timestep(cfl)
         R = self.residual(self.U)
         self.U = self.U + dt[..., None] * R
@@ -244,6 +272,10 @@ class ReactingEulerSolver:
             # species partition changes
             self.U[..., 4:] = w["rho"][..., None] * y_new
         self.steps += 1
+        rho_res = float(np.sqrt(np.mean((R[..., 0] * dt) ** 2))
+                        / max(float(np.mean(self.U[..., 0])), 1e-300))
+        self.residual_history.append(rho_res)
+        return rho_res
 
     def _sanitise(self):
         U = self.U
@@ -262,11 +294,32 @@ class ReactingEulerSolver:
         hf = np.sum(y * self.db.hf0_mass, axis=-1)
         U[..., 3] = np.maximum(U[..., 3], ke + rho * (hf + 3e4))
 
-    def run(self, *, n_steps=2000, cfl=0.35, chemistry=True):
+    def run(self, *, n_steps=2000, cfl=0.35, chemistry=True, tol=None,
+            resilience=None, faults=None):
+        """March ``n_steps`` (or to ``tol`` when given).
+
+        ``resilience``/``faults`` run the march under a
+        :class:`repro.resilience.RunSupervisor` with checkpointed
+        rollback-retry and deterministic fault injection (see
+        :meth:`AxisymmetricEulerSolver.run`).
+        """
         if self.U is None:
             raise InputError("call set_freestream first")
+        if resilience is not None or faults is not None:
+            from repro.resilience import RetryPolicy, RunSupervisor
+            policy = (resilience if isinstance(resilience, RetryPolicy)
+                      else RetryPolicy())
+            sup = RunSupervisor(self, policy, faults=faults,
+                                label="reacting_euler2d")
+            sup.march(lambda c: self.step(c, chemistry=chemistry),
+                      n_steps=n_steps, cfl=cfl, tol=tol)
+            return self
         for _ in range(n_steps):
-            self.step(cfl, chemistry=chemistry)
+            res = self.step(cfl, chemistry=chemistry)
+            if tol is not None and res < tol:
+                break
+        self.converged = bool(tol is not None and self.residual_history
+                              and self.residual_history[-1] < tol)
         return self
 
     # ------------------------------------------------------------------

@@ -141,7 +141,7 @@ class ShockRelaxationSolver:
     # ------------------------------------------------------------------
 
     def solve(self, *, u1, p1, T1, y1=None, x_end=0.1, n_out=400,
-              rtol=1e-8, atol=1e-11) -> RelaxationProfile:
+              rtol=1e-8, atol=1e-11, resilience=None) -> RelaxationProfile:
         """Integrate the relaxation zone behind a normal shock.
 
         Parameters
@@ -154,6 +154,11 @@ class ShockRelaxationSolver:
             solver's species set).
         x_end:
             Integration distance behind the shock [m].
+        resilience:
+            When set (truthy), a failed stiff integration is retried
+            through a bounded tolerance/method ladder (looser rtol/atol,
+            then LSODA) before giving up; the final failure carries a
+            :class:`~repro.resilience.FailureReport`.
         """
         db = self.db
         if y1 is None:
@@ -199,11 +204,30 @@ class ShockRelaxationSolver:
         z0 = np.concatenate([y1, [ev1]])
         x_eval = np.geomspace(max(x_end * 1e-5, 1e-8), x_end, n_out)
         x_eval = np.concatenate([[0.0], x_eval])
-        sol = solve_ivp(rhs, (0.0, x_end), z0, method="BDF", rtol=rtol,
-                        atol=atol, t_eval=x_eval, dense_output=False)
-        if not sol.success:
-            raise ConvergenceError(f"relaxation integration failed: "
-                                   f"{sol.message}")
+
+        def integrate(rtol=rtol, atol=atol, method="BDF"):
+            out = solve_ivp(rhs, (0.0, x_end), z0, method=method,
+                            rtol=rtol, atol=atol, t_eval=x_eval,
+                            dense_output=False)
+            if not out.success:
+                raise ConvergenceError(f"relaxation integration failed: "
+                                       f"{out.message}")
+            return out
+
+        if resilience:
+            from repro.resilience import supervised_call
+            # bounded retry ladder: loosen the tolerances (the usual fix
+            # for a BDF stall on a stiff ignition front), then switch the
+            # stiff method entirely.
+            sol = supervised_call(
+                integrate, label="shock_relaxation",
+                ladder=[{"rtol": max(rtol, 1e-8) * 100,
+                         "atol": max(atol, 1e-11) * 100},
+                        {"rtol": 1e-5, "atol": 1e-8, "method": "LSODA"}],
+                config={"u1": float(u1), "p1": float(p1),
+                        "T1": float(T1), "x_end": float(x_end)})
+        else:
+            sol = integrate()
         # recover algebraic fields along the trajectory
         nx = sol.t.size
         T = np.empty(nx)

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import InputError
+from repro.errors import CatError, InputError
 from repro.heating.fay_riddell import newtonian_velocity_gradient
 from repro.radiation.spectra import EmissionModel
 from repro.radiation.tangent_slab import tangent_slab_flux
@@ -92,7 +92,32 @@ class StagnationVSL:
         radiative_cooling:
             Apply the one-pass energy-loss correction: the layer enthalpy
             is reduced by the radiated energy per unit mass transit.
+
+        Any toolkit failure inside the stack (shock solve, Gibbs
+        equilibrium, similarity shoot, radiation) is re-raised with a
+        :class:`~repro.resilience.FailureReport` attached carrying the
+        flight condition — the diagnostic bundle production triage
+        starts from.
         """
+        try:
+            return self._solve_impl(
+                rho_inf=rho_inf, T_inf=T_inf, V=V, T_wall=T_wall,
+                n_profile=n_profile, radiative_cooling=radiative_cooling,
+                lambda_range=lambda_range, n_lambda=n_lambda)
+        except CatError as err:
+            if err.report is None:
+                from repro.resilience import FailureReport
+                err.report = FailureReport(
+                    label="vsl", error=str(err),
+                    config={"rho_inf": float(rho_inf),
+                            "T_inf": float(T_inf), "V": float(V),
+                            "T_wall": float(T_wall),
+                            "nose_radius": float(self.rn),
+                            "n_profile": int(n_profile)})
+            raise
+
+    def _solve_impl(self, *, rho_inf, T_inf, V, T_wall, n_profile,
+                    radiative_cooling, lambda_range, n_lambda):
         gas = self.gas
         shock = equilibrium_normal_shock(gas, rho_inf, T_inf, V)
         h0 = shock["h1"] + 0.5 * V**2

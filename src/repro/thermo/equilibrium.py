@@ -70,11 +70,32 @@ def element_moles(db: SpeciesDB, y) -> np.ndarray:
     return n_moles @ db.comp_matrix.T
 
 
-class EquilibriumSolver:
-    """Batched Gibbs-minimisation solver over a fixed species set."""
+#: A state counts as converged once its scaled residual is below this.
+_CONV_TOL = 1e-6
 
-    def __init__(self, db: SpeciesDB | str):
+
+class EquilibriumSolver:
+    """Batched Gibbs-minimisation solver over a fixed species set.
+
+    Failed states do not fail the grid: non-converged cells go through a
+    per-cell recovery ladder (cold restart, re-seed from the nearest
+    converged neighbour, temperature continuation) before the batch is
+    declared failed — and a failure raises a :class:`ConvergenceError`
+    enriched with the worst-cell indices and residual trajectories.
+
+    Parameters
+    ----------
+    db:
+        Species set (name or :class:`SpeciesDB`).
+    faults:
+        Optional :class:`repro.resilience.FaultInjector`; armed Newton
+        faults corrupt initial element potentials deterministically so
+        tests can exercise the recovery ladder.
+    """
+
+    def __init__(self, db: SpeciesDB | str, *, faults=None):
         self.db = db if isinstance(db, SpeciesDB) else species_set(db)
+        self.faults = faults
         self.thermo = ThermoSet(self.db)
         self.mix = MixtureThermo(self.db)
         self._A = self.db.comp_matrix          # (K, n)
@@ -141,45 +162,19 @@ class EquilibriumSolver:
                                          lam[:, k])
         return lam
 
-    def solve_rho_T(self, rho, T, b, *, tol=1.0e-11, max_iter=250,
-                    lam0=None, return_lambda=False):
-        """Equilibrium composition at fixed density and temperature.
+    def _newton(self, lam, gt, c_ref, target, scale, tol, max_iter,
+                record=None):
+        """Damped-Newton kernel on the element potentials.
 
-        Parameters
-        ----------
-        rho, T:
-            Density [kg/m^3] and temperature [K]; any broadcast-compatible
-            shapes S.
-        b:
-            Constraint moles per kg, shape S + (K,) or (K,) (broadcast).
-        lam0:
-            Optional warm-start element potentials from a previous solve.
-
-        Returns
-        -------
-        y:
-            Mass fractions, shape S + (n_species,).  With
-            ``return_lambda=True``, also the converged potentials.
+        Returns ``(c, lam, fnorm)`` where ``fnorm`` is the per-state
+        scaled residual norm; states above ``tol`` simply did not
+        converge (no raise — per-cell triage is the caller's job).  With
+        ``record`` (a list), the per-iteration ``fnorm`` vectors are
+        appended — the residual trajectories the failure diagnostics
+        ship.
         """
-        rho_in = np.asarray(rho, dtype=float)
-        T_in = np.asarray(T, dtype=float)
-        shape = np.broadcast_shapes(rho_in.shape, T_in.shape)
-        rho_f = np.broadcast_to(rho_in, shape).reshape(-1)
-        T_f = np.broadcast_to(T_in, shape).reshape(-1)
-        b_in = np.asarray(b, dtype=float)
-        b_f = np.broadcast_to(b_in, shape + (self.K,)).reshape(-1, self.K)
-        if np.any(rho_f <= 0.0) or np.any(T_f <= 0.0):
-            raise InputError("rho and T must be positive")
-
-        B = rho_f.size
-        A = self._A                               # (K, n)
-        gt = self.thermo.g0_over_RT(T_f)          # (B, n)
-        c_ref = P_STANDARD / (_R * T_f)           # (B,)
-        lam = (self._guess_lambda(rho_f, T_f, b_f, gt) if lam0 is None
-               else np.array(np.broadcast_to(lam0, (B, self.K)), dtype=float))
-        target = rho_f[:, None] * b_f             # (B, K)
-        scale = np.maximum(np.max(np.abs(target), axis=1, keepdims=True),
-                           1e-30)
+        A = self._A
+        B = lam.shape[0]
 
         def concentrations(lam):
             expo = -gt + lam @ A                   # (B, n)
@@ -192,6 +187,8 @@ class EquilibriumSolver:
         c = concentrations(lam)
         F = residual(c)
         fnorm = np.max(np.abs(F) / scale, axis=1)
+        if record is not None:
+            record.append(fnorm.copy())
         active = fnorm > tol
         for _ in range(max_iter):
             if not np.any(active):
@@ -226,24 +223,146 @@ class EquilibriumSolver:
             c = concentrations(lam)
             F = residual(c)
             fnorm = np.max(np.abs(F) / scale, axis=1)
+            if record is not None:
+                record.append(fnorm.copy())
             active = fnorm > tol
-        bad = fnorm > 1e-6
-        if np.any(bad) and lam0 is not None:
-            # a stale warm start can strand individual states; re-solve just
-            # those from the cold-start guess.
-            idx = np.nonzero(bad)[0]
-            y_r, lam_r = self.solve_rho_T(rho_f[idx], T_f[idx], b_f[idx],
-                                          tol=tol, max_iter=max_iter,
-                                          return_lambda=True)
-            c[idx] = y_r * rho_f[idx, None] / self.db.molar_mass
-            lam[idx] = lam_r
-            fnorm[idx] = 0.0
-            bad = fnorm > 1e-6
+        return c, lam, fnorm
+
+    def _recover_cells(self, idx, rho_f, T_f, b_f, gt, c_ref, target,
+                       scale, tol, max_iter, c, lam, fnorm):
+        """Per-cell failure isolation: rescue non-converged states.
+
+        The ladder (each stage runs only on the still-failing subset and
+        writes the rescued states back into ``c``/``lam``/``fnorm``):
+
+        1. cold restart from the analytic initial guess (heals corrupted
+           or stale warm starts),
+        2. re-seed from the nearest converged state in the batch — the
+           solvers hand in flattened grids, so batch neighbours are grid
+           neighbours,
+        3. temperature continuation: solve the hotter (more dissociated,
+           better conditioned) problem first and walk T down to the
+           target, warm-starting each rung from the last.
+
+        Returns the indices that still failed after all stages.
+        """
+
+        def attempt(sub, lam_seed):
+            c_s, lam_s, f_s = self._newton(lam_seed, gt[sub], c_ref[sub],
+                                           target[sub], scale[sub], tol,
+                                           max_iter)
+            ok = f_s <= _CONV_TOL
+            upd = sub[ok]
+            c[upd], lam[upd], fnorm[upd] = c_s[ok], lam_s[ok], f_s[ok]
+            return sub[~ok]
+
+        # stage 1: cold restart
+        idx = attempt(idx, self._guess_lambda(rho_f[idx], T_f[idx],
+                                              b_f[idx], gt[idx]))
+        # stage 2: neighbour re-seed
+        if idx.size:
+            good = np.nonzero(fnorm <= _CONV_TOL)[0]
+            if good.size:
+                pos = np.searchsorted(good, idx)
+                lo = good[np.clip(pos - 1, 0, good.size - 1)]
+                hi = good[np.clip(pos, 0, good.size - 1)]
+                nearest = np.where(np.abs(idx - lo) <= np.abs(hi - idx),
+                                   lo, hi)
+                idx = attempt(idx, lam[nearest].copy())
+        # stage 3: temperature continuation
+        if idx.size:
+            rho_s, T_s, b_s = rho_f[idx], T_f[idx], b_f[idx]
+            lam_c, f_k, c_k = None, None, None
+            for fac in (4.0, 2.0, 1.4, 1.0):
+                T_k = fac * T_s
+                gt_k = self.thermo.g0_over_RT(T_k)
+                c_ref_k = P_STANDARD / (_R * T_k)
+                if lam_c is None:
+                    lam_c = self._guess_lambda(rho_s, T_k, b_s, gt_k)
+                c_k, lam_c, f_k = self._newton(lam_c, gt_k, c_ref_k,
+                                               target[idx], scale[idx],
+                                               tol, max_iter)
+            ok = f_k <= _CONV_TOL
+            upd = idx[ok]
+            c[upd], lam[upd], fnorm[upd] = c_k[ok], lam_c[ok], f_k[ok]
+            idx = idx[~ok]
+        return idx
+
+    def solve_rho_T(self, rho, T, b, *, tol=1.0e-11, max_iter=250,
+                    lam0=None, return_lambda=False):
+        """Equilibrium composition at fixed density and temperature.
+
+        Parameters
+        ----------
+        rho, T:
+            Density [kg/m^3] and temperature [K]; any broadcast-compatible
+            shapes S.
+        b:
+            Constraint moles per kg, shape S + (K,) or (K,) (broadcast).
+        lam0:
+            Optional warm-start element potentials from a previous solve.
+
+        Returns
+        -------
+        y:
+            Mass fractions, shape S + (n_species,).  With
+            ``return_lambda=True``, also the converged potentials.
+
+        Non-converged states go through the per-cell recovery ladder of
+        :meth:`_recover_cells`; if any state survives it, the raised
+        :class:`ConvergenceError` carries ``bad_indices``, the worst-cell
+        ``residual_trajectory`` and a ``worst`` summary.
+        """
+        rho_in = np.asarray(rho, dtype=float)
+        T_in = np.asarray(T, dtype=float)
+        shape = np.broadcast_shapes(rho_in.shape, T_in.shape)
+        rho_f = np.broadcast_to(rho_in, shape).reshape(-1)
+        T_f = np.broadcast_to(T_in, shape).reshape(-1)
+        b_in = np.asarray(b, dtype=float)
+        b_f = np.broadcast_to(b_in, shape + (self.K,)).reshape(-1, self.K)
+        if np.any(rho_f <= 0.0) or np.any(T_f <= 0.0):
+            raise InputError("rho and T must be positive")
+
+        B = rho_f.size
+        gt = self.thermo.g0_over_RT(T_f)          # (B, n)
+        c_ref = P_STANDARD / (_R * T_f)           # (B,)
+        lam = (self._guess_lambda(rho_f, T_f, b_f, gt) if lam0 is None
+               else np.array(np.broadcast_to(lam0, (B, self.K)), dtype=float))
+        if self.faults is not None:
+            lam = self.faults.corrupt_lambda(lam)
+        lam_start = lam.copy()                    # for failure forensics
+        target = rho_f[:, None] * b_f             # (B, K)
+        scale = np.maximum(np.max(np.abs(target), axis=1, keepdims=True),
+                           1e-30)
+
+        c, lam, fnorm = self._newton(lam, gt, c_ref, target, scale, tol,
+                                     max_iter)
+        bad = fnorm > _CONV_TOL
         if np.any(bad):
+            self._recover_cells(np.nonzero(bad)[0], rho_f, T_f, b_f, gt,
+                                c_ref, target, scale, tol, max_iter,
+                                c, lam, fnorm)
+            bad = fnorm > _CONV_TOL
+        if np.any(bad):
+            idx = np.nonzero(bad)[0]
+            worst = idx[np.argsort(fnorm[idx])[::-1]][:4]
+            # replay the worst cells from their original seeds to capture
+            # their residual trajectories (cheap: <= 4 states)
+            rec: list[np.ndarray] = []
+            self._newton(lam_start[worst], gt[worst], c_ref[worst],
+                         target[worst], scale[worst], tol, max_iter,
+                         record=rec)
             raise ConvergenceError(
                 f"equilibrium solve failed for "
-                f"{int(np.count_nonzero(bad))}/{B} state(s)",
-                iterations=max_iter, residual=float(np.max(fnorm)))
+                f"{int(np.count_nonzero(bad))}/{B} state(s) "
+                f"after per-cell recovery",
+                iterations=max_iter, residual=float(np.max(fnorm)),
+                bad_indices=idx,
+                residual_trajectory=np.stack(rec) if rec else None,
+                worst={"indices": worst.tolist(),
+                       "residuals": fnorm[worst].tolist(),
+                       "rho": rho_f[worst].tolist(),
+                       "T": T_f[worst].tolist()})
         y = c * self.db.molar_mass / rho_f[:, None]
         # element conservation guarantees sum(y)=1 up to atomic-mass
         # consistency of the database; renormalise the leftover ppm.
@@ -334,10 +453,19 @@ class EquilibriumSolver:
             outside = (T_new <= T_lo) | (T_new >= T_hi)
             T = np.where(outside, 0.5 * (T_lo + T_hi), T_new)
         f = np.abs(self.mix.e_mass(T, y) - e_f)
-        if np.any(f > 1e-5 * scale):
+        bad = f > 1e-5 * scale
+        if np.any(bad):
+            idx = np.nonzero(bad.reshape(-1))[0]
+            worst = idx[np.argsort(f.reshape(-1)[idx])[::-1]][:4]
             raise ConvergenceError(
-                "solve_rho_e temperature iteration failed",
-                iterations=max_iter, residual=float(np.max(f / scale)))
+                "solve_rho_e temperature iteration failed for "
+                f"{idx.size} state(s)",
+                iterations=max_iter, residual=float(np.max(f / scale)),
+                bad_indices=idx,
+                worst={"indices": worst.tolist(),
+                       "rho": rho_f.reshape(-1)[worst].tolist(),
+                       "e": e_f.reshape(-1)[worst].tolist(),
+                       "T": T.reshape(-1)[worst].tolist()})
         return y, T
 
 
@@ -354,9 +482,12 @@ class EquilibriumGas:
     y_reference:
         Reference (e.g. freestream) mass fractions that fix the elemental
         composition, either a dict of name->Y or an array over the set.
+    faults:
+        Optional fault injector forwarded to the
+        :class:`EquilibriumSolver` (resilience testing).
     """
 
-    def __init__(self, db: SpeciesDB | str, y_reference):
+    def __init__(self, db: SpeciesDB | str, y_reference, *, faults=None):
         self.db = db if isinstance(db, SpeciesDB) else species_set(db)
         if isinstance(y_reference, dict):
             y = np.zeros(self.db.n)
@@ -371,7 +502,7 @@ class EquilibriumGas:
             raise InputError("reference mass fractions must sum to 1")
         self.y_ref = y / np.sum(y)
         self.b = element_moles(self.db, self.y_ref)
-        self.solver = EquilibriumSolver(self.db)
+        self.solver = EquilibriumSolver(self.db, faults=faults)
         self.mix = self.solver.mix
 
     # -- state evaluations ----------------------------------------------------

@@ -68,6 +68,34 @@ class TestCheckState:
         with pytest.raises(StabilityError):
             check_state(np.array([[-1.0, 0.0, 1.0]]))
 
+    def test_non_positive_total_energy_raises(self):
+        with pytest.raises(StabilityError, match="total energy"):
+            check_state(np.array([[1.0, 0.5, -3.0]]))
+
+    def test_non_positive_internal_energy_raises(self):
+        # rhoE = 2 but |rho u|^2/(2 rho) = 4.5 -> e_int < 0 while rhoE > 0
+        with pytest.raises(StabilityError, match="internal energy"):
+            check_state(np.array([[1.0, 3.0, 2.0]]))
+
+    def test_internal_energy_2d_momentum(self):
+        # 2D layout [rho, rho u, rho v, rhoE]: kinetic = (9+16)/2 = 12.5
+        U = np.array([[1.0, 3.0, 4.0, 12.0]])
+        with pytest.raises(StabilityError, match="internal energy"):
+            check_state(U, energy_index=3, momentum_indices=(1, 2))
+        check_state(np.array([[1.0, 3.0, 4.0, 13.0]]),
+                    energy_index=3, momentum_indices=(1, 2))
+
+    def test_e_min_none_skips_internal_energy_check(self):
+        # heat-of-formation energy bases legitimately dip below kinetic
+        check_state(np.array([[1.0, 3.0, 2.0]]), e_min=None)
+
+    def test_error_carries_step_and_label(self):
+        with pytest.raises(StabilityError) as exc:
+            check_state(np.array([[1.0, 3.0, 2.0]]), step=12,
+                        label="euler1d")
+        assert exc.value.step == 12
+        assert "euler1d" in str(exc.value)
+
 
 class TestThomas:
     @given(n=st.integers(min_value=3, max_value=40))

@@ -65,6 +65,30 @@ class TestM8Hemisphere:
         assert np.count_nonzero(ok) > 10
         assert np.nanmax(ys) > 1.0  # beyond the body radius
 
+    def test_shock_location_matches_per_ray_scan(self, m8_solution):
+        # vectorized masked-argmax must reproduce the per-ray reference
+        f = m8_solution.fields()
+        mask = f["rho"] > 1.5 * 0.01
+        xs, ys = m8_solution.shock_location(threshold=1.5)
+        for i in range(mask.shape[0]):
+            hits = np.flatnonzero(mask[i])
+            if hits.size:
+                j = hits[-1]   # outermost compressed cell on the ray
+                assert xs[i] == f["x"][i, j] and ys[i] == f["y"][i, j]
+            else:
+                assert np.isnan(xs[i]) and np.isnan(ys[i])
+
+    def test_shock_location_nan_where_no_shock(self):
+        # undisturbed freestream: no ray crosses the threshold -> all NaN
+        body = Hemisphere(1.0)
+        grid = blunt_body_grid(body, n_s=9, n_normal=11)
+        s = AxisymmetricEulerSolver(grid, IdealGasEOS(1.4))
+        rho, T = 0.01, 220.0
+        s.set_freestream(rho, 8.0 * np.sqrt(1.4 * 287.0528 * T),
+                         rho * 287.0528 * T)
+        xs, ys = s.shock_location()
+        assert np.all(np.isnan(xs)) and np.all(np.isnan(ys))
+
 
 class TestRobustness:
     def test_run_without_init_raises(self):

@@ -2,7 +2,10 @@
 
 Every deliberate error path raises a :class:`repro.errors.CatError`
 subclass with diagnostic payload — never a bare numpy warning or a
-silent NaN field.
+silent NaN field.  The resilience-layer tests go further: deterministic
+faults are injected mid-run and the supervised solvers must either
+recover (rollback + CFL backoff, per-cell Newton re-seeding) or fail
+with a populated :class:`repro.resilience.FailureReport`.
 """
 
 import numpy as np
@@ -10,6 +13,24 @@ import pytest
 
 from repro.errors import (CatError, ConvergenceError, InputError,
                           StabilityError)
+from repro.resilience import (FailureReport, FaultInjector, RetryPolicy,
+                              RunSupervisor, supervised_call)
+
+
+def _m8_solver(n_s=15, n_normal=21):
+    """Small Mach-8 hemisphere Euler case (fast enough for fault tests)."""
+    from repro.core.gas import IdealGasEOS
+    from repro.geometry import Hemisphere
+    from repro.grid import blunt_body_grid
+    from repro.solvers.euler2d import AxisymmetricEulerSolver
+    body = Hemisphere(1.0)
+    grid = blunt_body_grid(body, n_s=n_s, n_normal=n_normal,
+                           density_ratio=0.2, margin=2.5)
+    s = AxisymmetricEulerSolver(grid, IdealGasEOS(1.4))
+    rho, T = 0.01, 220.0
+    s.set_freestream(rho, 8.0 * np.sqrt(1.4 * 287.0528 * T),
+                     rho * 287.0528 * T)
+    return s
 
 
 class TestErrorHierarchy:
@@ -26,6 +47,21 @@ class TestErrorHierarchy:
     def test_stability_error_payload(self):
         e = StabilityError("boom", step=7)
         assert e.step == 7
+
+    def test_convergence_error_cell_forensics(self):
+        traj = np.array([[1.0, 0.5], [0.9, 0.4]])
+        e = ConvergenceError("failed", bad_indices=[3, 7],
+                             residual_trajectory=traj,
+                             worst={"indices": [3], "residuals": [0.4]})
+        assert e.bad_indices == [3, 7]
+        assert e.residual_trajectory is traj
+        assert e.worst["indices"] == [3]
+
+    def test_errors_carry_optional_report(self):
+        rep = FailureReport(label="unit", error="x")
+        e = StabilityError("boom", report=rep)
+        assert e.report is rep
+        assert ConvergenceError("x").report is None
 
     def test_input_error_is_value_error(self):
         # so generic callers catching ValueError still work
@@ -83,6 +119,245 @@ class TestEquilibriumSolverRobustness:
         from repro.solvers.shock import equilibrium_normal_shock
         with pytest.raises(InputError):
             equilibrium_normal_shock(air_gas, 1.0, 300.0, 10.0)
+
+
+class TestFaultInjector:
+    def test_transient_fault_fires_once(self):
+        s = _m8_solver(n_s=9, n_normal=11)
+        faults = FaultInjector()
+        faults.inject_nan(step=0, cell=(2, 3), component=0)
+        assert faults.apply(s) is True
+        assert np.isnan(s.U[2, 3, 0])
+        s.U[2, 3, 0] = 0.01
+        assert faults.apply(s) is False     # one-shot: does not refire
+        assert faults.n_fired == 1
+
+    def test_persistent_fault_refires(self):
+        s = _m8_solver(n_s=9, n_normal=11)
+        faults = FaultInjector()
+        faults.inject_perturbation(step=0, cell=(1, 1), factor=10.0,
+                                   persistent=True)
+        rho0 = float(s.U[1, 1, 0])
+        faults.apply(s)
+        s.U[1, 1, 0] = rho0
+        assert faults.apply(s) is True
+        assert s.U[1, 1, 0] == pytest.approx(10.0 * rho0)
+
+    def test_reset_rearms(self):
+        s = _m8_solver(n_s=9, n_normal=11)
+        faults = FaultInjector()
+        faults.inject_nan(step=0, cell=(0, 0))
+        faults.apply(s)
+        faults.reset()
+        s.U[0, 0, 0] = 0.01
+        assert faults.apply(s) is True
+
+
+class TestRunSupervisor:
+    """Acceptance scenarios from the resilience-layer issue."""
+
+    def test_transient_nan_recovers_and_converges(self):
+        # poison one cell mid-run; rollback + CFL backoff must still
+        # deliver a converged steady state
+        s = _m8_solver()
+        faults = FaultInjector()
+        faults.inject_nan(step=40, cell=(5, 8), component=0)
+        s.run(n_steps=3000, cfl=0.4, tol=1e-3,
+              resilience=RetryPolicy(checkpoint_interval=20),
+              faults=faults)
+        assert faults.n_fired == 1
+        assert s.converged is True
+        assert s.residual_history[-1] < 1e-3
+        assert np.all(np.isfinite(s.U))
+
+    def test_retries_disabled_raises_with_report(self):
+        s = _m8_solver()
+        faults = FaultInjector()
+        faults.inject_nan(step=40, cell=(5, 8), component=0)
+        with pytest.raises(StabilityError) as exc:
+            s.run(n_steps=3000, cfl=0.4, tol=1e-3,
+                  resilience=RetryPolicy(max_retries=0), faults=faults)
+        rep = exc.value.report
+        assert isinstance(rep, FailureReport)
+        assert rep.attempts and rep.attempts[0]["cfl"] == 0.4
+        assert rep.step == 40
+        assert len(rep.residual_history) > 0
+        assert rep.config.get("flux_name")
+        assert "U" in rep.state            # last good checkpoint payload
+        assert "retry ladder exhausted" in str(exc.value)
+        assert rep.label in rep.summary()
+
+    def test_persistent_fault_return_best(self):
+        # a fault that refires after every rollback exhausts the ladder;
+        # return_best hands back the last good state instead of raising
+        s = _m8_solver()
+        faults = FaultInjector()
+        faults.inject_nan(step=40, cell=(5, 8), persistent=True)
+        s.run(n_steps=3000, cfl=0.4, tol=1e-3,
+              resilience=RetryPolicy(max_retries=2, return_best=True),
+              faults=faults)
+        assert s.converged is False
+        assert np.all(np.isfinite(s.U))    # checkpoint, not poisoned state
+
+    def test_cfl_backoff_ladder_trace(self):
+        s = _m8_solver(n_s=9, n_normal=11)
+        faults = FaultInjector()
+        faults.inject_nan(step=5, cell=(2, 3), persistent=True)
+        sup = RunSupervisor(s, RetryPolicy(max_retries=2, cfl_backoff=0.5,
+                                           return_best=True),
+                            faults=faults, label="ladder-test")
+        sup.march(s.step, n_steps=100, cfl=0.4, tol=1e-12)
+        cfls = [a["cfl"] for a in sup.attempts]
+        assert cfls == pytest.approx([0.4, 0.2, 0.1])
+        assert sup.report is not None and sup.report.label == "ladder-test"
+
+    def test_euler1d_supervised_transient_run(self):
+        from repro.solvers.euler1d import Euler1DSolver
+        x = np.linspace(0.0, 1.0, 101)
+        xc = 0.5 * (x[1:] + x[:-1])
+        s = Euler1DSolver(x)
+        s.set_initial(np.where(xc < 0.5, 1.0, 0.125), 0.0,
+                      np.where(xc < 0.5, 1.0, 0.1))
+        faults = FaultInjector()
+        faults.inject_nan(step=30, cell=50, component=2)
+        s.run(0.2, cfl=0.45, resilience=RetryPolicy(checkpoint_interval=10),
+              faults=faults)
+        assert s.converged is True
+        assert s.t == pytest.approx(0.2, abs=1e-12)
+        assert np.all(np.isfinite(s.U))
+
+
+class TestSupervisedCall:
+    def test_ladder_recovers(self):
+        calls = []
+
+        def fn(tol=1e-12):
+            calls.append(tol)
+            if tol < 1e-6:
+                raise ConvergenceError("too tight")
+            return "ok"
+
+        assert supervised_call(fn, label="unit",
+                               ladder=[{"tol": 1e-3}]) == "ok"
+        assert calls == [1e-12, 1e-3]
+
+    def test_exhaustion_attaches_report(self):
+        def fn(**kw):
+            raise ConvergenceError("always fails")
+
+        with pytest.raises(ConvergenceError) as exc:
+            supervised_call(fn, label="unit", ladder=[{"tol": 1e-3}],
+                            config={"case": "demo"})
+        rep = exc.value.report
+        assert isinstance(rep, FailureReport)
+        assert len(rep.attempts) == 2
+        assert rep.config["case"] == "demo"
+
+
+class TestEquilibriumPerCellRecovery:
+    """Per-cell Newton failure isolation in the batched Gibbs solver."""
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        r = np.random.default_rng(20260706)
+        return 10 ** r.uniform(-4, 0, 200), r.uniform(1500.0, 12000.0, 200)
+
+    def test_poisoned_initial_guesses_recover(self, air_gas, batch):
+        # 10% of the batch seeded with absurd element potentials: the
+        # recovery ladder must still converge every cell to the clean
+        # solution
+        rho, T = batch
+        solver = air_gas.solver
+        y_clean, lam = solver.solve_rho_T(rho, T, air_gas.b,
+                                          return_lambda=True)
+        lam0 = lam.copy()
+        bad = np.arange(0, 200, 10)        # every 10th cell = 10%
+        lam0[bad] = 150.0                  # exp(150) overflows the Newton
+        y2 = solver.solve_rho_T(rho, T, air_gas.b, lam0=lam0)
+        assert np.allclose(y2, y_clean, atol=1e-7)
+
+    def test_fault_injected_newton_failures_recover(self, air11, batch):
+        from repro.thermo.equilibrium import (EquilibriumGas,
+                                              air_reference_mass_fractions)
+        rho, T = batch
+        y_ref = air_reference_mass_fractions(air11)
+        y_clean = EquilibriumGas(air11, y_ref).composition_rho_T(rho, T)
+        faults = FaultInjector()
+        faults.inject_newton_failure(call=0, cells=tuple(range(0, 200, 10)),
+                                     value=150.0)
+        gas = EquilibriumGas(air11, y_ref, faults=faults)
+        y2 = gas.composition_rho_T(rho, T)
+        assert faults.n_fired == 1
+        assert np.allclose(y2, y_clean, atol=1e-7)
+
+    def test_unreachable_energy_error_is_enriched(self, air_gas):
+        with pytest.raises(ConvergenceError) as exc:
+            air_gas.state_rho_e(np.array([10.0]), np.array([5e9]))
+        e = exc.value
+        assert e.bad_indices is not None and len(e.bad_indices) == 1
+        assert e.worst is not None and "rho" in e.worst
+
+
+class TestRunnerResilience:
+    """A failing figure must not cost the rest of the suite."""
+
+    def _fake_modules(self):
+        import types
+
+        def make(name, main):
+            mod = types.SimpleNamespace()
+            mod.__doc__ = f"{name} docstring first line\nrest"
+            mod.main = main
+            return mod
+
+        err = ConvergenceError("injected figure failure")
+        err.report = FailureReport(label="fig-bad", error=str(err))
+
+        def boom(quick=True):
+            raise err
+
+        return [("good1", make("good1", lambda quick=True: "result-1")),
+                ("bad", make("bad", boom)),
+                ("good2", make("good2", lambda quick=True: "result-2"))]
+
+    def test_keep_going_collects_failures(self, monkeypatch):
+        import io
+
+        import repro.experiments.runner as runner
+        monkeypatch.setattr(runner, "_MODULES", self._fake_modules())
+        out = io.StringIO()
+        res = runner.run_all(quick=True, stream=out)
+        assert set(res["failures"]) == {"bad"}
+        assert set(res["timings"]) == {"good1", "bad", "good2"}
+        text = out.getvalue()
+        assert "result-2" in text          # suite continued past failure
+        assert "fig-bad" in text           # FailureReport was printed
+
+    def test_fail_fast_mode_raises(self, monkeypatch):
+        import io
+
+        import repro.experiments.runner as runner
+        monkeypatch.setattr(runner, "_MODULES", self._fake_modules())
+        with pytest.raises(ConvergenceError):
+            runner.run_all(quick=True, stream=io.StringIO(),
+                           keep_going=False)
+
+
+class TestAPIOnFailure:
+    def test_stagnation_environment_report_mode(self, air_gas):
+        from repro.core.api import stagnation_environment
+        # subsonic "entry" is an InputError deep in the shock solve
+        res = stagnation_environment(V=10.0, h=60e3, gas=air_gas,
+                                     nose_radius=1.0,
+                                     on_failure="report")
+        assert res["ok"] is False
+        assert isinstance(res["error"], CatError)
+
+    def test_default_mode_still_raises(self, air_gas):
+        from repro.core.api import stagnation_environment
+        with pytest.raises(CatError):
+            stagnation_environment(V=10.0, h=60e3, gas=air_gas,
+                                   nose_radius=1.0)
 
 
 class TestAdaptationOnPhysics:
