@@ -1,7 +1,7 @@
 """Command-line entry point.
 
 ``python -m repro``                 — overview and quick sanity numbers
-``python -m repro figures [--full]`` — regenerate every paper figure
+``python -m repro figures``         — regenerate every paper figure
 ``python -m repro stagnation V H RN`` — stagnation environment at
                                         (V [m/s], h [m], R_n [m])
 """
@@ -9,6 +9,25 @@
 from __future__ import annotations
 
 import sys
+
+_USAGE = """\
+usage: python -m repro [command] [options]
+
+commands:
+  (none)                 overview and quick sanity numbers
+  figures [--full] [--checkpoint-dir D] [--resume]
+                         regenerate every paper figure
+                           --full            full-resolution runs
+                           --checkpoint-dir D
+                                             durable suite: done markers +
+                                             solver snapshots under D
+                           --resume          replay completed figures and
+                                             continue interrupted marches
+                                             from their latest snapshot
+  stagnation V H RN      stagnation environment at (V [m/s], h [m],
+                         R_n [m])
+  -h, --help             show this message\
+"""
 
 
 def _overview() -> None:
@@ -24,19 +43,54 @@ def _overview() -> None:
           f"x_O = {x[gas.db.index['O']]:.3f} (mostly dissociated)")
 
 
+def _parse_figures(args: list[str]):
+    """Parse ``figures`` flags; returns kwargs or None on a bad flag."""
+    kwargs = {"quick": True, "checkpoint_dir": None, "resume": False}
+    it = iter(args)
+    for a in it:
+        if a == "--full":
+            kwargs["quick"] = False
+        elif a == "--resume":
+            kwargs["resume"] = True
+        elif a == "--checkpoint-dir":
+            kwargs["checkpoint_dir"] = next(it, None)
+            if kwargs["checkpoint_dir"] is None:
+                print("figures: --checkpoint-dir needs a directory",
+                      file=sys.stderr)
+                return None
+        elif a.startswith("--checkpoint-dir="):
+            kwargs["checkpoint_dir"] = a.split("=", 1)[1]
+        else:
+            print(f"figures: unknown option {a!r}", file=sys.stderr)
+            return None
+    if kwargs["resume"] and kwargs["checkpoint_dir"] is None:
+        print("figures: --resume requires --checkpoint-dir",
+              file=sys.stderr)
+        return None
+    return kwargs
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
         _overview()
         return 0
     cmd = argv[0]
+    if cmd in ("-h", "--help", "help"):
+        print(_USAGE)
+        return 0
     if cmd == "figures":
+        kwargs = _parse_figures(argv[1:])
+        if kwargs is None:
+            print(_USAGE, file=sys.stderr)
+            return 2
         from repro.experiments.runner import run_all
-        res = run_all(quick="--full" not in argv)
+        res = run_all(**kwargs)
         return 1 if res["failures"] else 0
     if cmd == "stagnation":
         if len(argv) != 4:
-            print("usage: python -m repro stagnation V[m/s] h[m] Rn[m]")
+            print("usage: python -m repro stagnation V[m/s] h[m] Rn[m]",
+                  file=sys.stderr)
             return 2
         from repro.core import stagnation_environment
         V, h, rn = map(float, argv[1:4])
@@ -48,7 +102,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  p_stag   = {env['p_stag'] / 1e3:10.2f} kPa")
         print(f"  T_edge   = {env['T_edge']:10.0f} K")
         return 0
-    print(f"unknown command {cmd!r}")
+    print(f"unknown command {cmd!r}", file=sys.stderr)
+    print(_USAGE, file=sys.stderr)
     return 2
 
 

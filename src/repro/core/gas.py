@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.errors import InputError
 
-__all__ = ["GasEOS", "IdealGasEOS", "TabulatedEOS"]
+__all__ = ["GasEOS", "IdealGasEOS", "TabulatedEOS", "eos_spec",
+           "eos_from_spec"]
 
 
 @runtime_checkable
@@ -109,3 +110,27 @@ class TabulatedEOS:
 
     def gamma_eff(self, rho, e):
         return self.table.lookup(rho, e)[0]
+
+
+def eos_spec(eos) -> dict:
+    """JSON-able descriptor of an EOS for durable-checkpoint manifests.
+
+    Unknown EOS classes still fingerprint (by class name) but cannot be
+    rebuilt by :func:`eos_from_spec`.
+    """
+    if isinstance(eos, IdealGasEOS):
+        return {"kind": "ideal", "gamma": eos.gamma, "R": eos.R}
+    if isinstance(eos, TabulatedEOS):
+        return {"kind": "tabulated"}
+    return {"kind": type(eos).__name__}
+
+
+def eos_from_spec(spec: dict):
+    """Inverse of :func:`eos_spec` for the two stock EOS models."""
+    kind = spec.get("kind")
+    if kind == "ideal":
+        return IdealGasEOS(spec["gamma"], spec["R"])
+    if kind == "tabulated":
+        return TabulatedEOS()
+    raise InputError(f"cannot rebuild EOS from spec {spec!r}; only the "
+                     f"stock ideal/tabulated models are reconstructible")

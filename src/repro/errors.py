@@ -76,6 +76,48 @@ class StabilityError(CatError):
         self.report = report
 
 
+class SolverError(CatError, RuntimeError):
+    """A solver subsystem failed structurally (dead worker process,
+    broken parallel pool, unusable execution environment).
+
+    Attributes
+    ----------
+    worker:
+        Index of the offending worker process, if known.
+    step:
+        Marching step at which the failure was detected, if known.
+    exitcode:
+        Exit code of the dead worker, if known.
+    """
+
+    def __init__(self, message: str, *, worker: int | None = None,
+                 step: int | None = None,
+                 exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.step = step
+        self.exitcode = exitcode
+
+
+class CheckpointError(CatError):
+    """A durable snapshot could not be written, read or verified.
+
+    Attributes
+    ----------
+    path:
+        Checkpoint directory or file involved, if known.
+    recovery_log:
+        List of per-generation rejection records accumulated while
+        searching for a loadable snapshot (newest first).
+    """
+
+    def __init__(self, message: str, *, path=None,
+                 recovery_log: list | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.recovery_log = list(recovery_log or [])
+
+
 class TableRangeError(CatError):
     """A tabulated property lookup fell outside the table's domain."""
 

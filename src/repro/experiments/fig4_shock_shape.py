@@ -6,9 +6,15 @@ stands well away — the density-ratio effect of real-gas chemistry.
 
 We run the axisymmetric shock-capturing Euler solver on the equivalent
 nose geometry in both gas modes and extract the captured shock loci.
+
+With ``persist_dir`` each of the two marches checkpoints durably (one
+subdirectory per gas mode) and resumes from its latest valid snapshot,
+so a killed figure run continues mid-march instead of starting over.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -25,7 +31,7 @@ __all__ = ["run", "main", "CONDITION"]
 CONDITION = dict(V=6700.0, h=65500.0, alpha_deg=30.0, nose_radius=1.3)
 
 
-def _solve_one(eos, rho, V, p, *, density_ratio, quick):
+def _solve_one(eos, rho, V, p, *, density_ratio, quick, persist_dir=None):
     body = Sphere(CONDITION["nose_radius"])
     grid = blunt_body_grid(body,
                            n_s=31 if quick else 41,
@@ -33,21 +39,26 @@ def _solve_one(eos, rho, V, p, *, density_ratio, quick):
                            density_ratio=density_ratio, margin=2.8)
     s = AxisymmetricEulerSolver(grid, eos)
     s.set_freestream(rho, V, p)
-    s.run(n_steps=1200 if quick else 2500, cfl=0.35)
+    s.run(n_steps=1200 if quick else 2500, cfl=0.35,
+          persist=persist_dir)
     xs, ys = s.shock_location()
     return s, xs, ys
 
 
-def run(quick: bool = False) -> dict:
+def run(quick: bool = False, persist_dir: str | None = None) -> dict:
     atm = EarthAtmosphere()
     rho = float(atm.density(CONDITION["h"]))
     T = float(atm.temperature(CONDITION["h"]))
     p = rho * atm.gas_constant * T
     V = CONDITION["V"]
+    sub = (lambda mode: None if persist_dir is None
+           else os.path.join(persist_dir, mode))
     s_id, xs_id, ys_id = _solve_one(IdealGasEOS(1.4), rho, V, p,
-                                    density_ratio=0.17, quick=quick)
+                                    density_ratio=0.17, quick=quick,
+                                    persist_dir=sub("ideal"))
     s_eq, xs_eq, ys_eq = _solve_one(TabulatedEOS(), rho, V, p,
-                                    density_ratio=0.07, quick=quick)
+                                    density_ratio=0.07, quick=quick,
+                                    persist_dir=sub("equilibrium"))
     return {
         "ideal": {"x": xs_id, "y": ys_id,
                   "standoff": s_id.stagnation_standoff()},
@@ -59,8 +70,8 @@ def run(quick: bool = False) -> dict:
     }
 
 
-def main(quick: bool = True) -> str:
-    res = run(quick)
+def main(quick: bool = True, persist_dir: str | None = None) -> str:
+    res = run(quick, persist_dir=persist_dir)
     series = []
     for name in ("ideal", "equilibrium"):
         d = res[name]

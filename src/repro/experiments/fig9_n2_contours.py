@@ -32,7 +32,7 @@ CONDITION = dict(mach=20.0, h=20000.0, nose_radius=0.1, T_wall=1500.0)
 CONTOUR_LEVELS = (0.50, 0.55, 0.60, 0.65, 0.70, 0.75)
 
 
-def run(quick: bool = False) -> dict:
+def run(quick: bool = False, persist_dir: str | None = None) -> dict:
     atm = EarthAtmosphere()
     h = CONDITION["h"]
     rho = float(atm.density(h))
@@ -48,7 +48,8 @@ def run(quick: bool = False) -> dict:
     solver = AxisymmetricNSSolver(grid, TabulatedEOS(),
                                   T_wall=CONDITION["T_wall"])
     solver.set_freestream(rho, V, p)
-    solver.run(n_steps=1200 if quick else 2600, cfl=0.3)
+    solver.run(n_steps=1200 if quick else 2600, cfl=0.3,
+               persist=persist_dir)
     f = solver.fields()
     # equilibrium composition per cell from the conserved state
     db = species_set("air11")
@@ -69,8 +70,8 @@ def run(quick: bool = False) -> dict:
             "standoff": solver.stagnation_standoff()}
 
 
-def main(quick: bool = True) -> str:
-    res = run(quick)
+def main(quick: bool = True, persist_dir: str | None = None) -> str:
+    res = run(quick, persist_dir=persist_dir)
     txt = ascii_contour(res["x"], res["y"], res["N2"], CONTOUR_LEVELS)
     header = ("Fig. 9 - N2 mole fraction, Mach 20 hemisphere "
               f"(V = {res['condition']['V']:.0f} m/s, h = 20 km)\n")

@@ -9,6 +9,13 @@ codes): each worker owns a contiguous block of rows; per step it
 4. waits again, then the buffers swap roles.
 
 Two barriers per step make the double-buffered scheme race-free.
+
+A worker that dies (crash in the kernel, OOM kill) aborts the shared
+barrier, so the parent never hangs: barrier waits carry a timeout, and
+on a broken/expired barrier the parent identifies the dead worker and
+raises a diagnostic :class:`~repro.errors.SolverError` (which worker,
+which step, what exit code).  Shared-memory segments are unlinked in a
+``finally`` regardless of how the run ends.
 """
 
 from __future__ import annotations
@@ -16,10 +23,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from multiprocessing import shared_memory
+from threading import BrokenBarrierError
 
 import numpy as np
 
-from repro.errors import InputError
+from repro.errors import InputError, SolverError
 from repro.parallel.decomposition import partition_1d
 from repro.parallel.kernels import KERNELS
 
@@ -43,29 +51,70 @@ def _worker(shm_a_name, shm_b_name, shape, dtype_str, block, kernel_name,
             kernel(local, dst[block.lo:block.hi], p)
             barrier.wait()
             src, dst = dst, src
+    except BaseException:
+        # wake everyone blocked on the barrier so the parent can
+        # diagnose the death instead of hanging forever
+        barrier.abort()
+        raise
     finally:
         shm_a.close()
         shm_b.close()
 
 
 class SharedMemoryStencilPool:
-    """Run a registered kernel over a decomposed array with N workers."""
+    """Run a registered kernel over a decomposed array with N workers.
 
-    def __init__(self, kernel: str, *, n_workers: int = 2, halo: int = 1):
+    Parameters
+    ----------
+    kernel, n_workers, halo:
+        Kernel registry name, worker count and halo width.
+    barrier_timeout:
+        Seconds any single barrier wait may block before the pool checks
+        worker liveness and raises :class:`~repro.errors.SolverError`
+        instead of hanging on a dead worker.
+    """
+
+    def __init__(self, kernel: str, *, n_workers: int = 2, halo: int = 1,
+                 barrier_timeout: float = 60.0):
         if kernel not in KERNELS:
             raise InputError(f"unknown kernel {kernel!r}; registered: "
                              f"{sorted(KERNELS)}")
         if n_workers < 1:
             raise InputError("n_workers must be >= 1")
+        if barrier_timeout <= 0:
+            raise InputError("barrier_timeout must be positive")
         self.kernel = kernel
         self.n_workers = n_workers
         self.halo = halo
+        self.barrier_timeout = barrier_timeout
+
+    def _diagnose_dead_workers(self, procs, step: int):
+        """Turn a broken/expired barrier into a typed diagnosis."""
+        # give the OS a beat to reap a worker that died this instant
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            dead = [(i, p.exitcode) for i, p in enumerate(procs)
+                    if not p.is_alive() and p.exitcode not in (0, None)]
+            if dead:
+                worker, code = dead[0]
+                raise SolverError(
+                    f"stencil pool: worker {worker}/{len(procs)} died "
+                    f"with exit code {code} at step {step} "
+                    f"(all dead: {[w for w, _ in dead]})",
+                    worker=worker, step=step, exitcode=code)
+            time.sleep(0.05)
+        raise SolverError(
+            f"stencil pool: barrier broken or timed out at step {step} "
+            f"but every worker is still alive (deadlock or a worker "
+            f"stuck in the kernel)", step=step)
 
     def run(self, U0: np.ndarray, n_steps: int, params: dict | None = None):
         """Advance U0 by n_steps; returns (U_final, elapsed_seconds).
 
         The timing covers the stepping loop only (not process spawn), the
-        convention strong-scaling studies use.
+        convention strong-scaling studies use.  A worker death surfaces
+        as a :class:`~repro.errors.SolverError` naming the worker, step
+        and exit code; shared memory is always unlinked.
         """
         params = dict(params or {})
         U0 = np.ascontiguousarray(U0, dtype=np.float64)
@@ -74,7 +123,13 @@ class SharedMemoryStencilPool:
         barrier = ctx.Barrier(self.n_workers + 1)
         nbytes = U0.nbytes
         shm_a = shared_memory.SharedMemory(create=True, size=nbytes)
-        shm_b = shared_memory.SharedMemory(create=True, size=nbytes)
+        procs: list = []
+        try:
+            shm_b = shared_memory.SharedMemory(create=True, size=nbytes)
+        except BaseException:
+            shm_a.close()
+            shm_a.unlink()
+            raise
         try:
             A = np.ndarray(U0.shape, dtype=np.float64, buffer=shm_a.buf)
             B = np.ndarray(U0.shape, dtype=np.float64, buffer=shm_b.buf)
@@ -88,22 +143,40 @@ class SharedMemoryStencilPool:
             for p in procs:
                 p.start()
             t0 = time.perf_counter()
-            for _ in range(n_steps):
-                barrier.wait()   # snapshot barrier
-                barrier.wait()   # write barrier
+            for step in range(n_steps):
+                try:
+                    barrier.wait(timeout=self.barrier_timeout)  # snapshot
+                    barrier.wait(timeout=self.barrier_timeout)  # write
+                except BrokenBarrierError:
+                    self._diagnose_dead_workers(procs, step)
             elapsed = time.perf_counter() - t0
-            for p in procs:
-                p.join(timeout=60)
+            for i, p in enumerate(procs):
+                p.join(timeout=self.barrier_timeout)
                 if p.exitcode != 0:
-                    raise RuntimeError(
-                        f"worker exited with code {p.exitcode}")
+                    raise SolverError(
+                        f"stencil pool: worker {i} exited with code "
+                        f"{p.exitcode} after the final step",
+                        worker=i, exitcode=p.exitcode)
             out = np.array(B if n_steps % 2 == 1 else A)
             return out, elapsed
         finally:
-            shm_a.close()
-            shm_a.unlink()
-            shm_b.close()
-            shm_b.unlink()
+            # reap workers first (terminate stragglers so unlink is not
+            # racing live attachments), then unlink each segment in its
+            # own try/finally — one failure must not leak the other
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=5)
+            try:
+                try:
+                    shm_a.close()
+                finally:
+                    shm_a.unlink()
+            finally:
+                try:
+                    shm_b.close()
+                finally:
+                    shm_b.unlink()
 
     def run_serial(self, U0: np.ndarray, n_steps: int,
                    params: dict | None = None):

@@ -11,16 +11,26 @@ This package provides the machinery the solver stack wires through:
 * :class:`FailureReport` — the diagnostic bundle every exhausted retry
   ladder emits,
 * :class:`Checkpoint` — restorable solver snapshots,
-* :class:`FaultInjector` — deterministic NaN / perturbation / Newton
-  faults so every recovery path is exercised by tests.
+* :class:`FaultInjector` — deterministic NaN / perturbation / Newton /
+  crash / IO faults so every recovery path is exercised by tests,
+* :class:`PersistencePolicy` / :class:`SnapshotStore` /
+  :func:`resume_run` — durable, crash-safe snapshots on disk (atomic
+  writes, SHA-256 verified loads, keep-last-K retention) so a SIGKILLed
+  march resumes bit-identical from its latest valid generation.
 """
 
 from repro.resilience.checkpoint import Checkpoint
-from repro.resilience.faults import Fault, FaultInjector
+from repro.resilience.faults import Fault, FaultInjector, SimulatedCrash
+from repro.resilience.persistence import (MANIFEST_SCHEMA_VERSION,
+                                          LoadedSnapshot,
+                                          PersistencePolicy, SnapshotStore,
+                                          resume_run, solver_fingerprint)
 from repro.resilience.report import FailureReport, solver_config
 from repro.resilience.supervisor import (RetryPolicy, RunSupervisor,
                                          supervised_call)
 
 __all__ = ["Checkpoint", "Fault", "FaultInjector", "FailureReport",
-           "RetryPolicy", "RunSupervisor", "solver_config",
-           "supervised_call"]
+           "LoadedSnapshot", "MANIFEST_SCHEMA_VERSION",
+           "PersistencePolicy", "RetryPolicy", "RunSupervisor",
+           "SimulatedCrash", "SnapshotStore", "resume_run",
+           "solver_config", "solver_fingerprint", "supervised_call"]

@@ -9,7 +9,6 @@ back to a conventional attribute list.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,10 +20,17 @@ _DEFAULT_ATTRS = ("U", "t", "steps", "residual_history", "T")
 
 
 def _copy_value(v):
+    """Recursive copy: ndarrays nested inside dicts/lists (warm-start
+    caches, ``residual_history`` entries) must not stay aliased to live
+    solver state, or a later step silently mutates the "restored" data."""
     if isinstance(v, np.ndarray):
         return v.copy()
-    if isinstance(v, (list, dict)):
-        return copy.copy(v)
+    if isinstance(v, dict):
+        return {k: _copy_value(x) for k, x in v.items()}
+    if isinstance(v, list):
+        return [_copy_value(x) for x in v]
+    if isinstance(v, tuple):
+        return tuple(_copy_value(x) for x in v)
     return v
 
 
@@ -39,7 +45,11 @@ class Checkpoint:
     def capture(cls, solver) -> "Checkpoint":
         """Deep-copy the solver's marching state."""
         if hasattr(solver, "get_state"):
-            payload = solver.get_state()
+            # re-copy defensively: a get_state() that hands back a live
+            # container (warm-start cache dict, history list) would
+            # otherwise alias the checkpoint to the marching state
+            payload = {k: _copy_value(v)
+                       for k, v in solver.get_state().items()}
         else:
             payload = {name: _copy_value(getattr(solver, name))
                        for name in _DEFAULT_ATTRS

@@ -14,29 +14,57 @@ cosmic-ray bitflip or a one-off bad thermodynamic state); a rollback
 therefore retries a clean trajectory.  ``persistent=True`` faults re-fire
 on every matching step and model a reproducible defect that retries
 cannot clear — the path that must end in a :class:`FailureReport`.
+
+The durable-persistence layer adds two more fault families:
+
+* **crash faults** (:meth:`FaultInjector.inject_crash`) raise
+  :class:`SimulatedCrash` — a ``BaseException``, so neither the retry
+  ladder nor ``except Exception`` handlers absorb it, exactly like a
+  SIGKILL — after a chosen marching step, leaving whatever snapshots the
+  run had persisted on disk for ``resume_run`` to pick up;
+* **IO faults** (:meth:`FaultInjector.inject_io_fault`) corrupt the n-th
+  committed snapshot on disk (truncated ``.npz``, flipped byte, torn
+  manifest) so the checksum-verify / fall-back-a-generation load path is
+  exercised deterministically.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Fault", "FaultInjector"]
+__all__ = ["Fault", "FaultInjector", "SimulatedCrash"]
+
+
+class SimulatedCrash(BaseException):
+    """Scripted process death (the test model for SIGKILL / OOM / node
+    preemption).
+
+    Deliberately **not** a :class:`~repro.errors.CatError` — not even an
+    :class:`Exception` — so resilience ladders and keep-going runners
+    propagate it like a real crash would.
+    """
+
+    def __init__(self, message: str, *, step: int | None = None) -> None:
+        super().__init__(message)
+        self.step = step
 
 
 @dataclass
 class Fault:
     """One scripted fault."""
 
-    kind: str                     #: "nan" | "perturb" | "newton"
-    step: int | None = None       #: marching step to fire at (nan/perturb)
+    kind: str                     #: "nan"|"perturb"|"newton"|"crash"|"io"
+    step: int | None = None       #: step to fire at (nan/perturb/crash)
     cell: tuple | int | None = None
     component: int = 0
     factor: float = 10.0          #: multiplier for "perturb"
-    call: int = 0                 #: Newton call index to fire at ("newton")
+    call: int = 0                 #: Newton call / snapshot-write index
     cells: tuple = ()             #: batch indices to poison ("newton")
     value: float = 120.0          #: poisoned element potential ("newton")
+    io_kind: str | None = None    #: "truncate" | "bitflip" | "torn" ("io")
     persistent: bool = False
     fired: int = 0
 
@@ -50,6 +78,7 @@ class FaultInjector:
         self.faults: list[Fault] = []
         self.log: list[dict] = []
         self._newton_calls = 0
+        self._snapshot_writes = 0
 
     # -- arming ---------------------------------------------------------
 
@@ -82,6 +111,34 @@ class FaultInjector:
                                  persistent=persistent))
         return self
 
+    def inject_crash(self, *, step, persistent=False):
+        """Kill the process (model: SIGKILL/OOM/preemption) by raising
+        :class:`SimulatedCrash` after the given marching step completes
+        — after any armed state faults for the same step have fired."""
+        self.faults.append(Fault(kind="crash", step=int(step),
+                                 persistent=persistent))
+        return self
+
+    def inject_io_fault(self, *, kind, write=0, persistent=False):
+        """Corrupt the ``write``-th durable snapshot commit (0 = the
+        first snapshot a :class:`~repro.resilience.persistence.SnapshotStore`
+        writes after arming).
+
+        ``kind`` selects the corruption model:
+
+        * ``"truncate"`` — the ``.npz`` payload is cut to half its size
+          (interrupted write reaching the disk),
+        * ``"bitflip"``  — one byte in the middle of the ``.npz`` is
+          inverted (silent media corruption),
+        * ``"torn"``     — the JSON manifest is cut mid-document (crash
+          between payload rename and manifest commit).
+        """
+        if kind not in ("truncate", "bitflip", "torn"):
+            raise ValueError(f"unknown io fault kind {kind!r}")
+        self.faults.append(Fault(kind="io", io_kind=kind, call=int(write),
+                                 persistent=persistent))
+        return self
+
     # -- firing ---------------------------------------------------------
 
     @staticmethod
@@ -93,6 +150,9 @@ class FaultInjector:
         """Fire any armed flow-state faults matching ``solver.steps``.
 
         Mutates ``solver.U`` in place; returns True when something fired.
+        A matching crash fault fires last (state faults at the same step
+        land first, as they would in a real dying process) and raises
+        :class:`SimulatedCrash`.
         """
         fired = False
         step = int(getattr(solver, "steps", 0) or 0)
@@ -110,6 +170,51 @@ class FaultInjector:
             fired = True
             self.log.append({"kind": f.kind, "step": step,
                              "cell": f.cell, "component": f.component})
+        for f in self.faults:
+            if f.kind != "crash" or f.step != step:
+                continue
+            if f.fired and not f.persistent:
+                continue
+            f.fired += 1
+            self.log.append({"kind": "crash", "step": step})
+            raise SimulatedCrash(f"scripted crash after step {step}",
+                                 step=step)
+        return fired
+
+    def corrupt_snapshot(self, npz_path, manifest_path) -> bool:
+        """Fire armed IO faults against a just-committed snapshot.
+
+        Called by :class:`~repro.resilience.persistence.SnapshotStore`
+        once per durable commit; the running write counter selects which
+        commit each fault hits.  Returns True when something fired.
+        """
+        write = self._snapshot_writes
+        self._snapshot_writes += 1
+        fired = False
+        for f in self.faults:
+            if f.kind != "io" or f.call != write:
+                continue
+            if f.fired and not f.persistent:
+                continue
+            if f.io_kind == "truncate":
+                size = os.path.getsize(npz_path)
+                with open(npz_path, "r+b") as fh:
+                    fh.truncate(size // 2)
+            elif f.io_kind == "bitflip":
+                size = os.path.getsize(npz_path)
+                with open(npz_path, "r+b") as fh:
+                    fh.seek(size // 2)
+                    byte = fh.read(1)
+                    fh.seek(size // 2)
+                    fh.write(bytes([byte[0] ^ 0xFF]))
+            elif f.io_kind == "torn":
+                size = os.path.getsize(manifest_path)
+                with open(manifest_path, "r+b") as fh:
+                    fh.truncate(max(size // 2, 1))
+            f.fired += 1
+            fired = True
+            self.log.append({"kind": "io", "io_kind": f.io_kind,
+                             "write": write})
         return fired
 
     def corrupt_lambda(self, lam: np.ndarray) -> np.ndarray:
@@ -143,4 +248,5 @@ class FaultInjector:
             f.fired = 0
         self.log.clear()
         self._newton_calls = 0
+        self._snapshot_writes = 0
         return self

@@ -17,6 +17,13 @@ transient NaN.  :class:`RunSupervisor` wraps any marching loop with
 One-shot solves (PNS stations, VSL, the shock-relaxation BDF integration)
 use :func:`supervised_call`, the same bounded-ladder idea expressed as a
 sequence of parameter adjustments instead of CFL backoff.
+
+With ``persist=PersistencePolicy(dir, every_n_steps)`` the supervisor
+additionally commits **durable** snapshots to disk through a
+:class:`~repro.resilience.persistence.SnapshotStore`, and — unless the
+policy disables resume — first looks for a valid on-disk snapshot and
+continues from it, so a SIGKILLed run picks up where it died (see
+:func:`repro.resilience.persistence.resume_run`).
 """
 
 from __future__ import annotations
@@ -79,16 +86,26 @@ class RunSupervisor:
         and rollback paths are exercised deterministically.
     label:
         Name used in errors and reports.
+    persist:
+        Optional :class:`~repro.resilience.persistence.PersistencePolicy`
+        (or a :class:`~repro.resilience.persistence.SnapshotStore`, or a
+        bare directory path): durable, crash-safe snapshots on top of the
+        in-memory rollback ladder.
     """
 
     def __init__(self, solver, policy: RetryPolicy | None = None, *,
-                 faults=None, label: str | None = None):
+                 faults=None, label: str | None = None, persist=None):
         self.solver = solver
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = faults
         self.label = label or type(solver).__name__
         self.attempts: list[dict] = []
         self.report: FailureReport | None = None
+        self.store = None
+        if persist is not None:
+            from repro.resilience.persistence import SnapshotStore
+            self.store = (persist if isinstance(persist, SnapshotStore)
+                          else SnapshotStore(persist, faults=faults))
 
     # ------------------------------------------------------------------
 
@@ -113,7 +130,8 @@ class RunSupervisor:
 
     # ------------------------------------------------------------------
 
-    def march(self, step_fn, *, n_steps, cfl, tol=None, stop=None) -> bool:
+    def march(self, step_fn, *, n_steps, cfl, tol=None, stop=None,
+              run_kwargs=None) -> bool:
         """Advance ``step_fn(cfl) -> residual | None`` up to ``n_steps``
         successful steps with rollback-retry.
 
@@ -124,21 +142,53 @@ class RunSupervisor:
         either raises :class:`StabilityError` carrying a
         :class:`FailureReport` or — with ``return_best=True`` — restores
         the last good checkpoint and returns False.
+
+        With a durable store attached (``persist=``), the march first
+        resumes from the newest valid on-disk snapshot (when the policy
+        allows), commits a snapshot every ``every_n_steps`` successful
+        steps, and commits a final one marked ``completed`` when the
+        march ends for any reason other than the wall-clock budget —
+        ``run_kwargs`` is embedded in each manifest so
+        :func:`~repro.resilience.persistence.resume_run` can re-enter
+        the same ``run(...)`` call.
         """
-        solver, pol = self.solver, self.policy
+        solver, pol, store = self.solver, self.policy, self.store
         cfl_now = float(cfl)
         retries = 0
         t0 = time.monotonic()
-        ckpt = Checkpoint.capture(solver)
         k = ckpt_k = 0
         converged = False
+
+        def commit(*, completed, converged):
+            store.save(solver, march={"k": k, "cfl": cfl_now,
+                                      "retries": retries},
+                       run=dict(run_kwargs or {}), completed=completed,
+                       converged=converged, label=self.label)
+
+        if store is not None and store.policy.resume:
+            snap = store.load_latest(solver=solver)
+            if snap is not None:
+                if snap.completed:
+                    solver.converged = bool(snap.converged)
+                    return solver.converged
+                k = ckpt_k = int(snap.march.get("k", 0))
+                cfl_now = float(snap.march.get("cfl", cfl_now))
+        ckpt = Checkpoint.capture(solver)
+        if store is not None and not store.sequences():
+            commit(completed=False, converged=False)
         while k < n_steps:
             if stop is not None and stop():
                 converged = True
                 break
             if (pol.max_wall_time is not None
                     and time.monotonic() - t0 > pol.max_wall_time):
-                break  # budget exhausted: best-so-far, converged=False
+                # budget exhausted: best-so-far, converged=False; a
+                # durable snapshot (not marked completed) lets a later
+                # resume_run continue the march
+                if store is not None:
+                    commit(completed=False, converged=False)
+                solver.converged = False
+                return False
             try:
                 res = step_fn(cfl_now)
                 if self.faults is not None:
@@ -171,10 +221,14 @@ class RunSupervisor:
             if tol is not None and res is not None and res < tol:
                 converged = True
                 break
+            if store is not None and k % store.policy.every_n_steps == 0:
+                commit(completed=False, converged=False)
             if k % pol.checkpoint_interval == 0:
                 ckpt = Checkpoint.capture(solver)
                 ckpt_k = k
         solver.converged = converged
+        if store is not None:
+            commit(completed=True, converged=converged)
         return converged
 
 

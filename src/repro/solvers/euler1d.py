@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.gas import GasEOS, IdealGasEOS
+from repro.core.gas import GasEOS, IdealGasEOS, eos_from_spec, eos_spec
 from repro.errors import InputError
 from repro.numerics.fluxes import hlle_flux, primitives
 from repro.numerics.limiters import minmod
@@ -78,6 +78,25 @@ class Euler1DSolver:
         self.U = state["U"]
         self.t = state["t"]
         self.steps = state["steps"]
+
+    def persist_config(self):
+        """JSON-able constructor fingerprint (durable checkpoints)."""
+        return {"flux": self.flux_name, "order": int(self.order),
+                "limiter": self.limiter.__name__, "bc": list(self.bc),
+                "n": int(self.n), "eos": eos_spec(self.eos)}
+
+    def persist_arrays(self):
+        """Constructor ndarrays persisted alongside the state."""
+        return {"x_nodes": self.x_nodes}
+
+    @classmethod
+    def from_persist(cls, config, arrays):
+        """Rebuild a state-less instance from a snapshot manifest."""
+        from repro.numerics import limiters as _limiters
+        return cls(arrays["x_nodes"], eos_from_spec(config["eos"]),
+                   flux=config["flux"], order=config["order"],
+                   limiter=getattr(_limiters, config["limiter"]),
+                   bc=tuple(config["bc"]))
 
     # ------------------------------------------------------------------
 
@@ -149,25 +168,32 @@ class Euler1DSolver:
         check_state(self.U, step=self.steps, label="euler1d")
 
     def run(self, t_final, *, cfl=0.45, max_steps=100000, resilience=None,
-            faults=None):
+            faults=None, persist=None):
         """Advance to t_final with CFL-limited steps.
 
         With ``resilience`` (a :class:`repro.resilience.RetryPolicy`, or
         ``True`` for the defaults) the march runs under a
         :class:`repro.resilience.RunSupervisor`: checkpointed, with
         automatic rollback and CFL backoff on :class:`StabilityError`.
-        ``faults`` optionally injects deterministic faults (testing).
+        ``faults`` optionally injects deterministic faults (testing);
+        ``persist`` (a :class:`repro.resilience.PersistencePolicy` or a
+        directory path) adds durable on-disk snapshots the march resumes
+        from after a crash (see
+        :func:`repro.resilience.persistence.resume_run`).
         """
         if self.U is None:
             raise InputError("call set_initial first")
-        if resilience is not None or faults is not None:
+        if resilience is not None or faults is not None \
+                or persist is not None:
             from repro.resilience import (RetryPolicy, RunSupervisor)
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
-                                label="euler1d")
+                                label="euler1d", persist=persist)
             sup.march(self._cfl_step(t_final), n_steps=max_steps, cfl=cfl,
-                      stop=lambda: self.t >= t_final - 1e-15)
+                      stop=lambda: self.t >= t_final - 1e-15,
+                      run_kwargs={"t_final": t_final, "cfl": cfl,
+                                  "max_steps": max_steps})
             return self
         while self.t < t_final - 1e-15 and self.steps < max_steps:
             self._cfl_step(t_final)(cfl)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.gas import GasEOS, IdealGasEOS
+from repro.core.gas import GasEOS, IdealGasEOS, eos_from_spec, eos_spec
 from repro.errors import InputError, StabilityError
 from repro.grid.structured import StructuredGrid2D
 from repro.numerics.fluxes import (hlle_flux, primitives,
@@ -86,15 +86,43 @@ class AxisymmetricEulerSolver:
     # ------------------------------------------------------------------
 
     def get_state(self):
-        """Restorable marching state (see repro.resilience)."""
+        """Restorable marching state (see repro.resilience).
+
+        Complete for durable restarts: includes the freestream vector so
+        a solver rebuilt from a manifest needs no ``set_freestream``.
+        """
         return {"U": self.U.copy(), "t": self.t, "steps": self.steps,
+                "U_inf": None if self.U_inf is None else self.U_inf.copy(),
                 "residual_history": list(self.residual_history)}
 
     def set_state(self, state):
         self.U = state["U"]
         self.t = state["t"]
         self.steps = state["steps"]
+        if "U_inf" in state and state["U_inf"] is not None:
+            self.U_inf = state["U_inf"]
         self.residual_history = state["residual_history"]
+
+    def persist_config(self):
+        """JSON-able constructor fingerprint (durable checkpoints)."""
+        return {"flux": self.flux_name, "order": int(self.order),
+                "limiter": self.limiter.__name__,
+                "grid": [int(self.grid.ni), int(self.grid.nj)],
+                "eos": eos_spec(self.eos)}
+
+    def persist_arrays(self):
+        """Constructor ndarrays persisted alongside the state."""
+        return {"grid_x": self.grid.x, "grid_y": self.grid.y}
+
+    @classmethod
+    def from_persist(cls, config, arrays):
+        """Rebuild a state-less instance from a snapshot manifest."""
+        from repro.numerics import limiters as _limiters
+        grid = StructuredGrid2D(arrays["grid_x"], arrays["grid_y"])
+        return cls(grid, eos_from_spec(config["eos"]),
+                   order=config["order"],
+                   limiter=getattr(_limiters, config["limiter"]),
+                   flux=config["flux"])
 
     # ------------------------------------------------------------------
 
@@ -215,7 +243,7 @@ class AxisymmetricEulerSolver:
         U[..., 3] = np.maximum(U[..., 3], ke + e_min)
 
     def run(self, *, n_steps=4000, cfl=0.4, tol=1e-8, verbose=False,
-            resilience=None, faults=None):
+            resilience=None, faults=None, persist=None):
         """March to steady state; stops early when the residual drops
         below ``tol`` (relative density update per step).
 
@@ -224,18 +252,25 @@ class AxisymmetricEulerSolver:
         checkpoints, per-step state guards, automatic rollback with CFL
         backoff on :class:`StabilityError`, and a
         :class:`~repro.resilience.FailureReport` on exhaustion.
-        ``faults`` optionally injects deterministic faults (testing).
+        ``faults`` optionally injects deterministic faults (testing);
+        ``persist`` (a :class:`repro.resilience.PersistencePolicy` or a
+        directory path) adds durable on-disk snapshots the march resumes
+        from after a crash (see
+        :func:`repro.resilience.persistence.resume_run`).
         ``self.converged`` records whether ``tol`` was reached.
         """
         if self.U is None:
             raise InputError("call set_freestream first")
-        if resilience is not None or faults is not None:
+        if resilience is not None or faults is not None \
+                or persist is not None:
             from repro.resilience import RetryPolicy, RunSupervisor
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
-                                label=type(self).__name__)
-            sup.march(self.step, n_steps=n_steps, cfl=cfl, tol=tol)
+                                label=type(self).__name__, persist=persist)
+            sup.march(self.step, n_steps=n_steps, cfl=cfl, tol=tol,
+                      run_kwargs={"n_steps": n_steps, "cfl": cfl,
+                                  "tol": tol})
             return self
         for k in range(n_steps):
             res = self.step(cfl)

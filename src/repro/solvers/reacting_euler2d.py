@@ -130,16 +130,60 @@ class ReactingEulerSolver:
     # ------------------------------------------------------------------
 
     def get_state(self):
-        """Restorable marching state (see repro.resilience)."""
+        """Restorable marching state (see repro.resilience).
+
+        Complete for durable restarts: the temperature field is the
+        Newton warm start, so replays stay bit-identical; ``U_inf`` makes
+        a manifest-rebuilt solver runnable without ``set_freestream``.
+        """
         return {"U": self.U.copy(), "steps": self.steps,
                 "T": None if self.T is None else self.T.copy(),
+                "U_inf": (None if getattr(self, "U_inf", None) is None
+                          else self.U_inf.copy()),
                 "residual_history": list(self.residual_history)}
 
     def set_state(self, state):
         self.U = state["U"]
         self.steps = state["steps"]
         self.T = state["T"]
+        if "U_inf" in state and state["U_inf"] is not None:
+            self.U_inf = state["U_inf"]
         self.residual_history = state["residual_history"]
+
+    def persist_config(self):
+        """JSON-able constructor fingerprint (durable checkpoints).
+
+        Only the stock (Park air) mechanism is reconstructible; a custom
+        mechanism still fingerprints through its reaction count so a
+        mismatched resume is refused rather than silently rebuilt wrong.
+        """
+        return {"order": int(self.order),
+                "limiter": self.limiter.__name__,
+                "db": list(self.db.names),
+                "mechanism": {"class": type(self.mech).__name__,
+                              "n_reactions": len(self.mech.reactions)},
+                "grid": [int(self.grid.ni), int(self.grid.nj)]}
+
+    def persist_arrays(self):
+        """Constructor ndarrays persisted alongside the state."""
+        return {"grid_x": self.grid.x, "grid_y": self.grid.y}
+
+    @classmethod
+    def from_persist(cls, config, arrays):
+        """Rebuild a state-less instance (default Park-air mechanism)."""
+        from repro.numerics import limiters as _limiters
+        grid = StructuredGrid2D(arrays["grid_x"], arrays["grid_y"])
+        db = species_set(tuple(config["db"]))
+        solver = cls(grid, db, order=config["order"],
+                     limiter=getattr(_limiters, config["limiter"]))
+        rebuilt = solver.persist_config()["mechanism"]
+        if rebuilt != config["mechanism"]:
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                f"snapshot used mechanism {config['mechanism']}, the "
+                f"default rebuild gives {rebuilt}; pass the original "
+                f"mechanism and rebuild manually")
+        return solver
 
     # ------------------------------------------------------------------
 
@@ -295,24 +339,30 @@ class ReactingEulerSolver:
         U[..., 3] = np.maximum(U[..., 3], ke + rho * (hf + 3e4))
 
     def run(self, *, n_steps=2000, cfl=0.35, chemistry=True, tol=None,
-            resilience=None, faults=None):
+            resilience=None, faults=None, persist=None):
         """March ``n_steps`` (or to ``tol`` when given).
 
         ``resilience``/``faults`` run the march under a
         :class:`repro.resilience.RunSupervisor` with checkpointed
-        rollback-retry and deterministic fault injection (see
-        :meth:`AxisymmetricEulerSolver.run`).
+        rollback-retry and deterministic fault injection;
+        ``persist`` adds durable on-disk snapshots the march resumes
+        from after a crash (see
+        :meth:`AxisymmetricEulerSolver.run` and
+        :func:`repro.resilience.persistence.resume_run`).
         """
         if self.U is None:
             raise InputError("call set_freestream first")
-        if resilience is not None or faults is not None:
+        if resilience is not None or faults is not None \
+                or persist is not None:
             from repro.resilience import RetryPolicy, RunSupervisor
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
-                                label="reacting_euler2d")
+                                label="reacting_euler2d", persist=persist)
             sup.march(lambda c: self.step(c, chemistry=chemistry),
-                      n_steps=n_steps, cfl=cfl, tol=tol)
+                      n_steps=n_steps, cfl=cfl, tol=tol,
+                      run_kwargs={"n_steps": n_steps, "cfl": cfl,
+                                  "chemistry": chemistry, "tol": tol})
             return self
         for _ in range(n_steps):
             res = self.step(cfl, chemistry=chemistry)

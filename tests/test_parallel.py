@@ -115,6 +115,48 @@ class TestPoolCorrectness:
             SharedMemoryStencilPool("heat5", n_workers=0)
 
 
+class TestWorkerDeathDiagnosis:
+    """A dead worker must surface as a diagnostic SolverError, not a
+    hang, and shared memory must still be unlinked."""
+
+    @pytest.fixture()
+    def crash_kernel(self):
+        from repro.parallel.kernels import KERNELS
+
+        def _crash(local, out, p):         # dies on its first invocation
+            import os
+            os._exit(3)
+
+        KERNELS["_test_crash"] = _crash
+        yield "_test_crash"
+        del KERNELS["_test_crash"]
+
+    def test_dead_worker_raises_typed_error(self, crash_kernel, rng):
+        from multiprocessing import shared_memory
+
+        from repro.errors import SolverError
+        before = self._segment_count()
+        pool = SharedMemoryStencilPool(crash_kernel, n_workers=2,
+                                       barrier_timeout=5.0)
+        with pytest.raises(SolverError) as exc:
+            pool.run(rng.random((40, 10)), 4, {})
+        err = exc.value
+        assert err.worker is not None
+        assert err.step == 0
+        assert err.exitcode == 3
+        assert "worker" in str(err) and "step" in str(err)
+        assert self._segment_count() == before  # shm unlinked in finally
+
+    @staticmethod
+    def _segment_count():
+        import glob
+        return len(glob.glob("/dev/shm/psm_*"))
+
+    def test_invalid_barrier_timeout(self):
+        with pytest.raises(InputError):
+            SharedMemoryStencilPool("heat5", barrier_timeout=0.0)
+
+
 class TestScalingHarness:
     def test_result_structure(self):
         from repro.parallel.scaling import run_strong_scaling
