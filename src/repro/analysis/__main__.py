@@ -1,0 +1,17 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # stdout piped into head/grep and closed early: not an error,
+        # but detach stdout so the interpreter's flush-at-exit does not
+        # raise a second time.
+        sys.stdout = open("/dev/null" if sys.platform != "win32"
+                          else "nul", "w")
+        code = 0
+    raise SystemExit(code)

@@ -1,0 +1,138 @@
+"""``python -m repro.analysis`` — lint and units front-end.
+
+Exit codes: 0 clean (or no findings beyond the baseline), 1 findings,
+2 usage error.  ``--format json`` emits a machine-readable report on
+stdout (CI publishes it as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import rules as _rules  # noqa: F401 - registers rules
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import RULES, lint_paths
+from repro.analysis.findings import Severity
+from repro.analysis.units import check_units_paths
+
+_UNIT_RULES = {
+    "UNIT001": "incompatible dimensions in +/-/comparison",
+    "UNIT002": "declared unit contradicted (parameter rebound / return)",
+    "UNIT003": "call argument unit mismatch",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="CAT static analysis: catlint + units checker")
+    sub = p.add_subparsers(dest="command")
+
+    lint = sub.add_parser("lint", help="run the catlint rule set")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", nargs="?", const=DEFAULT_BASELINE_PATH,
+                      default=None, metavar="FILE",
+                      help="fail only on findings not in FILE "
+                           f"(default {DEFAULT_BASELINE_PATH})")
+    lint.add_argument("--write-baseline", nargs="?",
+                      const=DEFAULT_BASELINE_PATH, default=None,
+                      metavar="FILE",
+                      help="accept all current findings into FILE")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule codes to run")
+    lint.add_argument("--min-severity", choices=("info", "warning", "error"),
+                      default="info", help="drop findings below this level")
+
+    units = sub.add_parser("units", help="run the units/dimension checker")
+    units.add_argument("paths", nargs="*", default=["src"])
+    units.add_argument("--format", choices=("text", "json"), default="text")
+
+    sub.add_parser("list-rules", help="print the rule catalog")
+    return p
+
+
+def _emit(findings, new, stale, fmt: str, baseline_path: str | None) -> None:
+    if fmt == "json":
+        doc = {
+            "tool": "catlint",
+            "baseline": baseline_path,
+            "counts": {
+                "total": len(findings),
+                "new": len(new),
+                "stale_baseline_entries": stale,
+            },
+            "findings": [dict(f.to_dict(), new=(f in set(new)))
+                         for f in findings],
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
+    for f in findings:
+        marker = "" if baseline_path is None or f in set(new) else " (baseline)"
+        print(f.render() + marker)
+    if baseline_path is not None:
+        print(f"{len(findings)} finding(s); {len(new)} new "
+              f"vs baseline {baseline_path!r}; {stale} stale entr(y/ies)")
+    else:
+        print(f"{len(findings)} finding(s)")
+
+
+def _cmd_lint(args) -> int:
+    select = ([s.strip() for s in args.select.split(",") if s.strip()]
+              if args.select else None)
+    findings = lint_paths(args.paths, select=select)
+    floor = Severity.rank(args.min_severity)
+    findings = [f for f in findings if Severity.rank(f.severity) >= floor]
+    if args.write_baseline is not None:
+        write_baseline(findings, args.write_baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}",
+              file=sys.stderr)
+        return 0
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        new, stale = diff_against_baseline(findings, baseline)
+        _emit(findings, new, stale, args.format, args.baseline)
+        return 1 if new else 0
+    _emit(findings, findings, 0, args.format, None)
+    return 1 if findings else 0
+
+
+def _cmd_units(args) -> int:
+    findings = check_units_paths(args.paths)
+    _emit(findings, findings, 0, args.format, None)
+    return 1 if findings else 0
+
+
+def _cmd_list_rules() -> int:
+    for code in sorted(RULES):
+        r = RULES[code]
+        print(f"{code}  {r.name:<22} [{r.severity}]")
+        print(f"       {r.description}")
+    print("CAT090 pragma-missing-reason   [info]")
+    print("       catlint pragma without a '-- reason' tail.")
+    for code, desc in _UNIT_RULES.items():
+        print(f"{code} units-checker          [error]")
+        print(f"       {desc}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "units":
+        return _cmd_units(args)
+    if args.command == "list-rules":
+        return _cmd_list_rules()
+    parser.print_help()
+    return 2

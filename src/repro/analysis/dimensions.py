@@ -1,0 +1,219 @@
+"""Dimension algebra and unit-tag parsing.
+
+The codebase annotates quantities with bracket tags — ``[J/kg]``,
+``[W/(m^2 K^4)]``, ``[1/mol]``, ``[-]`` — in docstrings and
+``constants.py`` ``#:`` comments.  This module parses those tags into
+:class:`Dim` vectors over the SI base dimensions (plus steradian,
+kept distinct so radiance and flux don't alias).
+
+Only *dimensions* are tracked, not scale factors: ``cm`` and ``m``
+are the same dimension (scale bugs are a different tool), but
+``J/mol`` vs ``J/kg`` — the classic molar/specific enthalpy mix-up —
+differ and are flagged.
+
+Grammar (whitespace = multiplication)::
+
+    unit    := product ('/' product)*
+    product := power+
+    power   := atom ('^' signed-int)?
+    atom    := NAME | '1' | '-' | '(' unit ')'
+"""
+
+from __future__ import annotations
+
+import re
+
+_BASES = ("kg", "m", "s", "K", "mol", "A", "sr")
+
+
+class UnitParseError(ValueError):
+    """A bracket tag that does not parse as a unit expression."""
+
+
+class Dim:
+    """Immutable vector of integer exponents over the base dimensions."""
+
+    __slots__ = ("exps",)
+
+    def __init__(self, **exps: int) -> None:
+        bad = set(exps) - set(_BASES)
+        if bad:
+            raise ValueError(f"unknown base dimensions: {sorted(bad)}")
+        object.__setattr__(self, "exps",
+                           tuple(exps.get(b, 0) for b in _BASES))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("Dim is immutable")
+
+    @classmethod
+    def _from_tuple(cls, t: tuple) -> "Dim":
+        d = cls()
+        object.__setattr__(d, "exps", t)
+        return d
+
+    def __mul__(self, other: "Dim") -> "Dim":
+        return Dim._from_tuple(tuple(a + b for a, b
+                                     in zip(self.exps, other.exps)))
+
+    def __truediv__(self, other: "Dim") -> "Dim":
+        return Dim._from_tuple(tuple(a - b for a, b
+                                     in zip(self.exps, other.exps)))
+
+    def __pow__(self, n: int) -> "Dim":
+        return Dim._from_tuple(tuple(a * n for a in self.exps))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Dim) and self.exps == other.exps
+
+    def __hash__(self) -> int:
+        return hash(self.exps)
+
+    @property
+    def dimensionless(self) -> bool:
+        return all(e == 0 for e in self.exps)
+
+    def __repr__(self) -> str:
+        if self.dimensionless:
+            return "[-]"
+        num = " ".join(f"{b}^{e}" if e != 1 else b
+                       for b, e in zip(_BASES, self.exps) if e > 0)
+        den = " ".join(f"{b}^{-e}" if e != -1 else b
+                       for b, e in zip(_BASES, self.exps) if e < 0)
+        if num and den:
+            return f"[{num}/({den})]" if " " in den else f"[{num}/{den}]"
+        if num:
+            return f"[{num}]"
+        return f"[1/({den})]" if " " in den else f"[1/{den}]"
+
+
+DIMENSIONLESS = Dim()
+
+# Named units -> Dim.  Scale is intentionally ignored.
+_KG, _M, _S, _K, _MOL, _A, _SR = (Dim(**{b: 1}) for b in _BASES)
+_J = _KG * _M ** 2 / _S ** 2
+_W = _J / _S
+_N = _KG * _M / _S ** 2
+_PA = _N / _M ** 2
+
+UNITS: dict[str, Dim] = {
+    "kg": _KG, "g": _KG, "amu": _KG,
+    "m": _M, "cm": _M, "mm": _M, "um": _M, "km": _M, "nm": _M,
+    "angstrom": _M, "ft": _M,
+    "s": _S, "min": _S, "hr": _S, "h": _S,
+    "K": _K, "eV_T": _K,
+    "mol": _MOL, "kmol": _MOL,
+    "A": _A,
+    "sr": _SR,
+    "J": _J, "erg": _J, "cal": _J, "kcal": _J, "eV": _J, "Btu": _J,
+    "W": _W, "kW": _W, "MW": _W,
+    "N": _N, "dyn": _N,
+    "Pa": _PA, "kPa": _PA, "MPa": _PA, "bar": _PA, "atm": _PA,
+    "Torr": _PA, "torr": _PA, "psi": _PA,
+    "Hz": DIMENSIONLESS / _S,
+    "C": _A * _S,
+    "V": _W / _A,
+    "rad": DIMENSIONLESS, "deg": DIMENSIONLESS,
+    "%": DIMENSIONLESS,
+}
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<name>[A-Za-zµ%]+)|(?P<one>1)"
+                       r"|(?P<op>[/()^-])|(?P<int>\d+))")
+
+
+def _tokenize(text: str) -> list[str]:
+    toks: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None or m.end() == pos:
+            raise UnitParseError(f"bad unit syntax at {text[pos:]!r}")
+        toks.append(m.group().strip())
+        pos = m.end()
+    return toks
+
+
+class _Parser:
+    def __init__(self, toks: list[str]) -> None:
+        self.toks = toks
+        self.i = 0
+
+    def peek(self) -> str | None:
+        return self.toks[self.i] if self.i < len(self.toks) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise UnitParseError("unexpected end of unit")
+        self.i += 1
+        return tok
+
+    def parse(self) -> Dim:
+        d = self.expr()
+        if self.peek() is not None:
+            raise UnitParseError(f"trailing tokens: {self.toks[self.i:]}")
+        return d
+
+    def expr(self) -> Dim:
+        d = self.product()
+        while self.peek() == "/":
+            self.next()
+            d = d / self.product()
+        return d
+
+    def product(self) -> Dim:
+        d = self.power()
+        while self.peek() not in (None, "/", ")"):
+            d = d * self.power()
+        return d
+
+    def power(self) -> Dim:
+        d = self.atom()
+        if self.peek() == "^":
+            self.next()
+            sign = 1
+            tok = self.next()
+            if tok == "-":
+                sign = -1
+                tok = self.next()
+            if not tok.isdigit():
+                raise UnitParseError(f"bad exponent {tok!r}")
+            d = d ** (sign * int(tok))
+        return d
+
+    def atom(self) -> Dim:
+        tok = self.next()
+        if tok == "(":
+            d = self.expr()
+            if self.next() != ")":
+                raise UnitParseError("unbalanced parentheses")
+            return d
+        if tok in ("1", "-"):
+            return DIMENSIONLESS
+        if tok in UNITS:
+            return UNITS[tok]
+        raise UnitParseError(f"unknown unit {tok!r}")
+
+
+def parse_unit(text: str) -> Dim:
+    """Parse the inside of a bracket tag, e.g. ``"J/(mol K)"``."""
+    text = text.strip()
+    if text in ("", "-", "1", "dimensionless"):
+        return DIMENSIONLESS
+    return _Parser(_tokenize(text)).parse()
+
+
+_TAG_RE = re.compile(r"\[([^\][]{1,40})\]")
+
+
+def find_unit_tag(text: str) -> Dim | None:
+    """First parseable ``[unit]`` tag in a line of prose, else None.
+
+    Non-unit brackets (citations, shapes) simply fail to parse and are
+    skipped, so prose is safe to scan.
+    """
+    for m in _TAG_RE.finditer(text):
+        try:
+            return parse_unit(m.group(1))
+        except UnitParseError:
+            continue
+    return None

@@ -1,0 +1,134 @@
+"""``# catlint: disable=...`` pragma parsing.
+
+Grammar (inside a comment, anywhere on the line)::
+
+    # catlint: disable=CAT001,CAT010 -- reason for the suppression
+    # catlint: disable=all -- reason
+    # catlint: disable-file=CAT021 -- reason
+
+* A trailing pragma suppresses the named rules on the whole logical
+  statement containing its line (multi-line expressions included).
+* A pragma on a comment-only line suppresses them on the next logical
+  statement (so long pragmas can sit above the code they excuse).
+* ``disable-file`` suppresses the rules for the whole file.
+* The ``-- reason`` tail is required by convention; pragmas without a
+  reason are themselves reported (rule ``CAT090``).
+
+Comments are found with :mod:`tokenize`, so a string literal that
+happens to contain ``# catlint:`` is never treated as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_PRAGMA_RE = re.compile(
+    r"#\s*catlint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_,\s]+?|all)\s*(?:--\s*(.*))?$")
+
+ALL = "all"
+
+_SKIP_TOKENS = frozenset({
+    tokenize.NL, tokenize.COMMENT, tokenize.INDENT, tokenize.DEDENT,
+    tokenize.NEWLINE, tokenize.ENDMARKER, tokenize.ENCODING,
+})
+
+
+def _logical_spans(toks) -> dict[int, tuple[int, int]]:
+    """Map each physical line of a logical statement to its extent.
+
+    A logical statement runs from its first substantive token to the
+    NEWLINE that terminates it (continuation lines included).
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    start: int | None = None
+    end: int | None = None
+    for tok in toks:
+        if tok.type == tokenize.NEWLINE:
+            if start is not None and end is not None:
+                for ln in range(start, end + 1):
+                    spans[ln] = (start, end)
+            start = end = None
+        elif tok.type not in _SKIP_TOKENS:
+            if start is None:
+                start = tok.start[0]
+            end = tok.end[0]
+    if start is not None and end is not None:
+        for ln in range(start, end + 1):
+            spans[ln] = (start, end)
+    return spans
+
+
+class PragmaIndex:
+    """Per-file index answering 'is RULE disabled on LINE?'."""
+
+    def __init__(self) -> None:
+        # line -> set of rule codes (or {"all"})
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+        #: pragmas missing a ``-- reason`` tail: list of (line, codes)
+        self.missing_reason: list[tuple[int, tuple[str, ...]]] = []
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        idx = cls()
+        comments: list[tuple[int, str, bool]] = []  # line, text, alone?
+        spans: dict[int, tuple[int, int]] = {}  # line -> logical extent
+        try:
+            toks = list(tokenize.generate_tokens(
+                io.StringIO(source).readline))
+            for tok in toks:
+                if tok.type == tokenize.COMMENT:
+                    line_text = tok.line or ""
+                    alone = line_text[:tok.start[1]].strip() == ""
+                    comments.append((tok.start[0], tok.string, alone))
+            spans = _logical_spans(toks)
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # fall back to a plain line scan on broken source
+            for i, text in enumerate(source.splitlines(), start=1):
+                if "#" in text:
+                    comments.append((i, text[text.index("#"):],
+                                     text.lstrip().startswith("#")))
+        n_lines = len(source.splitlines())
+        for line, text, alone in comments:
+            m = _PRAGMA_RE.search(text)
+            if m is None:
+                continue
+            kind, codes_raw, reason = m.groups()
+            codes = {c.strip() for c in codes_raw.split(",") if c.strip()}
+            if not codes:
+                continue
+            if not (reason or "").strip():
+                idx.missing_reason.append((line, tuple(sorted(codes))))
+            if kind == "disable-file":
+                idx._file_wide |= codes
+                continue
+            if alone:
+                # cover the next logical statement
+                target = None
+                for j in range(line + 1, n_lines + 1):
+                    if j in spans:
+                        target = j
+                        break
+                if target is None:
+                    idx._add(line + 1, codes)
+                    continue
+                lo, hi = spans[target]
+            else:
+                lo, hi = spans.get(line, (line, line))
+            for j in range(lo, hi + 1):
+                idx._add(j, codes)
+        return idx
+
+    def _add(self, line: int, codes: set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(codes)
+
+    def disabled(self, rule: str, line: int) -> bool:
+        if ALL in self._file_wide or rule in self._file_wide:
+            return True
+        codes = self._by_line.get(line)
+        if not codes:
+            return False
+        return ALL in codes or rule in codes

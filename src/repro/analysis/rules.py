@@ -1,0 +1,501 @@
+"""Concrete catlint rules.
+
+Every rule is CAT-specific: the targets are the silent numerical
+failure modes of an aerothermodynamics stack — NaNs born in ``log``/
+``sqrt`` of a state that went slightly negative mid-Newton, float32
+truncation of a 10-decade density range, ``except:`` clauses that
+swallow the resilience layer's crash faults, and nondeterministic
+reduction orders that break bitwise restart tests.
+
+Rule codes group by family:
+
+* ``CAT00x`` — guarded-math (log/sqrt/division)
+* ``CAT01x`` — comparison / API hygiene (float ``==``, mutable
+  defaults, overbroad except, float32, assert)
+* ``CAT02x`` — array construction (``np.empty``, missing dtype)
+* ``CAT03x`` — determinism
+* ``CAT09x`` — pragma hygiene (emitted by the engine)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    call_name,
+    const_value,
+    dotted_name,
+    is_guarded,
+    register,
+)
+from repro.analysis.findings import Finding, Severity
+
+_LOG_FUNCS = {"np.log", "np.log10", "np.log2", "numpy.log", "numpy.log10",
+              "numpy.log2", "math.log", "math.log10", "math.log2"}
+_SQRT_FUNCS = {"np.sqrt", "numpy.sqrt", "math.sqrt"}
+_ARRAY_CTORS = {"np.zeros", "np.ones", "np.empty", "np.full",
+                "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full"}
+
+
+def _scope_body(ctx: LintContext, node: ast.AST) -> list[ast.stmt]:
+    fn = ctx.enclosing_function(node)
+    return fn.body if fn is not None else ctx.tree.body
+
+
+def _assignments_in(body: Iterable[ast.stmt]) -> dict[str, list[ast.AST]]:
+    """name -> list of value expressions assigned to it in this scope."""
+    out: dict[str, list[ast.AST]] = {}
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        out.setdefault(tgt.id, []).append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    out.setdefault(node.target.id, []).append(node.value)
+    return out
+
+
+def _arg_guarded(ctx: LintContext, arg: ast.AST) -> bool:
+    """Guardedness with name resolution in the enclosing scope.
+
+    A name is positive when it is a known positive constant of the
+    module (``repro.constants`` imports, positive module literals) or
+    when every assignment to it in the scope is itself guarded.  The
+    resolver is cycle-safe (``x = x + eps`` style self-references stop
+    the recursion rather than looping).
+    """
+    assigns = _assignments_in(_scope_body(ctx, arg))
+    resolving: set[str] = set()
+
+    def resolve(name: str) -> bool:
+        if name in ctx.positive_names:
+            return True
+        if name in resolving:
+            return False
+        vals = assigns.get(name)
+        if not vals:
+            return False
+        resolving.add(name)
+        try:
+            return all(is_guarded(v, resolve) for v in vals)
+        finally:
+            resolving.discard(name)
+
+    return is_guarded(arg, resolve)
+
+
+class _GuardedCallRule(Rule):
+    """Shared machinery for the log/sqrt rules.
+
+    Guarded-math rules target library state math; tests feed known
+    in-domain inputs, so they are exempt (float ``==`` and except
+    hygiene still apply there).
+    """
+
+    funcs: set[str] = set()
+    what = ""
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) not in self.funcs or not node.args:
+                continue
+            arg = node.args[0]
+            if _arg_guarded(ctx, arg):
+                continue
+            yield ctx.finding(
+                self, node,
+                f"unguarded {call_name(node)}: {self.what} — clamp the "
+                "argument (np.maximum(x, tiny), np.abs, or an added "
+                "epsilon) or pragma with the invariant that keeps it "
+                "in-domain")
+
+
+@register
+class UnguardedLogRule(_GuardedCallRule):
+    code = "CAT001"
+    name = "unguarded-log"
+    severity = Severity.WARNING
+    description = ("np.log/math.log on an expression with no positivity "
+                   "guard: a state that went ≤ 0 mid-iteration produces "
+                   "NaN/-inf that propagates silently.")
+    funcs = _LOG_FUNCS
+    what = "argument can be ≤ 0 for an off-manifold state"
+
+
+@register
+class UnguardedSqrtRule(_GuardedCallRule):
+    code = "CAT002"
+    name = "unguarded-sqrt"
+    severity = Severity.WARNING
+    description = ("np.sqrt/math.sqrt on an expression with no "
+                   "non-negativity guard: a slightly negative energy or "
+                   "pressure produces NaN, not an exception.")
+    funcs = _SQRT_FUNCS
+    what = "argument can be < 0 for an off-manifold state"
+
+
+@register
+class DivisionByDifferenceRule(Rule):
+    code = "CAT003"
+    name = "div-by-difference"
+    severity = Severity.WARNING
+    description = ("Division whose denominator is an unguarded "
+                   "difference (a - b): catastrophic when the operands "
+                   "cross; add an epsilon or clamp.")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Div)):
+                continue
+            den = node.right
+            if isinstance(den, ast.UnaryOp):
+                den = den.operand
+            if (isinstance(den, ast.BinOp) and isinstance(den.op, ast.Sub)
+                    and not is_guarded(node.right)):
+                yield ctx.finding(
+                    self, node,
+                    "division by an unguarded difference — denominator "
+                    "vanishes when the operands cross; add an epsilon "
+                    "(…- b + tiny) or clamp with np.maximum")
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "CAT010"
+    name = "float-equality"
+    severity = Severity.ERROR
+    description = ("== / != against a float literal: rounding makes the "
+                   "comparison unstable; use a tolerance (np.isclose, "
+                   "pytest.approx) or an integer/flag encoding.")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, (lhs, rhs) in zip(node.ops,
+                                      zip(operands, operands[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (lhs, rhs):
+                    v = const_value(side)
+                    if isinstance(v, float):
+                        yield ctx.finding(
+                            self, node,
+                            f"float equality against {v!r} — use a "
+                            "tolerance (np.isclose / pytest.approx) or "
+                            "pragma with why exactness is guaranteed")
+                        break
+
+
+_MUTABLE_CALLS = {"list", "dict", "set", "collections.defaultdict",
+                  "defaultdict", "collections.OrderedDict", "OrderedDict",
+                  "np.zeros", "np.ones", "np.empty", "np.array", "np.full",
+                  "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.array",
+                  "numpy.full"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "CAT011"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    description = ("Mutable default argument ([], {}, set(), np.zeros(…)): "
+                   "shared across calls, so one solve's mutation leaks "
+                   "into the next.")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for d in defaults:
+                bad = isinstance(d, (ast.List, ast.Dict, ast.Set,
+                                     ast.ListComp, ast.DictComp,
+                                     ast.SetComp))
+                if isinstance(d, ast.Call) and call_name(d) in _MUTABLE_CALLS:
+                    bad = True
+                if bad:
+                    yield ctx.finding(
+                        self, d,
+                        f"mutable default argument in {node.name}() is "
+                        "evaluated once and shared across calls; default "
+                        "to None and construct inside")
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for stmt in handler.body
+               for n in ast.walk(stmt))
+
+
+def _exception_names(type_node: ast.AST | None) -> list[str]:
+    if type_node is None:
+        return []
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    return [dotted_name(n).rsplit(".", 1)[-1] for n in nodes]
+
+
+@register
+class OverbroadExceptRule(Rule):
+    code = "CAT012"
+    name = "overbroad-except"
+    severity = Severity.ERROR
+    description = ("bare except / except BaseException can swallow "
+                   "SimulatedCrash (the resilience layer's crash fault, "
+                   "a BaseException) and KeyboardInterrupt; except "
+                   "Exception can swallow StabilityError/ConvergenceError. "
+                   "Catch CatError or a concrete type, or re-raise.")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _exception_names(node.type)
+            if node.type is None or "BaseException" in names:
+                if _handler_reraises(node):
+                    continue
+                label = ("bare except:" if node.type is None
+                         else "except BaseException")
+                yield ctx.finding(
+                    self, node,
+                    f"{label} without re-raise swallows SimulatedCrash "
+                    "crash faults and KeyboardInterrupt — catch a "
+                    "concrete exception or re-raise")
+            elif "Exception" in names:
+                if _handler_reraises(node):
+                    continue
+                yield ctx.finding(
+                    self, node,
+                    "except Exception without re-raise can swallow "
+                    "StabilityError/ConvergenceError diagnostics — "
+                    "catch CatError or a concrete type",
+                    severity=Severity.WARNING)
+
+
+_F32_ATTRS = {"float32", "single", "half", "float16"}
+_F32_STRINGS = {"float32", "f4", "<f4", ">f4", "float16", "f2"}
+
+
+@register
+class Float32DowncastRule(Rule):
+    code = "CAT013"
+    name = "float32-downcast"
+    severity = Severity.WARNING
+    description = ("float32/float16 dtype in library code: hypersonic "
+                   "state spans ~10 decades (n_e, rho, p), so single "
+                   "precision silently destroys equilibrium compositions "
+                   "and residual norms.")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in _F32_ATTRS
+                    and dotted_name(node.value) in ("np", "numpy")):
+                yield ctx.finding(
+                    self, node,
+                    f"np.{node.attr} downcast — the CAT state convention "
+                    "is float64 end-to-end; pragma if truncation is "
+                    "deliberate (e.g. a storage format)")
+            elif (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value in _F32_STRINGS):
+                parent = ctx.parents.get(node)
+                in_dtype_kw = (isinstance(parent, ast.keyword)
+                               and parent.arg == "dtype")
+                in_astype = (isinstance(parent, ast.Call)
+                             and isinstance(parent.func, ast.Attribute)
+                             and parent.func.attr == "astype")
+                if in_dtype_kw or in_astype:
+                    yield ctx.finding(
+                        self, node,
+                        f"dtype {node.value!r} downcast — the CAT state "
+                        "convention is float64 end-to-end")
+
+
+@register
+class AssertInLibraryRule(Rule):
+    code = "CAT015"
+    name = "assert-in-library"
+    severity = Severity.WARNING
+    description = ("assert used for runtime validation in library code: "
+                   "stripped under `python -O`, so the check silently "
+                   "disappears in optimized runs; raise "
+                   "InputError/StabilityError instead.")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.finding(
+                    self, node,
+                    "assert disappears under python -O — raise "
+                    "InputError (bad input) or StabilityError "
+                    "(bad state) instead")
+
+
+@register
+class EmptyUninitializedRule(Rule):
+    code = "CAT020"
+    name = "empty-uninitialized"
+    severity = Severity.WARNING
+    description = ("np.empty whose result is never element-assigned in "
+                   "the enclosing scope: reads return whatever was in "
+                   "the heap — plausible garbage, not an error.")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and call_name(node) in ("np.empty", "numpy.empty",
+                                            "np.empty_like",
+                                            "numpy.empty_like")):
+                continue
+            parent = ctx.parents.get(node)
+            target: str | None = None
+            if isinstance(parent, ast.Assign):
+                tgts = parent.targets
+                if len(tgts) == 1 and isinstance(tgts[0], ast.Name):
+                    target = tgts[0].id
+                elif (len(tgts) == 1 and isinstance(tgts[0], ast.Attribute)
+                        and isinstance(tgts[0].value, ast.Name)):
+                    # self._A = np.empty(...) — track the attribute chain
+                    target = dotted_name(tgts[0])
+            if target is None:
+                yield ctx.finding(
+                    self, node,
+                    "np.empty result used directly without a binding "
+                    "that can be initialized — use np.zeros/np.full or "
+                    "bind and fill it")
+                continue
+            if not self._stored_into(ctx, node, target):
+                yield ctx.finding(
+                    self, node,
+                    f"np.empty assigned to {target!r} but no element "
+                    "store into it found in this scope — uninitialized "
+                    "reads return heap garbage; use np.zeros/np.full "
+                    "or fill every element")
+
+    @staticmethod
+    def _stored_into(ctx: LintContext, node: ast.Call, target: str) -> bool:
+        for stmt in _scope_body(ctx, node):
+            for n in ast.walk(stmt):
+                if isinstance(n, (ast.Assign, ast.AugAssign)):
+                    tgts = (n.targets if isinstance(n, ast.Assign)
+                            else [n.target])
+                    flat: list[ast.AST] = []
+                    for t in tgts:
+                        if isinstance(t, (ast.Tuple, ast.List)):
+                            flat.extend(t.elts)
+                        else:
+                            flat.append(t)
+                    for t in flat:
+                        if (isinstance(t, ast.Subscript)
+                                and dotted_name(t.value) == target):
+                            return True
+                if isinstance(n, ast.keyword) and n.arg == "out":
+                    if dotted_name(n.value) == target:
+                        return True
+        return False
+
+
+@register
+class MissingDtypeRule(Rule):
+    code = "CAT021"
+    name = "missing-dtype"
+    severity = Severity.WARNING
+    description = ("Array constructor without an explicit dtype on a "
+                   "solver hot path: the default is platform-blessed "
+                   "float64 today, but an integer shape-tuple fill value "
+                   "(np.full) or a future numpy default change silently "
+                   "alters state precision. Declare dtype=np.float64 or "
+                   "document the intent.")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.is_hot_path
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = call_name(node)
+            if fn not in _ARRAY_CTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            n_positional_dtype = 3 if fn.endswith("full") else 2
+            if len(node.args) >= n_positional_dtype:
+                continue
+            yield ctx.finding(
+                self, node,
+                f"{fn} without dtype on a hot path — state arrays are "
+                "float64 by convention; write dtype=np.float64 (or "
+                "pragma the intended dtype)")
+
+
+_SET_METHODS = {"union", "intersection", "difference",
+                "symmetric_difference"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if call_name(node) in ("set", "frozenset"):
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class SetOrderReductionRule(Rule):
+    code = "CAT030"
+    name = "set-order-reduction"
+    severity = Severity.WARNING
+    description = ("Iteration or reduction over a set: hash order varies "
+                   "across processes/PYTHONHASHSEED, so floating-point "
+                   "accumulation order (and therefore bitwise restart "
+                   "checks) is nondeterministic; iterate sorted(…).")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.comprehension)):
+                it = node.iter
+                if _is_set_expr(it):
+                    yield ctx.finding(
+                        self, it,
+                        "iterating a set — order varies per process; "
+                        "wrap in sorted(…) for reproducible traversal")
+            elif (isinstance(node, ast.Call)
+                    and call_name(node) in ("sum", "math.fsum", "fsum")
+                    and node.args and _is_set_expr(node.args[0])):
+                yield ctx.finding(
+                    self, node,
+                    "summing a set — float accumulation order varies "
+                    "per process; sum(sorted(…)) instead")

@@ -1,0 +1,419 @@
+"""Static units/dimension checker.
+
+Conservative intraprocedural dimensional analysis over the unit tags
+the codebase already carries:
+
+* function parameter/return units from numpy-style docstrings
+  (``e:`` … ``Specific internal energy [J/kg]``),
+* module constants from ``#: … [unit].`` comments
+  (:func:`repro.analysis.registry.constants_units`),
+* the curated API registry (:data:`~repro.analysis.registry.API_SIGNATURES`),
+  matched by call-site name (``gas.h_mass(T)`` → ``h_mass``).
+
+Unknown quantities are wildcards — a finding is only emitted when
+**both** sides of an operation have known, incompatible dimensions,
+so silence is never a guarantee, but every finding is a real tag
+inconsistency:
+
+* ``UNIT001`` — addition/subtraction/comparison of incompatible
+  dimensions (the J/mol + J/kg class of bug),
+* ``UNIT002`` — a declared parameter rebound to a value of a
+  different dimension,
+* ``UNIT003`` — a call argument whose dimension contradicts the
+  callee's declared parameter unit.
+
+Suppression uses the same pragmas as catlint
+(``# catlint: disable=UNIT001 -- reason``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.dimensions import (
+    DIMENSIONLESS,
+    Dim,
+    find_unit_tag,
+)
+from repro.analysis.engine import dotted_name, iter_python_files
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.pragmas import PragmaIndex
+from repro.analysis.registry import API_SIGNATURES, Signature, constants_units
+
+# numpy helpers that return a value with their first argument's units
+_PASSTHROUGH = {
+    "np.asarray", "np.array", "np.atleast_1d", "np.atleast_2d",
+    "np.ascontiguousarray", "np.abs", "np.absolute", "np.maximum",
+    "np.minimum", "np.fmax", "np.fmin", "np.clip", "np.sum", "np.mean",
+    "np.max", "np.min", "np.amax", "np.amin", "np.copy", "np.squeeze",
+    "np.ravel", "np.reshape", "np.transpose", "np.cumsum", "np.diff",
+    "np.gradient", "np.interp", "abs", "float", "np.full_like",
+    "np.broadcast_to", "np.nan_to_num", "np.trapz",
+}
+
+_DIMLESS_CALLS = {
+    "np.log", "np.log10", "np.log2", "np.exp", "np.expm1", "np.log1p",
+    "np.tanh", "np.sin", "np.cos", "np.sign", "np.isfinite", "np.isnan",
+    "math.log", "math.exp", "math.tanh", "len",
+}
+
+
+class _FunctionUnits:
+    """Declared + inferred units inside one function."""
+
+    def __init__(self, checker: "UnitChecker",
+                 fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.checker = checker
+        self.fn = fn
+        self.env: dict[str, Dim] = {}
+        self.declared: dict[str, Dim] = {}
+        sig = checker.local_signatures.get(fn.name) \
+            or API_SIGNATURES.get(fn.name)
+        if sig is not None:
+            for name, dim in sig.param_units.items():
+                if dim is not None:
+                    self.declared[name] = dim
+                    self.env[name] = dim
+
+    # -- inference --------------------------------------------------
+
+    def infer(self, node: ast.AST) -> Dim | None:
+        if isinstance(node, ast.Constant):
+            return None  # numeric literals are wildcards
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = dotted_name(node)
+            if name in self.env:
+                return self.env[name]
+            return self.checker.constant_dim(name)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Subscript):
+            return self.infer(node.value)
+        if isinstance(node, ast.IfExp):
+            a, b = self.infer(node.body), self.infer(node.orelse)
+            return a if a is not None else b
+        if isinstance(node, ast.Compare):
+            self._check_compare(node)
+            return None
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> Dim | None:
+        left, right = self.infer(node.left), self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                self.checker.finding(
+                    "UNIT001", node,
+                    f"{'adding' if isinstance(node.op, ast.Add) else 'subtracting'} "
+                    f"incompatible dimensions {left!r} and {right!r}")
+                return None
+            return left if left is not None else right
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is not None:
+                return left * right
+            if left is not None and _is_scalar_literal(node.right):
+                return left
+            if right is not None and _is_scalar_literal(node.left):
+                return right
+            return None
+        if isinstance(node.op, ast.Div):
+            if left is not None and right is not None:
+                return left / right
+            if left is not None and _is_scalar_literal(node.right):
+                return left
+            if right is not None and _is_scalar_literal(node.left):
+                return DIMENSIONLESS / right
+            return None
+        if isinstance(node.op, ast.Pow):
+            if (left is not None and isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)):
+                return left ** node.right.value
+            return None
+        return None
+
+    def _infer_call(self, node: ast.Call) -> Dim | None:
+        name = dotted_name(node.func)
+        short = name.rsplit(".", 1)[-1] if name else ""
+        if name in _PASSTHROUGH or f"np.{short}" in _PASSTHROUGH:
+            return self.infer(node.args[0]) if node.args else None
+        if name in _DIMLESS_CALLS:
+            return DIMENSIONLESS
+        sig = self.checker.local_signatures.get(short) \
+            or API_SIGNATURES.get(short)
+        if sig is None:
+            return None
+        self._check_call(node, short, sig)
+        return sig.returns
+
+    # -- checking ---------------------------------------------------
+
+    def _check_call(self, node: ast.Call, name: str, sig: Signature) -> None:
+        if len(node.args) > len(sig.param_order):
+            return  # signature mismatch (different arity) — not ours
+        slots = list(zip(sig.param_order, node.args))
+        slots += [(kw.arg, kw.value) for kw in node.keywords
+                  if kw.arg in sig.param_units]
+        for pname, arg in slots:
+            want = sig.param_units.get(pname)
+            got = self.infer(arg)
+            if want is None or got is None or want == got:
+                continue
+            self.checker.finding(
+                "UNIT003", arg,
+                f"argument {pname!r} of {name}() declared {want!r} "
+                f"but receives {got!r}")
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        dims = [self.infer(o) for o in operands]
+        known = [(o, d) for o, d in zip(operands, dims) if d is not None]
+        for (_, d1), (o2, d2) in zip(known, known[1:]):
+            if d1 != d2:
+                self.checker.finding(
+                    "UNIT001", o2,
+                    f"comparing incompatible dimensions {d1!r} and {d2!r}")
+
+    # -- statement walk ---------------------------------------------
+
+    def run(self) -> None:
+        for stmt in self.fn.body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are checked separately
+        if isinstance(stmt, ast.Assign):
+            dim = self.infer(stmt.value)
+            for tgt in stmt.targets:
+                self._bind(tgt, dim, stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self.infer(stmt.value), stmt)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            tname = dotted_name(stmt.target)
+            have = self.env.get(tname)
+            got = self.infer(stmt.value)
+            if (isinstance(stmt.op, (ast.Add, ast.Sub))
+                    and have is not None and got is not None
+                    and have != got):
+                self.checker.finding(
+                    "UNIT001", stmt,
+                    f"augmented {'+=' if isinstance(stmt.op, ast.Add) else '-='} "
+                    f"mixes {have!r} and {got!r}")
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            got = self.infer(stmt.value)
+            want = self._declared_return()
+            if want is not None and got is not None and want != got:
+                self.checker.finding(
+                    "UNIT002", stmt,
+                    f"{self.fn.name}() declared to return {want!r} "
+                    f"but returns {got!r}")
+            return
+        if isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._stmt(child)
+            elif isinstance(child, ast.expr):
+                self.infer(child)
+
+    def _declared_return(self) -> Dim | None:
+        sig = self.checker.local_signatures.get(self.fn.name) \
+            or API_SIGNATURES.get(self.fn.name)
+        return sig.returns if sig is not None else None
+
+    def _bind(self, tgt: ast.AST, dim: Dim | None, stmt: ast.stmt) -> None:
+        name = dotted_name(tgt)
+        if not name:
+            return
+        if (name in self.declared and dim is not None
+                and dim != self.declared[name]):
+            self.checker.finding(
+                "UNIT002", stmt,
+                f"parameter {name!r} declared {self.declared[name]!r} "
+                f"rebound to {dim!r}")
+        if dim is not None:
+            self.env[name] = dim
+        elif name in self.env and name not in self.declared:
+            del self.env[name]  # rebound to something unknown
+
+
+def _is_scalar_literal(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))) or (
+        isinstance(node, ast.UnaryOp)
+        and _is_scalar_literal(node.operand))
+
+
+_SECTION_RE = re.compile(r"^\s*(Parameters|Returns|Yields|Raises|Notes|"
+                         r"Examples|Attributes|See Also|References)\s*$")
+_PARAM_RE = re.compile(r"^(\w+)\s*(?::.*)?$")
+
+
+def signature_from_docstring(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                             ) -> Signature | None:
+    """Extract a unit signature from a numpy-style docstring."""
+    doc = ast.get_docstring(fn, clean=True)
+    if not doc:
+        return None
+    lines = doc.splitlines()
+    params: dict[str, str | None] = {}
+    returns: str | None = None
+
+    summary_dim = find_unit_tag(lines[0]) if lines else None
+
+    section = None
+    current: str | None = None
+    for i, raw in enumerate(lines):
+        m = _SECTION_RE.match(raw)
+        if m and i + 1 < len(lines) and set(lines[i + 1].strip()) == {"-"}:
+            section = m.group(1)
+            current = None
+            continue
+        if set(raw.strip()) == {"-"} and raw.strip():
+            continue
+        if section == "Parameters":
+            if raw and not raw.startswith(" "):
+                pm = _PARAM_RE.match(raw.strip())
+                head = raw.split(":")[0].strip()
+                if pm and head.isidentifier():
+                    current = head
+                    params.setdefault(current, None)
+                    tail_dim = find_unit_tag(raw)
+                    if tail_dim is not None:
+                        params[current] = _dim_tag(raw)
+                    continue
+            if current is not None and params.get(current) is None:
+                if find_unit_tag(raw) is not None:
+                    params[current] = _dim_tag(raw)
+        elif section in ("Returns", "Yields") and returns is None:
+            if find_unit_tag(raw) is not None:
+                returns = _dim_tag(raw)
+
+    if returns is None and summary_dim is not None:
+        returns = _dim_tag(lines[0])
+    arg_names = [a.arg for a in fn.args.args if a.arg not in ("self", "cls")]
+    arg_names += [a.arg for a in fn.args.kwonlyargs]
+    ordered = [(n, params.get(n)) for n in arg_names]
+    if returns is None and all(u is None for _, u in ordered):
+        return None
+    return Signature(ordered, returns)
+
+
+def _dim_tag(line: str) -> str | None:
+    """Return the raw tag text of the first parseable unit in `line`."""
+    for m in re.finditer(r"\[([^\][]{1,40})\]", line):
+        if find_unit_tag(f"[{m.group(1)}]") is not None:
+            return m.group(1)
+    return None
+
+
+class UnitChecker:
+    def __init__(self, source: str, path: str,
+                 constants: dict[str, Dim] | None = None) -> None:
+        self.source = source
+        self.path = path
+        self.lines = source.splitlines()
+        self.findings: list[Finding] = []
+        self.constants = dict(constants or {})
+        # constants declared in this very file (e.g. constants.py itself)
+        self.constants.update(constants_units(source))
+        self.local_signatures: dict[str, Signature] = {}
+        self.import_aliases: dict[str, str] = {}
+
+    def constant_dim(self, name: str) -> Dim | None:
+        if name in self.constants:
+            return self.constants[name]
+        short = name.rsplit(".", 1)[-1]
+        base = name.rsplit(".", 1)[0] if "." in name else ""
+        if base and self.import_aliases.get(base) == "repro.constants":
+            return self.constants.get(short)
+        return None
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        text = (self.lines[line - 1].strip()
+                if 1 <= line <= len(self.lines) else "")
+        self.findings.append(Finding(
+            rule=rule, severity=Severity.ERROR, path=self.path,
+            line=line, col=getattr(node, "col_offset", 0),
+            message=message, source_line=text))
+
+    def run(self) -> list[Finding]:
+        try:
+            tree = ast.parse(self.source)
+        except SyntaxError:
+            return []  # catlint reports syntax errors
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "repro.constants":
+                    for alias in node.names:
+                        dim = self.constants.get(alias.name)
+                        if dim is not None:
+                            self.constants[alias.asname or alias.name] = dim
+                elif node.module == "repro" and any(
+                        a.name == "constants" for a in node.names):
+                    self.import_aliases["constants"] = "repro.constants"
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.constants":
+                        self.import_aliases[alias.asname or "repro"] = \
+                            "repro.constants"
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                sig = signature_from_docstring(node)
+                if sig is not None:
+                    self.local_signatures[node.name] = sig
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _FunctionUnits(self, node).run()
+        pragmas = PragmaIndex.from_source(self.source)
+        kept = [f for f in self.findings
+                if not pragmas.disabled(f.rule, f.line)]
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return kept
+
+
+def _global_constants() -> dict[str, Dim]:
+    """Units of repro.constants, scraped from its source (no import)."""
+    try:
+        import importlib.util
+        spec = importlib.util.find_spec("repro.constants")
+        origin = spec.origin if spec else None
+    except (ImportError, ValueError):
+        origin = None
+    if not origin:
+        return {}
+    try:
+        with open(origin, "r", encoding="utf-8") as fh:
+            return constants_units(fh.read())
+    except OSError:
+        return {}
+
+
+def check_units_source(source: str, path: str = "<string>",
+                       constants: dict[str, Dim] | None = None,
+                       ) -> list[Finding]:
+    consts = _global_constants() if constants is None else constants
+    return UnitChecker(source, path, consts).run()
+
+
+def check_units_paths(paths: Iterable[str]) -> list[Finding]:
+    consts = _global_constants()
+    out: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError):
+            continue  # catlint reports unreadable files
+        out.extend(UnitChecker(source, path, consts).run())
+    return out

@@ -35,6 +35,8 @@ class Atmosphere(abc.ABC):
 
     def sound_speed(self, h):
         """Frozen ambient speed of sound [m/s]."""
+        # catlint: disable=CAT002 -- gamma/R are positive model
+        # constants; every atmosphere T profile is bounded above 0 K
         return np.sqrt(self.gamma * self.gas_constant
                        * self.temperature(h))
 

@@ -42,7 +42,7 @@ class IdealGasEOS:
             raise InputError("gamma must exceed 1")
         self.gamma = gamma
         self.R = R
-        self.cv = R / (gamma - 1.0)
+        self.cv = R / (gamma - 1.0)  # catlint: disable=CAT003 -- gamma > 1 validated above
         self.cp = self.cv * gamma
 
     def pressure(self, rho, e):
@@ -51,6 +51,7 @@ class IdealGasEOS:
 
     def sound_speed(self, rho, e):
         e = np.maximum(np.asarray(e, float), 1e-30)
+        # catlint: disable=CAT002 -- gamma > 1 enforced in __init__, e clamped above
         return np.sqrt(self.gamma * (self.gamma - 1.0) * e)
 
     def temperature(self, rho, e):

@@ -34,6 +34,7 @@ class FreeStream:
     @property
     def a(self) -> float:
         """Frozen sound speed [m/s]."""
+        # catlint: disable=CAT002 -- rho, T > 0 enforced in __post_init__
         return float(np.sqrt(self.gamma * self.R * self.T))
 
     @property

@@ -55,7 +55,7 @@ def roberts_cluster(n: int, beta: float = 1.05):
     if beta <= 1.0:
         raise GridError("Roberts beta must exceed 1")
     eta = np.linspace(0.0, 1.0, n)
-    bp = (beta + 1.0) / (beta - 1.0)
+    bp = (beta + 1.0) / (beta - 1.0)  # catlint: disable=CAT003 -- beta > 1 validated above
     num = bp ** (1.0 - eta)
     s = ((beta + 1.0) - (beta - 1.0) * num) / (num + 1.0)
     s[0], s[-1] = 0.0, 1.0

@@ -23,6 +23,9 @@ def newtonian_velocity_gradient(nose_radius, p_e, p_inf, rho_e):
     """Stagnation velocity gradient due/dx [1/s]."""
     if nose_radius <= 0:
         raise InputError("nose radius must be positive")
+    if np.any(np.asarray(rho_e, dtype=float) <= 0):
+        raise InputError("edge density must be positive")
+    # catlint: disable=CAT002 -- numerator clamped >= 0, rho_e validated
     return (1.0 / nose_radius) * np.sqrt(
         2.0 * np.maximum(p_e - p_inf, 0.0) / rho_e)
 
@@ -49,8 +52,11 @@ def fay_riddell_heating(*, rho_e, mu_e, rho_w, mu_w, due_dx, h0e, hw,
         Lewis-number term; non-catalytic (False) loses the atom
         recombination energy entirely.
     """
+    if np.any(np.asarray(due_dx, dtype=float) < 0):
+        raise InputError("stagnation velocity gradient must be >= 0")
     base = (0.763 * prandtl**-0.6
             * (rho_e * mu_e) ** 0.4 * (rho_w * mu_w) ** 0.1
+            # catlint: disable=CAT002 -- due_dx validated >= 0 above
             * np.sqrt(due_dx) * (h0e - hw))
     frac = np.clip(h_dissociation / np.maximum(h0e, 1.0), 0.0, 1.0)
     if catalytic:

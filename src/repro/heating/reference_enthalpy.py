@@ -51,6 +51,9 @@ def flat_plate_heating(x, *, rho_e, u_e, h_e, h_w, mu_of_h, h0e,
     x = np.asarray(x, dtype=float)
     if np.any(x <= 0.0):
         raise InputError("x must be positive")
+    if prandtl <= 0.0:
+        raise InputError("Prandtl number must be positive")
+    # catlint: disable=CAT002 -- prandtl validated positive above
     r = np.sqrt(prandtl) if recovery is None else recovery
     h_aw = h_e + r * (h0e - h_e)
     h_star = eckert_reference_enthalpy(h_e, h_w, h_aw)

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InputError
+
 __all__ = ["sutton_graves_heating", "SG_CONSTANTS"]
 
 #: Sutton-Graves constants k [kg^0.5 / m] by atmosphere.
@@ -36,5 +38,8 @@ def sutton_graves_heating(rho, V, nose_radius, *, atmosphere="earth"):
         Key in :data:`SG_CONSTANTS`.
     """
     k = SG_CONSTANTS[atmosphere]
+    if nose_radius <= 0 or np.any(np.asarray(rho, float) < 0):
+        raise InputError("need nose_radius > 0 and rho >= 0")
+    # catlint: disable=CAT002 -- rho and nose_radius validated above
     return k * np.sqrt(np.asarray(rho, float) / nose_radius) \
         * np.asarray(V, float) ** 3

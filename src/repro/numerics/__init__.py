@@ -22,6 +22,8 @@ from repro.numerics.time_integration import (cfl_timestep_1d,
                                              ssp_rk2_step, ssp_rk3_step)
 from repro.numerics.tridiag import block_thomas, thomas
 from repro.numerics.implicit import point_implicit_species_update
+from repro.numerics.safety import (TINY, clamp_positive, safe_div,
+                                   safe_log, safe_sqrt)
 
 __all__ = [
     "euler_flux", "hlle_flux", "primitives", "rotate_to_normal",
@@ -30,4 +32,5 @@ __all__ = [
     "muscl_interface_states", "exact_riemann", "sample_riemann",
     "sod_exact", "cfl_timestep_1d", "ssp_rk2_step", "ssp_rk3_step",
     "block_thomas", "thomas", "point_implicit_species_update",
+    "TINY", "clamp_positive", "safe_div", "safe_log", "safe_sqrt",
 ]

@@ -1,0 +1,59 @@
+"""Clamped elementary operations for off-manifold states.
+
+Mid-Newton or mid-march, a state can transiently leave the physical
+manifold (slightly negative internal energy, vanishing pressure).
+``np.log``/``np.sqrt``/division then mint NaNs that propagate
+*silently* — the march keeps running and produces plausible garbage
+until (or unless) ``check_state`` trips.  These helpers clamp at the
+call site instead.
+
+All clamps are **bitwise no-ops for in-domain arguments**:
+``np.maximum(x, floor)`` returns ``x`` unchanged whenever
+``x >= floor``, so resilience-layer bitwise restart tests are
+unaffected.  They do not mask instability — state validity is still
+enforced by ``check_state``/``StabilityError`` at the marching level;
+the clamps only keep intermediate arithmetic finite so the failure is
+*diagnosable* rather than a NaN flood.
+
+``catlint`` (CAT001–CAT003) recognises these as guards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TINY", "clamp_positive", "safe_log", "safe_sqrt", "safe_div"]
+
+#: Smallest positive floor used by the clamps.  Far below any physical
+#: quantity in SI units, so clamping at TINY is indistinguishable from
+#: the exact value for every valid state.
+TINY = 1.0e-300
+
+
+def clamp_positive(x, floor=TINY):
+    """``max(x, floor)`` elementwise; identity for ``x >= floor``."""
+    return np.maximum(x, floor)
+
+
+def safe_log(x, floor=TINY):
+    """``log(max(x, floor))`` — finite (≈ -690 at TINY) instead of
+    NaN/-inf when a state transiently goes non-positive."""
+    return np.log(np.maximum(x, floor))
+
+
+def safe_sqrt(x):
+    """``sqrt(max(x, 0))`` — 0 instead of NaN for small negative
+    round-off residues."""
+    return np.sqrt(np.maximum(x, 0.0))
+
+
+def safe_div(num, den, eps=TINY):
+    """``num / den`` with the denominator bumped away from zero.
+
+    Bitwise-identical to plain division whenever ``|den| > eps``; a
+    vanishing denominator is replaced by ``±eps`` (sign preserved, and
+    a signed zero keeps its sign) so the quotient is huge-but-finite.
+    """
+    den = np.asarray(den)
+    guarded = np.where(np.abs(den) > eps, den, np.copysign(eps, den))
+    return num / guarded

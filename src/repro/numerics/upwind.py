@@ -29,7 +29,7 @@ def _unpack_ideal(U, gamma):
         ke = 0.5 * un**2
     e = np.maximum(U[..., -1] / rho - ke, 1e-30)
     p = (gamma - 1.0) * rho * e
-    a = np.sqrt(gamma * p / rho)
+    a = np.sqrt(gamma * p / rho)  # catlint: disable=CAT002 -- rho, e clamped positive above; gamma > 1
     H = (U[..., -1] + p) / rho
     return rho, un, ut, p, a, H
 

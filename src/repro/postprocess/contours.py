@@ -35,6 +35,7 @@ def _edge_point(edge, i, j, x, y, f, level):
     else:
         (i0, j0), (i1, j1) = (i, j), (i, j + 1)
     f0, f1 = f[i0, j0], f[i1, j1]
+    # catlint: disable=CAT003 -- division only taken on the f1 != f0 branch
     t = 0.5 if f1 == f0 else np.clip((level - f0) / (f1 - f0), 0.0, 1.0)
     return (x[i0, j0] + t * (x[i1, j1] - x[i0, j0]),
             y[i0, j0] + t * (y[i1, j1] - y[i0, j0]))

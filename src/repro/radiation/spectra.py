@@ -111,7 +111,8 @@ class EmissionModel:
         self.systems = tuple(systems)
         # electronic partition data per radiating species
         self._thermo = {name: SpeciesThermo(db[name])
-                        for name in {b.species for b in self.systems}}
+                        for name in sorted({b.species
+                                            for b in self.systems})}
 
     def upper_state_density(self, system: BandSystem, n_s, T_ex):
         """Upper-level number density [1/m^3]."""

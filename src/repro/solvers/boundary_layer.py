@@ -212,5 +212,7 @@ class StagnationSimilarityBL:
         sol = solution if solution is not None else self.solve(hw)
         gw = hw / self.h0e
         Cw = 1.0 if self._C_of_g is None else float(self._C_of_g(gw))
+        # catlint: disable=CAT002 -- rho_e, mu_e are a positive edge
+        # state and due_dx a physical stagnation velocity gradient
         return (Cw / self.Pr) * sol.gp0 * self.h0e \
             * np.sqrt(2.0 * due_dx * self.rho_e * self.mu_e)

@@ -119,7 +119,7 @@ class Euler1DSolver:
     def _ghost(self, U):
         """Two ghost cells per side according to the boundary conditions."""
         left, right = self.bc
-        g = np.empty((U.shape[0] + 4, 3))
+        g = np.empty((U.shape[0] + 4, 3), dtype=np.float64)
         g[2:-2] = U
         # left boundary
         if left == "transmissive":

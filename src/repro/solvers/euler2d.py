@@ -144,7 +144,7 @@ class AxisymmetricEulerSolver:
 
     def _pad_i(self, U):
         """Ghosts along i: axis mirror at i=0, extrapolation at i=ni."""
-        g = np.empty((U.shape[0] + 4,) + U.shape[1:])
+        g = np.empty((U.shape[0] + 4,) + U.shape[1:], dtype=np.float64)
         g[2:-2] = U
         # axis symmetry: mirror with radial momentum flipped
         flip = np.array([1.0, 1.0, -1.0, 1.0])
@@ -156,7 +156,7 @@ class AxisymmetricEulerSolver:
 
     def _pad_j(self, U):
         """Ghosts along j: slip wall at j=0, freestream at j=nj."""
-        g = np.empty((U.shape[0], U.shape[1] + 4, 4))
+        g = np.empty((U.shape[0], U.shape[1] + 4, 4), dtype=np.float64)
         g[:, 2:-2] = U
         # wall: mirror velocity about the wall tangent plane
         for k, src in ((1, 0), (0, 1)):
@@ -221,6 +221,7 @@ class AxisymmetricEulerSolver:
         self.U = self.U + dt[..., None] * R
         self._sanitise()
         self.steps += 1
+        # catlint: disable=CAT002 -- mean of squares is >= 0
         rho_res = float(np.sqrt(np.mean((R[..., 0] * dt) ** 2))
                         / max(float(np.mean(self.U[..., 0])), 1e-300))
         self.residual_history.append(rho_res)

@@ -133,11 +133,11 @@ class AxisymmetricNSSolver(AxisymmetricEulerSolver):
         """
         g = self.grid
         # face values by averaging (interior), cell value at boundaries
-        f_i = np.empty((g.ni + 1, g.nj))
+        f_i = np.empty((g.ni + 1, g.nj), dtype=np.float64)
         f_i[1:-1] = 0.5 * (phi[1:] + phi[:-1])
         f_i[0] = phi[0]
         f_i[-1] = phi[-1]
-        f_j = np.empty((g.ni, g.nj + 1))
+        f_j = np.empty((g.ni, g.nj + 1), dtype=np.float64)
         f_j[:, 1:-1] = 0.5 * (phi[:, 1:] + phi[:, :-1])
         f_j[:, 0] = phi[:, 0]
         f_j[:, -1] = phi[:, -1]
@@ -165,14 +165,14 @@ class AxisymmetricNSSolver(AxisymmetricEulerSolver):
         dT = self._cell_gradients(T)
 
         def face_avg_i(q):
-            out = np.empty((g.ni + 1,) + q.shape[1:])
+            out = np.empty((g.ni + 1,) + q.shape[1:], dtype=np.float64)
             out[1:-1] = 0.5 * (q[1:] + q[:-1])
             out[0] = q[0]
             out[-1] = q[-1]
             return out
 
         def face_avg_j(q):
-            out = np.empty((q.shape[0], g.nj + 1) + q.shape[2:])
+            out = np.empty((q.shape[0], g.nj + 1) + q.shape[2:], dtype=np.float64)
             out[:, 1:-1] = 0.5 * (q[:, 1:] + q[:, :-1])
             out[:, 0] = q[:, 0]
             out[:, -1] = q[:, -1]
@@ -185,7 +185,7 @@ class AxisymmetricNSSolver(AxisymmetricEulerSolver):
             txx = mu_f * (2.0 * du_f[..., 0] - 2.0 / 3.0 * div)
             tyy = mu_f * (2.0 * dv_f[..., 1] - 2.0 / 3.0 * div)
             txy = mu_f * (du_f[..., 1] + dv_f[..., 0])
-            Fv = np.zeros(nx.shape + (4,))
+            Fv = np.zeros(nx.shape + (4,), dtype=np.float64)
             Fv[..., 1] = txx * nx + txy * ny
             Fv[..., 2] = txy * nx + tyy * ny
             Fv[..., 3] = ((txx * u_f + txy * v_f + k_f * dT_f[..., 0]) * nx

@@ -144,6 +144,7 @@ class WindwardHeatingPNS:
 
     def _stagnation_ideal(self, rho_inf, T_inf, V, T_wall):
         g = self.gamma
+        # catlint: disable=CAT002 -- freestream T_inf > 0, g/R positive
         a_inf = np.sqrt(g * self.R * T_inf)
         M = V / a_inf
         ns = normal_shock_ideal(M, g)
@@ -152,7 +153,7 @@ class WindwardHeatingPNS:
         from repro.solvers.shock import isentropic_ratios
         p_stag = p_inf * ns["p_ratio"] * isentropic_ratios(
             ns["M2"], g)["p0_p"]
-        cp = g * self.R / (g - 1.0)
+        cp = g * self.R / (g - 1.0)  # catlint: disable=CAT003 -- g > 1 for the ideal mode
         T0 = T_inf * (1.0 + 0.5 * (g - 1.0) * M * M)
         rho_stag = p_stag / (self.R * T0)
         mu_stag = sutherland_viscosity(T0)
@@ -214,7 +215,7 @@ class WindwardHeatingPNS:
         pr = np.clip(p_e / stag["p_stag"], 1e-6, 1.0)
         T_e = stag["T0"] * pr ** ((g - 1.0) / g)
         rho_e = p_e / (self.R * T_e)
-        cp = g * self.R / (g - 1.0)
+        cp = g * self.R / (g - 1.0)  # catlint: disable=CAT003 -- g > 1 for the ideal mode
         u_e = np.sqrt(np.maximum(2.0 * cp * (stag["T0"] - T_e), 0.0))
         return T_e, rho_e, u_e, sutherland_viscosity(T_e)
 

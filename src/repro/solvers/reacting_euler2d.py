@@ -198,7 +198,7 @@ class ReactingEulerSolver:
                                      rho * y])
         ni, nj = self.grid.ni, self.grid.nj
         self.U = np.broadcast_to(self.U_inf, (ni, nj, self.nv)).copy()
-        self.T = np.full((ni, nj), float(T))
+        self.T = np.full((ni, nj), float(T), dtype=np.float64)
         self.steps = 0
         return self
 
@@ -223,9 +223,9 @@ class ReactingEulerSolver:
                 "p": p, "a": a}
 
     def _pad_i(self, U):
-        g = np.empty((U.shape[0] + 4,) + U.shape[1:])
+        g = np.empty((U.shape[0] + 4,) + U.shape[1:], dtype=np.float64)
         g[2:-2] = U
-        flip = np.ones(self.nv)
+        flip = np.ones(self.nv, dtype=np.float64)
         flip[2] = -1.0
         g[1] = U[0] * flip
         g[0] = U[1] * flip
@@ -234,7 +234,7 @@ class ReactingEulerSolver:
         return g
 
     def _pad_j(self, U):
-        g = np.empty((U.shape[0], U.shape[1] + 4, self.nv))
+        g = np.empty((U.shape[0], U.shape[1] + 4, self.nv), dtype=np.float64)
         g[:, 2:-2] = U
         for k, src in ((1, 0), (0, 1)):
             Uw = U[:, src].copy()
@@ -261,7 +261,7 @@ class ReactingEulerSolver:
                                            keepdims=True), 1e-300),
                        None)
         Fb = hlle_flux(WL, WR, self._eos)
-        F = np.empty(Fb.shape[:-1] + (self.nv,))
+        F = np.empty(Fb.shape[:-1] + (self.nv,), dtype=np.float64)
         F[..., :4] = rotate_from_normal(Fb, nx, ny)
         mdot = Fb[..., 0]
         y_up = np.where((mdot > 0.0)[..., None], yL, yR)
@@ -316,6 +316,7 @@ class ReactingEulerSolver:
             # species partition changes
             self.U[..., 4:] = w["rho"][..., None] * y_new
         self.steps += 1
+        # catlint: disable=CAT002 -- mean of squares is >= 0
         rho_res = float(np.sqrt(np.mean((R[..., 0] * dt) ** 2))
                         / max(float(np.mean(self.U[..., 0])), 1e-300))
         self.residual_history.append(rho_res)

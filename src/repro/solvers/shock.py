@@ -27,12 +27,18 @@ def normal_shock_ideal(M1, gamma: float = 1.4):
     M1 = np.asarray(M1, dtype=float)
     if np.any(M1 <= 1.0):
         raise InputError("normal shock requires M1 > 1")
+    if gamma <= 1.0:
+        raise InputError("gamma must exceed 1")
     g = gamma
     m2 = M1 * M1
     p_ratio = 1.0 + 2.0 * g / (g + 1.0) * (m2 - 1.0)
     rho_ratio = (g + 1.0) * m2 / ((g - 1.0) * m2 + 2.0)
     T_ratio = p_ratio / rho_ratio
+    # catlint: disable=CAT002,CAT003 -- g > 1 and m2 > 1 validated, so
+    # the argument and the denominator 2 g m2 - (g - 1) > g + 1 stay
+    # positive
     M2 = np.sqrt(((g - 1.0) * m2 + 2.0) / (2.0 * g * m2 - (g - 1.0)))
+    # catlint: disable=CAT003 -- g > 1 validated above
     p0_ratio = (rho_ratio ** (g / (g - 1.0))
                 * p_ratio ** (-1.0 / (g - 1.0)))
     return {"p_ratio": p_ratio, "rho_ratio": rho_ratio,
@@ -42,8 +48,11 @@ def normal_shock_ideal(M1, gamma: float = 1.4):
 def isentropic_ratios(M, gamma: float = 1.4):
     """Stagnation-to-static isentropic ratios at Mach M."""
     M = np.asarray(M, dtype=float)
+    if gamma <= 1.0:
+        raise InputError("gamma must exceed 1")
     g = gamma
     T0_T = 1.0 + 0.5 * (g - 1.0) * M * M
+    # catlint: disable=CAT003 -- g > 1 validated above
     return {"T0_T": T0_T,
             "p0_p": T0_T ** (g / (g - 1.0)),
             "rho0_rho": T0_T ** (1.0 / (g - 1.0))}
@@ -111,7 +120,7 @@ def frozen_post_shock_state(rho1, T1, u1, *, gamma=1.4, R=287.0528):
 
     Returns dict with rho2, T2, p2, u2.
     """
-    a1 = np.sqrt(gamma * R * T1)
+    a1 = np.sqrt(gamma * R * T1)  # catlint: disable=CAT002 -- physical upstream T1 > 0, gamma/R positive
     M1 = u1 / a1
     ns = normal_shock_ideal(M1, gamma)
     rho2 = rho1 * ns["rho_ratio"]

@@ -165,6 +165,8 @@ class StagnationVSL:
         T_eta = T_of_h(h_eta)
         y_eta, rho_eta = gas.composition_T_p(T_eta,
                                              np.full_like(T_eta, p_stag))
+        # catlint: disable=CAT002 -- positive edge state over a
+        # positive stagnation velocity gradient
         dy = np.sqrt(rho_e * mu_e / (2.0 * K)) / rho_eta
         y_phys = np.concatenate(([0.0],
                                  np.cumsum(0.5 * (dy[1:] + dy[:-1])
@@ -175,7 +177,7 @@ class StagnationVSL:
                                      np.linspace(y_phys[-1], standoff,
                                                  12)[1:]])
             T_full = np.concatenate([T_eta,
-                                     np.full(11, T_eta[-1])])
+                                     np.full(11, T_eta[-1], dtype=np.float64)])
             comp_full = np.concatenate([y_eta,
                                         np.repeat(y_eta[-1:], 11,
                                                   axis=0)])
@@ -187,7 +189,7 @@ class StagnationVSL:
         comp_prof = np.stack([np.interp(yq, y_full, comp_full[:, j])
                               for j in range(self.db.n)], axis=-1)
         h_prof = np.interp(yq, y_full, np.concatenate(
-            [h_eta, np.full(len(y_full) - len(h_eta), h_eta[-1])]))
+            [h_eta, np.full(len(y_full) - len(h_eta), h_eta[-1], dtype=np.float64)]))
 
         # ---- radiation ----
         lam = np.linspace(*lambda_range, n_lambda)

@@ -67,8 +67,12 @@ class EquilibriumEOSTable:
         enthalpy) keeps every grid state reachable by the single-ionization
         chemistry model below the solver's 1e5 K bracket.
         """
+        if min(rho_range) <= 0.0 or min(e_range) <= 0.0:
+            raise InputError("table ranges must be positive (log-spaced)")
+        # catlint: disable=CAT001 -- ranges validated positive above
         log_rho = np.linspace(np.log(rho_range[0]), np.log(rho_range[1]),
                               n_rho)
+        # catlint: disable=CAT001 -- ranges validated positive above
         log_e = np.linspace(np.log(e_range[0]), np.log(e_range[1]), n_e)
         LR, LE = np.meshgrid(log_rho, log_e, indexing="ij")
         rho = np.exp(LR).ravel()
@@ -187,6 +191,8 @@ def build_air_table(*, n_rho=48, n_e=72, cache_dir=None
             tab = EquilibriumEOSTable.load(path)
             _AIR_TABLE_CACHE[key] = tab
             return tab
+        # catlint: disable=CAT012 -- deliberate: any unreadable/corrupt
+        # cache file falls through to a fresh table build
         except Exception:
             pass  # rebuild on any cache corruption
     db = species_set("air11")

@@ -122,17 +122,21 @@ class EquilibriumSolver:
         an "all reference molecules" estimate (the equilibrium potential can
         exceed neither)."""
         B = rho.shape[0]
-        lam = np.zeros((B, self.K))
+        lam = np.zeros((B, self.K), dtype=np.float64)
+        # catlint: disable=CAT001 -- T > 0 on the solver bracket and
+        # _R/P_STANDARD are positive constants
         ln_rtp0 = np.log(_R * T / P_STANDARD)
         for k in range(self.K - (1 if self.db.has_ions else 0)):
             bk = np.maximum(b[:, k], 1e-30)
-            cand = np.full(B, np.inf)
+            cand = np.full(B, np.inf, dtype=np.float64)
             ja = self._atom_idx.get(k)
             if ja is not None:
+                # catlint: disable=CAT001 -- rho > 0 and bk clamped >= 1e-30
                 cand = gt[:, ja] + np.log(0.5 * rho * bk) + ln_rtp0
             jm = self._mol_idx.get(k)
             if jm is not None:
                 j, nu = jm
+                # catlint: disable=CAT001 -- rho > 0, bk clamped, nu >= 1
                 lam_mol = (gt[:, j]
                            + np.log(0.5 * rho * bk / nu) + ln_rtp0) / nu
                 cand = np.minimum(cand, lam_mol)
@@ -154,6 +158,8 @@ class EquilibriumSolver:
                     bk = np.maximum(b[:, k], 1e-30)
                     others = sum(self._A[m, j] * lam[:, m]
                                  for m in range(n_el) if m != k)
+                    # catlint: disable=CAT001 -- rho > 0, bk clamped,
+                    # a_kj is a positive stoichiometric count
                     cand = (gt[:, j] + np.log(0.5 * rho * bk / a_kj)
                             + ln_rtp0 - others) / a_kj
                     good = b[:, k] > 1e-30
@@ -211,7 +217,7 @@ class EquilibriumSolver:
             dlam *= np.minimum(1.0, 4.0 / np.maximum(mx, 1e-30))
             dlam[~active] = 0.0
             # backtracking line search (vectorised)
-            step = np.ones((B, 1))
+            step = np.ones((B, 1), dtype=np.float64)
             for _ls in range(8):
                 c_new = concentrations(lam + step * dlam)
                 f_new = np.max(np.abs(residual(c_new)) / scale, axis=1)
@@ -423,15 +429,15 @@ class EquilibriumSolver:
         rho_f = np.broadcast_to(rho_in, shape).astype(float)
         e_f = np.broadcast_to(e_in, shape).astype(float)
         b_arr = np.asarray(b, dtype=float)
-        T = (np.full(shape, 4000.0) if T_guess is None
+        T = (np.full(shape, 4000.0, dtype=np.float64) if T_guess is None
              else np.array(np.broadcast_to(T_guess, shape), dtype=float))
         scale = np.maximum(np.abs(e_f), 1e4)
         # e_eq(T) at fixed rho is strictly increasing, so a bracketed Newton
         # on the *equilibrium* slope (frozen cv underestimates it by up to
         # ~5x through dissociation ridges and would oscillate) is globally
         # convergent.
-        T_lo = np.full(shape, 50.0)
-        T_hi = np.full(shape, 1.0e5)
+        T_lo = np.full(shape, 50.0, dtype=np.float64)
+        T_hi = np.full(shape, 1.0e5, dtype=np.float64)
         lam = None
 
         def e_of(Tx, lam0):
@@ -490,7 +496,7 @@ class EquilibriumGas:
     def __init__(self, db: SpeciesDB | str, y_reference, *, faults=None):
         self.db = db if isinstance(db, SpeciesDB) else species_set(db)
         if isinstance(y_reference, dict):
-            y = np.zeros(self.db.n)
+            y = np.zeros(self.db.n, dtype=np.float64)
             for name, val in y_reference.items():
                 y[self.db.index[name]] = val
         else:
@@ -578,7 +584,7 @@ def air_reference_mass_fractions(db: SpeciesDB, *, with_argon=None):
     Uses Y(N2)=0.767, Y(O2)=0.233 (the usual CAT convention) or, when the
     set contains Ar, Y = (0.7553, 0.2314, 0.0129) for (N2, O2, Ar).
     """
-    y = np.zeros(db.n)
+    y = np.zeros(db.n, dtype=np.float64)
     has_ar = "Ar" in db if with_argon is None else with_argon
     if has_ar and "Ar" in db:
         y[db.index["N2"]] = 0.7553
@@ -592,7 +598,7 @@ def air_reference_mass_fractions(db: SpeciesDB, *, with_argon=None):
 
 def titan_reference_mass_fractions(db: SpeciesDB, ch4_mole_fraction=0.05):
     """Titan-atmosphere reference composition (N2 with a few % CH4)."""
-    x = np.zeros(db.n)
+    x = np.zeros(db.n, dtype=np.float64)
     x[db.index["N2"]] = 1.0 - ch4_mole_fraction
     x[db.index["CH4"]] = ch4_mole_fraction
     return db.mole_to_mass(x)

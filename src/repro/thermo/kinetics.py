@@ -101,13 +101,13 @@ class ReactionMechanism:
         nr, ns = len(self.reactions), self.db.n
         if nr == 0:
             raise InputError("mechanism needs at least one reaction")
-        self.nu_r = np.zeros((nr, ns))
-        self.nu_p = np.zeros((nr, ns))
-        self.tb_eff = np.ones((nr, ns))
+        self.nu_r = np.zeros((nr, ns), dtype=np.float64)
+        self.nu_p = np.zeros((nr, ns), dtype=np.float64)
+        self.tb_eff = np.ones((nr, ns), dtype=np.float64)
         self.is_tb = np.zeros(nr, dtype=bool)
-        self._A = np.empty(nr)
-        self._n = np.empty(nr)
-        self._theta = np.empty(nr)
+        self._A = np.empty(nr, dtype=np.float64)
+        self._n = np.empty(nr, dtype=np.float64)
+        self._theta = np.empty(nr, dtype=np.float64)
         self._rate_T = []
         for i, rx in enumerate(self.reactions):
             for name, nu in rx.reactants.items():
@@ -149,8 +149,10 @@ class ReactionMechanism:
         """
         T = np.asarray(T, dtype=float)
         Tv = T if Tv is None else np.asarray(Tv, dtype=float)
+        # catlint: disable=CAT002 -- controlling temperatures are
+        # positive by solver state sanitisation
         Ta = np.sqrt(T * Tv)
-        out = np.empty(T.shape + (self.n_reactions,))
+        out = np.empty(T.shape + (self.n_reactions,), dtype=np.float64)
         for key, Tc in (("T", T), ("TTv", Ta), ("Tv", Tv)):
             m = self._mask[key]
             if np.any(m):
@@ -163,6 +165,7 @@ class ReactionMechanism:
         g_rt = self.thermo.g0_over_RT(T)            # (..., ns)
         dG = np.einsum("rs,...s->...r", self.dnu, g_rt)
         ln_kp = -dG
+        # catlint: disable=CAT001 -- T > 0 by solver state sanitisation
         ln_kc = ln_kp + self._dnu_tot * np.log(
             P_STANDARD / (R * T))[..., None]
         return np.exp(np.clip(ln_kc, -460.0, 460.0))
@@ -214,7 +217,7 @@ class ReactionMechanism:
         """
         y = np.asarray(y, dtype=float)
         base = self.wdot(rho, T, y, Tv)
-        out = np.empty(base.shape + (self.db.n,))
+        out = np.empty(base.shape + (self.db.n,), dtype=np.float64)
         for j in range(self.db.n):
             yp = y.copy()
             # perturbation floor keeps the step well above roundoff even

@@ -81,10 +81,13 @@ class MixtureThermo:
     def gamma_frozen(self, T, y):
         """Frozen ratio of specific heats."""
         cp = self.cp_mass(T, y)
+        # catlint: disable=CAT003 -- cp = cv + R > R for any mixture
+        # (translational cv >= 1.5 R)
         return cp / (cp - self.gas_constant(y))
 
     def sound_speed_frozen(self, T, y):
         """Frozen speed of sound [m/s]."""
+        # catlint: disable=CAT002 -- gamma > 1, R > 0 and physical T > 0
         return np.sqrt(self.gamma_frozen(T, y) * self.gas_constant(y)
                        * np.asarray(T, dtype=float))
 
@@ -119,7 +122,7 @@ class MixtureThermo:
         """
         e = np.asarray(e, dtype=float)
         y = np.asarray(y, dtype=float)
-        T = (np.full(e.shape, 1000.0) if T_guess is None
+        T = (np.full(e.shape, 1000.0, dtype=np.float64) if T_guess is None
              else np.broadcast_to(np.asarray(T_guess, dtype=float),
                                   e.shape).copy())
         scale = np.maximum(np.abs(e), 1.0e3)
@@ -142,7 +145,7 @@ class MixtureThermo:
         """Invert h(T, y) for temperature (batched Newton)."""
         h = np.asarray(h, dtype=float)
         y = np.asarray(y, dtype=float)
-        T = (np.full(h.shape, 1000.0) if T_guess is None
+        T = (np.full(h.shape, 1000.0, dtype=np.float64) if T_guess is None
              else np.broadcast_to(np.asarray(T_guess, dtype=float),
                                   h.shape).copy())
         scale = np.maximum(np.abs(h), 1.0e3)

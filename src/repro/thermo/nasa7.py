@@ -78,6 +78,8 @@ class Nasa7Poly:
     def s(self, T):
         """Standard-state molar entropy [J/(mol K)]."""
         T, a = self._select(T)
+        # catlint: disable=CAT001 -- _select clamps T into the fitted
+        # polynomial range, which is bounded above 0 K
         return R * (a[..., 0] * np.log(T) + a[..., 1] * T
                     + a[..., 2] * T**2 / 2 + a[..., 3] * T**3 / 3
                     + a[..., 4] * T**4 / 4 + a[..., 6])
@@ -106,6 +108,8 @@ def _fit_range(cp_fn, h_ref, s_ref, T_ref, T_a, T_b, n_samples):
     # integrate cp to enthalpy/entropy, pinning the reference values
     a6 = (h_ref / R - (a1 * T_ref + a2 * T_ref**2 / 2 + a3 * T_ref**3 / 3
                        + a4 * T_ref**4 / 4 + a5 * T_ref**5 / 5))
+    # catlint: disable=CAT001 -- T_ref is a positive reference
+    # temperature (298.15 K convention)
     a7 = (s_ref / R - (a1 * np.log(T_ref) + a2 * T_ref + a3 * T_ref**2 / 2
                        + a4 * T_ref**3 / 3 + a5 * T_ref**4 / 4))
     return (float(a1), float(a2), float(a3), float(a4), float(a5),

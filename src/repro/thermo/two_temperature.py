@@ -84,7 +84,7 @@ class TwoTemperatureGas:
         """Invert the vibrational-electronic pool for Tv (batched Newton)."""
         ev = np.asarray(ev, dtype=float)
         y = np.asarray(y, dtype=float)
-        Tv = (np.full(ev.shape, 2000.0) if Tv_guess is None
+        Tv = (np.full(ev.shape, 2000.0, dtype=np.float64) if Tv_guess is None
               else np.array(np.broadcast_to(Tv_guess, ev.shape),
                             dtype=float))
         scale = np.maximum(np.abs(ev), 1e2)
@@ -110,7 +110,7 @@ class TwoTemperatureGas:
         Tv = self.Tv_from_ev(ev, y)
         e_tr = np.asarray(e, dtype=float) - np.asarray(ev, dtype=float)
         y = np.asarray(y, dtype=float)
-        T = (np.full(e_tr.shape, 1000.0) if T_guess is None
+        T = (np.full(e_tr.shape, 1000.0, dtype=np.float64) if T_guess is None
              else np.array(np.broadcast_to(T_guess, e_tr.shape),
                            dtype=float))
         scale = np.maximum(np.abs(e_tr), 1e3)

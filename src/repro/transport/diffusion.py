@@ -68,10 +68,13 @@ def binary_diffusion_coefficient(name_a: str, name_b: str, T, p,
     T = np.asarray(T, dtype=float)
     p_atm = np.asarray(p, dtype=float) / P_ATM
     sigma = 0.5 * (sa + sb)
+    # catlint: disable=CAT002 -- tabulated LJ well depths are positive
     eps = np.sqrt(ea * eb)
     m_ab = 2.0 / (1.0 / (molar_mass_a * 1e3) + 1.0 / (molar_mass_b * 1e3))
     omega = _omega11(T / eps)
     # standard form: D in cm^2/s with p in atm, then convert to m^2/s
+    # catlint: disable=CAT002 -- m_ab is a harmonic mean of positive
+    # molar masses
     d_cgs = 0.00266 * T**1.5 / (np.maximum(p_atm, 1e-300) * np.sqrt(m_ab)
                                 * sigma**2 * omega)
     return d_cgs * 1.0e-4

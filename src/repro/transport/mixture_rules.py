@@ -42,6 +42,7 @@ def wilke_mixture(db: SpeciesDB | str, x, prop):
     Mr = M[:, None] / M[None, :]              # M_i / M_j
     # phi[..., i, j]
     ratio = prop[..., :, None] / np.maximum(prop[..., None, :], 1e-300)
+    # catlint: disable=CAT002 -- ratio of positive transport properties
     phi = (1.0 + np.sqrt(ratio) * (1.0 / Mr) ** 0.25) ** 2
     phi = phi / np.sqrt(8.0 * (1.0 + Mr))
     denom = np.einsum("...j,...ij->...i", x, phi)

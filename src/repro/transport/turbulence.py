@@ -57,6 +57,7 @@ def cebeci_smith_eddy_viscosity(y, u, rho, mu, *, u_edge=None):
     ue = float(u[-1]) if u_edge is None else float(u_edge)
     dudy = np.gradient(u, y)
     tau_w = mu[0] * dudy[0]
+    # catlint: disable=CAT002 -- |tau_w| >= 0 over a positive wall density
     u_tau = np.sqrt(np.abs(tau_w) / rho[0])
     # Van Driest damping in wall units
     y_plus = rho[0] * u_tau * y / np.maximum(mu[0], 1e-300)

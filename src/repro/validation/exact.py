@@ -48,7 +48,8 @@ def isentropic_nozzle_mach(area_ratio, gamma=1.4, *, supersonic=True,
     ar = float(area_ratio)
     if ar < 1.0:
         raise InputError("area ratio must be >= 1")
-    if ar == 1.0:
+    if ar - 1.0 < 1e-14:
+        # sonic throat: the two branches coalesce at M = 1
         return 1.0
     g = gamma
 

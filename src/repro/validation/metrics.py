@@ -23,8 +23,11 @@ def error_norms(computed, exact, *, weights=None) -> dict:
         w = np.full(c.size, 1.0 / c.size)
     else:
         w = np.asarray(weights, dtype=float).ravel()
+        if np.any(w < 0):
+            raise InputError("weights must be non-negative")
         w = w / w.sum()
     return {"l1": float(np.sum(w * d)),
+            # catlint: disable=CAT002 -- w >= 0 validated above, d*d >= 0
             "l2": float(np.sqrt(np.sum(w * d * d))),
             "linf": float(d.max())}
 
@@ -40,6 +43,7 @@ def observed_order(h, err) -> float:
         raise InputError("need matching h/err arrays with >= 2 entries")
     if np.any(h <= 0) or np.any(err <= 0):
         raise InputError("h and err must be positive")
+    # catlint: disable=CAT001 -- h, err validated positive above
     p = np.polyfit(np.log(h), np.log(err), 1)[0]
     return float(p)
 
@@ -58,6 +62,9 @@ def richardson_extrapolate(f_coarse, f_fine, ratio: float, order: float):
     """
     if ratio <= 1.0:
         raise InputError("refinement ratio must exceed 1")
+    if order <= 0.0:
+        raise InputError("scheme order must be positive")
     r_p = ratio**order
+    # catlint: disable=CAT003 -- r_p = ratio**order > 1 (both validated)
     return (r_p * np.asarray(f_fine, dtype=float)
             - np.asarray(f_coarse, dtype=float)) / (r_p - 1.0)

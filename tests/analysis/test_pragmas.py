@@ -1,0 +1,137 @@
+"""Pragma grammar, logical-span coverage, and CAT090 hygiene."""
+
+import textwrap
+
+from repro.analysis.engine import lint_source
+from repro.analysis.pragmas import PragmaIndex
+
+LIB = "src/repro/heating/example.py"
+
+
+def codes(source):
+    return [f.rule for f in lint_source(textwrap.dedent(source), path=LIB)]
+
+
+class TestPragmaSuppression:
+    def test_trailing_pragma_suppresses_its_line(self):
+        src = """
+        def f(x):
+            return x == 0.5  # catlint: disable=CAT010 -- exact sentinel
+        """
+        assert "CAT010" not in codes(src)
+
+    def test_standalone_pragma_covers_next_statement(self):
+        src = """
+        def f(x):
+            # catlint: disable=CAT010 -- exact sentinel
+            return x == 0.5
+        """
+        assert "CAT010" not in codes(src)
+
+    def test_standalone_pragma_covers_whole_multiline_statement(self):
+        # the finding anchors on the continuation line, not the first
+        src = """
+        def f(a, b, c, x):
+            # catlint: disable=CAT010 -- exact sentinel
+            y = (a + b + c +
+                 (x == 0.5))
+            return y
+        """
+        assert "CAT010" not in codes(src)
+
+    def test_trailing_pragma_covers_whole_multiline_statement(self):
+        src = """
+        def f(x):
+            y = (x ==
+                 0.5)  # catlint: disable=CAT010 -- exact sentinel
+            return y
+        """
+        assert "CAT010" not in codes(src)
+
+    def test_pragma_does_not_leak_to_later_lines(self):
+        src = """
+        def f(x):
+            # catlint: disable=CAT010 -- only the next statement
+            a = x == 0.5
+            b = x == 1.5
+            return a or b
+        """
+        assert codes(src).count("CAT010") == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        src = """
+        def f(x):
+            return x == 0.5  # catlint: disable=CAT001 -- wrong rule
+        """
+        assert "CAT010" in codes(src)
+
+    def test_multi_code_pragma(self):
+        src = """
+        import numpy as np
+        def f(a, b):
+            return np.log(a) / (a - b)  # catlint: disable=CAT001,CAT003 -- r
+        """
+        out = codes(src)
+        assert "CAT001" not in out and "CAT003" not in out
+
+    def test_disable_all(self):
+        src = """
+        def f(x):
+            return x == 0.5  # catlint: disable=all -- generated code
+        """
+        assert "CAT010" not in codes(src)
+
+    def test_disable_file(self):
+        src = """
+        # catlint: disable-file=CAT010 -- fixture of exact sentinels
+        def f(x):
+            a = x == 0.5
+            b = x == 1.5
+            return a or b
+        """
+        assert "CAT010" not in codes(src)
+
+    def test_pragma_inside_string_is_ignored(self):
+        src = '''
+        PRAGMA = "# catlint: disable-file=CAT010 -- not a real pragma"
+        def f(x):
+            return x == 0.5
+        '''
+        assert "CAT010" in codes(src)
+
+
+class TestPragmaHygieneCAT090:
+    def test_missing_reason_reported(self):
+        src = """
+        def f(x):
+            return x == 0.5  # catlint: disable=CAT010
+        """
+        out = lint_source(textwrap.dedent(src), path=LIB)
+        assert [f.rule for f in out] == ["CAT090"]
+        assert out[0].severity == "info"
+
+    def test_reason_satisfies_cat090(self):
+        src = """
+        def f(x):
+            return x == 0.5  # catlint: disable=CAT010 -- exact sentinel
+        """
+        assert codes(src) == []
+
+
+class TestPragmaIndex:
+    def test_index_answers_per_line(self):
+        idx = PragmaIndex.from_source(
+            "x = 1  # catlint: disable=CAT010 -- reason\ny = 2\n")
+        assert idx.disabled("CAT010", 1)
+        assert not idx.disabled("CAT010", 2)
+        assert not idx.disabled("CAT001", 1)
+
+    def test_file_wide(self):
+        idx = PragmaIndex.from_source(
+            "# catlint: disable-file=CAT021 -- storage module\nx = 1\n")
+        assert idx.disabled("CAT021", 99)
+
+    def test_missing_reason_records_codes(self):
+        idx = PragmaIndex.from_source(
+            "x = 1  # catlint: disable=CAT010,CAT001\n")
+        assert idx.missing_reason == [(1, ("CAT001", "CAT010"))]

@@ -1,0 +1,318 @@
+"""Dimension algebra, docstring signature extraction, UNIT00x checks."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.dimensions import (
+    DIMENSIONLESS,
+    Dim,
+    UnitParseError,
+    find_unit_tag,
+    parse_unit,
+)
+from repro.analysis.registry import constants_units
+from repro.analysis.units import check_units_source, signature_from_docstring
+
+
+def unit_codes(source, constants=None):
+    return [f.rule for f in check_units_source(
+        textwrap.dedent(source), path="src/repro/example.py",
+        constants=constants or {})]
+
+
+class TestDimAlgebra:
+    def test_parse_compound(self):
+        assert parse_unit("J/kg") == parse_unit("m^2/s^2")
+        assert parse_unit("W/(m^2 K^4)") == (
+            parse_unit("W") / (parse_unit("m") ** 2 * parse_unit("K") ** 4))
+
+    def test_scale_is_ignored_dimension_is_not(self):
+        assert parse_unit("cm") == parse_unit("m")
+        assert parse_unit("atm") == parse_unit("Pa")
+        assert parse_unit("J/mol") != parse_unit("J/kg")
+
+    def test_dimensionless_spellings(self):
+        assert parse_unit("-") == DIMENSIONLESS
+        assert parse_unit("1") == DIMENSIONLESS
+        assert Dim().dimensionless
+
+    def test_algebra(self):
+        J, s, W = parse_unit("J"), parse_unit("s"), parse_unit("W")
+        assert J / s == W
+        assert (W * s) == J
+        assert parse_unit("m") ** 2 == parse_unit("m^2")
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(UnitParseError):
+            parse_unit("florps")
+
+    def test_find_unit_tag_skips_citations(self):
+        assert find_unit_tag("heat flux [W/m^2] per Fay-Riddell [3]") == \
+            parse_unit("W/m^2")
+        assert find_unit_tag("see reference [12]") is None
+
+
+class TestDocstringSignatures:
+    def _sig(self, src):
+        fn = ast.parse(textwrap.dedent(src)).body[0]
+        return signature_from_docstring(fn)
+
+    def test_params_and_returns_extracted(self):
+        sig = self._sig('''
+        def q(rho, v):
+            """Heat flux.
+
+            Parameters
+            ----------
+            rho:
+                Density [kg/m^3].
+            v:
+                Velocity [m/s].
+
+            Returns
+            -------
+            q:
+                Flux [W/m^2].
+            """
+        ''')
+        assert sig.param_units["rho"] == parse_unit("kg/m^3")
+        assert sig.param_units["v"] == parse_unit("m/s")
+        assert sig.returns == parse_unit("W/m^2")
+
+    def test_summary_line_return_tag(self):
+        sig = self._sig('''
+        def mu(T):
+            """Viscosity [Pa s] of the mixture."""
+        ''')
+        assert sig.returns == parse_unit("Pa s")
+
+    def test_untagged_docstring_gives_no_signature(self):
+        assert self._sig('''
+        def f(x):
+            """Just prose, nothing bracketed."""
+        ''') is None
+
+
+class TestConstantsScrape:
+    def test_hash_colon_comments(self):
+        src = ("#: Boltzmann constant [J/K].\n"
+               "K_B = 1.380649e-23\n"
+               "#: no unit here\n"
+               "OTHER = 2\n")
+        out = constants_units(src)
+        assert out == {"K_B": parse_unit("J/K")}
+
+
+class TestUnit001:
+    def test_positive_molar_plus_specific(self):
+        src = '''
+        def f(h, e0):
+            """Mix-up.
+
+            Parameters
+            ----------
+            h:
+                Specific enthalpy [J/kg].
+            e0:
+                Formation energy [J/mol].
+            """
+            return h + e0
+        '''
+        assert "UNIT001" in unit_codes(src)
+
+    def test_negative_compatible_addition(self):
+        src = '''
+        def f(h, dh):
+            """Sum.
+
+            Parameters
+            ----------
+            h:
+                Enthalpy [J/kg].
+            dh:
+                Increment [J/kg].
+            """
+            return h + dh
+        '''
+        assert unit_codes(src) == []
+
+    def test_positive_comparison(self):
+        src = '''
+        def f(p, T):
+            """Compare.
+
+            Parameters
+            ----------
+            p:
+                Pressure [Pa].
+            T:
+                Temperature [K].
+            """
+            return p > T
+        '''
+        assert "UNIT001" in unit_codes(src)
+
+    def test_unknown_side_is_wildcard(self):
+        src = '''
+        def f(p, x):
+            """Silent when one side has no tag.
+
+            Parameters
+            ----------
+            p:
+                Pressure [Pa].
+            """
+            return p + x
+        '''
+        assert unit_codes(src) == []
+
+
+class TestUnit002:
+    def test_positive_return_mismatch(self):
+        src = '''
+        def T_post(p, rho):
+            """Post-shock temperature.
+
+            Parameters
+            ----------
+            p:
+                Pressure [Pa].
+            rho:
+                Density [kg/m^3].
+
+            Returns
+            -------
+            T:
+                Temperature [K].
+            """
+            return p / rho
+        '''
+        assert "UNIT002" in unit_codes(src)
+
+    def test_negative_consistent_return(self):
+        src = '''
+        def v(q, rho):
+            """Speed.
+
+            Parameters
+            ----------
+            q:
+                Dynamic pressure [Pa].
+            rho:
+                Density [kg/m^3].
+
+            Returns
+            -------
+            v2:
+                Squared speed [m^2/s^2].
+            """
+            return q / rho
+        '''
+        assert unit_codes(src) == []
+
+    def test_positive_parameter_rebound(self):
+        src = '''
+        def f(T, p):
+            """Rebind.
+
+            Parameters
+            ----------
+            T:
+                Temperature [K].
+            p:
+                Pressure [Pa].
+            """
+            T = p
+            return T
+        '''
+        assert "UNIT002" in unit_codes(src)
+
+    def test_pragma_suppresses(self):
+        src = '''
+        def tau(p):
+            """Empirical fit.
+
+            Parameters
+            ----------
+            p:
+                Pressure [Pa].
+
+            Returns
+            -------
+            t:
+                Relaxation time [s].
+            """
+            # catlint: disable=UNIT002 -- fit constant absorbs the units
+            return 1.0 / p
+        '''
+        assert unit_codes(src) == []
+
+
+class TestUnit003:
+    def test_positive_registry_call_mismatch(self):
+        # h_mass is in the curated API registry: T must be [K]
+        src = '''
+        def f(gas, p):
+            """Call with the wrong quantity.
+
+            Parameters
+            ----------
+            p:
+                Pressure [Pa].
+            """
+            return gas.h_mass(p)
+        '''
+        assert "UNIT003" in unit_codes(src)
+
+    def test_negative_registry_call_match(self):
+        src = '''
+        def f(gas, T):
+            """Call with a temperature.
+
+            Parameters
+            ----------
+            T:
+                Temperature [K].
+            """
+            return gas.h_mass(T)
+        '''
+        assert unit_codes(src) == []
+
+    def test_local_docstring_signature_checks_callers(self):
+        src = '''
+        def speed(d, t):
+            """Speed.
+
+            Parameters
+            ----------
+            d:
+                Distance [m].
+            t:
+                Time [s].
+            """
+            return d / t
+
+        def f(p):
+            """Caller.
+
+            Parameters
+            ----------
+            p:
+                Pressure [Pa].
+            """
+            return speed(p, p)
+        '''
+        assert "UNIT003" in unit_codes(src)
+
+    def test_constants_dict_feeds_inference(self):
+        src = '''
+        from repro.constants import R_UNIVERSAL
+
+        def f(gas):
+            """R has J/(mol K): not a temperature."""
+            return gas.h_mass(R_UNIVERSAL)
+        '''
+        consts = {"R_UNIVERSAL": parse_unit("J/(mol K)")}
+        assert "UNIT003" in unit_codes(src, constants=consts)

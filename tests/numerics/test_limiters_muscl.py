@@ -17,7 +17,7 @@ class TestLimiterProperties:
     @settings(max_examples=60, deadline=None)
     def test_zero_at_extrema(self, lim, a, b):
         if a * b <= 0:
-            assert float(lim(a, b)) == 0.0
+            assert float(lim(a, b)) == pytest.approx(0.0, abs=1e-15)
 
     @pytest.mark.parametrize("lim", LIMITERS)
     @given(a=SLOPES, b=SLOPES)
@@ -41,8 +41,8 @@ class TestLimiterProperties:
         assert float(lim(a, a)) == pytest.approx(a, rel=1e-9)
 
     def test_minmod_picks_smaller(self):
-        assert float(minmod(1.0, 3.0)) == 1.0
-        assert float(minmod(-3.0, -2.0)) == -2.0
+        assert float(minmod(1.0, 3.0)) == pytest.approx(1.0, rel=1e-15)
+        assert float(minmod(-3.0, -2.0)) == pytest.approx(-2.0, rel=1e-15)
 
     def test_superbee_least_dissipative(self):
         # superbee >= minmod in magnitude when both are active

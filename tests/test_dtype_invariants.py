@@ -1,0 +1,83 @@
+"""Regression: marching-solver state stays float64 end-to-end.
+
+The CAT state convention is float64 everywhere — the hypersonic state
+spans ~10 decades, so a silent float32 truncation (e.g. an array
+constructor picking up an integer dtype, or caller-supplied float32
+inputs leaking through) destroys equilibrium compositions.  These tests
+pin the convention at the solver boundaries: whatever the caller feeds
+in, every state array and every derived output is float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import TORR
+from repro.solvers.euler1d import Euler1DSolver
+from repro.solvers.shock_relaxation import ShockRelaxationSolver
+
+
+def _sod(n=60):
+    x = np.linspace(0.0, 1.0, n + 1)
+    xc = 0.5 * (x[1:] + x[:-1])
+    s = Euler1DSolver(x)
+    s.set_initial(np.where(xc < 0.5, 1.0, 0.125), 0.0,
+                  np.where(xc < 0.5, 1.0, 0.1))
+    return s
+
+
+class TestEuler1DDtype:
+    def test_state_float64_after_init_and_march(self):
+        s = _sod()
+        assert s.U.dtype == np.float64
+        s.run(0.05)
+        assert s.U.dtype == np.float64
+        for arr in s.primitives():
+            assert np.asarray(arr).dtype == np.float64
+
+    def test_float32_inputs_are_promoted(self):
+        # caller-supplied single precision must not leak into the state
+        x = np.linspace(0.0, 1.0, 41, dtype=np.float32)
+        s = Euler1DSolver(x)
+        s.set_initial(np.ones(40, dtype=np.float32),
+                      np.zeros(40, dtype=np.float32),
+                      np.ones(40, dtype=np.float32))
+        assert s.x_nodes.dtype == np.float64
+        assert s.U.dtype == np.float64
+        s.run(0.01)
+        assert s.U.dtype == np.float64
+
+    def test_integer_inputs_are_promoted(self):
+        x = np.arange(0, 21)  # int64 node coordinates
+        s = Euler1DSolver(x)
+        s.set_initial(1, 0, 1)  # python-int primitives
+        assert s.x_nodes.dtype == np.float64
+        assert s.U.dtype == np.float64
+
+    def test_restorable_state_is_float64(self):
+        s = _sod()
+        s.run(0.02)
+        state = s.get_state()
+        assert state["U"].dtype == np.float64
+
+
+class TestShockRelaxationDtype:
+    @pytest.fixture(scope="class")
+    def short_profile(self):
+        solver = ShockRelaxationSolver("air5")
+        return solver.solve(u1=8000.0, p1=0.1 * TORR, T1=300.0,
+                            x_end=2e-4, n_out=8, rtol=1e-4)
+
+    def test_profile_arrays_float64(self, short_profile):
+        p = short_profile
+        for name in ("x", "T", "Tv", "rho", "u", "p"):
+            assert getattr(p, name).dtype == np.float64, name
+        assert p.y.dtype == np.float64
+
+    def test_integer_upstream_conditions(self):
+        # python-int upstream speed/temperature must promote cleanly
+        solver = ShockRelaxationSolver("air5")
+        prof = solver.solve(u1=8000, p1=0.1 * TORR, T1=300,
+                            x_end=2e-4, n_out=8, rtol=1e-4)
+        assert prof.T.dtype == np.float64
+        assert prof.y.dtype == np.float64
+        assert prof.x.dtype == np.float64

@@ -42,6 +42,7 @@ class TestErrorHierarchy:
     def test_convergence_error_payload(self):
         e = ConvergenceError("failed", iterations=42, residual=1e-3)
         assert e.iterations == 42
+        # catlint: disable=CAT010 -- stored-attribute pass-through of the constructor literal
         assert e.residual == 1e-3
 
     def test_stability_error_payload(self):
@@ -179,6 +180,7 @@ class TestRunSupervisor:
                   resilience=RetryPolicy(max_retries=0), faults=faults)
         rep = exc.value.report
         assert isinstance(rep, FailureReport)
+        # catlint: disable=CAT010 -- report records the attempted CFL literal verbatim
         assert rep.attempts and rep.attempts[0]["cfl"] == 0.4
         assert rep.step == 40
         assert len(rep.residual_history) > 0

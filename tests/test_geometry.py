@@ -15,6 +15,7 @@ class TestSphere:
     def test_stagnation_point(self):
         s = Sphere(0.5)
         x, r = s.point(0.0)
+        # catlint: disable=CAT010 -- sphere point(0) is the exact nose point by construction
         assert float(x) == 0.0 and float(r) == 0.0
         assert float(s.angle(0.0)) == pytest.approx(np.pi / 2)
 

@@ -353,6 +353,7 @@ class TestCheckpointDeepCopy:
         toy.cache["trace"][0][:] = -99.0
         ck.restore(toy)
         assert np.all(toy.cache["warm"] == np.arange(3.0))
+        # catlint: disable=CAT010 -- bitwise restore contract: restored array must be exact
         assert np.all(toy.cache["trace"][0] == 0.0)
         # and restore() must hand out fresh copies each time
         toy.cache["warm"][:] = -1.0

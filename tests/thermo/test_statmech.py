@@ -139,6 +139,7 @@ class TestTwoTemperatureSplit:
         # O fine-structure levels contribute at modest T
         assert float(st_.e_vib_el(1000.0)) > 0.0
         st_ar = SpeciesThermo(SPECIES["Ar"])
+        # catlint: disable=CAT010 -- Ar has no vibrational modes: e_vib_el is a zeros array
         assert float(st_ar.e_vib_el(1000.0)) == 0.0
 
 
