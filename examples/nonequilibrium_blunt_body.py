@@ -71,6 +71,50 @@ def main():
           f"(y_O2 = {f_ne['y'][0, 0, db.index['O2']]:.4f} at the "
           "stagnation point) while N2 is only partially dissociated.")
 
+    degrade_demo()
+
+
+def degrade_demo():
+    """Graceful degradation, both layers of it.
+
+    Solver layer: a fault-injected reacting march that the plain
+    rollback ladder cannot survive completes once the degradation
+    cascade is armed (quarantined first-order zone, chemistry demotion,
+    automatic re-promotion — all recorded in the ledger).
+
+    API layer: ``on_failure="degrade"`` drops a failing stagnation
+    solve one model rung down to the correlation-level answer instead
+    of raising.
+    """
+    from repro.core.api import stagnation_environment
+    from repro.resilience import (DegradationPolicy, FaultInjector,
+                                  RetryPolicy)
+
+    print("\n--- graceful degradation demo ---")
+    grid = blunt_body_grid(Sphere(0.05), n_s=9, n_normal=13,
+                           density_ratio=0.12, margin=2.5)
+    s = ReactingEulerSolver(grid, "air5")
+    y0 = np.zeros(5)
+    y0[0], y0[1] = 0.767, 0.233
+    s.set_freestream(1e-3, 5000.0, 250.0, y0)
+    faults = FaultInjector().inject_perturbation(
+        step=10, cell=(4, 6), component=0, factor=1e-4, persistent=True)
+    s.run(n_steps=40, cfl=0.4,
+          resilience=RetryPolicy(max_retries=1, cfl_backoff=0.8,
+                                 cfl_min=0.2),
+          faults=faults, watchdog=True,
+          degradation=DegradationPolicy(promote_after=15))
+    print(f"fault-injected march completed {s.steps} steps; ledger:")
+    print(s.degradation_ledger.summary())
+
+    # a subsonic "entry" fails the shock solve; the degrade mode answers
+    # with Sutton-Graves / Tauber-Sutton correlations instead of raising
+    env = stagnation_environment(V=10.0, h=60e3, nose_radius=1.0,
+                                 on_failure="degrade")
+    print(f"\nAPI model-ladder fallback: degraded={env['degraded']} "
+          f"(rung: {env['degradation']['rung']}), "
+          f"q_conv = {env['q_conv']:.3g} W/m^2")
+
 
 if __name__ == "__main__":
     main()

@@ -4,6 +4,7 @@
 ``python -m repro figures``         — regenerate every paper figure
 ``python -m repro stagnation V H RN`` — stagnation environment at
                                         (V [m/s], h [m], R_n [m])
+``python -m repro degrade-smoke``   — degradation-cascade smoke run
 """
 
 from __future__ import annotations
@@ -26,6 +27,11 @@ commands:
                                              from their latest snapshot
   stagnation V H RN      stagnation environment at (V [m/s], h [m],
                          R_n [m])
+  degrade-smoke [--out FILE]
+                         fault-injected reacting march that must abort
+                         without the degradation cascade and complete
+                         with it; writes the degradation ledger JSON
+                         to FILE (default degradation_ledger.json)
   -h, --help             show this message\
 """
 
@@ -70,6 +76,90 @@ def _parse_figures(args: list[str]):
     return kwargs
 
 
+def _degrade_smoke(out: str) -> int:
+    """Degradation-cascade smoke: a persistent density fault that kills
+    the plain rollback ladder must complete once the cascade is armed.
+
+    The scenario is the acceptance case for
+    :mod:`repro.resilience.degradation`: a Mach-10 reacting blunt-body
+    march with a persistent single-cell density corruption that
+    second-order reconstruction cannot march through (the T(e) Newton
+    dies) but a quarantined first-order zone can.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.errors import CatError
+    from repro.geometry import Hemisphere
+    from repro.grid import blunt_body_grid
+    from repro.resilience import (DegradationPolicy, FaultInjector,
+                                  RetryPolicy)
+    from repro.solvers.reacting_euler2d import ReactingEulerSolver
+    from repro.thermo.species import species_set
+
+    def make_solver():
+        grid = blunt_body_grid(Hemisphere(0.05), n_s=9, n_normal=13,
+                               density_ratio=0.12, margin=2.5)
+        db = species_set("air5")
+        s = ReactingEulerSolver(grid, db)
+        y = np.zeros(db.n)
+        y[db.index["N2"]] = 0.767
+        y[db.index["O2"]] = 0.233
+        return s.set_freestream(1e-3, 5000.0, 250.0, y)
+
+    def make_faults():
+        fi = FaultInjector()
+        fi.inject_perturbation(step=10, cell=(4, 6), component=0,
+                               factor=1e-4, persistent=True)
+        return fi
+
+    policy = RetryPolicy(max_retries=1, cfl_backoff=0.8, cfl_min=0.2)
+
+    print("degrade-smoke: fault-injected march WITHOUT degradation "
+          "(must abort) ...")
+    try:
+        make_solver().run(n_steps=40, cfl=0.4, resilience=policy,
+                          faults=make_faults())
+    except CatError as err:
+        print(f"  aborted as expected: {type(err).__name__}")
+    else:
+        print("  ERROR: run completed without degradation — the fault "
+              "no longer exercises the cascade", file=sys.stderr)
+        return 1
+
+    print("degrade-smoke: same march WITH degradation (must complete) "
+          "...")
+    s = make_solver()
+    try:
+        s.run(n_steps=40, cfl=0.4, resilience=policy,
+              faults=make_faults(), watchdog=True,
+              degradation=DegradationPolicy(promote_after=15))
+    except CatError as err:
+        print(f"  ERROR: degraded run still aborted: {err}",
+              file=sys.stderr)
+        return 1
+    ledger = s.degradation_ledger.to_dict()
+    n_q = (0 if s.quarantined_cells is None
+           else int(s.quarantined_cells.sum()))
+    print(f"  completed {s.steps} steps: "
+          f"{ledger['n_demotions']} demotion(s), "
+          f"{ledger['n_promotions']} re-promotion(s), "
+          f"{n_q} cell(s) quarantined, "
+          f"{len(s.watchdog_events)} watchdog event(s)")
+    with open(out, "w") as f:
+        json.dump({"ledger": ledger,
+                   "quarantined_cells": n_q,
+                   "n_watchdog_events": len(s.watchdog_events),
+                   "steps": int(s.steps)}, f, indent=2)
+    print(f"  ledger written to {out}")
+    if not ledger["n_demotions"]:
+        print("  ERROR: completed without any demotion — the fault no "
+              "longer exercises the cascade", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
@@ -102,6 +192,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  p_stag   = {env['p_stag'] / 1e3:10.2f} kPa")
         print(f"  T_edge   = {env['T_edge']:10.0f} K")
         return 0
+    if cmd == "degrade-smoke":
+        out = "degradation_ledger.json"
+        rest = argv[1:]
+        if rest and rest[0] == "--out":
+            if len(rest) < 2:
+                print("degrade-smoke: --out needs a path",
+                      file=sys.stderr)
+                return 2
+            out = rest[1]
+            rest = rest[2:]
+        elif rest and rest[0].startswith("--out="):
+            out = rest[0].split("=", 1)[1]
+            rest = rest[1:]
+        if rest:
+            print(f"degrade-smoke: unknown option {rest[0]!r}",
+                  file=sys.stderr)
+            return 2
+        return _degrade_smoke(out)
     print(f"unknown command {cmd!r}", file=sys.stderr)
     print(_USAGE, file=sys.stderr)
     return 2

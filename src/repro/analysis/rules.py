@@ -173,6 +173,81 @@ class DivisionByDifferenceRule(Rule):
                     "(…- b + tiny) or clamp with np.maximum")
 
 
+_EXP_FUNCS = {"np.exp", "numpy.exp", "np.exp2", "numpy.exp2", "math.exp"}
+_EXP_BOUNDING_CALLS = {"np.clip", "numpy.clip", "np.minimum",
+                       "numpy.minimum", "min", "safe_exp"}
+
+
+def _exp_arg_guarded(ctx: LintContext, arg: ast.AST) -> bool:
+    """Is this exp argument bounded above (no overflow possible)?
+
+    True for constants, explicitly clipped/min-bounded expressions, and
+    negated positives (``exp(-theta/T)`` with a clamped ``T`` is bounded
+    by 1 — underflow to 0 is benign, unlike overflow to inf).
+    """
+    if const_value(arg) is not None:
+        return True
+    if isinstance(arg, ast.Call) and call_name(arg) in _EXP_BOUNDING_CALLS:
+        return True
+    if isinstance(arg, ast.UnaryOp) and isinstance(arg.op, ast.USub):
+        return _arg_guarded(ctx, arg.operand)
+    if isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Mult):
+        # (-c) * x with c a literal and x positive-guarded is <= 0
+        lv, rv = const_value(arg.left), const_value(arg.right)
+        if lv is not None and lv < 0:
+            return _arg_guarded(ctx, arg.right)
+        if rv is not None and rv < 0:
+            return _arg_guarded(ctx, arg.left)
+        return False
+    if isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Div):
+        # -x / d parses as (-x) / d: nonpositive when x and d are
+        # positive-guarded
+        num = arg.left
+        if isinstance(num, ast.UnaryOp) and isinstance(num.op, ast.USub):
+            return (_arg_guarded(ctx, num.operand)
+                    and _arg_guarded(ctx, arg.right))
+        return False
+    if isinstance(arg, ast.Name):
+        # a name is bounded when every assignment to it in this scope
+        # is itself a clipping call (x = np.clip(th / T, lo, hi))
+        vals = _assignments_in(_scope_body(ctx, arg)).get(arg.id)
+        return bool(vals) and all(
+            isinstance(v, ast.Call) and call_name(v) in _EXP_BOUNDING_CALLS
+            for v in vals)
+    return False
+
+
+@register
+class UnguardedExpRule(Rule):
+    code = "CAT004"
+    name = "unguarded-exp"
+    severity = Severity.WARNING
+    description = ("np.exp/math.exp on an unbounded expression in a hot "
+                   "path: an Arrhenius exponent or partition-function "
+                   "argument that spikes past ~709 overflows to inf, and "
+                   "inf - inf downstream is the classic silent NaN "
+                   "source; clip the argument or use "
+                   "repro.numerics.safety.safe_exp.")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.is_hot_path
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) not in _EXP_FUNCS or not node.args:
+                continue
+            if _exp_arg_guarded(ctx, node.args[0]):
+                continue
+            yield ctx.finding(
+                self, node,
+                f"unguarded {call_name(node)}: argument overflow past "
+                "~709 produces inf and downstream NaN — clip the "
+                "exponent (safe_exp / np.clip) or pragma with the bound "
+                "that keeps it finite")
+
+
 @register
 class FloatEqualityRule(Rule):
     code = "CAT010"

@@ -12,9 +12,15 @@ full solver stack:
 
 Failure semantics: every entry point accepts ``on_failure`` — ``"raise"``
 (default) propagates the typed :class:`~repro.errors.CatError` with its
-attached :class:`~repro.resilience.FailureReport`, while ``"report"``
-returns ``{"ok": False, "error": ..., "report": ...}`` so service-style
-callers handling many conditions degrade per-condition instead of dying.
+attached :class:`~repro.resilience.FailureReport`, ``"report"`` returns
+``{"ok": False, "error": ..., "report": ...}`` so service-style callers
+handling many conditions degrade per-condition instead of dying, and
+``"degrade"`` drops one rung down the model ladder instead of failing:
+the solver-level answer is replaced by the correlation-level one
+(Sutton-Graves convective + Tauber-Sutton radiative, the same physics
+:func:`heat_pulse` uses) and the result carries ``"degraded": True``
+plus a ``"degradation"`` record naming the fallback rung and wrapping
+the original failure report.
 """
 
 from __future__ import annotations
@@ -55,9 +61,29 @@ def make_gas(name: str) -> EquilibriumGas:
                      f"equilibrium-air, titan, jupiter")
 
 
+_ON_FAILURE = ("raise", "report", "degrade")
+
+#: Sutton-Graves constant selector for each named gas model.
+_GAS_ATMOSPHERE = {"equilibrium-air": "earth", "titan": "titan",
+                   "jupiter": "jupiter"}
+
+
+def _check_on_failure(on_failure: str):
+    if on_failure not in _ON_FAILURE:
+        raise InputError(f"unknown on_failure {on_failure!r}; options: "
+                         f"{', '.join(_ON_FAILURE)}")
+
+
 def _failure_dict(err: CatError) -> dict:
     return {"ok": False, "error": err,
             "error_type": type(err).__name__,
+            "report": getattr(err, "report", None)}
+
+
+def _degradation_record(rung: str, err: CatError) -> dict:
+    """Ledger-style record attached to a model-ladder fallback result."""
+    return {"ladder": "model", "rung": rung,
+            "error_type": type(err).__name__, "reason": str(err),
             "report": getattr(err, "report", None)}
 
 
@@ -69,10 +95,12 @@ def stagnation_environment(*, V, h, nose_radius, atmosphere=None,
     Returns a dict with the shock state, convective and radiative wall
     fluxes, shock standoff, stagnation pressure and the shock-layer
     temperature/species profiles.  ``on_failure="report"`` returns the
-    failure dict instead of raising (see the module docstring).
+    failure dict instead of raising; ``on_failure="degrade"`` falls back
+    to the correlation-level fluxes (see the module docstring).
     """
     from repro.solvers.vsl import StagnationVSL
 
+    _check_on_failure(on_failure)
     atm = atmosphere or EarthAtmosphere()
     gas_model = make_gas(gas) if isinstance(gas, str) else gas
     vsl = StagnationVSL(gas_model, nose_radius=nose_radius)
@@ -85,6 +113,10 @@ def stagnation_environment(*, V, h, nose_radius, atmosphere=None,
     except CatError as err:
         if on_failure == "report":
             return _failure_dict(err)
+        if on_failure == "degrade":
+            return _stagnation_correlation(atm, h=h, V=V,
+                                           nose_radius=nose_radius,
+                                           gas=gas, err=err)
         raise
     return {
         "ok": True,
@@ -100,6 +132,37 @@ def stagnation_environment(*, V, h, nose_radius, atmosphere=None,
     }
 
 
+def _stagnation_correlation(atm, *, h, V, nose_radius, gas, err) -> dict:
+    """Correlation rung of the model ladder for the stagnation point.
+
+    Sutton-Graves convective + Tauber-Sutton radiative (Earth only) on
+    the freestream condition — the same engineering physics
+    :func:`heat_pulse` uses.  Fields the correlations cannot provide
+    (standoff, edge state, profiles) come back ``None``.
+    """
+    key = _GAS_ATMOSPHERE.get(gas, "earth") if isinstance(gas, str) \
+        else "earth"
+    rho, V = float(atm.density(h)), float(V)
+    q_conv = float(sutton_graves_heating(rho, V, nose_radius,
+                                         atmosphere=key))
+    q_rad = (float(tauber_sutton_radiative(rho, V, nose_radius))
+             if key == "earth" else 0.0)
+    return {
+        "ok": True,
+        "degraded": True,
+        "degradation": _degradation_record("correlation", err),
+        "q_conv": q_conv,
+        "q_rad": q_rad,
+        "standoff": None,
+        # Newtonian impact pressure (Cp_max ~ 2): p_stag ~ rho V^2.
+        "p_stag": rho * V * V,
+        "T_edge": None,
+        "shock": None,
+        "profiles": None,
+        "solution": None,
+    }
+
+
 def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
                      atmosphere=None, gas="equilibrium-air",
                      T_wall=1200.0, catalytic_phi=1.0,
@@ -109,11 +172,14 @@ def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
 
     ``resilience`` enables the PNS per-station continuation fallback
     (degraded stations are listed in ``result.degraded_stations``);
-    ``on_failure="report"`` returns the failure dict instead of raising.
+    ``on_failure="report"`` returns the failure dict instead of raising;
+    ``on_failure="degrade"`` falls back to the correlation-level
+    distribution (see the module docstring).
     """
     from repro.geometry import OrbiterWindwardProfile
     from repro.solvers.pns import WindwardHeatingPNS
 
+    _check_on_failure(on_failure)
     atm = atmosphere or EarthAtmosphere()
     body = OrbiterWindwardProfile(alpha_deg=alpha_deg,
                                   nose_radius=nose_radius, length=length)
@@ -132,9 +198,34 @@ def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
     except CatError as err:
         if on_failure == "report":
             return _failure_dict(err)
+        if on_failure == "degrade":
+            return _windward_correlation(atm, h=h, V=V,
+                                         nose_radius=nose_radius,
+                                         length=length,
+                                         n_stations=n_stations, err=err)
         raise
     return {"ok": True, "x_over_L": res.x_over_L, "q": res.q,
             "q_stag": res.q_stag, "result": res}
+
+
+def _windward_correlation(atm, *, h, V, nose_radius, length, n_stations,
+                          err) -> dict:
+    """Correlation rung of the model ladder for the windward centerline.
+
+    Sutton-Graves stagnation flux scaled by the classical laminar
+    running-length decay ``q/q_stag = 1/sqrt(1 + s/R_n)`` — recovers the
+    stagnation value at the nose and the flat-plate ``s**-0.5`` falloff
+    far downstream.
+    """
+    rho, V = float(atm.density(h)), float(V)
+    q_stag = float(sutton_graves_heating(rho, V, nose_radius))
+    x_over_L = np.linspace(0.0, 1.0, n_stations)
+    q = q_stag / np.sqrt(1.0 + x_over_L * length / nose_radius)
+    return {"ok": True,
+            "degraded": True,
+            "degradation": _degradation_record("correlation", err),
+            "x_over_L": x_over_L, "q": q, "q_stag": q_stag,
+            "result": None}
 
 
 def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth") -> dict:

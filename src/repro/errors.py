@@ -67,12 +67,29 @@ class GridError(CatError):
 
 class StabilityError(CatError):
     """A time-marching solution became non-physical (NaN, negative
-    density or energy)."""
+    density or energy).
+
+    Attributes
+    ----------
+    step:
+        Marching step at which the bad state was detected, if known.
+    cell:
+        Grid index tuple of the *first* offending cell, if localized.
+    component:
+        Name of the offending state component (``"density"``,
+        ``"energy"``, ``"species[N2]"``, ...), if localized.
+    value:
+        The offending value at ``(cell, component)``, if localized.
+    """
 
     def __init__(self, message: str, *, step: int | None = None,
-                 report=None) -> None:
+                 cell: tuple | None = None, component: str | None = None,
+                 value: float | None = None, report=None) -> None:
         super().__init__(message)
         self.step = step
+        self.cell = cell
+        self.component = component
+        self.value = value
         self.report = report
 
 

@@ -20,11 +20,14 @@ The runner is resilient two ways:
 from __future__ import annotations
 
 import inspect
+import json
 import os
 import shutil
 import sys
 import time
 import traceback
+
+from repro.resilience import drain_ledgers
 
 from repro.experiments import (fig1_flight_domain, fig2_titan_heating,
                                fig3_species_profiles, fig4_shock_shape,
@@ -66,10 +69,16 @@ def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
     """Run every experiment.
 
     Returns ``{"timings": {name: seconds}, "failures": {name: exc},
-    "skipped": [names replayed from done markers]}``.
+    "skipped": [names replayed from done markers],
+    "ledgers": {name: [ledger dicts]}}``.
     With ``keep_going`` (the default) a failing figure is reported —
     including its attached FailureReport, when present — and the rest of
     the suite still runs; ``keep_going=False`` restores fail-fast.
+
+    Degradation ledgers (see :mod:`repro.resilience.degradation`) are
+    drained per figure: any march that degraded gracefully shows up
+    under its figure's name, is summarised on the stream, and — with
+    ``checkpoint_dir`` — is written to ``<name>.ledger.json``.
 
     ``checkpoint_dir`` makes the suite durable (done markers + solver
     snapshots); ``resume`` replays completed figures from their markers
@@ -80,6 +89,8 @@ def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
     timings: dict[str, float] = {}
     failures: dict[str, Exception] = {}
     skipped: list[str] = []
+    ledgers: dict[str, list] = {}
+    drain_ledgers()  # discard stale entries from earlier in-process runs
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
     for name, mod in _MODULES:
@@ -124,6 +135,21 @@ def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
                 print("".join(traceback.format_exception(err)).rstrip(),
                       file=stream)
         finally:
+            drained = [led.to_dict() for led in drain_ledgers()
+                       if len(led)]
+            if drained:
+                ledgers[name] = drained
+                for led in drained:
+                    print(f"[{name} degradation: "
+                          f"{led['n_demotions']} demotion(s), "
+                          f"{led['n_promotions']} re-promotion(s), "
+                          f"fully_promoted={led['fully_promoted']}]",
+                          file=stream)
+                if checkpoint_dir is not None:
+                    ledger_path = os.path.join(checkpoint_dir,
+                                               f"{name}.ledger.json")
+                    with open(ledger_path, "w") as f:
+                        json.dump(drained, f, indent=2)
             timings[name] = time.perf_counter() - t0
             print(f"[{name} completed in {timings[name]:.1f} s]",
                   file=stream)
@@ -133,7 +159,8 @@ def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
     if failures:
         print(f"\n{len(failures)}/{len(_MODULES)} figure(s) failed: "
               f"{sorted(failures)}", file=stream)
-    return {"timings": timings, "failures": failures, "skipped": skipped}
+    return {"timings": timings, "failures": failures, "skipped": skipped,
+            "ledgers": ledgers}
 
 
 if __name__ == "__main__":

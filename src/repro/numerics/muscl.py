@@ -16,7 +16,7 @@ __all__ = ["muscl_interface_states"]
 
 
 def muscl_interface_states(W, *, axis: int = 0, limiter=minmod,
-                           order: int = 2):
+                           order: int = 2, first_order_mask=None):
     """Left/right states at the interior faces along ``axis``.
 
     Parameters
@@ -28,6 +28,12 @@ def muscl_interface_states(W, *, axis: int = 0, limiter=minmod,
         Slope limiter (two-argument form).
     order:
         1 (piecewise constant) or 2 (MUSCL).
+    first_order_mask:
+        Optional boolean cell mask (indexed like ``W`` *without* the
+        trailing variable axis, or 1-D along ``axis``).  Slopes of masked
+        cells are zeroed, degrading reconstruction to first order locally
+        — the resilience layer's quarantine zone around watchdog-flagged
+        cells.  ``None`` (the default) adds no work.
 
     Returns
     -------
@@ -49,6 +55,14 @@ def muscl_interface_states(W, *, axis: int = 0, limiter=minmod,
         slope = limiter(d[:-1], d[1:])          # n-2 slopes
         slopes = np.concatenate([np.zeros_like(W[:1]), slope,
                                  np.zeros_like(W[:1])], axis=0)
+        if first_order_mask is not None:
+            mask = np.asarray(first_order_mask, dtype=bool)
+            if mask.ndim > 1:
+                mask = np.moveaxis(mask, axis, 0)
+            # broadcast over any axes the mask doesn't carry (trailing
+            # variable axis, and cross-axes for a 1-D mask)
+            mask = mask.reshape(mask.shape + (1,) * (W.ndim - mask.ndim))
+            slopes = np.where(mask, 0.0, slopes)
         WL = W[:-1] + 0.5 * slopes[:-1]
         WR = W[1:] - 0.5 * slopes[1:]
     return (np.moveaxis(WL, 0, axis), np.moveaxis(WR, 0, axis))

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["TINY", "clamp_positive", "safe_log", "safe_sqrt", "safe_div"]
+__all__ = ["TINY", "EXP_CLIP", "clamp_positive", "safe_exp", "safe_log",
+           "safe_sqrt", "safe_div"]
 
 #: Smallest positive floor used by the clamps.  Far below any physical
 #: quantity in SI units, so clamping at TINY is indistinguishable from
@@ -33,6 +34,21 @@ TINY = 1.0e-300
 def clamp_positive(x, floor=TINY):
     """``max(x, floor)`` elementwise; identity for ``x >= floor``."""
     return np.maximum(x, floor)
+
+
+#: Exponent clip used by :func:`safe_exp`: ``exp(±460)`` spans
+#: ~1e-200..1e200, far beyond any physical rate constant or equilibrium
+#: constant, yet still two hundred decades inside float64 range — so a
+#: clipped result can be multiplied/divided by other state quantities
+#: without re-overflowing.
+EXP_CLIP = 460.0
+
+
+def safe_exp(x, clip=EXP_CLIP):
+    """``exp(clip(x, -clip, +clip))`` — finite instead of ``inf`` when an
+    Arrhenius-style exponent runs away (low T / high activation
+    temperature), and identical to ``np.exp`` for ``|x| <= clip``."""
+    return np.exp(np.clip(x, -clip, clip))
 
 
 def safe_log(x, floor=TINY):

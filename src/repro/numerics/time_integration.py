@@ -12,7 +12,7 @@ import numpy as np
 from repro.errors import StabilityError
 
 __all__ = ["cfl_timestep_1d", "ssp_rk2_step", "ssp_rk3_step",
-           "check_state"]
+           "check_state", "component_name"]
 
 
 def cfl_timestep_1d(dx, u, a, cfl=0.5):
@@ -35,9 +35,49 @@ def ssp_rk3_step(U, dt, residual):
     return U / 3.0 + 2.0 / 3.0 * (U2 + dt * residual(U2))
 
 
+def component_name(k: int, nv: int, *, energy_index: int = -1,
+                   species_names=None) -> str:
+    """Human name of conserved component ``k`` in an ``nv``-vector.
+
+    Follows the conventional layout ``[rho, momenta..., rho E,
+    (rho Y_s...)]``; ``species_names`` labels any trailing components
+    beyond the energy slot (the reacting solver's species partials).
+    """
+    k = int(k) % nv
+    e_idx = energy_index % nv
+    if k == 0:
+        return "density"
+    if k == e_idx:
+        return "energy"
+    if k > e_idx:
+        s = k - e_idx - 1
+        if species_names is not None and s < len(species_names):
+            return f"species[{species_names[s]}]"
+        return f"species[{s}]"
+    return f"momentum[{k - 1}]"
+
+
+def _first_offender(mask, U, label, what, *, step, energy_index,
+                    species_names):
+    """Raise a localized StabilityError from a boolean offender mask."""
+    idx = np.argwhere(mask)
+    n_bad = int(idx.shape[0])
+    first = tuple(int(i) for i in idx[0])
+    comp = component_name(first[-1], U.shape[-1],
+                          energy_index=energy_index,
+                          species_names=species_names)
+    value = float(U[first])
+    cell = first[:-1]
+    raise StabilityError(
+        f"{label}: {what} at cell {cell}, component {comp} "
+        f"(value {value:.6g}; {n_bad} offending entr"
+        f"{'y' if n_bad == 1 else 'ies'})",
+        step=step, cell=cell, component=comp, value=value)
+
+
 def check_state(U, *, step: int | None = None, label: str = "solver",
                 energy_index: int = -1, momentum_indices=None,
-                e_min: float | None = 0.0):
+                e_min: float | None = 0.0, species_names=None):
     """Raise StabilityError on NaN or non-positive density/energy.
 
     Assumes the conventional conserved layout ``U[..., 0] = rho``,
@@ -49,21 +89,39 @@ def check_state(U, *, step: int | None = None, label: str = "solver",
     energy positive; internal energy ``rho e = rho E - |rho u|^2/(2 rho)``
     above ``e_min`` (pass ``e_min=None`` to skip — e.g. states on a
     heat-of-formation energy basis where e can legitimately be negative).
+
+    Failures are *localized*: the raised error names the first offending
+    cell index, the offending component (``species_names`` labels the
+    trailing species slots) and its value, both in the message and as
+    structured ``cell``/``component``/``value`` attributes that the
+    resilience layer's :class:`~repro.resilience.FailureReport` and
+    watchdog surface.
     """
     U = np.asarray(U)
-    if not np.all(np.isfinite(U)):
-        raise StabilityError(f"{label}: non-finite state", step=step)
+    loc = dict(step=step, energy_index=energy_index,
+               species_names=species_names)
+    bad = ~np.isfinite(U)
+    if np.any(bad):
+        _first_offender(bad, U, label, "non-finite state", **loc)
     if np.any(U[..., 0] <= 0.0):
-        raise StabilityError(f"{label}: non-positive density", step=step)
-    if np.any(U[..., energy_index] <= 0.0):
-        raise StabilityError(f"{label}: non-positive total energy",
-                             step=step)
+        _first_offender((U <= 0.0) & (np.arange(U.shape[-1]) == 0),
+                        U, label, "non-positive density", **loc)
+    e_idx = energy_index % U.shape[-1]
+    if np.any(U[..., e_idx] <= 0.0):
+        _first_offender((U <= 0.0) & (np.arange(U.shape[-1]) == e_idx),
+                        U, label, "non-positive total energy", **loc)
     if e_min is not None:
         if momentum_indices is None:
-            last = energy_index % U.shape[-1]
-            momentum_indices = tuple(range(1, last))
+            momentum_indices = tuple(range(1, e_idx))
         ke = sum(U[..., m] ** 2 for m in momentum_indices) \
             / (2.0 * U[..., 0])
-        if np.any(U[..., energy_index] - ke <= e_min):
-            raise StabilityError(f"{label}: non-positive internal energy",
-                                 step=step)
+        e_int = U[..., e_idx] - ke
+        if np.any(e_int <= e_min):
+            idx = np.argwhere(e_int <= e_min)
+            first = tuple(int(i) for i in idx[0])
+            raise StabilityError(
+                f"{label}: non-positive internal energy at cell {first} "
+                f"(rho e = {float(e_int[first]):.6g}; "
+                f"{int(idx.shape[0])} offending cell(s))",
+                step=step, cell=first, component="internal_energy",
+                value=float(e_int[first]))

@@ -13,6 +13,13 @@ This package provides the machinery the solver stack wires through:
 * :class:`Checkpoint` — restorable solver snapshots,
 * :class:`FaultInjector` — deterministic NaN / perturbation / Newton /
   crash / IO faults so every recovery path is exercised by tests,
+* :class:`ConservationWatchdog` / :class:`WatchdogPolicy` /
+  :class:`WatchdogEvent` — per-step auditing of conservation budgets,
+  species bounds, entropy monotonicity and invalid-state localization,
+* :class:`DegradationController` / :class:`DegradationPolicy` /
+  :class:`DegradationLedger` — the graceful-degradation cascade
+  (quarantined first-order reconstruction, per-cell chemistry demotion,
+  automatic re-promotion) slotted between rollback-retry and abort,
 * :class:`PersistencePolicy` / :class:`SnapshotStore` /
   :func:`resume_run` — durable, crash-safe snapshots on disk (atomic
   writes, SHA-256 verified loads, keep-last-K retention) so a SIGKILLed
@@ -20,6 +27,10 @@ This package provides the machinery the solver stack wires through:
 """
 
 from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.degradation import (DegradationController,
+                                          DegradationLedger,
+                                          DegradationPolicy,
+                                          drain_ledgers)
 from repro.resilience.faults import Fault, FaultInjector, SimulatedCrash
 from repro.resilience.persistence import (MANIFEST_SCHEMA_VERSION,
                                           LoadedSnapshot,
@@ -28,9 +39,14 @@ from repro.resilience.persistence import (MANIFEST_SCHEMA_VERSION,
 from repro.resilience.report import FailureReport, solver_config
 from repro.resilience.supervisor import (RetryPolicy, RunSupervisor,
                                          supervised_call)
+from repro.resilience.watchdog import (ConservationWatchdog,
+                                       WatchdogEvent, WatchdogPolicy)
 
-__all__ = ["Checkpoint", "Fault", "FaultInjector", "FailureReport",
-           "LoadedSnapshot", "MANIFEST_SCHEMA_VERSION",
-           "PersistencePolicy", "RetryPolicy", "RunSupervisor",
-           "SimulatedCrash", "SnapshotStore", "resume_run",
-           "solver_config", "solver_fingerprint", "supervised_call"]
+__all__ = ["Checkpoint", "ConservationWatchdog", "DegradationController",
+           "DegradationLedger", "DegradationPolicy", "Fault",
+           "FaultInjector", "FailureReport", "LoadedSnapshot",
+           "MANIFEST_SCHEMA_VERSION", "PersistencePolicy", "RetryPolicy",
+           "RunSupervisor", "SimulatedCrash", "SnapshotStore",
+           "WatchdogEvent", "WatchdogPolicy", "drain_ledgers",
+           "resume_run", "solver_config", "solver_fingerprint",
+           "supervised_call"]

@@ -61,6 +61,10 @@ class FailureReport:
         The final error message.
     step:
         Marching step (or station/call index) at failure, if known.
+    cell, component, value:
+        Localization of the final error, when
+        :func:`~repro.numerics.time_integration.check_state` (or the
+        watchdog) pinned it to a first-offending cell.
     attempts:
         Retry ladder trace: one dict per retry with the backed-off
         parameters and the error that triggered it.
@@ -73,16 +77,27 @@ class FailureReport:
         Last good checkpoint payload (arrays), when one exists.
     wall_time:
         Seconds spent inside the supervised region.
+    watchdog_events:
+        :class:`~repro.resilience.watchdog.WatchdogEvent` dicts recorded
+        by an attached watchdog (``None`` when none was attached).
+    degradation:
+        :class:`~repro.resilience.degradation.DegradationLedger` dict of
+        an attached degradation controller (``None`` when none).
     """
 
     label: str
     error: str
     step: int | None = None
+    cell: tuple | None = None
+    component: str | None = None
+    value: float | None = None
     attempts: list[dict] = field(default_factory=list)
     residual_history: list[float] = field(default_factory=list)
     config: dict = field(default_factory=dict)
     state: dict | None = None
     wall_time: float = 0.0
+    watchdog_events: list[dict] | None = None
+    degradation: dict | None = None
 
     def to_dict(self) -> dict:
         """Plain-dict view (state arrays summarised, not copied)."""
@@ -92,17 +107,28 @@ class FailureReport:
                             if isinstance(v, np.ndarray) else _jsonable(v)
                             for k, v in self.state.items()}
         return {"label": self.label, "error": self.error,
-                "step": self.step, "attempts": list(self.attempts),
+                "step": self.step,
+                "cell": None if self.cell is None else list(self.cell),
+                "component": self.component, "value": self.value,
+                "attempts": list(self.attempts),
                 "residual_history": [float(r)
                                      for r in self.residual_history],
                 "config": dict(self.config), "state": state_summary,
-                "wall_time": self.wall_time}
+                "wall_time": self.wall_time,
+                "watchdog_events": (None if self.watchdog_events is None
+                                    else list(self.watchdog_events)),
+                "degradation": (None if self.degradation is None
+                                else dict(self.degradation))}
 
     def summary(self) -> str:
         """Human-readable multi-line triage summary."""
         lines = [f"FailureReport[{self.label}]: {self.error}"]
         if self.step is not None:
             lines.append(f"  failed at step {self.step}")
+        if self.cell is not None or self.component is not None:
+            val = "" if self.value is None else f" = {self.value:.6g}"
+            lines.append(f"  first offender: cell {self.cell}, "
+                         f"component {self.component}{val}")
         lines.append(f"  retries attempted: {len(self.attempts)}")
         for a in self.attempts:
             knobs = ", ".join(f"{k}={v}" for k, v in a.items()
@@ -117,6 +143,16 @@ class FailureReport:
             lines.append(f"  config: {kv}")
         if self.state is not None:
             lines.append(f"  last-good state: {sorted(self.state)}")
+        if self.watchdog_events:
+            lines.append(f"  watchdog events: {len(self.watchdog_events)}")
+            for e in self.watchdog_events[-5:]:
+                lines.append(f"    - [{e.get('kind')}] step "
+                             f"{e.get('step')}: {e.get('message')}")
+        if self.degradation and self.degradation.get("entries"):
+            d = self.degradation
+            lines.append(f"  degradation: {d.get('n_demotions', 0)} "
+                         f"demotion(s), {d.get('n_promotions', 0)} "
+                         f"re-promotion(s)")
         if self.wall_time:
             lines.append(f"  wall time: {self.wall_time:.2f} s")
         return "\n".join(lines)

@@ -14,6 +14,17 @@ transient NaN.  :class:`RunSupervisor` wraps any marching loop with
    ``return_best=True``, delivered alongside the best-so-far state
    flagged ``converged=False``.
 
+Between rollback-retry and abort sits the **degradation rung**: with a
+:class:`~repro.resilience.degradation.DegradationController` attached
+(``degradation=``), an exhausted CFL ladder first tries falling down the
+fidelity ladder — local first-order reconstruction in a quarantine zone
+around the flagged cells, then per-cell chemistry-model demotion — rolls
+back, restores the original CFL and retries with a fresh ladder.  Only
+when the cascade itself is exhausted does the march abort.  A
+:class:`~repro.resilience.watchdog.ConservationWatchdog` (``watchdog=``)
+audits every clean step (conservation budgets, species bounds, entropy)
+and its events seed the quarantine zone and land in the report.
+
 One-shot solves (PNS stations, VSL, the shock-relaxation BDF integration)
 use :func:`supervised_call`, the same bounded-ladder idea expressed as a
 sequence of parameter adjustments instead of CFL backoff.
@@ -31,10 +42,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.errors import CatError, StabilityError
+from repro.errors import CatError, ConvergenceError, StabilityError
 from repro.numerics.time_integration import check_state
 from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.degradation import as_degradation
 from repro.resilience.report import FailureReport, solver_config
+from repro.resilience.watchdog import as_watchdog
 
 __all__ = ["RetryPolicy", "RunSupervisor", "supervised_call"]
 
@@ -91,16 +104,34 @@ class RunSupervisor:
         (or a :class:`~repro.resilience.persistence.SnapshotStore`, or a
         bare directory path): durable, crash-safe snapshots on top of the
         in-memory rollback ladder.
+    watchdog:
+        ``True`` (defaults), a
+        :class:`~repro.resilience.watchdog.WatchdogPolicy` or a
+        :class:`~repro.resilience.watchdog.ConservationWatchdog`:
+        per-step conservation/species/entropy auditing; events are
+        surfaced on the solver (``watchdog_events``) and in any report.
+    degradation:
+        ``True`` (defaults), a
+        :class:`~repro.resilience.degradation.DegradationPolicy` or a
+        :class:`~repro.resilience.degradation.DegradationController`:
+        the graceful-degradation rung between rollback-retry and abort;
+        the ledger lands on the solver as ``degradation_ledger``.
     """
 
     def __init__(self, solver, policy: RetryPolicy | None = None, *,
-                 faults=None, label: str | None = None, persist=None):
+                 faults=None, label: str | None = None, persist=None,
+                 watchdog=None, degradation=None):
         self.solver = solver
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = faults
         self.label = label or type(solver).__name__
         self.attempts: list[dict] = []
         self.report: FailureReport | None = None
+        self.watchdog = as_watchdog(watchdog)
+        self.degradation = as_degradation(degradation)
+        if self.degradation is not None \
+                and self.degradation.ledger.label is None:
+            self.degradation.ledger.label = self.label
         self.store = None
         if persist is not None:
             from repro.resilience.persistence import SnapshotStore
@@ -122,11 +153,25 @@ class RunSupervisor:
             label=self.label, error=str(err),
             step=getattr(err, "step", None)
             or int(getattr(self.solver, "steps", 0) or 0),
+            cell=getattr(err, "cell", None),
+            component=getattr(err, "component", None),
+            value=getattr(err, "value", None),
             attempts=list(self.attempts),
             residual_history=hist[-200:],
             config=solver_config(self.solver),
             state=dict(ckpt.payload),
-            wall_time=time.monotonic() - t0)
+            wall_time=time.monotonic() - t0,
+            watchdog_events=(None if self.watchdog is None
+                             else self.watchdog.events_as_dicts()),
+            degradation=(None if self.degradation is None
+                         else self.degradation.ledger.to_dict()))
+
+    def _expose(self):
+        """Surface audit artefacts on the solver after any march end."""
+        if self.watchdog is not None:
+            self.solver.watchdog_events = self.watchdog.events
+        if self.degradation is not None:
+            self.solver.degradation_ledger = self.degradation.ledger
 
     # ------------------------------------------------------------------
 
@@ -188,21 +233,56 @@ class RunSupervisor:
                 if store is not None:
                     commit(completed=False, converged=False)
                 solver.converged = False
+                self._expose()
                 return False
             try:
                 res = step_fn(cfl_now)
                 if self.faults is not None:
                     self.faults.apply(solver)
                 self._guard()
-            except StabilityError as err:
+                if self.watchdog is not None:
+                    self.watchdog.audit(solver)
+                if self.degradation is not None:
+                    self.degradation.note_clean_step(
+                        solver, step=int(getattr(solver, "steps", k)
+                                         or k))
+            except (StabilityError, ConvergenceError) as err:
+                # ConvergenceError mid-march means an implicit sub-solve
+                # (T(e) Newton, point-implicit chemistry) died on a
+                # corrupted state — same pathology as a NaN, same cure:
+                # roll back, back off, degrade
                 retries += 1
                 self.attempts.append(
                     {"retry": retries, "cfl": cfl_now,
                      "step": int(getattr(solver, "steps", k) or k),
                      "error": str(err)})
+                if self.watchdog is not None:
+                    self.watchdog.record_error(err, solver)
+                if self.degradation is not None:
+                    self.degradation.note_failure()
                 next_cfl = cfl_now * pol.cfl_backoff
                 if retries > pol.max_retries or next_cfl < pol.cfl_min:
+                    # degradation rung: before aborting, try falling
+                    # down the fidelity ladder and re-running the
+                    # retry ladder from the original CFL
+                    if self.degradation is not None:
+                        cells = [getattr(err, "cell", None)]
+                        if self.watchdog is not None:
+                            cells += self.watchdog.event_cells(last_n=5)
+                        if self.degradation.degrade(
+                                solver,
+                                step=int(getattr(err, "step", None)
+                                         or k),
+                                cells=[c for c in cells
+                                       if c is not None],
+                                reason=str(err)):
+                            ckpt.restore(solver)
+                            k = ckpt_k
+                            retries = 0
+                            cfl_now = float(cfl)
+                            continue
                     self.report = self._build_report(err, ckpt, t0)
+                    self._expose()
                     if pol.return_best:
                         ckpt.restore(solver)
                         solver.converged = False
@@ -211,6 +291,9 @@ class RunSupervisor:
                         f"{self.label}: retry ladder exhausted after "
                         f"{retries} attempt(s): {err}",
                         step=getattr(err, "step", None),
+                        cell=getattr(err, "cell", None),
+                        component=getattr(err, "component", None),
+                        value=getattr(err, "value", None),
                         report=self.report)
                     raise exhausted from err
                 ckpt.restore(solver)
@@ -227,6 +310,7 @@ class RunSupervisor:
                 ckpt = Checkpoint.capture(solver)
                 ckpt_k = k
         solver.converged = converged
+        self._expose()
         if store is not None:
             commit(completed=True, converged=converged)
         return converged

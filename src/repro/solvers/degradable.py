@@ -1,0 +1,49 @@
+"""Shared degradation protocol for the marching solvers.
+
+:class:`QuarantineMixin` gives a solver the numerics-ladder half of the
+:mod:`repro.resilience.degradation` protocol: a boolean
+``quarantined_cells`` mask (shaped like the cell grid) that the solver's
+reconstruction passes to
+:func:`repro.numerics.muscl.muscl_interface_states` as
+``first_order_mask``.  The mask is *not* part of the resilience
+``get_state``/``set_state`` protocol on purpose — a rollback restores
+the flow field but keeps the quarantine, which is what makes the
+degraded retry different from the ones that failed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QuarantineMixin"]
+
+
+class QuarantineMixin:
+    """Numerics-ladder degradation: local first-order quarantine zone."""
+
+    #: Boolean cell mask of the quarantine zone (None = none); masked
+    #: cells reconstruct first order.
+    quarantined_cells = None
+
+    def quarantine(self, mask=None) -> int:
+        """Flag cells for first-order reconstruction; ``None`` flags the
+        whole domain.  Returns the number of *newly* flagged cells (0
+        when the mask adds nothing — the degradation controller then
+        falls through to the next rung)."""
+        shape = np.asarray(self.U).shape[:-1]
+        if mask is None:
+            mask = np.ones(shape, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != shape:
+            raise ValueError(f"quarantine mask shape {mask.shape} != "
+                             f"cell shape {shape}")
+        if self.quarantined_cells is None:
+            self.quarantined_cells = mask.copy()
+            return int(mask.sum())
+        new = mask & ~self.quarantined_cells
+        self.quarantined_cells = self.quarantined_cells | mask
+        return int(new.sum())
+
+    def clear_quarantine(self):
+        """Lift the quarantine entirely (full re-promotion)."""
+        self.quarantined_cells = None

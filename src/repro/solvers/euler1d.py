@@ -19,6 +19,7 @@ from repro.numerics.time_integration import (cfl_timestep_1d, check_state,
                                              ssp_rk2_step)
 from repro.numerics.upwind import (ausm_plus_flux, steger_warming_flux,
                                    van_leer_flux)
+from repro.solvers.degradable import QuarantineMixin
 
 __all__ = ["Euler1DSolver"]
 
@@ -26,7 +27,7 @@ _FLUXES = {"hlle": None, "van_leer": van_leer_flux,
            "steger_warming": steger_warming_flux, "ausm": ausm_plus_flux}
 
 
-class Euler1DSolver:
+class Euler1DSolver(QuarantineMixin):
     """Shock-capturing 1-D Euler solver on a fixed node grid.
 
     Parameters
@@ -65,10 +66,35 @@ class Euler1DSolver:
         self.t = 0.0
         self.steps = 0
         self.converged = False
+        self.quarantined_cells = None
 
     # ------------------------------------------------------------------
     # resilience protocol
     # ------------------------------------------------------------------
+
+    @property
+    def closed_domain(self) -> bool:
+        """True when both boundaries are reflective walls — mass and
+        energy are then exact invariants the watchdog can audit."""
+        return self.bc == ("reflective", "reflective")
+
+    def conservation_totals(self):
+        """Global invariants for the conservation watchdog."""
+        return {"mass": float(np.sum(self.U[:, 0] * self.dx)),
+                "energy": float(np.sum(self.U[:, 2] * self.dx))}
+
+    def total_entropy(self):
+        """Global entropy functional ``sum(rho s dx)`` with the ideal-gas
+        ``s = ln(p) - gamma ln(rho)`` (per unit R/(gamma-1); only the
+        sign of changes matters to the watchdog).  None for non-ideal
+        EOS."""
+        gamma = getattr(self.eos, "gamma", None)
+        if gamma is None:
+            return None
+        rho, _, p = self.primitives()
+        s = np.log(np.maximum(p, 1e-300)) \
+            - gamma * np.log(np.maximum(rho, 1e-300))
+        return float(np.sum(rho * s * self.dx))
 
     def get_state(self):
         """Restorable marching state (see repro.resilience)."""
@@ -142,8 +168,12 @@ class Euler1DSolver:
 
     def _face_flux(self, U):
         g = self._ghost(U)
+        fo = None
+        if self.quarantined_cells is not None:
+            fo = np.pad(self.quarantined_cells, 2, mode="edge")
         WL, WR = muscl_interface_states(g, order=self.order,
-                                        limiter=self.limiter)
+                                        limiter=self.limiter,
+                                        first_order_mask=fo)
         # faces of interest: between cells -1|0 ... n-1|n (n+1 faces) —
         # the ghost array has n+4 cells and n+3 faces; drop the outermost
         WL = WL[1:-1]
@@ -168,7 +198,7 @@ class Euler1DSolver:
         check_state(self.U, step=self.steps, label="euler1d")
 
     def run(self, t_final, *, cfl=0.45, max_steps=100000, resilience=None,
-            faults=None, persist=None):
+            faults=None, persist=None, watchdog=None, degradation=None):
         """Advance to t_final with CFL-limited steps.
 
         With ``resilience`` (a :class:`repro.resilience.RetryPolicy`, or
@@ -180,16 +210,26 @@ class Euler1DSolver:
         directory path) adds durable on-disk snapshots the march resumes
         from after a crash (see
         :func:`repro.resilience.persistence.resume_run`).
+        ``watchdog`` (``True`` or a
+        :class:`repro.resilience.WatchdogPolicy`) audits conservation
+        budgets / entropy each step; ``degradation`` (``True`` or a
+        :class:`repro.resilience.DegradationPolicy`) arms the graceful
+        fallback to quarantined first-order reconstruction before a
+        failing run aborts — the ledger lands on
+        ``self.degradation_ledger``.
         """
         if self.U is None:
             raise InputError("call set_initial first")
         if resilience is not None or faults is not None \
-                or persist is not None:
+                or persist is not None or watchdog is not None \
+                or degradation is not None:
             from repro.resilience import (RetryPolicy, RunSupervisor)
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
-                                label="euler1d", persist=persist)
+                                label="euler1d", persist=persist,
+                                watchdog=watchdog,
+                                degradation=degradation)
             sup.march(self._cfl_step(t_final), n_steps=max_steps, cfl=cfl,
                       stop=lambda: self.t >= t_final - 1e-15,
                       run_kwargs={"t_final": t_final, "cfl": cfl,

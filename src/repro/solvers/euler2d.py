@@ -26,12 +26,14 @@ from repro.numerics.fluxes import (hlle_flux, primitives,
                                    rotate_from_normal, rotate_to_normal)
 from repro.numerics.limiters import minmod
 from repro.numerics.muscl import muscl_interface_states
+from repro.numerics.time_integration import component_name
 from repro.numerics.upwind import steger_warming_flux, van_leer_flux
+from repro.solvers.degradable import QuarantineMixin
 
 __all__ = ["AxisymmetricEulerSolver"]
 
 
-class AxisymmetricEulerSolver:
+class AxisymmetricEulerSolver(QuarantineMixin):
     """Blunt-body Euler solver on a body-fitted (i: surface, j: normal)
     grid.
 
@@ -80,10 +82,34 @@ class AxisymmetricEulerSolver:
         self.steps = 0
         self.converged = False
         self.residual_history: list[float] = []
+        self.quarantined_cells = None
+
+    #: Blunt-body domains exchange mass/energy through the inflow and
+    #: outflow boundaries, so global budgets are not invariants here and
+    #: the watchdog skips them (species/entropy audits still apply).
+    closed_domain = False
 
     # ------------------------------------------------------------------
     # resilience protocol
     # ------------------------------------------------------------------
+
+    def conservation_totals(self):
+        """Global totals (per radian): diagnostics, audited only on
+        closed domains."""
+        return {"mass": float(np.sum(self.U[..., 0] * self.vol)),
+                "energy": float(np.sum(self.U[..., 3] * self.vol))}
+
+    def total_entropy(self):
+        """Global entropy functional ``sum(rho s vol)`` with the
+        ideal-gas ``s = ln(p) - gamma ln(rho)``; None for non-ideal
+        EOS."""
+        gamma = getattr(self.eos, "gamma", None)
+        if gamma is None:
+            return None
+        w = primitives(self.U, self.eos)
+        s = np.log(np.maximum(w["p"], 1e-300)) \
+            - gamma * np.log(np.maximum(w["rho"], 1e-300))
+        return float(np.sum(w["rho"] * s * self.vol))
 
     def get_state(self):
         """Restorable marching state (see repro.resilience).
@@ -177,10 +203,17 @@ class AxisymmetricEulerSolver:
     def residual(self, U):
         """dU/dt per cell (axisymmetric FV with hoop-pressure source)."""
         eos = self.eos
+        fo_i = fo_j = None
+        if self.quarantined_cells is not None:
+            fo_i = np.pad(self.quarantined_cells, ((2, 2), (0, 0)),
+                          mode="edge")
+            fo_j = np.pad(self.quarantined_cells, ((0, 0), (2, 2)),
+                          mode="edge")
         # ---- i-direction fluxes ----
         gi = self._pad_i(U)
         UL, UR = muscl_interface_states(gi, axis=0, order=self.order,
-                                        limiter=self.limiter)
+                                        limiter=self.limiter,
+                                        first_order_mask=fo_i)
         UL, UR = UL[1:-1], UR[1:-1]          # (ni+1, nj, 4) faces
         nx, ny = self.nhat_i[..., 0], self.nhat_i[..., 1]
         F_i = rotate_from_normal(
@@ -190,7 +223,8 @@ class AxisymmetricEulerSolver:
         # ---- j-direction fluxes ----
         gj = self._pad_j(U)
         VL, VR = muscl_interface_states(gj, axis=1, order=self.order,
-                                        limiter=self.limiter)
+                                        limiter=self.limiter,
+                                        first_order_mask=fo_j)
         VL, VR = VL[:, 1:-1], VR[:, 1:-1]    # (ni, nj+1, 4)
         mx, my = self.nhat_j[..., 0], self.nhat_j[..., 1]
         F_j = rotate_from_normal(
@@ -231,8 +265,13 @@ class AxisymmetricEulerSolver:
         """Clip transient negative density/energy during shock formation."""
         U = self.U
         if not np.all(np.isfinite(U)):
-            raise StabilityError("euler2d: non-finite state",
-                                 step=self.steps)
+            first = tuple(int(i) for i in np.argwhere(~np.isfinite(U))[0])
+            comp = component_name(first[-1], U.shape[-1])
+            raise StabilityError(
+                f"euler2d: non-finite state at cell {first[:-1]}, "
+                f"component {comp}",
+                step=self.steps, cell=first[:-1], component=comp,
+                value=float(U[first]))
         rho_floor = 1e-6 * float(self.U_inf[0])
         bad = U[..., 0] < rho_floor
         if np.any(bad):
@@ -244,7 +283,8 @@ class AxisymmetricEulerSolver:
         U[..., 3] = np.maximum(U[..., 3], ke + e_min)
 
     def run(self, *, n_steps=4000, cfl=0.4, tol=1e-8, verbose=False,
-            resilience=None, faults=None, persist=None):
+            resilience=None, faults=None, persist=None, watchdog=None,
+            degradation=None):
         """March to steady state; stops early when the residual drops
         below ``tol`` (relative density update per step).
 
@@ -258,17 +298,26 @@ class AxisymmetricEulerSolver:
         directory path) adds durable on-disk snapshots the march resumes
         from after a crash (see
         :func:`repro.resilience.persistence.resume_run`).
+        ``watchdog`` (``True`` or a
+        :class:`repro.resilience.WatchdogPolicy`) audits species bounds
+        and entropy monotonicity each step; ``degradation`` (``True`` or
+        a :class:`repro.resilience.DegradationPolicy`) arms the graceful
+        fallback to quarantined first-order reconstruction before a
+        failing run aborts (ledger on ``self.degradation_ledger``).
         ``self.converged`` records whether ``tol`` was reached.
         """
         if self.U is None:
             raise InputError("call set_freestream first")
         if resilience is not None or faults is not None \
-                or persist is not None:
+                or persist is not None or watchdog is not None \
+                or degradation is not None:
             from repro.resilience import RetryPolicy, RunSupervisor
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
-                                label=type(self).__name__, persist=persist)
+                                label=type(self).__name__, persist=persist,
+                                watchdog=watchdog,
+                                degradation=degradation)
             sup.march(self.step, n_steps=n_steps, cfl=cfl, tol=tol,
                       run_kwargs={"n_steps": n_steps, "cfl": cfl,
                                   "tol": tol})

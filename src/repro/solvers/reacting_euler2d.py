@@ -33,6 +33,8 @@ from repro.numerics.fluxes import (hlle_flux, rotate_from_normal,
 from repro.numerics.implicit import point_implicit_species_update
 from repro.numerics.limiters import minmod
 from repro.numerics.muscl import muscl_interface_states
+from repro.numerics.time_integration import component_name
+from repro.solvers.degradable import QuarantineMixin
 from repro.thermo.kinetics import ReactionMechanism, park_air_mechanism
 from repro.thermo.mixture import MixtureThermo
 from repro.thermo.species import SpeciesDB, species_set
@@ -79,7 +81,7 @@ class _FrozenMixtureEOS:
         return self._temperature(e)
 
 
-class ReactingEulerSolver:
+class ReactingEulerSolver(QuarantineMixin):
     """Finite-rate blunt-body solver (i: surface, j: normal grid).
 
     Parameters
@@ -90,11 +92,25 @@ class ReactingEulerSolver:
         Species set and reaction mechanism (default: 5-species Park air).
     order:
         MUSCL order for the bulk variables.
+    chemistry_model:
+        Starting rung of the physics ladder: ``"two_temperature"``
+        (Park Ta = sqrt(T Tv) dissociation control with an operator-split
+        Landau-Teller-relaxed vibrational-electronic pool),
+        ``"finite_rate"`` (default, single-temperature kinetics) or
+        ``"frozen"`` (no chemistry).  The degradation cascade demotes
+        flagged cells down the same ladder at runtime (per-cell
+        ``chem_rung`` tags, recorded in a
+        :class:`~repro.resilience.DegradationLedger`).
     """
+
+    #: Physics fidelity ladder, highest first; ``chem_rung`` holds
+    #: per-cell indices into this tuple once any cell is demoted.
+    PHYSICS_LADDER = ("two_temperature", "finite_rate", "frozen")
 
     def __init__(self, grid: StructuredGrid2D, db: SpeciesDB | str = "air5",
                  mechanism: ReactionMechanism | None = None, *,
-                 order: int = 2, limiter=minmod):
+                 order: int = 2, limiter=minmod,
+                 chemistry_model: str = "finite_rate"):
         self.grid = grid
         self.db = db if isinstance(db, SpeciesDB) else species_set(db)
         self.mech = mechanism or park_air_mechanism(self.db)
@@ -113,17 +129,40 @@ class ReactingEulerSolver:
         self.wall_normal = grid.n_j[:, 0, :] / np.maximum(
             np.linalg.norm(grid.n_j[:, 0, :], axis=-1), 1e-300)[:, None]
         self._eos = _FrozenMixtureEOS(self.mix)
+        if chemistry_model not in self.PHYSICS_LADDER:
+            raise InputError(f"chemistry_model must be one of "
+                             f"{self.PHYSICS_LADDER}")
+        self.chemistry_model = chemistry_model
+        self.ttg = None
+        if chemistry_model == "two_temperature":
+            from repro.thermo.two_temperature import TwoTemperatureGas
+            self.ttg = TwoTemperatureGas(self.db, self.mech)
         self.U = None
         self.T = None
+        #: Vibrational-electronic pool [J/kg] and its temperature
+        #: (two-temperature starting rung only, else None).
+        self.ev = None
+        self.Tv = None
+        #: Per-cell physics-ladder indices (None until any cell is
+        #: demoted below ``chemistry_model``); like the quarantine mask,
+        #: deliberately outside get_state so rollbacks keep demotions.
+        self.chem_rung = None
         self.steps = 0
         self.converged = False
         self.residual_history: list[float] = []
 
-    #: state layout for repro.resilience guards: energy at index 3 (the
-    #: trailing components are rho Y_s), and no internal-energy floor —
-    #: the energy lives on the heat-of-formation basis.
-    state_layout = {"energy_index": 3, "momentum_indices": (1, 2),
-                    "e_min": None}
+    #: Blunt-body domain: open boundaries, so the watchdog audits
+    #: species/entropy but not global budgets.
+    closed_domain = False
+
+    @property
+    def state_layout(self):
+        """Layout for repro.resilience guards: energy at index 3 (the
+        trailing components are rho Y_s, labelled by species name in
+        localized errors), and no internal-energy floor — the energy
+        lives on the heat-of-formation basis."""
+        return {"energy_index": 3, "momentum_indices": (1, 2),
+                "e_min": None, "species_names": self.db.names}
 
     # ------------------------------------------------------------------
     # resilience protocol
@@ -136,11 +175,15 @@ class ReactingEulerSolver:
         Newton warm start, so replays stay bit-identical; ``U_inf`` makes
         a manifest-rebuilt solver runnable without ``set_freestream``.
         """
-        return {"U": self.U.copy(), "steps": self.steps,
-                "T": None if self.T is None else self.T.copy(),
-                "U_inf": (None if getattr(self, "U_inf", None) is None
-                          else self.U_inf.copy()),
-                "residual_history": list(self.residual_history)}
+        state = {"U": self.U.copy(), "steps": self.steps,
+                 "T": None if self.T is None else self.T.copy(),
+                 "U_inf": (None if getattr(self, "U_inf", None) is None
+                           else self.U_inf.copy()),
+                 "residual_history": list(self.residual_history)}
+        if self.ev is not None:
+            state["ev"] = self.ev.copy()
+            state["Tv"] = None if self.Tv is None else self.Tv.copy()
+        return state
 
     def set_state(self, state):
         self.U = state["U"]
@@ -148,6 +191,9 @@ class ReactingEulerSolver:
         self.T = state["T"]
         if "U_inf" in state and state["U_inf"] is not None:
             self.U_inf = state["U_inf"]
+        if "ev" in state:
+            self.ev = state["ev"]
+            self.Tv = state.get("Tv")
         self.residual_history = state["residual_history"]
 
     def persist_config(self):
@@ -162,6 +208,7 @@ class ReactingEulerSolver:
                 "db": list(self.db.names),
                 "mechanism": {"class": type(self.mech).__name__,
                               "n_reactions": len(self.mech.reactions)},
+                "chemistry_model": self.chemistry_model,
                 "grid": [int(self.grid.ni), int(self.grid.nj)]}
 
     def persist_arrays(self):
@@ -175,7 +222,9 @@ class ReactingEulerSolver:
         grid = StructuredGrid2D(arrays["grid_x"], arrays["grid_y"])
         db = species_set(tuple(config["db"]))
         solver = cls(grid, db, order=config["order"],
-                     limiter=getattr(_limiters, config["limiter"]))
+                     limiter=getattr(_limiters, config["limiter"]),
+                     chemistry_model=config.get("chemistry_model",
+                                                "finite_rate"))
         rebuilt = solver.persist_config()["mechanism"]
         if rebuilt != config["mechanism"]:
             from repro.errors import CheckpointError
@@ -199,8 +248,69 @@ class ReactingEulerSolver:
         ni, nj = self.grid.ni, self.grid.nj
         self.U = np.broadcast_to(self.U_inf, (ni, nj, self.nv)).copy()
         self.T = np.full((ni, nj), float(T), dtype=np.float64)
+        if self.ttg is not None:
+            # two-temperature start: pool in equilibrium with T
+            ev0 = float(self.ttg.e_vib_el(np.array(float(T)), y))
+            self.ev = np.full((ni, nj), ev0, dtype=np.float64)
+            self.Tv = np.full((ni, nj), float(T), dtype=np.float64)
         self.steps = 0
         return self
+
+    # ------------------------------------------------------------------
+    # watchdog hooks
+    # ------------------------------------------------------------------
+
+    def species_mass_fractions(self):
+        """Raw (unclipped, unnormalised) mass fractions for auditing."""
+        if self.U is None:
+            return None
+        return self.U[..., 4:] / np.maximum(self.U[..., 0:1], 1e-300)
+
+    def conservation_totals(self):
+        """Global mass, energy and element-mole totals (per radian)."""
+        totals = {"mass": float(np.sum(self.U[..., 0] * self.vol)),
+                  "energy": float(np.sum(self.U[..., 3] * self.vol))}
+        # element moles: comp_matrix @ (species partial moles); chemistry
+        # must conserve every row exactly
+        c = self.U[..., 4:] / self.db.molar_mass          # mol/m^3
+        per_species = np.sum(c * self.vol[..., None], axis=(0, 1))
+        for name, tot in zip(self.db.constraints,
+                             self.db.comp_matrix @ per_species):
+            totals[f"element:{name}"] = float(tot)
+        return totals
+
+    def total_entropy(self):
+        """Global entropy functional ``sum(rho s vol)`` from the cached
+        temperature field (None before the first residual evaluation)."""
+        if self.T is None or self.U is None:
+            return None
+        rho = np.maximum(self.U[..., 0], 1e-300)
+        y = np.clip(self.U[..., 4:] / rho[..., None], 0.0, 1.0)
+        y = y / np.maximum(np.sum(y, axis=-1, keepdims=True), 1e-300)
+        p = self.mix.pressure(rho, self.T, y)
+        s = self.mix.s_mass(self.T, p, y)
+        return float(np.sum(rho * s * self.vol))
+
+    # ------------------------------------------------------------------
+    # physics-ladder degradation protocol
+    # ------------------------------------------------------------------
+
+    def degrade_physics(self, mask=None):
+        """Demote the chemistry model one rung in the masked cells
+        (``None`` = whole domain).  Returns the name of the rung demoted
+        *to*, or ``None`` when every masked cell is already frozen."""
+        ni, nj = self.grid.ni, self.grid.nj
+        if self.chem_rung is None:
+            start = self.PHYSICS_LADDER.index(self.chemistry_model)
+            self.chem_rung = np.full((ni, nj), start, dtype=np.int8)
+        sel = (np.ones((ni, nj), dtype=bool) if mask is None
+               else np.asarray(mask, dtype=bool))
+        bottom = len(self.PHYSICS_LADDER) - 1
+        cur = self.chem_rung[sel]
+        if not np.any(cur < bottom):
+            return None
+        self.chem_rung[sel] = np.minimum(cur + 1, bottom)
+        return self.PHYSICS_LADDER[int(self.chem_rung[sel].max())]
 
     # ------------------------------------------------------------------
 
@@ -271,16 +381,24 @@ class ReactingEulerSolver:
     def residual(self, U):
         w = self._decode(U)
         self.T = w["T"]
+        fo_i = fo_j = None
+        if self.quarantined_cells is not None:
+            fo_i = np.pad(self.quarantined_cells, ((2, 2), (0, 0)),
+                          mode="edge")
+            fo_j = np.pad(self.quarantined_cells, ((0, 0), (2, 2)),
+                          mode="edge")
         gi = self._pad_i(U)
         UL, UR = muscl_interface_states(gi, axis=0, order=self.order,
-                                        limiter=self.limiter)
+                                        limiter=self.limiter,
+                                        first_order_mask=fo_i)
         UL, UR = UL[1:-1], UR[1:-1]
         F_i = self._face_flux(UL, UR, self.nhat_i[..., 0],
                               self.nhat_i[..., 1])
         F_i = F_i * self.area_i[..., None]
         gj = self._pad_j(U)
         VL, VR = muscl_interface_states(gj, axis=1, order=self.order,
-                                        limiter=self.limiter)
+                                        limiter=self.limiter,
+                                        first_order_mask=fo_j)
         VL, VR = VL[:, 1:-1], VR[:, 1:-1]
         F_j = self._face_flux(VL, VR, self.nhat_j[..., 0],
                               self.nhat_j[..., 1])
@@ -297,8 +415,32 @@ class ReactingEulerSolver:
         speed = np.hypot(w["u"], w["v"]) + w["a"]
         return cfl * self.grid.min_cell_size() / speed
 
+    def _update_vibrational_pool(self, w, dt):
+        """Operator-split relaxation of the vibrational-electronic pool.
+
+        Landau-Teller + chemistry sources drive ``ev`` toward the
+        equilibrium pool energy at T; the update is clipped to never
+        overshoot equilibrium, which makes it unconditionally stable
+        regardless of how stiff the local relaxation time is.  Returns
+        the updated Tv field.
+        """
+        T, y, rho = w["T"], w["y"], w["rho"]
+        Tv = self.ttg.Tv_from_ev(self.ev, y, Tv_guess=self.Tv)
+        q = self.ttg.vibrational_energy_source(rho, T, Tv, y)
+        ev_eq = self.ttg.e_vib_el(T, y)
+        lo = np.minimum(self.ev, ev_eq)
+        hi = np.maximum(self.ev, ev_eq)
+        self.ev = np.clip(self.ev + dt * q / rho, lo, hi)
+        self.Tv = self.ttg.Tv_from_ev(self.ev, y, Tv_guess=Tv)
+        return self.Tv
+
     def step(self, cfl=0.35, *, chemistry=True):
         """One forward-Euler flow step + point-implicit chemistry split.
+
+        The chemistry sub-step honours the physics ladder: cells at the
+        ``two_temperature`` rung drive rates with the relaxed Tv pool,
+        ``finite_rate`` cells use single-temperature kinetics, and
+        ``frozen`` cells skip the composition update entirely.
 
         Returns the relative density-update residual (as the Euler
         solver does), so steady marches can monitor convergence.
@@ -307,11 +449,24 @@ class ReactingEulerSolver:
         R = self.residual(self.U)
         self.U = self.U + dt[..., None] * R
         self._sanitise()
-        if chemistry:
+        rung = self.chem_rung
+        frozen_idx = self.PHYSICS_LADDER.index("frozen")
+        all_frozen = (self.chemistry_model == "frozen" if rung is None
+                      else bool(np.all(rung == frozen_idx)))
+        if chemistry and not all_frozen:
             w = self._decode(self.U)
             self.T = w["T"]
+            Tv = None
+            if self.ev is not None:
+                Tv = self._update_vibrational_pool(w, dt)
+                if rung is not None:
+                    # demoted cells fall back to single-T rates
+                    Tv = np.where(rung == 0, Tv, w["T"])
             y_new = point_implicit_species_update(
-                self.mech, w["rho"], w["T"], w["y"], dt)
+                self.mech, w["rho"], w["T"], w["y"], dt, Tv=Tv)
+            if rung is not None:
+                y_new = np.where((rung == frozen_idx)[..., None],
+                                 w["y"], y_new)
             # total energy invariant on the formation basis: only the
             # species partition changes
             self.U[..., 4:] = w["rho"][..., None] * y_new
@@ -325,8 +480,14 @@ class ReactingEulerSolver:
     def _sanitise(self):
         U = self.U
         if not np.all(np.isfinite(U)):
-            raise StabilityError("reacting euler2d: non-finite state",
-                                 step=self.steps)
+            first = tuple(int(i) for i in np.argwhere(~np.isfinite(U))[0])
+            comp = component_name(first[-1], self.nv, energy_index=3,
+                                  species_names=self.db.names)
+            raise StabilityError(
+                f"reacting euler2d: non-finite state at cell "
+                f"{first[:-1]}, component {comp}",
+                step=self.steps, cell=first[:-1], component=comp,
+                value=float(U[first]))
         rho_floor = 1e-6 * float(self.U_inf[0])
         bad = U[..., 0] < rho_floor
         if np.any(bad):
@@ -340,7 +501,8 @@ class ReactingEulerSolver:
         U[..., 3] = np.maximum(U[..., 3], ke + rho * (hf + 3e4))
 
     def run(self, *, n_steps=2000, cfl=0.35, chemistry=True, tol=None,
-            resilience=None, faults=None, persist=None):
+            resilience=None, faults=None, persist=None, watchdog=None,
+            degradation=None):
         """March ``n_steps`` (or to ``tol`` when given).
 
         ``resilience``/``faults`` run the march under a
@@ -350,16 +512,26 @@ class ReactingEulerSolver:
         from after a crash (see
         :meth:`AxisymmetricEulerSolver.run` and
         :func:`repro.resilience.persistence.resume_run`).
+        ``watchdog`` (``True`` or a
+        :class:`repro.resilience.WatchdogPolicy`) audits species bounds,
+        element budgets and entropy each step; ``degradation`` (``True``
+        or a :class:`repro.resilience.DegradationPolicy`) arms the
+        graceful cascade — quarantined first-order reconstruction, then
+        per-cell chemistry demotion down :attr:`PHYSICS_LADDER` — before
+        a failing run aborts (ledger on ``self.degradation_ledger``).
         """
         if self.U is None:
             raise InputError("call set_freestream first")
         if resilience is not None or faults is not None \
-                or persist is not None:
+                or persist is not None or watchdog is not None \
+                or degradation is not None:
             from repro.resilience import RetryPolicy, RunSupervisor
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
-                                label="reacting_euler2d", persist=persist)
+                                label="reacting_euler2d", persist=persist,
+                                watchdog=watchdog,
+                                degradation=degradation)
             sup.march(lambda c: self.step(c, chemistry=chemistry),
                       n_steps=n_steps, cfl=cfl, tol=tol,
                       run_kwargs={"n_steps": n_steps, "cfl": cfl,

@@ -29,6 +29,7 @@ import numpy as np
 from repro.constants import R_UNIVERSAL as R
 from repro.constants import arrhenius_si
 from repro.errors import InputError
+from repro.numerics.safety import safe_exp
 from repro.thermo.species import SpeciesDB, species_set
 from repro.thermo.statmech import P_STANDARD, ThermoSet
 
@@ -137,9 +138,16 @@ class ReactionMechanism:
     # ------------------------------------------------------------------
 
     def _arrhenius(self, T):
-        """kf at a given controlling temperature for all reactions."""
+        """kf at a given controlling temperature for all reactions.
+
+        The exponent is clipped (:func:`repro.numerics.safety.safe_exp`):
+        a custom mechanism with a negative activation temperature, or a
+        transiently tiny controlling temperature, would otherwise
+        overflow the exponential to ``inf`` and flood the production
+        rates with NaN.
+        """
         T = np.asarray(T, dtype=float)[..., None]
-        return self._A * T**self._n * np.exp(
+        return self._A * T**self._n * safe_exp(
             -self._theta / np.maximum(T, 1.0))
 
     def kf(self, T, Tv=None):
@@ -168,7 +176,7 @@ class ReactionMechanism:
         # catlint: disable=CAT001 -- T > 0 by solver state sanitisation
         ln_kc = ln_kp + self._dnu_tot * np.log(
             P_STANDARD / (R * T))[..., None]
-        return np.exp(np.clip(ln_kc, -460.0, 460.0))
+        return safe_exp(ln_kc)
 
     def kb(self, T, Tv=None):
         """Backward rate constants (..., nr) via detailed balance at T."""
@@ -187,7 +195,12 @@ class ReactionMechanism:
         kb = self.kb(T, Tv)
         # products of concentrations: exp(sum nu log c) with c=0 handled
         logc = np.log(np.maximum(c, 1e-300))
+        # catlint: disable=CAT004 -- exponent = sum(nu log c) with nu <= 3
+        # per side and physical c < 1e6 mol/m^3: bounded far below
+        # overflow, and the exact underflow to 0 for trace species is
+        # load-bearing (the zero mask below relies on it)
         Rf = kf * np.exp(np.einsum("rs,...s->...r", self.nu_r, logc))
+        # catlint: disable=CAT004 -- same bound for the product side
         Rb = kb * np.exp(np.einsum("rs,...s->...r", self.nu_p, logc))
         # zero concentration kills the corresponding direction exactly
         zero = c <= 0.0

@@ -61,6 +61,8 @@ def cebeci_smith_eddy_viscosity(y, u, rho, mu, *, u_edge=None):
     u_tau = np.sqrt(np.abs(tau_w) / rho[0])
     # Van Driest damping in wall units
     y_plus = rho[0] * u_tau * y / np.maximum(mu[0], 1e-300)
+    # catlint: disable=CAT004 -- y_plus >= 0 in wall units, so the
+    # exponent is <= 0: only benign underflow to 0 is possible
     damp = 1.0 - np.exp(-y_plus / _A_PLUS)
     mu_inner = rho * (_KAPPA * y * damp) ** 2 * np.abs(dudy)
     # displacement thickness for the outer layer

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SpeciesError
+from repro.numerics.safety import safe_exp
 from repro.thermo.species import SpeciesDB, species_set
 
 __all__ = ["BLOTTNER_COEFFS", "LENNARD_JONES", "blottner_viscosity",
@@ -75,7 +76,7 @@ def blottner_viscosity(name: str, T):
     # catlint: disable=UNIT002 -- empirical Blottner fit: the g/(cm s)
     # -> Pa s factor 0.1 and the curve-fit coefficients absorb all
     # units, so the [Pa s] result is invisible to the checker
-    return 0.1 * np.exp((a * lnT + b) * lnT + c)
+    return 0.1 * safe_exp((a * lnT + b) * lnT + c)
 
 
 def _omega22(t_star):

@@ -113,6 +113,75 @@ class TestDivByDifferenceCAT003:
         assert "CAT003" not in codes(src)
 
 
+class TestUnguardedExpCAT004:
+    def test_positive_hot_path(self):
+        src = """
+        import numpy as np
+        def rate(theta, T):
+            return np.exp(theta / T)
+        """
+        assert "CAT004" in codes(src, path=HOT)
+
+    def test_negative_outside_hot_path(self):
+        src = """
+        import numpy as np
+        def rate(theta, T):
+            return np.exp(theta / T)
+        """
+        assert "CAT004" not in codes(src, path=LIB)
+
+    def test_negative_clipped(self):
+        src = """
+        import numpy as np
+        def rate(theta, T):
+            return np.exp(np.clip(theta / T, -460.0, 460.0))
+        """
+        assert "CAT004" not in codes(src, path=HOT)
+
+    def test_negative_safe_exp(self):
+        src = """
+        from repro.numerics.safety import safe_exp
+        def rate(theta, T):
+            return safe_exp(theta / T)
+        """
+        assert "CAT004" not in codes(src, path=HOT)
+
+    def test_negative_negated_positive(self):
+        src = """
+        import numpy as np
+        def rate(theta, T):
+            return np.exp(-np.abs(theta) / np.maximum(T, 1.0))
+        """
+        assert "CAT004" not in codes(src, path=HOT)
+
+    def test_negative_negative_coefficient(self):
+        src = """
+        import numpy as np
+        def omega(t_star):
+            t = np.maximum(t_star, 1e-3)
+            return 0.193 * np.exp(-0.47635 * t)
+        """
+        assert "CAT004" not in codes(src, path=HOT)
+
+    def test_negative_clipped_name(self):
+        src = """
+        import numpy as np
+        def cv(th, T):
+            x = np.clip(th / T, 1e-12, 250.0)
+            return np.exp(x)
+        """
+        assert "CAT004" not in codes(src, path=HOT)
+
+    def test_positive_unclipped_name(self):
+        src = """
+        import numpy as np
+        def cv(th, T):
+            x = th / T
+            return np.exp(x)
+        """
+        assert "CAT004" in codes(src, path=HOT)
+
+
 class TestFloatEqualityCAT010:
     def test_positive(self):
         src = """

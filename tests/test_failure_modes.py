@@ -361,6 +361,25 @@ class TestAPIOnFailure:
             stagnation_environment(V=10.0, h=60e3, gas=air_gas,
                                    nose_radius=1.0)
 
+    def test_degrade_mode_falls_back_to_correlation(self, air_gas):
+        from repro.core.api import stagnation_environment
+        res = stagnation_environment(V=10.0, h=60e3, gas=air_gas,
+                                     nose_radius=1.0,
+                                     on_failure="degrade")
+        assert res["ok"] is True
+        assert res["degraded"] is True
+        assert res["degradation"]["ladder"] == "model"
+        assert res["degradation"]["rung"] == "correlation"
+        assert res["degradation"]["error_type"]
+        assert np.isfinite(res["q_conv"]) and res["q_conv"] > 0
+        assert res["profiles"] is None       # correlations have no profile
+
+    def test_unknown_on_failure_rejected(self):
+        from repro.core.api import stagnation_environment
+        with pytest.raises(InputError, match="on_failure"):
+            stagnation_environment(V=7000.0, h=60e3, nose_radius=1.0,
+                                   on_failure="bogus")
+
 
 class TestAdaptationOnPhysics:
     def test_adapt_concentrates_points_in_relaxation_front(self):
@@ -437,3 +456,143 @@ class TestMixtureEntropy:
         s_back = float(air_gas.mix.s_mass(np.array(T), np.array(2000.0),
                                           y))
         assert s_back == pytest.approx(s_target, rel=1e-6)
+
+
+def _make_reacting_small():
+    """9x13 Mach-10 reacting hemisphere (the degradation test case)."""
+    from repro.geometry import Hemisphere
+    from repro.grid import blunt_body_grid
+    from repro.solvers.reacting_euler2d import ReactingEulerSolver
+    from repro.thermo.species import species_set
+    grid = blunt_body_grid(Hemisphere(0.05), n_s=9, n_normal=13,
+                           density_ratio=0.12, margin=2.5)
+    db = species_set("air5")
+    s = ReactingEulerSolver(grid, db)
+    y = np.zeros(db.n)
+    y[db.index["N2"]] = 0.767
+    y[db.index["O2"]] = 0.233
+    return s.set_freestream(1e-3, 5000.0, 250.0, y)
+
+
+class TestDegradationLadder:
+    """Ladder mechanics: demote, march clean, re-promote (LIFO)."""
+
+    def test_numerics_round_trip_euler1d(self):
+        from repro.resilience import (DegradationController,
+                                      DegradationPolicy)
+        from repro.solvers.euler1d import Euler1DSolver
+        s = Euler1DSolver(np.linspace(0.0, 1.0, 41))
+        s.set_initial(1.0, 0.0, 1.0)
+        ctl = DegradationController(
+            DegradationPolicy(promote_after=3, quarantine_halo=1))
+        assert ctl.degrade(s, step=5, cells=[(10,)], reason="test")
+        assert s.quarantined_cells is not None
+        assert int(s.quarantined_cells.sum()) == 3   # cell + halo 1
+        assert ctl.active
+        for k in range(3):
+            s.steps = 6 + k
+            ctl.note_clean_step(s, step=s.steps)
+        # LIFO restore: the pre-demotion mask (None) is back
+        assert s.quarantined_cells is None
+        assert not ctl.active
+        led = ctl.ledger.to_dict()
+        assert led["n_demotions"] == 1
+        assert led["n_promotions"] == 1
+        assert led["fully_promoted"] is True
+        assert led["entries"][0]["rung"] == "first_order"
+
+    def test_failure_resets_clean_counter(self):
+        from repro.resilience import (DegradationController,
+                                      DegradationPolicy)
+        from repro.solvers.euler1d import Euler1DSolver
+        s = Euler1DSolver(np.linspace(0.0, 1.0, 21))
+        s.set_initial(1.0, 0.0, 1.0)
+        ctl = DegradationController(DegradationPolicy(promote_after=2))
+        ctl.degrade(s, step=0, cells=[(5,)], reason="test")
+        ctl.note_clean_step(s, step=1)
+        ctl.note_failure()                # resets the clean-step count
+        ctl.note_clean_step(s, step=2)
+        assert s.quarantined_cells is not None   # not yet re-promoted
+        ctl.note_clean_step(s, step=3)
+        assert s.quarantined_cells is None
+
+    def test_physics_ladder_reacting(self):
+        s = _make_reacting_small()
+        assert s.chemistry_model == "finite_rate"
+        rung = s.degrade_physics()            # whole domain, one rung down
+        assert rung == "frozen"
+        assert int(s.chem_rung.max()) == s.PHYSICS_LADDER.index("frozen")
+        assert s.degrade_physics() is None    # ladder exhausted
+
+    def test_controller_tries_numerics_then_physics(self):
+        from repro.resilience import (DegradationController,
+                                      DegradationPolicy)
+        s = _make_reacting_small()
+        ctl = DegradationController(DegradationPolicy(quarantine_halo=2))
+        assert ctl.degrade(s, step=1, cells=[(4, 6)], reason="a")
+        assert s.quarantined_cells is not None
+        assert s.chem_rung is None            # physics untouched so far
+        # same cells again: quarantine adds nothing, falls to physics
+        assert ctl.degrade(s, step=2, cells=[(4, 6)], reason="b")
+        assert s.chem_rung is not None
+        ladders = [e["ladder"] for e in ctl.ledger.to_dict()["entries"]]
+        assert ladders == ["numerics", "physics"]
+
+    def test_max_actions_bounds_cascade(self):
+        from repro.resilience import (DegradationController,
+                                      DegradationPolicy)
+        from repro.solvers.euler1d import Euler1DSolver
+        s = Euler1DSolver(np.linspace(0.0, 1.0, 21))
+        s.set_initial(1.0, 0.0, 1.0)
+        ctl = DegradationController(DegradationPolicy(max_actions=1))
+        assert ctl.degrade(s, step=0, cells=[(5,)], reason="one")
+        assert not ctl.degrade(s, step=1, cells=[(15,)], reason="two")
+
+
+class TestDegradationCascadeAcceptance:
+    """The PR's acceptance scenario: a persistent density corruption
+    that kills the plain rollback ladder must complete end-to-end once
+    the degradation cascade is armed."""
+
+    POLICY = dict(max_retries=1, cfl_backoff=0.8, cfl_min=0.2)
+
+    @staticmethod
+    def _faults():
+        fi = FaultInjector()
+        fi.inject_perturbation(step=10, cell=(4, 6), component=0,
+                               factor=1e-4, persistent=True)
+        return fi
+
+    def test_aborts_without_degradation(self):
+        s = _make_reacting_small()
+        with pytest.raises(CatError) as ei:
+            s.run(n_steps=40, cfl=0.4,
+                  resilience=RetryPolicy(**self.POLICY),
+                  faults=self._faults())
+        # the exhausted ladder attaches its FailureReport
+        assert getattr(ei.value, "report", None) is not None
+
+    def test_completes_with_degradation(self):
+        from repro.resilience import DegradationPolicy
+        s = _make_reacting_small()
+        s.run(n_steps=40, cfl=0.4, resilience=RetryPolicy(**self.POLICY),
+              faults=self._faults(), watchdog=True,
+              degradation=DegradationPolicy(promote_after=15))
+        assert s.steps == 40
+        led = s.degradation_ledger.to_dict()
+        assert led["n_demotions"] >= 1
+        assert led["entries"][0]["ladder"] == "numerics"
+        assert led["entries"][0]["rung"] == "first_order"
+        assert led["entries"][0]["n_cells"] > 0
+        assert led["n_promotions"] >= 1          # re-promotion recorded
+        assert s.quarantined_cells is not None
+        assert s.watchdog_events                 # audit trail present
+
+    def test_convergence_error_enters_retry_ladder(self):
+        """A mid-march ConvergenceError (implicit sub-solve dying on a
+        corrupted state) must be retryable, not a raw abort."""
+        s = _make_reacting_small()
+        with pytest.raises(StabilityError, match="retry ladder"):
+            s.run(n_steps=40, cfl=0.4,
+                  resilience=RetryPolicy(**self.POLICY),
+                  faults=self._faults())

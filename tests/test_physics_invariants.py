@@ -156,3 +156,96 @@ class TestTrajectoryInvariants:
                                 gamma0_deg=-15.0, V_stop=500.0)
         assert steep.dynamic_pressure.max() \
             > 1.5 * shallow.dynamic_pressure.max()
+
+
+class TestConservationBudgets:
+    """Closed-domain budget regression + watchdog seeded-violation tests."""
+
+    @staticmethod
+    def _closed_box():
+        from repro.solvers.euler1d import Euler1DSolver
+        s = Euler1DSolver(np.linspace(0.0, 1.0, 81),
+                          bc=("reflective", "reflective"))
+        rho = np.where(s.xc < 0.5, 1.0, 0.125)
+        p = np.where(s.xc < 0.5, 1.0, 0.1)
+        return s.set_initial(rho, 0.0, p)
+
+    def test_closed_euler1d_conserves_mass_energy(self):
+        s = self._closed_box()
+        m0, e0 = s.total_mass(), s.total_energy()
+        s.run(0.2, cfl=0.45)
+        assert s.total_mass() == pytest.approx(m0, rel=1e-12)
+        assert s.total_energy() == pytest.approx(e0, rel=1e-12)
+
+    def test_watchdog_silent_on_clean_closed_march(self):
+        s = self._closed_box()
+        s.run(0.2, cfl=0.45, watchdog=True)
+        assert s.watchdog_events == []
+
+    def test_watchdog_flags_seeded_mass_violation(self):
+        from repro.resilience import ConservationWatchdog, WatchdogPolicy
+        s = self._closed_box()
+        wd = ConservationWatchdog(WatchdogPolicy(warmup=0, window=4))
+        for k in range(3):
+            s.steps = k
+            wd.audit(s)
+        s.U *= 1.001                       # seeded conservation violation
+        s.steps = 3
+        events = wd.audit(s)
+        kinds = {e.kind for e in events}
+        assert {"mass_budget", "energy_budget"} <= kinds
+        ev = next(e for e in events if e.kind == "mass_budget")
+        assert ev.value == pytest.approx(1e-3, rel=0.05)
+        assert ev.component == "mass"
+
+    def test_watchdog_escalation_enters_ladder(self):
+        from repro.errors import StabilityError
+        from repro.resilience import ConservationWatchdog, WatchdogPolicy
+        s = self._closed_box()
+        wd = ConservationWatchdog(WatchdogPolicy(
+            warmup=0, window=4, raise_on=("mass_budget",)))
+        for k in range(3):
+            s.steps = k
+            wd.audit(s)
+        s.U *= 1.001
+        s.steps = 3
+        with pytest.raises(StabilityError, match="watchdog"):
+            wd.audit(s)
+
+    def test_chemistry_update_conserves_elements(self):
+        """The point-implicit chemistry operator must conserve element
+        moles cell-by-cell (reactions rearrange, never create atoms)."""
+        from repro.numerics.implicit import point_implicit_species_update
+        from repro.thermo.kinetics import park_air_mechanism
+        db = species_set("air5")
+        mech = park_air_mechanism(db)
+        rho = np.full((6,), 0.02)
+        T = np.linspace(4000.0, 9000.0, 6)
+        y = np.tile(np.array([0.70, 0.20, 0.04, 0.03, 0.03]), (6, 1))
+        y = y / y.sum(axis=-1, keepdims=True)
+        y_new = point_implicit_species_update(mech, rho, T, y, 1e-7)
+        moles_old = (rho[:, None] * y / db.molar_mass) @ db.comp_matrix.T
+        moles_new = (rho[:, None] * y_new / db.molar_mass) @ db.comp_matrix.T
+        # the update's positivity limiting + renormalisation introduce
+        # O(1e-9) relative drift; anything beyond that is a real leak
+        np.testing.assert_allclose(moles_new, moles_old, rtol=1e-7)
+
+    def test_reacting_solver_exposes_element_budgets(self):
+        from tests.test_failure_modes import _make_reacting_small
+        s = _make_reacting_small()
+        totals = s.conservation_totals()
+        assert "mass" in totals and "energy" in totals
+        assert "element:N" in totals and "element:O" in totals
+        assert all(np.isfinite(v) for v in totals.values())
+
+    def test_watchdog_localizes_species_bound_violation(self):
+        from repro.resilience import ConservationWatchdog, WatchdogPolicy
+        from tests.test_failure_modes import _make_reacting_small
+        s = _make_reacting_small()
+        i_no = 4 + s.db.index["NO"]
+        s.U[3, 5, i_no] = -1e-4 * s.U[3, 5, 0]   # negative partial density
+        events = ConservationWatchdog(WatchdogPolicy(warmup=0)).audit(s)
+        ev = next(e for e in events if e.kind == "species_bounds")
+        assert ev.cell == (3, 5)
+        assert ev.component == "species[NO]"
+        assert ev.value < 0.0
