@@ -5,6 +5,10 @@
 ``python -m repro stagnation V H RN`` — stagnation environment at
                                         (V [m/s], h [m], R_n [m])
 ``python -m repro degrade-smoke``   — degradation-cascade smoke run
+``python -m repro chaos``           — randomized fault campaign under
+                                      process isolation
+
+Exit codes: 0 success, 1 solver/invariant failure, 2 usage error.
 """
 
 from __future__ import annotations
@@ -16,7 +20,8 @@ usage: python -m repro [command] [options]
 
 commands:
   (none)                 overview and quick sanity numbers
-  figures [--full] [--checkpoint-dir D] [--resume]
+  figures [--full] [--checkpoint-dir D] [--resume] [--isolate]
+          [--deadline S] [--stall-timeout S] [--memory-mb M]
                          regenerate every paper figure
                            --full            full-resolution runs
                            --checkpoint-dir D
@@ -25,6 +30,15 @@ commands:
                            --resume          replay completed figures and
                                              continue interrupted marches
                                              from their latest snapshot
+                           --isolate         run each figure in a sandboxed
+                                             child process (kill + retry on
+                                             hang, memory balloon, crash)
+                           --deadline S      per-figure wall-clock budget
+                           --stall-timeout S declare a hang after S seconds
+                                             without a heartbeat
+                           --memory-mb M     per-figure RSS budget [MiB]
+                                             (the three budget flags
+                                             require --isolate)
   stagnation V H RN      stagnation environment at (V [m/s], h [m],
                          R_n [m])
   degrade-smoke [--out FILE]
@@ -32,8 +46,52 @@ commands:
                          without the degradation cascade and complete
                          with it; writes the degradation ledger JSON
                          to FILE (default degradation_ledger.json)
-  -h, --help             show this message\
+  chaos [--rounds N] [--seed S] [--out D] [--deadline S]
+                         randomized fault campaign: every round runs a
+                         solver with sampled faults (hangs, memory
+                         balloons, crashes, snapshot corruption, NaN
+                         upsets) under process isolation and asserts
+                         termination, bitwise resume and kill
+                         accounting; per-round reports land in D
+                         (default chaos-reports)
+  -h, --help             show this message
+
+exit codes: 0 success, 1 solver/invariant failure, 2 usage error\
 """
+
+
+class _UsageError(Exception):
+    """Bad command line; message is printed and the process exits 2."""
+
+
+def _usage_error(prefix: str, msg: str) -> None:
+    """Route every usage problem through one door so each misuse prints
+    a ``command: reason`` line plus the usage text and exits 2."""
+    raise _UsageError(f"{prefix}: {msg}")
+
+
+def _positive_float(prefix: str, flag: str, value: str | None) -> float:
+    if value is None:
+        _usage_error(prefix, f"{flag} needs a value")
+    try:
+        out = float(value)
+    except ValueError:
+        _usage_error(prefix, f"{flag} needs a number, got {value!r}")
+    if out <= 0.0:
+        _usage_error(prefix, f"{flag} must be positive, got {value}")
+    return out
+
+
+def _positive_int(prefix: str, flag: str, value: str | None) -> int:
+    if value is None:
+        _usage_error(prefix, f"{flag} needs a value")
+    try:
+        out = int(value)
+    except ValueError:
+        _usage_error(prefix, f"{flag} needs an integer, got {value!r}")
+    if out <= 0:
+        _usage_error(prefix, f"{flag} must be positive, got {value}")
+    return out
 
 
 def _overview() -> None:
@@ -49,31 +107,119 @@ def _overview() -> None:
           f"x_O = {x[gas.db.index['O']]:.3f} (mostly dissociated)")
 
 
-def _parse_figures(args: list[str]):
-    """Parse ``figures`` flags; returns kwargs or None on a bad flag."""
-    kwargs = {"quick": True, "checkpoint_dir": None, "resume": False}
+def _parse_figures(args: list[str]) -> dict:
+    """Parse ``figures`` flags into :func:`run_all` kwargs."""
+    kwargs: dict = {"quick": True, "checkpoint_dir": None,
+                    "resume": False}
+    budgets: dict = {}
+    isolate = False
     it = iter(args)
     for a in it:
         if a == "--full":
             kwargs["quick"] = False
         elif a == "--resume":
             kwargs["resume"] = True
+        elif a == "--isolate":
+            isolate = True
         elif a == "--checkpoint-dir":
             kwargs["checkpoint_dir"] = next(it, None)
             if kwargs["checkpoint_dir"] is None:
-                print("figures: --checkpoint-dir needs a directory",
-                      file=sys.stderr)
-                return None
+                _usage_error("figures",
+                             "--checkpoint-dir needs a directory")
         elif a.startswith("--checkpoint-dir="):
             kwargs["checkpoint_dir"] = a.split("=", 1)[1]
+        elif a in ("--deadline", "--stall-timeout", "--memory-mb"):
+            key = {"--deadline": "deadline",
+                   "--stall-timeout": "stall_timeout",
+                   "--memory-mb": "memory_mb"}[a]
+            budgets[key] = _positive_float("figures", a, next(it, None))
+        elif (a.startswith("--deadline=")
+              or a.startswith("--stall-timeout=")
+              or a.startswith("--memory-mb=")):
+            flag, value = a.split("=", 1)
+            key = {"--deadline": "deadline",
+                   "--stall-timeout": "stall_timeout",
+                   "--memory-mb": "memory_mb"}[flag]
+            budgets[key] = _positive_float("figures", flag, value)
         else:
-            print(f"figures: unknown option {a!r}", file=sys.stderr)
-            return None
+            _usage_error("figures", f"unknown option {a!r}")
     if kwargs["resume"] and kwargs["checkpoint_dir"] is None:
-        print("figures: --resume requires --checkpoint-dir",
-              file=sys.stderr)
-        return None
+        _usage_error("figures", "--resume requires --checkpoint-dir")
+    if budgets and not isolate:
+        flags = ", ".join("--" + k.replace("_", "-") for k in budgets)
+        _usage_error("figures", f"{flags} require(s) --isolate")
+    if isolate:
+        from repro.resilience import IsolationPolicy
+        kwargs["isolate"] = IsolationPolicy(**budgets)
     return kwargs
+
+
+def _cmd_figures(args: list[str]) -> int:
+    kwargs = _parse_figures(args)
+    from repro.experiments.runner import run_all
+    res = run_all(**kwargs)
+    return 1 if res["failures"] else 0
+
+
+def _cmd_stagnation(args: list[str]) -> int:
+    if len(args) != 3:
+        _usage_error("stagnation", "expects V[m/s] h[m] Rn[m]")
+    try:
+        V, h, rn = map(float, args)
+    except ValueError:
+        _usage_error("stagnation",
+                     f"arguments must be numbers, got {args!r}")
+    from repro.core import stagnation_environment
+    env = stagnation_environment(V=V, h=h, nose_radius=rn)
+    print(f"V = {V:.0f} m/s, h = {h / 1e3:.1f} km, R_n = {rn} m:")
+    print(f"  q_conv   = {env['q_conv'] / 1e4:10.2f} W/cm^2")
+    print(f"  q_rad    = {env['q_rad'] / 1e4:10.2f} W/cm^2")
+    print(f"  standoff = {env['standoff'] * 100:10.2f} cm")
+    print(f"  p_stag   = {env['p_stag'] / 1e3:10.2f} kPa")
+    print(f"  T_edge   = {env['T_edge']:10.0f} K")
+    return 0
+
+
+def _cmd_chaos(args: list[str]) -> int:
+    rounds, seed, out, deadline = 5, 0, "chaos-reports", 30.0
+    it = iter(args)
+    for a in it:
+        if a == "--rounds":
+            rounds = _positive_int("chaos", a, next(it, None))
+        elif a.startswith("--rounds="):
+            rounds = _positive_int("chaos", "--rounds",
+                                   a.split("=", 1)[1])
+        elif a == "--seed":
+            value = next(it, None)
+            if value is None:
+                _usage_error("chaos", "--seed needs a value")
+            try:
+                seed = int(value)
+            except ValueError:
+                _usage_error("chaos",
+                             f"--seed needs an integer, got {value!r}")
+        elif a.startswith("--seed="):
+            try:
+                seed = int(a.split("=", 1)[1])
+            except ValueError:
+                _usage_error("chaos", f"--seed needs an integer, "
+                             f"got {a.split('=', 1)[1]!r}")
+        elif a == "--out":
+            out = next(it, None)
+            if out is None:
+                _usage_error("chaos", "--out needs a directory")
+        elif a.startswith("--out="):
+            out = a.split("=", 1)[1]
+        elif a == "--deadline":
+            deadline = _positive_float("chaos", a, next(it, None))
+        elif a.startswith("--deadline="):
+            deadline = _positive_float("chaos", "--deadline",
+                                       a.split("=", 1)[1])
+        else:
+            _usage_error("chaos", f"unknown option {a!r}")
+    from repro.resilience.chaos import run_chaos
+    return run_chaos(rounds=rounds, seed=seed, out=out,
+                     deadline=deadline)
 
 
 def _degrade_smoke(out: str) -> int:
@@ -160,6 +306,30 @@ def _degrade_smoke(out: str) -> int:
     return 0
 
 
+def _cmd_degrade_smoke(args: list[str]) -> int:
+    out = "degradation_ledger.json"
+    rest = list(args)
+    if rest and rest[0] == "--out":
+        if len(rest) < 2:
+            _usage_error("degrade-smoke", "--out needs a path")
+        out = rest[1]
+        rest = rest[2:]
+    elif rest and rest[0].startswith("--out="):
+        out = rest[0].split("=", 1)[1]
+        rest = rest[1:]
+    if rest:
+        _usage_error("degrade-smoke", f"unknown option {rest[0]!r}")
+    return _degrade_smoke(out)
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "stagnation": _cmd_stagnation,
+    "degrade-smoke": _cmd_degrade_smoke,
+    "chaos": _cmd_chaos,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
@@ -169,50 +339,26 @@ def main(argv: list[str] | None = None) -> int:
     if cmd in ("-h", "--help", "help"):
         print(_USAGE)
         return 0
-    if cmd == "figures":
-        kwargs = _parse_figures(argv[1:])
-        if kwargs is None:
-            print(_USAGE, file=sys.stderr)
-            return 2
-        from repro.experiments.runner import run_all
-        res = run_all(**kwargs)
-        return 1 if res["failures"] else 0
-    if cmd == "stagnation":
-        if len(argv) != 4:
-            print("usage: python -m repro stagnation V[m/s] h[m] Rn[m]",
-                  file=sys.stderr)
-            return 2
-        from repro.core import stagnation_environment
-        V, h, rn = map(float, argv[1:4])
-        env = stagnation_environment(V=V, h=h, nose_radius=rn)
-        print(f"V = {V:.0f} m/s, h = {h / 1e3:.1f} km, R_n = {rn} m:")
-        print(f"  q_conv   = {env['q_conv'] / 1e4:10.2f} W/cm^2")
-        print(f"  q_rad    = {env['q_rad'] / 1e4:10.2f} W/cm^2")
-        print(f"  standoff = {env['standoff'] * 100:10.2f} cm")
-        print(f"  p_stag   = {env['p_stag'] / 1e3:10.2f} kPa")
-        print(f"  T_edge   = {env['T_edge']:10.0f} K")
-        return 0
-    if cmd == "degrade-smoke":
-        out = "degradation_ledger.json"
-        rest = argv[1:]
-        if rest and rest[0] == "--out":
-            if len(rest) < 2:
-                print("degrade-smoke: --out needs a path",
-                      file=sys.stderr)
-                return 2
-            out = rest[1]
-            rest = rest[2:]
-        elif rest and rest[0].startswith("--out="):
-            out = rest[0].split("=", 1)[1]
-            rest = rest[1:]
-        if rest:
-            print(f"degrade-smoke: unknown option {rest[0]!r}",
-                  file=sys.stderr)
-            return 2
-        return _degrade_smoke(out)
-    print(f"unknown command {cmd!r}", file=sys.stderr)
-    print(_USAGE, file=sys.stderr)
-    return 2
+    handler = _COMMANDS.get(cmd)
+    try:
+        if handler is None:
+            _usage_error("repro", f"unknown command {cmd!r}")
+        return handler(argv[1:])
+    except _UsageError as err:
+        print(err, file=sys.stderr)
+        print(_USAGE, file=sys.stderr)
+        return 2
+    except Exception as err:
+        from repro.errors import CatError
+        if not isinstance(err, CatError):
+            raise
+        # typed solver failure: summarise (with the attached report
+        # when present) and exit 1 instead of tracebacking
+        print(f"{cmd}: {type(err).__name__}: {err}", file=sys.stderr)
+        report = getattr(err, "report", None)
+        if report is not None:
+            print(report.summary(), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

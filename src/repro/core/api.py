@@ -21,6 +21,16 @@ the solver-level answer is replaced by the correlation-level one
 :func:`heat_pulse` uses) and the result carries ``"degraded": True``
 plus a ``"degradation"`` record naming the fallback rung and wrapping
 the original failure report.
+
+Process isolation: ``isolate=`` (``True`` for defaults, or an
+:class:`~repro.resilience.IsolationPolicy`) runs the solve in a
+sandboxed child process under a wall-clock deadline, an RSS memory
+budget and heartbeat stall detection — a hung or ballooning solve is
+killed and retried in a fresh child instead of wedging the caller.
+``on_failure="isolate"`` is the service-style combination: sandbox with
+default budgets plus failure-dict semantics (never raises, never
+hangs).  Together with ``"degrade"`` the entry points walk the full
+resilience ladder: retry → degrade → isolate → abort.
 """
 
 from __future__ import annotations
@@ -61,7 +71,7 @@ def make_gas(name: str) -> EquilibriumGas:
                      f"equilibrium-air, titan, jupiter")
 
 
-_ON_FAILURE = ("raise", "report", "degrade")
+_ON_FAILURE = ("raise", "report", "degrade", "isolate")
 
 #: Sutton-Graves constant selector for each named gas model.
 _GAS_ATMOSPHERE = {"equilibrium-air": "earth", "titan": "titan",
@@ -80,6 +90,16 @@ def _failure_dict(err: CatError) -> dict:
             "report": getattr(err, "report", None)}
 
 
+def _isolated_call(fn, isolate, *, label):
+    """Run ``fn()`` inside an :class:`~repro.resilience.IsolatedRunner`
+    sandbox (deadline + memory budget + stall detection, fresh-child
+    retries).  ``isolate`` is ``True`` for the default budgets or an
+    :class:`~repro.resilience.IsolationPolicy`."""
+    from repro.resilience.isolation import IsolatedRunner, as_isolation
+    policy = as_isolation(isolate)
+    return IsolatedRunner(policy, label=label).run_callable(fn)
+
+
 def _degradation_record(rung: str, err: CatError) -> dict:
     """Ledger-style record attached to a model-ladder fallback result."""
     return {"ladder": "model", "rung": rung,
@@ -89,29 +109,43 @@ def _degradation_record(rung: str, err: CatError) -> dict:
 
 def stagnation_environment(*, V, h, nose_radius, atmosphere=None,
                            gas="equilibrium-air", T_wall=1500.0,
-                           quick=True, on_failure="raise") -> dict:
+                           quick=True, isolate=None,
+                           on_failure="raise") -> dict:
     """Full stagnation-point aerothermal environment at one condition.
 
     Returns a dict with the shock state, convective and radiative wall
     fluxes, shock standoff, stagnation pressure and the shock-layer
     temperature/species profiles.  ``on_failure="report"`` returns the
     failure dict instead of raising; ``on_failure="degrade"`` falls back
-    to the correlation-level fluxes (see the module docstring).
+    to the correlation-level fluxes; ``isolate=True`` (or an
+    :class:`~repro.resilience.IsolationPolicy`) sandboxes the solve in
+    a supervised child process; ``on_failure="isolate"`` combines the
+    sandbox with failure-dict semantics (see the module docstring).
     """
     from repro.solvers.vsl import StagnationVSL
 
     _check_on_failure(on_failure)
+    if on_failure == "isolate" and isolate is None:
+        isolate = True
     atm = atmosphere or EarthAtmosphere()
     gas_model = make_gas(gas) if isinstance(gas, str) else gas
     vsl = StagnationVSL(gas_model, nose_radius=nose_radius)
+
+    def _solve():
+        return vsl.solve(rho_inf=float(atm.density(h)),
+                         T_inf=float(atm.temperature(h)), V=float(V),
+                         T_wall=T_wall,
+                         n_profile=40 if quick else 100,
+                         n_lambda=150 if quick else 400)
+
     try:
-        sol = vsl.solve(rho_inf=float(atm.density(h)),
-                        T_inf=float(atm.temperature(h)), V=float(V),
-                        T_wall=T_wall,
-                        n_profile=40 if quick else 100,
-                        n_lambda=150 if quick else 400)
+        if isolate:
+            sol = _isolated_call(_solve, isolate,
+                                 label="stagnation_environment")
+        else:
+            sol = _solve()
     except CatError as err:
-        if on_failure == "report":
+        if on_failure in ("report", "isolate"):
             return _failure_dict(err)
         if on_failure == "degrade":
             return _stagnation_correlation(atm, h=h, V=V,
@@ -166,7 +200,7 @@ def _stagnation_correlation(atm, *, h, V, nose_radius, gas, err) -> dict:
 def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
                      atmosphere=None, gas="equilibrium-air",
                      T_wall=1200.0, catalytic_phi=1.0,
-                     n_stations=40, resilience=None,
+                     n_stations=40, resilience=None, isolate=None,
                      on_failure="raise") -> dict:
     """Windward-centerline heating distribution at one condition.
 
@@ -174,12 +208,17 @@ def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
     (degraded stations are listed in ``result.degraded_stations``);
     ``on_failure="report"`` returns the failure dict instead of raising;
     ``on_failure="degrade"`` falls back to the correlation-level
-    distribution (see the module docstring).
+    distribution; ``isolate=True`` (or an
+    :class:`~repro.resilience.IsolationPolicy`) sandboxes the march in
+    a supervised child process; ``on_failure="isolate"`` combines the
+    sandbox with failure-dict semantics (see the module docstring).
     """
     from repro.geometry import OrbiterWindwardProfile
     from repro.solvers.pns import WindwardHeatingPNS
 
     _check_on_failure(on_failure)
+    if on_failure == "isolate" and isolate is None:
+        isolate = True
     atm = atmosphere or EarthAtmosphere()
     body = OrbiterWindwardProfile(alpha_deg=alpha_deg,
                                   nose_radius=nose_radius, length=length)
@@ -189,14 +228,21 @@ def windward_heating(*, V, h, alpha_deg, nose_radius=1.3, length=32.77,
     else:
         gas_model = make_gas(gas) if isinstance(gas, str) else gas
         pns = WindwardHeatingPNS(body, gas=gas_model)
+    def _solve():
+        return pns.solve(rho_inf=float(atm.density(h)),
+                         T_inf=float(atm.temperature(h)), V=float(V),
+                         T_wall=T_wall, n_stations=n_stations,
+                         catalytic_phi=catalytic_phi,
+                         resilience=resilience)
+
     try:
-        res = pns.solve(rho_inf=float(atm.density(h)),
-                        T_inf=float(atm.temperature(h)), V=float(V),
-                        T_wall=T_wall, n_stations=n_stations,
-                        catalytic_phi=catalytic_phi,
-                        resilience=resilience)
+        if isolate:
+            res = _isolated_call(_solve, isolate,
+                                 label="windward_heating")
+        else:
+            res = _solve()
     except CatError as err:
-        if on_failure == "report":
+        if on_failure in ("report", "isolate"):
             return _failure_dict(err)
         if on_failure == "degrade":
             return _windward_correlation(atm, h=h, V=V,

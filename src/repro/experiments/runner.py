@@ -15,6 +15,13 @@ The runner is resilient two ways:
   crash (SIGKILL, OOM, preemption) replays completed figures from their
   markers and continues interrupted ones mid-march (see
   :mod:`repro.resilience.persistence`).
+
+With ``isolate`` (``--isolate [--deadline S]`` on the CLI) each figure
+additionally runs in a sandboxed child process under a wall-clock
+deadline, an RSS memory budget and heartbeat stall detection
+(:mod:`repro.resilience.isolation`): a hung or ballooning figure is
+killed and retried in a fresh child — combined with ``checkpoint_dir``
+the retry re-enters mid-march from the durable snapshots.
 """
 
 from __future__ import annotations
@@ -63,9 +70,26 @@ def _write_done(path: str, text: str) -> None:
     os.replace(tmp, path)
 
 
+def _run_isolated(name, mod, kwargs, isolate, checkpoint_dir, stream):
+    """Run one figure inside an isolation sandbox; reports kill events
+    on the stream and returns the figure's output text."""
+    from repro.resilience.isolation import IsolatedRunner, as_isolation
+    runner = IsolatedRunner(as_isolation(isolate), label=name)
+    workdir = (None if checkpoint_dir is None
+               else os.path.join(checkpoint_dir, f"{name}.sandbox"))
+    try:
+        return runner.run_callable(mod.main, kwargs=kwargs,
+                                   workdir=workdir)
+    finally:
+        for ev in runner.events:
+            print(f"[{name} isolation: {ev.kind} after "
+                  f"{ev.elapsed:.1f} s on attempt {ev.attempt} — "
+                  f"{ev.message}]", file=stream)
+
+
 def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
-            checkpoint_dir: str | None = None, resume: bool = False
-            ) -> dict:
+            checkpoint_dir: str | None = None, resume: bool = False,
+            isolate=None) -> dict:
     """Run every experiment.
 
     Returns ``{"timings": {name: seconds}, "failures": {name: exc},
@@ -84,6 +108,13 @@ def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
     snapshots); ``resume`` replays completed figures from their markers
     and lets marching figures continue from their latest on-disk
     snapshot instead of starting over.
+
+    ``isolate`` (``True`` for defaults, or an
+    :class:`~repro.resilience.IsolationPolicy`) sandboxes each figure
+    in a supervised child process — hung, ballooning or crashing
+    figures are killed, reported and retried in a fresh child.  Note
+    that a sandboxed figure's degradation ledgers drain inside the
+    child and are not visible to the suite's ``ledgers`` output.
     """
     stream = stream or sys.stdout
     timings: dict[str, float] = {}
@@ -118,7 +149,11 @@ def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
             kwargs["persist_dir"] = os.path.join(checkpoint_dir, name)
         t0 = time.perf_counter()
         try:
-            out = mod.main(**kwargs)
+            if isolate:
+                out = _run_isolated(name, mod, kwargs, isolate,
+                                    checkpoint_dir, stream)
+            else:
+                out = mod.main(**kwargs)
             print(out, file=stream)
             if done_path is not None:
                 _write_done(done_path, out)

@@ -35,7 +35,7 @@ __all__ = ["SharedMemoryStencilPool"]
 
 
 def _worker(shm_a_name, shm_b_name, shape, dtype_str, block, kernel_name,
-            n_steps, params, barrier):
+            n_steps, params, barrier, heartbeats, rank):
     shm_a = shared_memory.SharedMemory(name=shm_a_name)
     shm_b = shared_memory.SharedMemory(name=shm_b_name)
     try:
@@ -46,9 +46,13 @@ def _worker(shm_a_name, shm_b_name, shape, dtype_str, block, kernel_name,
         p["own"] = block.owned_slice_in_padded()
         src, dst = A, B
         for _ in range(n_steps):
+            # liveness beat: CLOCK_MONOTONIC is system-wide on Linux,
+            # so the parent can age these against its own clock
+            heartbeats[rank] = time.monotonic()
             local = np.array(src[block.padded_lo:block.padded_hi])
             barrier.wait()
             kernel(local, dst[block.lo:block.hi], p)
+            heartbeats[rank] = time.monotonic()
             barrier.wait()
             src, dst = dst, src
     except BaseException:
@@ -88,7 +92,7 @@ class SharedMemoryStencilPool:
         self.halo = halo
         self.barrier_timeout = barrier_timeout
 
-    def _diagnose_dead_workers(self, procs, step: int):
+    def _diagnose_dead_workers(self, procs, heartbeats, step: int):
         """Turn a broken/expired barrier into a typed diagnosis."""
         # give the OS a beat to reap a worker that died this instant
         deadline = time.monotonic() + 2.0
@@ -103,10 +107,21 @@ class SharedMemoryStencilPool:
                     f"(all dead: {[w for w, _ in dead]})",
                     worker=worker, step=step, exitcode=code)
             time.sleep(0.05)
+        # nobody died: name the stalest worker by last-heartbeat age so
+        # a kernel wedge points at the culprit, not just "deadlock"
+        now = time.monotonic()
+        ages = [(now - hb if hb > 0.0 else float("inf"))
+                for hb in heartbeats]
+        stalest = max(range(len(ages)), key=ages.__getitem__)
+        summary = ", ".join(
+            f"w{i}={'never' if a == float('inf') else f'{a:.1f}s'}"
+            for i, a in enumerate(ages))
         raise SolverError(
             f"stencil pool: barrier broken or timed out at step {step} "
             f"but every worker is still alive (deadlock or a worker "
-            f"stuck in the kernel)", step=step)
+            f"stuck in the kernel); last heartbeat ages: {summary}; "
+            f"stalest: worker {stalest}",
+            worker=stalest, step=step)
 
     def run(self, U0: np.ndarray, n_steps: int, params: dict | None = None):
         """Advance U0 by n_steps; returns (U_final, elapsed_seconds).
@@ -121,6 +136,10 @@ class SharedMemoryStencilPool:
         blocks = partition_1d(U0.shape[0], self.n_workers, halo=self.halo)
         ctx = mp.get_context("fork")
         barrier = ctx.Barrier(self.n_workers + 1)
+        # one monotonic timestamp per worker, written every half-step;
+        # lock-free is safe (single writer per slot, torn reads only
+        # misreport an age, never corrupt state)
+        heartbeats = ctx.Array("d", self.n_workers, lock=False)
         nbytes = U0.nbytes
         shm_a = shared_memory.SharedMemory(create=True, size=nbytes)
         procs: list = []
@@ -138,8 +157,9 @@ class SharedMemoryStencilPool:
             procs = [ctx.Process(
                 target=_worker,
                 args=(shm_a.name, shm_b.name, U0.shape, "float64", blk,
-                      self.kernel, n_steps, params, barrier))
-                for blk in blocks]
+                      self.kernel, n_steps, params, barrier, heartbeats,
+                      rank))
+                for rank, blk in enumerate(blocks)]
             for p in procs:
                 p.start()
             t0 = time.perf_counter()
@@ -148,10 +168,19 @@ class SharedMemoryStencilPool:
                     barrier.wait(timeout=self.barrier_timeout)  # snapshot
                     barrier.wait(timeout=self.barrier_timeout)  # write
                 except BrokenBarrierError:
-                    self._diagnose_dead_workers(procs, step)
+                    self._diagnose_dead_workers(procs, heartbeats, step)
             elapsed = time.perf_counter() - t0
             for i, p in enumerate(procs):
                 p.join(timeout=self.barrier_timeout)
+                if p.is_alive():
+                    # straggler past the final barrier: force-kill so
+                    # repeated run() calls never accumulate zombies
+                    p.kill()
+                    p.join()
+                    raise SolverError(
+                        f"stencil pool: worker {i} still running "
+                        f"{self.barrier_timeout:.0f} s after the final "
+                        f"step (force-killed)", worker=i)
                 if p.exitcode != 0:
                     raise SolverError(
                         f"stencil pool: worker {i} exited with code "
@@ -167,6 +196,11 @@ class SharedMemoryStencilPool:
                 if p.is_alive():
                     p.terminate()
                     p.join(timeout=5)
+                if p.is_alive():
+                    # SIGTERM ignored or wedged in uninterruptible IO:
+                    # escalate so no zombie survives the pool
+                    p.kill()
+                    p.join()
             try:
                 try:
                     shm_a.close()

@@ -23,10 +23,19 @@ This package provides the machinery the solver stack wires through:
 * :class:`PersistencePolicy` / :class:`SnapshotStore` /
   :func:`resume_run` — durable, crash-safe snapshots on disk (atomic
   writes, SHA-256 verified loads, keep-last-K retention) so a SIGKILLed
-  march resumes bit-identical from its latest valid generation.
+  march resumes bit-identical from its latest valid generation,
+* :class:`IsolatedRunner` / :class:`IsolationPolicy` /
+  :class:`IsolationEvent` / :class:`Heartbeat` — process-level
+  isolation: solves run in supervised child processes under wall-clock
+  deadlines, RSS memory budgets and heartbeat stall detection, killed
+  (SIGTERM → SIGKILL) and auto-resumed from the durable snapshots when
+  they hang, balloon or crash (see :mod:`repro.resilience.isolation`
+  and the chaos harness in :mod:`repro.resilience.chaos`).
 """
 
 from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.isolation import (Heartbeat, IsolatedRunner,
+                                        IsolationEvent, IsolationPolicy)
 from repro.resilience.degradation import (DegradationController,
                                           DegradationLedger,
                                           DegradationPolicy,
@@ -44,9 +53,10 @@ from repro.resilience.watchdog import (ConservationWatchdog,
 
 __all__ = ["Checkpoint", "ConservationWatchdog", "DegradationController",
            "DegradationLedger", "DegradationPolicy", "Fault",
-           "FaultInjector", "FailureReport", "LoadedSnapshot",
-           "MANIFEST_SCHEMA_VERSION", "PersistencePolicy", "RetryPolicy",
-           "RunSupervisor", "SimulatedCrash", "SnapshotStore",
-           "WatchdogEvent", "WatchdogPolicy", "drain_ledgers",
-           "resume_run", "solver_config", "solver_fingerprint",
-           "supervised_call"]
+           "FaultInjector", "FailureReport", "Heartbeat",
+           "IsolatedRunner", "IsolationEvent", "IsolationPolicy",
+           "LoadedSnapshot", "MANIFEST_SCHEMA_VERSION",
+           "PersistencePolicy", "RetryPolicy", "RunSupervisor",
+           "SimulatedCrash", "SnapshotStore", "WatchdogEvent",
+           "WatchdogPolicy", "drain_ledgers", "resume_run",
+           "solver_config", "solver_fingerprint", "supervised_call"]

@@ -1,0 +1,326 @@
+"""Chaos harness: random fault schedules under process isolation.
+
+``python -m repro chaos --seed S --rounds N`` is the operational proof
+of the resilience stack: every round samples a solver and a random
+fault schedule (hangs, memory balloons, scripted crashes, snapshot
+corruption, transient NaN/perturbation upsets), runs the march inside
+an :class:`~repro.resilience.isolation.IsolatedRunner` sandbox with
+tight budgets, and asserts the invariants production operation depends
+on:
+
+* **termination** — every round ends (kills + bounded restart budget:
+  nothing can wedge the harness);
+* **bitwise resume** — for schedules whose faults never corrupt the
+  marching state (hang / balloon / crash / snapshot IO), the
+  kill-and-resume result matches a crash-free in-process run bit for
+  bit;
+* **accounting** — every kill leaves a typed
+  :class:`~repro.resilience.isolation.IsolationEvent`, an aborted round
+  carries a :class:`~repro.resilience.report.FailureReport` embedding
+  the exact (JSON round-trippable) fault schedule for deterministic
+  replay, and a per-round report lands on disk;
+* **no orphans** — after every round a process sweep finds no surviving
+  child of the harness.
+
+Sampling is fully deterministic in the seed: the same ``--seed`` yields
+the same solvers, the same schedules and the same outcomes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.isolation import (IsolatedRunner, IsolationPolicy,
+                                        _read_rss_mb)
+
+__all__ = ["CASES", "run_chaos", "run_round", "sample_schedule"]
+
+
+# ----------------------------------------------------------------------
+# solver case matrix (small, fast, persist-protocol instances)
+# ----------------------------------------------------------------------
+
+def _make_euler1d():
+    from repro.solvers.euler1d import Euler1DSolver
+    s = Euler1DSolver(np.linspace(0.0, 1.0, 41))
+    rho = np.where(s.xc < 0.5, 1.0, 0.125)
+    p = np.where(s.xc < 0.5, 1.0, 0.1)
+    return s.set_initial(rho, 0.0, p)
+
+
+def _blunt(cls, **kw):
+    from repro.core.gas import IdealGasEOS
+    from repro.geometry import Hemisphere
+    from repro.grid import blunt_body_grid
+    grid = blunt_body_grid(Hemisphere(1.0), n_s=13, n_normal=17,
+                           density_ratio=0.2, margin=2.5)
+    s = cls(grid, IdealGasEOS(1.4), **kw)
+    rho, T = 0.01, 220.0
+    # catlint: disable=CAT002 -- T is the 220.0 literal above, gamma/R
+    # positive constants
+    s.set_freestream(rho, 8.0 * np.sqrt(1.4 * 287.0528 * T),
+                     rho * 287.0528 * T)
+    return s
+
+
+def _make_euler2d():
+    from repro.solvers.euler2d import AxisymmetricEulerSolver
+    return _blunt(AxisymmetricEulerSolver)
+
+
+def _make_ns2d():
+    from repro.solvers.ns2d import AxisymmetricNSSolver
+    return _blunt(AxisymmetricNSSolver, T_wall=500.0)
+
+
+def _make_reacting():
+    from repro.geometry import Hemisphere
+    from repro.grid import blunt_body_grid
+    from repro.solvers.reacting_euler2d import ReactingEulerSolver
+    from repro.thermo.species import species_set
+    grid = blunt_body_grid(Hemisphere(0.05), n_s=9, n_normal=13,
+                           density_ratio=0.12, margin=2.5)
+    db = species_set("air5")
+    s = ReactingEulerSolver(grid, db)
+    y = np.zeros(db.n)
+    y[db.index["N2"]] = 0.767
+    y[db.index["O2"]] = 0.233
+    return s.set_freestream(1e-3, 5000.0, 250.0, y)
+
+
+#: name -> (factory, run_kwargs, total marching steps, 2-D cell grid
+#: bounds or None for a 1-D solver with 41 cells)
+CASES = {
+    "euler1d": (_make_euler1d, {"t_final": 0.1, "cfl": 0.4}, 20, None),
+    "euler2d": (_make_euler2d, {"n_steps": 20, "cfl": 0.3}, 20, (13, 17)),
+    "ns2d": (_make_ns2d, {"n_steps": 14, "cfl": 0.3}, 14, (13, 17)),
+    "reacting_euler2d": (_make_reacting, {"n_steps": 10, "cfl": 0.3}, 10,
+                         (9, 13)),
+}
+
+#: fault menu; the "resumable" kinds never mutate marching state, so a
+#: killed-and-resumed run must land bitwise on the crash-free result
+_MENU = ("hang", "memory_balloon", "crash", "io", "nan", "perturb")
+_RESUMABLE = frozenset(("hang", "memory_balloon", "crash", "io"))
+
+
+# ----------------------------------------------------------------------
+# deterministic schedule sampling
+# ----------------------------------------------------------------------
+
+def sample_schedule(rng, case_name: str, *, balloon_mb: float = 500.0
+                    ) -> tuple[FaultInjector, dict]:
+    """Sample one fault schedule for ``case_name`` from ``rng``.
+
+    Returns the armed injector and a JSON-able description
+    ``{"case", "faults", "resumable"}``.  Everything the round does is
+    a pure function of the generator state on entry.
+    """
+    _, _, n_steps, grid = CASES[case_name]
+    n_faults = int(rng.integers(1, 3))
+    kinds = [str(k) for k in rng.choice(_MENU, size=n_faults,
+                                        replace=False)]
+    fi = FaultInjector()
+    for kind in kinds:
+        step = int(rng.integers(2, max(3, n_steps - 1)))
+        if kind == "hang":
+            fi.inject_hang(step=step, duration=600.0)
+        elif kind == "memory_balloon":
+            fi.inject_memory_balloon(step=step, mb=balloon_mb,
+                                     hold=600.0)
+        elif kind == "crash":
+            fi.inject_crash(step=step)
+        elif kind == "io":
+            io_kind = str(rng.choice(("truncate", "bitflip", "torn")))
+            fi.inject_io_fault(kind=io_kind,
+                               write=int(rng.integers(0, 3)))
+        else:   # nan | perturb: one transient single-cell upset
+            if grid is None:
+                cell = int(rng.integers(1, 40))
+            else:
+                ni, nj = grid
+                cell = (int(rng.integers(1, ni - 1)),
+                        int(rng.integers(1, nj - 1)))
+            if kind == "nan":
+                fi.inject_nan(step=step, cell=cell, component=0)
+            else:
+                fi.inject_perturbation(step=step, cell=cell,
+                                       component=0,
+                                       factor=float(rng.choice(
+                                           (1e-3, 1e3))))
+    schedule = {"case": case_name, "faults": fi.to_json()["faults"],
+                "resumable": all(k in _RESUMABLE for k in kinds)}
+    return fi, schedule
+
+
+def _state_fingerprint(solver) -> dict:
+    """Byte-exact view of a solver's marching state for comparison."""
+    out = {}
+    for k, v in solver.get_state().items():
+        out[k] = v.tobytes() if isinstance(v, np.ndarray) else v
+    return out
+
+
+def _orphan_sweep() -> list[str]:
+    """Surviving multiprocessing children of this process (should be
+    empty after every round — the kill path joins everything)."""
+    orphans = []
+    for p in mp.active_children():
+        p.join(timeout=1.0)
+        if p.is_alive():
+            orphans.append(f"pid={p.pid} name={p.name}")
+    return orphans
+
+
+# ----------------------------------------------------------------------
+# one round
+# ----------------------------------------------------------------------
+
+def run_round(index: int, rng, *, out_dir: str | None = None,
+              deadline: float = 30.0, stall_timeout: float = 2.0,
+              memory_margin_mb: float = 250.0, balloon_mb: float = 500.0,
+              cases=None, stream=None) -> dict:
+    """Run one chaos round; returns its (JSON-able) report dict.
+
+    The round passes (``report["ok"]``) when it terminates with every
+    invariant intact; the report records the schedule, every isolation
+    event, the invariant checks and — on abort — the failure report
+    with the embedded schedule.
+    """
+    stream = stream or sys.stdout
+    names = sorted(cases or CASES)
+    case_name = str(rng.choice(names))
+    factory, run_kwargs, _n, _grid = CASES[case_name]
+    faults, schedule = sample_schedule(rng, case_name,
+                                       balloon_mb=balloon_mb)
+    kinds = [f["kind"] for f in schedule["faults"]]
+    print(f"round {index}: {case_name} with fault(s) "
+          f"{'+'.join(kinds)}", file=stream)
+
+    base_rss = _read_rss_mb()
+    policy = IsolationPolicy(
+        deadline=deadline,
+        memory_mb=None if base_rss is None
+        else base_rss + memory_margin_mb,
+        stall_timeout=stall_timeout,
+        max_restarts=3, poll_interval=0.05, term_grace=1.0,
+        every_n_steps=3)
+    runner = IsolatedRunner(policy, label=f"chaos[{case_name}]")
+
+    report: dict = {"round": index, "case": case_name,
+                    "schedule": schedule, "policy": {
+                        "deadline": policy.deadline,
+                        "memory_mb": policy.memory_mb,
+                        "stall_timeout": policy.stall_timeout,
+                        "max_restarts": policy.max_restarts}}
+    t0 = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix=f"chaos-{index}-") as workdir:
+        try:
+            solver = runner.run_solver(factory, run_kwargs,
+                                       workdir=workdir, faults=faults,
+                                       resilience=True, watchdog=True)
+            report["outcome"] = "completed"
+        except SolverError as err:
+            solver = None
+            report["outcome"] = "aborted"
+            rep = getattr(err, "report", None)
+            if rep is not None:
+                rep.fault_schedule = faults.to_json()
+                report["failure_report"] = rep.to_dict()
+    report["elapsed"] = round(time.monotonic() - t0, 2)
+    report["events"] = [e.to_dict() for e in runner.events]
+
+    # -- invariants -----------------------------------------------------
+    checks: dict = {"terminated": True}
+    checks["every_kill_reported"] = all(
+        e.kind in ("hang", "oom", "deadline", "crash")
+        for e in runner.events)
+    orphans = _orphan_sweep()
+    checks["no_orphans"] = not orphans
+    if orphans:
+        report["orphans"] = orphans
+    if schedule["resumable"]:
+        # faults never touched the marching state: the sandboxed result
+        # must match a crash-free in-process run bit for bit
+        checks["completed"] = solver is not None
+        if solver is not None:
+            ref = factory()
+            ref.run(**run_kwargs)
+            a, b = _state_fingerprint(solver), _state_fingerprint(ref)
+            checks["bitwise_match"] = a == b
+        else:
+            checks["bitwise_match"] = False
+    else:
+        # state-corrupting transients: rollback-retry may legitimately
+        # change the trajectory; the invariant is clean termination
+        checks["completed"] = (solver is not None
+                               or "failure_report" in report)
+    if report["outcome"] == "aborted":
+        checks["abort_has_report"] = "failure_report" in report
+    report["checks"] = checks
+    report["ok"] = all(checks.values())
+
+    status = "ok" if report["ok"] else "FAILED"
+    ev = "/".join(e.kind for e in runner.events) or "none"
+    print(f"  -> {report['outcome']} in {report['elapsed']:.1f} s, "
+          f"kills: {ev}, invariants: {status}", file=stream)
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"round-{index:03d}.json")
+        with open(path, "w") as f:
+            json.dump(report, f, indent=1, default=str)
+    return report
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+
+def run_chaos(*, rounds: int = 5, seed: int = 0, out: str | None =
+              "chaos-reports", deadline: float = 30.0,
+              stall_timeout: float = 2.0, memory_margin_mb: float = 250.0,
+              balloon_mb: float = 500.0, cases=None, stream=None) -> int:
+    """Run ``rounds`` chaos rounds; returns a process exit code
+    (0 = every invariant held in every round, 1 otherwise).
+
+    Per-round reports land in ``out`` (``round-NNN.json``) together
+    with a ``chaos-ledger.json`` summarising the campaign.
+    """
+    stream = stream or sys.stdout
+    rng = np.random.default_rng(seed)
+    print(f"chaos: {rounds} round(s), seed {seed}, deadline "
+          f"{deadline:.0f} s, stall {stall_timeout:.1f} s", file=stream)
+    reports = []
+    for i in range(rounds):
+        reports.append(run_round(i, rng, out_dir=out, deadline=deadline,
+                                 stall_timeout=stall_timeout,
+                                 memory_margin_mb=memory_margin_mb,
+                                 balloon_mb=balloon_mb, cases=cases,
+                                 stream=stream))
+    failed = [r["round"] for r in reports if not r["ok"]]
+    ledger = {"rounds": len(reports), "seed": seed,
+              "failed_rounds": failed,
+              "kills": sum(len(r["events"]) for r in reports),
+              "outcomes": {r["round"]: r["outcome"] for r in reports},
+              "ok": not failed}
+    if out is not None:
+        os.makedirs(out, exist_ok=True)
+        with open(os.path.join(out, "chaos-ledger.json"), "w") as f:
+            json.dump(ledger, f, indent=1)
+    if failed:
+        print(f"chaos: {len(failed)}/{rounds} round(s) violated an "
+              f"invariant: {failed}", file=stream)
+        return 1
+    print(f"chaos: all {rounds} round(s) green "
+          f"({ledger['kills']} kill(s) performed and recovered)",
+          file=stream)
+    return 0

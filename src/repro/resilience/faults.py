@@ -26,12 +26,31 @@ The durable-persistence layer adds two more fault families:
   committed snapshot on disk (truncated ``.npz``, flipped byte, torn
   manifest) so the checksum-verify / fall-back-a-generation load path is
   exercised deterministically.
+
+The process-isolation layer adds two operational fault families the
+in-process ladders *cannot* recover from — only a supervising parent
+(:class:`~repro.resilience.isolation.IsolatedRunner`) can:
+
+* **hang faults** (:meth:`FaultInjector.inject_hang`) stop the march
+  dead after a chosen step (SIGTERM is ignored for the duration, the
+  model for a truly wedged process), so heartbeat silence — not elapsed
+  time — is what the parent must detect;
+* **memory-balloon faults** (:meth:`FaultInjector.inject_memory_balloon`)
+  allocate-and-hold a scripted number of MiB, the model for a leak
+  marching toward the OOM killer.
+
+Fault schedules round-trip through JSON (:meth:`FaultInjector.to_json` /
+:meth:`FaultInjector.from_json`), so the chaos harness can persist the
+exact schedule of a failing round into its
+:class:`~repro.resilience.report.FailureReport` for deterministic replay.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+import signal
+import time
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -56,8 +75,10 @@ class SimulatedCrash(BaseException):
 class Fault:
     """One scripted fault."""
 
-    kind: str                     #: "nan"|"perturb"|"newton"|"crash"|"io"
-    step: int | None = None       #: step to fire at (nan/perturb/crash)
+    kind: str                     #: "nan"|"perturb"|"newton"|"crash"|
+                                  #: "io"|"hang"|"memory_balloon"
+    step: int | None = None       #: step to fire at (nan/perturb/crash/
+                                  #: hang/memory_balloon)
     cell: tuple | int | None = None
     component: int = 0
     factor: float = 10.0          #: multiplier for "perturb"
@@ -65,8 +86,38 @@ class Fault:
     cells: tuple = ()             #: batch indices to poison ("newton")
     value: float = 120.0          #: poisoned element potential ("newton")
     io_kind: str | None = None    #: "truncate" | "bitflip" | "torn" ("io")
+    duration: float = 600.0       #: hang sleep / balloon hold [s]
+    mb: float = 256.0             #: balloon size [MiB]
     persistent: bool = False
     fired: int = 0
+
+    def to_json(self) -> dict:
+        """JSON-able schedule entry (arming state only, not ``fired``)."""
+        d = asdict(self)
+        d.pop("fired")
+        if isinstance(d["cell"], tuple):
+            d["cell"] = list(d["cell"])
+        d["cells"] = list(d["cells"])
+        return d
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Fault":
+        """Inverse of :meth:`to_json`."""
+        d = dict(d)
+        d.pop("fired", None)
+        if isinstance(d.get("cell"), list):
+            d["cell"] = tuple(d["cell"])
+        d["cells"] = tuple(d.get("cells") or ())
+        return cls(**d)
+
+    def __repr__(self) -> str:
+        d = asdict(self)
+        d.pop("fired")
+        default = {f.name: f.default for f in
+                   type(self).__dataclass_fields__.values()}
+        args = ", ".join(f"{k}={v!r}" for k, v in d.items()
+                         if k == "kind" or v != default.get(k))
+        return f"Fault({args})"
 
 
 class FaultInjector:
@@ -79,6 +130,28 @@ class FaultInjector:
         self.log: list[dict] = []
         self._newton_calls = 0
         self._snapshot_writes = 0
+        self._balloons: list = []   # keeps balloon pages resident
+
+    # -- schedule (de)serialization -------------------------------------
+
+    def to_json(self) -> dict:
+        """The armed schedule as a JSON-able dict (see
+        :meth:`from_json`); what the chaos harness embeds in a failing
+        round's :class:`~repro.resilience.report.FailureReport`."""
+        return {"faults": [f.to_json() for f in self.faults]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultInjector":
+        """Re-arm an injector from :meth:`to_json` output — the same
+        schedule, every fault fresh."""
+        fi = cls()
+        for d in data.get("faults", ()):
+            fi.faults.append(Fault.from_json(d))
+        return fi
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(f) for f in self.faults)
+        return f"FaultInjector([{inner}])"
 
     # -- arming ---------------------------------------------------------
 
@@ -116,6 +189,28 @@ class FaultInjector:
         :class:`SimulatedCrash` after the given marching step completes
         — after any armed state faults for the same step have fired."""
         self.faults.append(Fault(kind="crash", step=int(step),
+                                 persistent=persistent))
+        return self
+
+    def inject_hang(self, *, step, duration=600.0, persistent=False):
+        """Wedge the process after the given marching step: SIGTERM is
+        ignored and the march sleeps for ``duration`` seconds.  The
+        in-process ladders cannot recover from this — only a
+        supervising parent watching the heartbeat channel
+        (:class:`~repro.resilience.isolation.IsolatedRunner`) can."""
+        self.faults.append(Fault(kind="hang", step=int(step),
+                                 duration=float(duration),
+                                 persistent=persistent))
+        return self
+
+    def inject_memory_balloon(self, *, step, mb=256.0, hold=600.0,
+                              persistent=False):
+        """Allocate-and-hold ``mb`` MiB after the given marching step
+        (the model for a leak marching toward the OOM killer), then
+        stall for ``hold`` seconds with the pages resident so a
+        supervising parent's RSS poll reliably observes the balloon."""
+        self.faults.append(Fault(kind="memory_balloon", step=int(step),
+                                 mb=float(mb), duration=float(hold),
                                  persistent=persistent))
         return self
 
@@ -170,6 +265,34 @@ class FaultInjector:
             fired = True
             self.log.append({"kind": f.kind, "step": step,
                              "cell": f.cell, "component": f.component})
+        for f in self.faults:
+            if f.kind not in ("hang", "memory_balloon") or f.step != step:
+                continue
+            if f.fired and not f.persistent:
+                continue
+            f.fired += 1
+            fired = True
+            if f.kind == "memory_balloon":
+                # allocate-and-touch: RSS genuinely rises, then stalls
+                # with the pages held so the supervising poll sees it
+                self._balloons.append(np.full(int(f.mb * 131072), 1.0))
+                self.log.append({"kind": "memory_balloon", "step": step,
+                                 "mb": f.mb})
+                time.sleep(f.duration)
+            else:
+                # a truly wedged process: TERM is ignored, the march
+                # stops beating — only SIGKILL (or patience) ends this
+                self.log.append({"kind": "hang", "step": step,
+                                 "duration": f.duration})
+                try:
+                    prev = signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                except ValueError:          # not the main thread
+                    prev = None
+                try:
+                    time.sleep(f.duration)
+                finally:
+                    if prev is not None:
+                        signal.signal(signal.SIGTERM, prev)
         for f in self.faults:
             if f.kind != "crash" or f.step != step:
                 continue
@@ -249,4 +372,5 @@ class FaultInjector:
         self.log.clear()
         self._newton_calls = 0
         self._snapshot_writes = 0
+        self._balloons.clear()
         return self

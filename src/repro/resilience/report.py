@@ -83,6 +83,14 @@ class FailureReport:
     degradation:
         :class:`~repro.resilience.degradation.DegradationLedger` dict of
         an attached degradation controller (``None`` when none).
+    isolation:
+        :class:`~repro.resilience.isolation.IsolationEvent` dicts — one
+        per kill the supervising parent performed before giving up
+        (``None`` when the run was not sandboxed).
+    fault_schedule:
+        Exact :meth:`~repro.resilience.faults.FaultInjector.to_json`
+        schedule that was armed (``None`` when none) — enough for a
+        deterministic replay of a failing chaos round.
     """
 
     label: str
@@ -98,6 +106,8 @@ class FailureReport:
     wall_time: float = 0.0
     watchdog_events: list[dict] | None = None
     degradation: dict | None = None
+    isolation: list[dict] | None = None
+    fault_schedule: dict | None = None
 
     def to_dict(self) -> dict:
         """Plain-dict view (state arrays summarised, not copied)."""
@@ -118,7 +128,11 @@ class FailureReport:
                 "watchdog_events": (None if self.watchdog_events is None
                                     else list(self.watchdog_events)),
                 "degradation": (None if self.degradation is None
-                                else dict(self.degradation))}
+                                else dict(self.degradation)),
+                "isolation": (None if self.isolation is None
+                              else list(self.isolation)),
+                "fault_schedule": (None if self.fault_schedule is None
+                                   else dict(self.fault_schedule))}
 
     def summary(self) -> str:
         """Human-readable multi-line triage summary."""
@@ -153,6 +167,17 @@ class FailureReport:
             lines.append(f"  degradation: {d.get('n_demotions', 0)} "
                          f"demotion(s), {d.get('n_promotions', 0)} "
                          f"re-promotion(s)")
+        if self.isolation:
+            kinds = "/".join(e.get("kind", "?") for e in self.isolation)
+            lines.append(f"  isolation kills: {len(self.isolation)} "
+                         f"({kinds})")
+            for e in self.isolation[-5:]:
+                lines.append(f"    - [{e.get('kind')}] attempt "
+                             f"{e.get('attempt')}: {e.get('message')}")
+        if self.fault_schedule and self.fault_schedule.get("faults"):
+            lines.append(f"  fault schedule: "
+                         f"{len(self.fault_schedule['faults'])} armed "
+                         f"fault(s) (embedded for replay)")
         if self.wall_time:
             lines.append(f"  wall time: {self.wall_time:.2f} s")
         return "\n".join(lines)

@@ -116,14 +116,24 @@ class RunSupervisor:
         :class:`~repro.resilience.degradation.DegradationController`:
         the graceful-degradation rung between rollback-retry and abort;
         the ledger lands on the solver as ``degradation_ledger``.
+    heartbeat:
+        Optional :class:`~repro.resilience.isolation.Heartbeat` touched
+        once per marching-loop iteration, so a supervising parent
+        process can tell a slow march from a hung one.  Defaults to the
+        process-global heartbeat installed by
+        :class:`~repro.resilience.isolation.IsolatedRunner` children
+        (None outside a sandbox).
     """
 
     def __init__(self, solver, policy: RetryPolicy | None = None, *,
                  faults=None, label: str | None = None, persist=None,
-                 watchdog=None, degradation=None):
+                 watchdog=None, degradation=None, heartbeat=None):
+        from repro.resilience.isolation import current_process_heartbeat
         self.solver = solver
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = faults
+        self.heartbeat = (heartbeat if heartbeat is not None
+                          else current_process_heartbeat())
         self.label = label or type(solver).__name__
         self.attempts: list[dict] = []
         self.report: FailureReport | None = None
@@ -222,6 +232,8 @@ class RunSupervisor:
         if store is not None and not store.sequences():
             commit(completed=False, converged=False)
         while k < n_steps:
+            if self.heartbeat is not None:
+                self.heartbeat.beat(step=k)
             if stop is not None and stop():
                 converged = True
                 break
@@ -325,9 +337,13 @@ def supervised_call(fn, *, label, ladder=(), config=None):
     is re-raised with a :class:`FailureReport` (ladder trace + config)
     attached as ``err.report``.
     """
+    from repro.resilience.isolation import current_process_heartbeat
     attempts: list[dict] = []
     last: CatError | None = None
     for i, overrides in enumerate([{}, *ladder]):
+        hb = current_process_heartbeat()
+        if hb is not None:   # sandboxed one-shot ladders beat per attempt
+            hb.beat()
         try:
             return fn(**overrides)
         except CatError as err:

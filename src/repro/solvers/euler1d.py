@@ -198,7 +198,8 @@ class Euler1DSolver(QuarantineMixin):
         check_state(self.U, step=self.steps, label="euler1d")
 
     def run(self, t_final, *, cfl=0.45, max_steps=100000, resilience=None,
-            faults=None, persist=None, watchdog=None, degradation=None):
+            faults=None, persist=None, watchdog=None, degradation=None,
+            heartbeat=None):
         """Advance to t_final with CFL-limited steps.
 
         With ``resilience`` (a :class:`repro.resilience.RetryPolicy`, or
@@ -217,19 +218,24 @@ class Euler1DSolver(QuarantineMixin):
         fallback to quarantined first-order reconstruction before a
         failing run aborts — the ledger lands on
         ``self.degradation_ledger``.
+        ``heartbeat`` (a :class:`repro.resilience.Heartbeat`) is touched
+        every supervised step so a sandboxing parent process
+        (:class:`repro.resilience.IsolatedRunner`) can distinguish a
+        slow march from a hung one.
         """
         if self.U is None:
             raise InputError("call set_initial first")
         if resilience is not None or faults is not None \
                 or persist is not None or watchdog is not None \
-                or degradation is not None:
+                or degradation is not None or heartbeat is not None:
             from repro.resilience import (RetryPolicy, RunSupervisor)
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
                                 label="euler1d", persist=persist,
                                 watchdog=watchdog,
-                                degradation=degradation)
+                                degradation=degradation,
+                                heartbeat=heartbeat)
             sup.march(self._cfl_step(t_final), n_steps=max_steps, cfl=cfl,
                       stop=lambda: self.t >= t_final - 1e-15,
                       run_kwargs={"t_final": t_final, "cfl": cfl,

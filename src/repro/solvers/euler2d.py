@@ -284,7 +284,7 @@ class AxisymmetricEulerSolver(QuarantineMixin):
 
     def run(self, *, n_steps=4000, cfl=0.4, tol=1e-8, verbose=False,
             resilience=None, faults=None, persist=None, watchdog=None,
-            degradation=None):
+            degradation=None, heartbeat=None):
         """March to steady state; stops early when the residual drops
         below ``tol`` (relative density update per step).
 
@@ -304,20 +304,24 @@ class AxisymmetricEulerSolver(QuarantineMixin):
         a :class:`repro.resilience.DegradationPolicy`) arms the graceful
         fallback to quarantined first-order reconstruction before a
         failing run aborts (ledger on ``self.degradation_ledger``).
+        ``heartbeat`` (a :class:`repro.resilience.Heartbeat`) is touched
+        every supervised step for a sandboxing parent
+        (:class:`repro.resilience.IsolatedRunner`).
         ``self.converged`` records whether ``tol`` was reached.
         """
         if self.U is None:
             raise InputError("call set_freestream first")
         if resilience is not None or faults is not None \
                 or persist is not None or watchdog is not None \
-                or degradation is not None:
+                or degradation is not None or heartbeat is not None:
             from repro.resilience import RetryPolicy, RunSupervisor
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
                                 label=type(self).__name__, persist=persist,
                                 watchdog=watchdog,
-                                degradation=degradation)
+                                degradation=degradation,
+                                heartbeat=heartbeat)
             sup.march(self.step, n_steps=n_steps, cfl=cfl, tol=tol,
                       run_kwargs={"n_steps": n_steps, "cfl": cfl,
                                   "tol": tol})

@@ -502,7 +502,7 @@ class ReactingEulerSolver(QuarantineMixin):
 
     def run(self, *, n_steps=2000, cfl=0.35, chemistry=True, tol=None,
             resilience=None, faults=None, persist=None, watchdog=None,
-            degradation=None):
+            degradation=None, heartbeat=None):
         """March ``n_steps`` (or to ``tol`` when given).
 
         ``resilience``/``faults`` run the march under a
@@ -519,19 +519,23 @@ class ReactingEulerSolver(QuarantineMixin):
         graceful cascade — quarantined first-order reconstruction, then
         per-cell chemistry demotion down :attr:`PHYSICS_LADDER` — before
         a failing run aborts (ledger on ``self.degradation_ledger``).
+        ``heartbeat`` (a :class:`repro.resilience.Heartbeat`) is touched
+        every supervised step for a sandboxing parent
+        (:class:`repro.resilience.IsolatedRunner`).
         """
         if self.U is None:
             raise InputError("call set_freestream first")
         if resilience is not None or faults is not None \
                 or persist is not None or watchdog is not None \
-                or degradation is not None:
+                or degradation is not None or heartbeat is not None:
             from repro.resilience import RetryPolicy, RunSupervisor
             policy = (resilience if isinstance(resilience, RetryPolicy)
                       else RetryPolicy())
             sup = RunSupervisor(self, policy, faults=faults,
                                 label="reacting_euler2d", persist=persist,
                                 watchdog=watchdog,
-                                degradation=degradation)
+                                degradation=degradation,
+                                heartbeat=heartbeat)
             sup.march(lambda c: self.step(c, chemistry=chemistry),
                       n_steps=n_steps, cfl=cfl, tol=tol,
                       run_kwargs={"n_steps": n_steps, "cfl": cfl,

@@ -157,6 +157,43 @@ class TestWorkerDeathDiagnosis:
             SharedMemoryStencilPool("heat5", barrier_timeout=0.0)
 
 
+class TestWorkerHangDiagnosis:
+    """A worker stuck in its kernel (alive, not dead) must surface as a
+    typed error naming the stalest worker by last-heartbeat age, and the
+    pool must force-kill the straggler so repeated run() calls never
+    accumulate zombies."""
+
+    @pytest.fixture()
+    def hang_kernel(self):
+        from repro.parallel.kernels import KERNELS
+
+        def _hang(local, out, p):           # wedges on first invocation
+            import time
+            time.sleep(600.0)
+
+        KERNELS["_test_hang"] = _hang
+        yield "_test_hang"
+        del KERNELS["_test_hang"]
+
+    def test_stuck_worker_named_by_heartbeat_age(self, hang_kernel, rng):
+        import multiprocessing as mp
+
+        from repro.errors import SolverError
+        pool = SharedMemoryStencilPool(hang_kernel, n_workers=2,
+                                       barrier_timeout=1.5)
+        with pytest.raises(SolverError) as exc:
+            pool.run(rng.random((40, 10)), 3, {})
+        err = exc.value
+        msg = str(err)
+        assert "heartbeat" in msg and "stalest" in msg
+        assert err.worker is not None
+        # the finally block reaped the stragglers: no zombie workers
+        # survive into the next run() call
+        for p in mp.active_children():
+            p.join(timeout=5.0)
+        assert not any(p.is_alive() for p in mp.active_children())
+
+
 class TestScalingHarness:
     def test_result_structure(self):
         from repro.parallel.scaling import run_strong_scaling
