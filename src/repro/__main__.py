@@ -7,6 +7,10 @@
 ``python -m repro degrade-smoke``   — degradation-cascade smoke run
 ``python -m repro chaos``           — randomized fault campaign under
                                       process isolation
+``python -m repro campaign``        — run a job campaign on the solve
+                                      farm to completion
+``python -m repro serve``           — long-running farm worker pool on
+                                      a durable queue
 
 Exit codes: 0 success, 1 solver/invariant failure, 2 usage error.
 """
@@ -21,6 +25,7 @@ usage: python -m repro [command] [options]
 commands:
   (none)                 overview and quick sanity numbers
   figures [--full] [--checkpoint-dir D] [--resume] [--isolate]
+          [--farm] [-j N] [--queue-dir D]
           [--deadline S] [--stall-timeout S] [--memory-mb M]
                          regenerate every paper figure
                            --full            full-resolution runs
@@ -33,12 +38,20 @@ commands:
                            --isolate         run each figure in a sandboxed
                                              child process (kill + retry on
                                              hang, memory balloon, crash)
+                           --farm            shard the suite across farm
+                                             workers (implies isolation;
+                                             excludes --isolate/--resume/
+                                             --checkpoint-dir)
+                           -j N              farm worker count (default 4)
+                           --queue-dir D     durable farm queue under D
+                                             (re-run with the same D to
+                                             resume a campaign)
                            --deadline S      per-figure wall-clock budget
                            --stall-timeout S declare a hang after S seconds
                                              without a heartbeat
                            --memory-mb M     per-figure RSS budget [MiB]
                                              (the three budget flags
-                                             require --isolate)
+                                             require --isolate or --farm)
   stagnation V H RN      stagnation environment at (V [m/s], h [m],
                          R_n [m])
   degrade-smoke [--out FILE]
@@ -47,6 +60,7 @@ commands:
                          with it; writes the degradation ledger JSON
                          to FILE (default degradation_ledger.json)
   chaos [--rounds N] [--seed S] [--out D] [--deadline S]
+        [--farm] [-j N] [--kill-workers K] [--queue-dir D]
                          randomized fault campaign: every round runs a
                          solver with sampled faults (hangs, memory
                          balloons, crashes, snapshot corruption, NaN
@@ -54,6 +68,39 @@ commands:
                          termination, bitwise resume and kill
                          accounting; per-round reports land in D
                          (default chaos-reports)
+                           --farm            run rounds as farm jobs and
+                                             SIGKILL the workers too
+                           -j N              farm worker count (default 2)
+                           --kill-workers K  scheduled worker SIGKILLs
+                                             (default 2; 0 disables)
+                           --queue-dir D     farm queue directory
+                                             (default <out>/farm-queue)
+  campaign (--figures | --jobs FILE) [-j N] [--full] [--queue-dir D]
+           [--ledger FILE] [--bench FILE] [--compare-serial]
+           [--kill-workers K] [--seed S] [--deadline S]
+                         enqueue a job set and drive the farm until every
+                         job is done or dead-lettered
+                           --figures         the nine-figure suite as jobs
+                           --jobs FILE       JSON list of job specs
+                                             ({"id","kind","payload",...})
+                           -j N              worker count (default 4)
+                           --queue-dir D     durable queue (default: fresh
+                                             temp dir; reuse D to resume)
+                           --ledger FILE     write the campaign ledger JSON
+                           --bench FILE      write a BENCH_farm.json
+                                             throughput record
+                           --compare-serial  also run the suite serially
+                                             and record the speedup
+                                             (--figures only)
+                           --kill-workers K  chaos: SIGKILL K workers at
+                                             seeded random times
+                           --seed S          kill-schedule seed (default 0)
+                           --deadline S      per-job wall-clock budget
+  serve --queue-dir D [-j N] [--lease-ttl S] [--poll S]
+                         long-running worker pool on a durable queue:
+                         drains jobs as they are enqueued (by campaign
+                         or other processes) until SIGTERM/SIGINT, then
+                         finishes-or-checkpoints and exits
   -h, --help             show this message
 
 exit codes: 0 success, 1 solver/invariant failure, 2 usage error\
@@ -108,11 +155,13 @@ def _overview() -> None:
 
 
 def _parse_figures(args: list[str]) -> dict:
-    """Parse ``figures`` flags into :func:`run_all` kwargs."""
+    """Parse ``figures`` flags into :func:`run_all` /
+    :func:`run_all_farm` kwargs (farm mode flagged as ``"farm"``)."""
     kwargs: dict = {"quick": True, "checkpoint_dir": None,
                     "resume": False}
     budgets: dict = {}
     isolate = False
+    farm, n_workers, queue_dir = False, 4, None
     it = iter(args)
     for a in it:
         if a == "--full":
@@ -121,6 +170,18 @@ def _parse_figures(args: list[str]) -> dict:
             kwargs["resume"] = True
         elif a == "--isolate":
             isolate = True
+        elif a == "--farm":
+            farm = True
+        elif a == "-j":
+            n_workers = _positive_int("figures", a, next(it, None))
+        elif a.startswith("-j="):
+            n_workers = _positive_int("figures", "-j", a.split("=", 1)[1])
+        elif a == "--queue-dir":
+            queue_dir = next(it, None)
+            if queue_dir is None:
+                _usage_error("figures", "--queue-dir needs a directory")
+        elif a.startswith("--queue-dir="):
+            queue_dir = a.split("=", 1)[1]
         elif a == "--checkpoint-dir":
             kwargs["checkpoint_dir"] = next(it, None)
             if kwargs["checkpoint_dir"] is None:
@@ -143,11 +204,28 @@ def _parse_figures(args: list[str]) -> dict:
             budgets[key] = _positive_float("figures", flag, value)
         else:
             _usage_error("figures", f"unknown option {a!r}")
+    if farm:
+        conflicts = [f for f, on in
+                     (("--isolate", isolate),
+                      ("--resume", kwargs["resume"]),
+                      ("--checkpoint-dir",
+                       kwargs["checkpoint_dir"] is not None)) if on]
+        if conflicts:
+            _usage_error("figures", f"--farm conflicts with "
+                         f"{', '.join(conflicts)} (farm workers are "
+                         f"already sandboxed; reuse --queue-dir to "
+                         f"resume a campaign)")
+        return {"farm": True, "quick": kwargs["quick"],
+                "n_workers": n_workers, "queue_dir": queue_dir,
+                **budgets}
+    if queue_dir is not None or n_workers != 4:
+        _usage_error("figures", "-j/--queue-dir require --farm")
     if kwargs["resume"] and kwargs["checkpoint_dir"] is None:
         _usage_error("figures", "--resume requires --checkpoint-dir")
     if budgets and not isolate:
         flags = ", ".join("--" + k.replace("_", "-") for k in budgets)
-        _usage_error("figures", f"{flags} require(s) --isolate")
+        _usage_error("figures", f"{flags} require(s) --isolate or "
+                     f"--farm")
     if isolate:
         from repro.resilience import IsolationPolicy
         kwargs["isolate"] = IsolationPolicy(**budgets)
@@ -156,8 +234,12 @@ def _parse_figures(args: list[str]) -> dict:
 
 def _cmd_figures(args: list[str]) -> int:
     kwargs = _parse_figures(args)
-    from repro.experiments.runner import run_all
-    res = run_all(**kwargs)
+    if kwargs.pop("farm", False):
+        from repro.experiments.runner import run_all_farm
+        res = run_all_farm(**kwargs)
+    else:
+        from repro.experiments.runner import run_all
+        res = run_all(**kwargs)
     return 1 if res["failures"] else 0
 
 
@@ -182,9 +264,41 @@ def _cmd_stagnation(args: list[str]) -> int:
 
 def _cmd_chaos(args: list[str]) -> int:
     rounds, seed, out, deadline = 5, 0, "chaos-reports", 30.0
+    farm, n_workers, kill_workers, queue_dir = False, 2, 2, None
     it = iter(args)
     for a in it:
-        if a == "--rounds":
+        if a == "--farm":
+            farm = True
+        elif a == "-j":
+            n_workers = _positive_int("chaos", a, next(it, None))
+        elif a.startswith("-j="):
+            n_workers = _positive_int("chaos", "-j", a.split("=", 1)[1])
+        elif a == "--kill-workers":
+            value = next(it, None)
+            if value is None:
+                _usage_error("chaos", "--kill-workers needs a count")
+            try:
+                kill_workers = int(value)
+            except ValueError:
+                _usage_error("chaos", f"--kill-workers needs an "
+                             f"integer, got {value!r}")
+            if kill_workers < 0:
+                _usage_error("chaos", "--kill-workers must be >= 0")
+        elif a.startswith("--kill-workers="):
+            try:
+                kill_workers = int(a.split("=", 1)[1])
+            except ValueError:
+                _usage_error("chaos", f"--kill-workers needs an "
+                             f"integer, got {a.split('=', 1)[1]!r}")
+            if kill_workers < 0:
+                _usage_error("chaos", "--kill-workers must be >= 0")
+        elif a == "--queue-dir":
+            queue_dir = next(it, None)
+            if queue_dir is None:
+                _usage_error("chaos", "--queue-dir needs a directory")
+        elif a.startswith("--queue-dir="):
+            queue_dir = a.split("=", 1)[1]
+        elif a == "--rounds":
             rounds = _positive_int("chaos", a, next(it, None))
         elif a.startswith("--rounds="):
             rounds = _positive_int("chaos", "--rounds",
@@ -217,6 +331,15 @@ def _cmd_chaos(args: list[str]) -> int:
                                        a.split("=", 1)[1])
         else:
             _usage_error("chaos", f"unknown option {a!r}")
+    if farm:
+        from repro.resilience.chaos import run_chaos_farm
+        return run_chaos_farm(rounds=rounds, seed=seed, out=out,
+                              deadline=deadline, n_workers=n_workers,
+                              kill_workers=kill_workers,
+                              queue_dir=queue_dir)
+    if n_workers != 2 or kill_workers != 2 or queue_dir is not None:
+        _usage_error("chaos",
+                     "-j/--kill-workers/--queue-dir require --farm")
     from repro.resilience.chaos import run_chaos
     return run_chaos(rounds=rounds, seed=seed, out=out,
                      deadline=deadline)
@@ -322,11 +445,203 @@ def _cmd_degrade_smoke(args: list[str]) -> int:
     return _degrade_smoke(out)
 
 
+def _cmd_campaign(args: list[str]) -> int:
+    figures, jobs_file, n_workers, full = False, None, 4, False
+    queue_dir, ledger_file, bench_file = None, None, None
+    compare_serial, kill_workers, seed, deadline = False, 0, 0, None
+    it = iter(args)
+    for a in it:
+        if a == "--figures":
+            figures = True
+        elif a == "--full":
+            full = True
+        elif a == "--compare-serial":
+            compare_serial = True
+        elif a == "-j":
+            n_workers = _positive_int("campaign", a, next(it, None))
+        elif a.startswith("-j="):
+            n_workers = _positive_int("campaign", "-j",
+                                      a.split("=", 1)[1])
+        elif a == "--kill-workers":
+            kill_workers = _positive_int("campaign", a, next(it, None))
+        elif a.startswith("--kill-workers="):
+            kill_workers = _positive_int("campaign", "--kill-workers",
+                                         a.split("=", 1)[1])
+        elif a == "--seed":
+            value = next(it, None)
+            if value is None:
+                _usage_error("campaign", "--seed needs a value")
+            try:
+                seed = int(value)
+            except ValueError:
+                _usage_error("campaign",
+                             f"--seed needs an integer, got {value!r}")
+        elif a.startswith("--seed="):
+            try:
+                seed = int(a.split("=", 1)[1])
+            except ValueError:
+                _usage_error("campaign", f"--seed needs an integer, "
+                             f"got {a.split('=', 1)[1]!r}")
+        elif a == "--deadline":
+            deadline = _positive_float("campaign", a, next(it, None))
+        elif a.startswith("--deadline="):
+            deadline = _positive_float("campaign", "--deadline",
+                                       a.split("=", 1)[1])
+        elif a in ("--jobs", "--queue-dir", "--ledger", "--bench"):
+            value = next(it, None)
+            if value is None:
+                _usage_error("campaign", f"{a} needs a path")
+            if a == "--jobs":
+                jobs_file = value
+            elif a == "--queue-dir":
+                queue_dir = value
+            elif a == "--ledger":
+                ledger_file = value
+            else:
+                bench_file = value
+        elif (a.startswith("--jobs=") or a.startswith("--queue-dir=")
+              or a.startswith("--ledger=") or a.startswith("--bench=")):
+            flag, value = a.split("=", 1)
+            if flag == "--jobs":
+                jobs_file = value
+            elif flag == "--queue-dir":
+                queue_dir = value
+            elif flag == "--ledger":
+                ledger_file = value
+            else:
+                bench_file = value
+        else:
+            _usage_error("campaign", f"unknown option {a!r}")
+    if figures == (jobs_file is not None):
+        _usage_error("campaign",
+                     "exactly one of --figures / --jobs FILE required")
+    if compare_serial and not figures:
+        _usage_error("campaign", "--compare-serial requires --figures")
+
+    import io
+    import json
+    import tempfile
+    import time
+
+    from repro.resilience.farm import (Farm, FarmPolicy, WorkerKillPlan,
+                                       bench_from_journal,
+                                       write_bench_json)
+    from repro.resilience.queue import Job, WorkQueue
+
+    serial_wall = None
+    if compare_serial:
+        from repro.experiments.runner import run_all
+        print(f"campaign: serial reference suite "
+              f"({'full' if full else 'quick'}) ...")
+        t0 = time.monotonic()
+        serial_res = run_all(quick=not full, stream=io.StringIO())
+        serial_wall = round(time.monotonic() - t0, 3)
+        print(f"campaign: serial suite took {serial_wall:.1f} s "
+              f"({len(serial_res['failures'])} failure(s))")
+
+    if queue_dir is None:
+        queue_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+    policy = FarmPolicy(n_workers=n_workers, deadline=deadline)
+    queue = WorkQueue(queue_dir, lease_ttl=policy.lease_ttl,
+                      backoff=policy.backoff)
+    if figures:
+        from repro.experiments.runner import _MODULES
+        jobs = [Job(id=name, kind="figure",
+                    payload={"module": mod.__name__.rsplit(".", 1)[1],
+                             "quick": not full})
+                for name, mod in _MODULES]
+    else:
+        try:
+            with open(jobs_file) as f:
+                specs = json.load(f)
+        except (OSError, ValueError) as exc:
+            _usage_error("campaign",
+                         f"cannot read --jobs {jobs_file!r}: {exc}")
+        if not isinstance(specs, list):
+            _usage_error("campaign", "--jobs FILE must hold a JSON "
+                         "list of job specs")
+        jobs = [Job.from_dict(s) for s in specs]
+    for job in jobs:
+        queue.enqueue(job)
+    plan = None
+    if kill_workers:
+        plan = WorkerKillPlan(seed=seed + 1000, kills=kill_workers,
+                              min_interval=1.0, max_interval=8.0)
+    farm = Farm(queue, policy, label="campaign", kill_plan=plan)
+    t0 = time.monotonic()
+    ledger = farm.run()
+    wall = time.monotonic() - t0
+    if serial_wall is not None:
+        ledger["serial_wall_time"] = serial_wall
+        ledger["speedup_vs_serial"] = (round(serial_wall / wall, 3)
+                                       if wall > 0 else None)
+    if ledger_file is not None:
+        with open(ledger_file, "w") as f:
+            json.dump(ledger, f, indent=1, default=str)
+        print(f"campaign: ledger written to {ledger_file}")
+    if bench_file is not None:
+        bench = bench_from_journal(queue, wall_time=wall,
+                                   n_workers=n_workers)
+        if serial_wall is not None:
+            bench["serial_wall_s"] = serial_wall
+            bench["speedup_vs_serial"] = ledger["speedup_vs_serial"]
+        write_bench_json(bench_file, bench)
+        print(f"campaign: bench record written to {bench_file}")
+    n_dead = len(ledger["dead_letter"])
+    print(f"campaign: {ledger['jobs']} in {ledger['wall_time']:.1f} s "
+          f"({ledger['attempts']} attempt(s), "
+          f"{ledger['requeues']} requeue(s), "
+          f"{ledger['reclaims']} reclaim(s), "
+          f"{len(ledger['worker_kills'])} worker kill(s))"
+          + (f", speedup vs serial {ledger['speedup_vs_serial']}x"
+             if serial_wall is not None else ""))
+    return 0 if ledger["ok"] and not n_dead else 1
+
+
+def _cmd_serve(args: list[str]) -> int:
+    queue_dir, n_workers, lease_ttl, poll = None, 2, 15.0, 0.25
+    it = iter(args)
+    for a in it:
+        if a == "--queue-dir":
+            queue_dir = next(it, None)
+            if queue_dir is None:
+                _usage_error("serve", "--queue-dir needs a directory")
+        elif a.startswith("--queue-dir="):
+            queue_dir = a.split("=", 1)[1]
+        elif a == "-j":
+            n_workers = _positive_int("serve", a, next(it, None))
+        elif a.startswith("-j="):
+            n_workers = _positive_int("serve", "-j", a.split("=", 1)[1])
+        elif a == "--lease-ttl":
+            lease_ttl = _positive_float("serve", a, next(it, None))
+        elif a.startswith("--lease-ttl="):
+            lease_ttl = _positive_float("serve", "--lease-ttl",
+                                        a.split("=", 1)[1])
+        elif a == "--poll":
+            poll = _positive_float("serve", a, next(it, None))
+        elif a.startswith("--poll="):
+            poll = _positive_float("serve", "--poll",
+                                   a.split("=", 1)[1])
+        else:
+            _usage_error("serve", f"unknown option {a!r}")
+    if queue_dir is None:
+        _usage_error("serve", "--queue-dir is required (the durable "
+                     "queue other processes enqueue into)")
+    from repro.resilience.farm import Farm, FarmPolicy
+    policy = FarmPolicy(n_workers=n_workers, lease_ttl=lease_ttl,
+                        poll_interval=poll, drain_when_idle=False)
+    print(f"serve: {n_workers} worker(s) on {queue_dir} "
+          f"(SIGTERM to drain)")
+    return Farm(queue_dir, policy, label="serve").serve()
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "stagnation": _cmd_stagnation,
     "degrade-smoke": _cmd_degrade_smoke,
     "chaos": _cmd_chaos,
+    "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
 }
 
 

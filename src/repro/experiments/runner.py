@@ -34,6 +34,7 @@ import sys
 import time
 import traceback
 
+from repro.errors import SolverError
 from repro.resilience import drain_ledgers
 
 from repro.experiments import (fig1_flight_domain, fig2_titan_heating,
@@ -43,7 +44,7 @@ from repro.experiments import (fig1_flight_domain, fig2_titan_heating,
                                fig7_shock_relaxation, fig8_spectra,
                                fig9_n2_contours)
 
-__all__ = ["run_all"]
+__all__ = ["run_all", "run_all_farm"]
 
 _MODULES = [
     ("fig1", fig1_flight_domain),
@@ -196,6 +197,83 @@ def run_all(quick: bool = True, *, stream=None, keep_going: bool = True,
               f"{sorted(failures)}", file=stream)
     return {"timings": timings, "failures": failures, "skipped": skipped,
             "ledgers": ledgers}
+
+
+def run_all_farm(quick: bool = True, *, n_workers: int = 4,
+                 stream=None, queue_dir: str | None = None,
+                 deadline: float | None = None,
+                 stall_timeout: float | None = None,
+                 memory_mb: float | None = None, kill_plan=None) -> dict:
+    """Run the nine-figure suite on the solve farm (``figures --farm``).
+
+    Each figure becomes one ``figure`` job on a durable
+    :class:`~repro.resilience.WorkQueue`, drained by ``n_workers``
+    sandboxed workers; a figure whose worker dies is reclaimed when its
+    lease expires and retried, resuming any durable march from its
+    snapshots under the job workdir.  Passing an existing ``queue_dir``
+    resumes a previous campaign: completed figures replay from their
+    queue results instead of recomputing (enqueue is idempotent).
+
+    Returns the ``run_all`` dict plus a ``"farm"`` campaign ledger;
+    ``failures`` maps dead-lettered figures to their recorded errors.
+    """
+    import tempfile
+
+    from repro.resilience.farm import Farm, FarmPolicy
+    from repro.resilience.queue import Job, WorkQueue
+
+    stream = stream or sys.stdout
+    if queue_dir is None:
+        queue_dir = tempfile.mkdtemp(prefix="repro-figures-farm-")
+    policy = FarmPolicy(n_workers=n_workers, deadline=deadline,
+                        stall_timeout=stall_timeout,
+                        memory_mb=memory_mb)
+    queue = WorkQueue(queue_dir, lease_ttl=policy.lease_ttl,
+                      backoff=policy.backoff)
+    for name, mod in _MODULES:
+        queue.enqueue(Job(
+            id=name, kind="figure",
+            payload={"module": mod.__name__.rsplit(".", 1)[1],
+                     "quick": bool(quick)}))
+    print(f"figures --farm: {len(_MODULES)} figure(s) on {n_workers} "
+          f"worker(s), queue {queue_dir}", file=stream)
+    farm = Farm(queue, policy, label="figures", stream=stream,
+                kill_plan=kill_plan)
+    ledger = farm.run()
+
+    timings: dict[str, float] = {}
+    failures: dict[str, Exception] = {}
+    skipped: list[str] = []
+    for name, mod in _MODULES:
+        print(f"\n{'=' * 78}\n{name}: {mod.__doc__.splitlines()[0]}"
+              f"\n{'=' * 78}", file=stream)
+        res = queue.result(name)
+        if res is not None:
+            print((res.get("result") or {}).get("output"), file=stream)
+            continue
+        rec = queue.dead_letter(name) or {}
+        err = SolverError(f"{name}: dead-lettered after "
+                          f"{rec.get('attempts')} attempt(s): "
+                          f"{rec.get('error')}")
+        failures[name] = err
+        print(f"[{name} FAILED: {err}]", file=stream)
+    claims: dict[str, float] = {}
+    for recd in queue.read_journal():
+        if recd.get("event") == "claim":
+            claims[recd.get("job")] = float(recd["t"])
+        elif (recd.get("event") == "complete"
+                and recd.get("job") in claims):
+            timings[recd["job"]] = round(
+                float(recd["t"]) - claims[recd["job"]], 2)
+    print(f"\nfigures --farm: {ledger['jobs']} in "
+          f"{ledger['wall_time']:.1f} s wall "
+          f"({ledger['attempts']} attempt(s), "
+          f"{ledger['reclaims']} reclaim(s))", file=stream)
+    if failures:
+        print(f"{len(failures)}/{len(_MODULES)} figure(s) failed: "
+              f"{sorted(failures)}", file=stream)
+    return {"timings": timings, "failures": failures, "skipped": skipped,
+            "ledgers": {}, "farm": ledger}
 
 
 if __name__ == "__main__":

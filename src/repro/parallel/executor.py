@@ -30,6 +30,8 @@ import numpy as np
 from repro.errors import InputError, SolverError
 from repro.parallel.decomposition import partition_1d
 from repro.parallel.kernels import KERNELS
+from repro.resilience.lease import (format_ages, heartbeat_ages,
+                                    stalest_index)
 
 __all__ = ["SharedMemoryStencilPool"]
 
@@ -108,19 +110,16 @@ class SharedMemoryStencilPool:
                     worker=worker, step=step, exitcode=code)
             time.sleep(0.05)
         # nobody died: name the stalest worker by last-heartbeat age so
-        # a kernel wedge points at the culprit, not just "deadlock"
-        now = time.monotonic()
-        ages = [(now - hb if hb > 0.0 else float("inf"))
-                for hb in heartbeats]
-        stalest = max(range(len(ages)), key=ages.__getitem__)
-        summary = ", ".join(
-            f"w{i}={'never' if a == float('inf') else f'{a:.1f}s'}"
-            for i, a in enumerate(ages))
+        # a kernel wedge points at the culprit, not just "deadlock" —
+        # the same liveness-by-silence helpers the farm supervisor and
+        # lease expiry use (repro.resilience.lease)
+        ages = heartbeat_ages(list(heartbeats))
+        stalest = stalest_index(ages)
         raise SolverError(
             f"stencil pool: barrier broken or timed out at step {step} "
             f"but every worker is still alive (deadlock or a worker "
-            f"stuck in the kernel); last heartbeat ages: {summary}; "
-            f"stalest: worker {stalest}",
+            f"stuck in the kernel); last heartbeat ages: "
+            f"{format_ages(ages)}; stalest: worker {stalest}",
             worker=stalest, step=step)
 
     def run(self, U0: np.ndarray, n_steps: int, params: dict | None = None):

@@ -30,10 +30,21 @@ This package provides the machinery the solver stack wires through:
   deadlines, RSS memory budgets and heartbeat stall detection, killed
   (SIGTERM → SIGKILL) and auto-resumed from the durable snapshots when
   they hang, balloon or crash (see :mod:`repro.resilience.isolation`
-  and the chaos harness in :mod:`repro.resilience.chaos`).
+  and the chaos harness in :mod:`repro.resilience.chaos`),
+* :class:`Farm` / :class:`FarmPolicy` / :class:`WorkQueue` /
+  :class:`Job` / :class:`BackoffPolicy` / :class:`LeaseManager` — the
+  fault-tolerant solve farm: a durable filesystem work queue drained by
+  N supervised workers under lease-based ownership, retry with
+  exponential backoff, a dead-letter ledger, kill-and-resume campaigns
+  and graceful drain (see :mod:`repro.resilience.farm`,
+  :mod:`repro.resilience.queue` and :mod:`repro.resilience.lease`).
 """
 
 from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.farm import (Farm, FarmPolicy, WorkerKillPlan,
+                                   run_campaign)
+from repro.resilience.lease import Lease, LeaseManager
+from repro.resilience.queue import BackoffPolicy, Job, WorkQueue
 from repro.resilience.isolation import (Heartbeat, IsolatedRunner,
                                         IsolationEvent, IsolationPolicy)
 from repro.resilience.degradation import (DegradationController,
@@ -51,12 +62,15 @@ from repro.resilience.supervisor import (RetryPolicy, RunSupervisor,
 from repro.resilience.watchdog import (ConservationWatchdog,
                                        WatchdogEvent, WatchdogPolicy)
 
-__all__ = ["Checkpoint", "ConservationWatchdog", "DegradationController",
-           "DegradationLedger", "DegradationPolicy", "Fault",
+__all__ = ["BackoffPolicy", "Checkpoint", "ConservationWatchdog",
+           "DegradationController", "DegradationLedger",
+           "DegradationPolicy", "Farm", "FarmPolicy", "Fault",
            "FaultInjector", "FailureReport", "Heartbeat",
            "IsolatedRunner", "IsolationEvent", "IsolationPolicy",
-           "LoadedSnapshot", "MANIFEST_SCHEMA_VERSION",
-           "PersistencePolicy", "RetryPolicy", "RunSupervisor",
-           "SimulatedCrash", "SnapshotStore", "WatchdogEvent",
-           "WatchdogPolicy", "drain_ledgers", "resume_run",
-           "solver_config", "solver_fingerprint", "supervised_call"]
+           "Job", "Lease", "LeaseManager", "LoadedSnapshot",
+           "MANIFEST_SCHEMA_VERSION", "PersistencePolicy",
+           "RetryPolicy", "RunSupervisor", "SimulatedCrash",
+           "SnapshotStore", "WatchdogEvent", "WatchdogPolicy",
+           "WorkQueue", "WorkerKillPlan", "drain_ledgers",
+           "resume_run", "run_campaign", "solver_config",
+           "solver_fingerprint", "supervised_call"]

@@ -24,6 +24,15 @@ on:
 
 Sampling is fully deterministic in the seed: the same ``--seed`` yields
 the same solvers, the same schedules and the same outcomes.
+
+``--farm`` escalates the harness one supervision layer up: rounds
+become jobs on the :mod:`~repro.resilience.farm` work queue, drained by
+N workers, while the farm SIGKILLs the *workers themselves* on a
+deterministic schedule — so the same campaign now also proves lease
+reclaim, retry/backoff and worker replacement under fire.  Farm rounds
+seed per-round rngs (``[seed, index]``) so they are order-independent
+across workers; the serial and farm schedules for one seed therefore
+differ, but each is individually deterministic.
 """
 
 from __future__ import annotations
@@ -42,7 +51,8 @@ from repro.resilience.faults import FaultInjector
 from repro.resilience.isolation import (IsolatedRunner, IsolationPolicy,
                                         _read_rss_mb)
 
-__all__ = ["CASES", "run_chaos", "run_round", "sample_schedule"]
+__all__ = ["CASES", "run_chaos", "run_chaos_farm", "run_round",
+           "sample_schedule"]
 
 
 # ----------------------------------------------------------------------
@@ -162,14 +172,6 @@ def sample_schedule(rng, case_name: str, *, balloon_mb: float = 500.0
     return fi, schedule
 
 
-def _state_fingerprint(solver) -> dict:
-    """Byte-exact view of a solver's marching state for comparison."""
-    out = {}
-    for k, v in solver.get_state().items():
-        out[k] = v.tobytes() if isinstance(v, np.ndarray) else v
-    return out
-
-
 def _orphan_sweep() -> list[str]:
     """Surviving multiprocessing children of this process (should be
     empty after every round — the kill path joins everything)."""
@@ -253,10 +255,11 @@ def run_round(index: int, rng, *, out_dir: str | None = None,
         # must match a crash-free in-process run bit for bit
         checks["completed"] = solver is not None
         if solver is not None:
+            from repro.resilience.farm import state_fingerprint
             ref = factory()
             ref.run(**run_kwargs)
-            a, b = _state_fingerprint(solver), _state_fingerprint(ref)
-            checks["bitwise_match"] = a == b
+            checks["bitwise_match"] = (state_fingerprint(solver)
+                                       == state_fingerprint(ref))
         else:
             checks["bitwise_match"] = False
     else:
@@ -323,4 +326,110 @@ def run_chaos(*, rounds: int = 5, seed: int = 0, out: str | None =
     print(f"chaos: all {rounds} round(s) green "
           f"({ledger['kills']} kill(s) performed and recovered)",
           file=stream)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# farm mode: rounds as queue jobs, chaos kills the workers too
+# ----------------------------------------------------------------------
+
+def run_chaos_farm(*, rounds: int = 5, seed: int = 0, out: str | None =
+                   "chaos-reports", n_workers: int = 2,
+                   kill_workers: int = 2, deadline: float = 30.0,
+                   stall_timeout: float = 2.0,
+                   memory_margin_mb: float = 250.0,
+                   balloon_mb: float = 500.0, queue_dir: str | None =
+                   None, stream=None) -> int:
+    """Run the chaos campaign on the solve farm; returns an exit code.
+
+    Every round is a ``chaos_round`` job; while workers drain them the
+    farm delivers ``kill_workers`` scheduled SIGKILLs to its own
+    workers.  A killed worker's round is reclaimed when its lease
+    expires and retried elsewhere, so the campaign must still end with
+    every round done (invariants checked as in serial mode) or
+    dead-lettered with a failure report.
+    """
+    stream = stream or sys.stdout
+    from repro.resilience.farm import (FarmPolicy, WorkerKillPlan,
+                                       run_campaign)
+    from repro.resilience.queue import BackoffPolicy, Job
+    if queue_dir is None:
+        queue_dir = (os.path.join(out, "farm-queue") if out is not None
+                     else tempfile.mkdtemp(prefix="chaos-farm-"))
+    print(f"chaos --farm: {rounds} round(s) on {n_workers} worker(s), "
+          f"seed {seed}, {kill_workers} scheduled worker kill(s), "
+          f"queue {queue_dir}", file=stream)
+    # a round may burn several inner attempts (max_restarts=3) of
+    # `deadline` each before it settles; budget the outer sandbox for
+    # the worst case, and disable the outer stall detector — the outer
+    # child blocks supervising the inner sandbox and never beats
+    round_budget = deadline * 6.0 + 60.0
+    jobs = [Job(id=f"round-{i:03d}", kind="chaos_round",
+                payload={"index": i, "seed": [seed, i],
+                         "deadline": deadline,
+                         "stall_timeout": stall_timeout,
+                         "memory_margin_mb": memory_margin_mb,
+                         "balloon_mb": balloon_mb},
+                deadline=round_budget, max_attempts=3)
+            for i in range(rounds)]
+    policy = FarmPolicy(
+        n_workers=n_workers, lease_ttl=10.0, poll_interval=0.2,
+        stall_timeout=None, deadline=round_budget,
+        worker_restart_budget=2 * rounds + 4,
+        backoff=BackoffPolicy(max_attempts=3, base=0.5, max_delay=5.0))
+    plan = None
+    if kill_workers > 0:
+        plan = WorkerKillPlan(seed=seed + 1000, kills=kill_workers,
+                              min_interval=2.0, max_interval=10.0)
+    farm_ledger = run_campaign(queue_dir, jobs, policy=policy,
+                               label="chaos-farm", stream=stream,
+                               kill_plan=plan)
+
+    from repro.resilience.queue import WorkQueue
+    queue = WorkQueue(queue_dir)
+    reports, failed, dead = [], [], []
+    for i in range(rounds):
+        job_id = f"round-{i:03d}"
+        res = queue.result(job_id)
+        if res is None:
+            dead.append(i)
+            continue
+        report = res["result"]["report"]
+        reports.append(report)
+        if not report.get("ok"):
+            failed.append(i)
+        if out is not None:
+            os.makedirs(out, exist_ok=True)
+            with open(os.path.join(out, f"round-{i:03d}.json"),
+                      "w") as f:
+                json.dump(report, f, indent=1, default=str)
+    dead_ok = all(
+        (queue.dead_letter(f"round-{i:03d}") or {}).get("report")
+        is not None for i in dead)
+    ledger = {"rounds": rounds, "seed": seed, "mode": "farm",
+              "failed_rounds": failed, "dead_rounds": dead,
+              "kills": sum(len(r.get("events") or []) for r in reports),
+              "worker_kills": farm_ledger["worker_kills"],
+              "reclaims": farm_ledger["reclaims"],
+              "requeues": farm_ledger["requeues"],
+              "outcomes": {r["round"]: r["outcome"] for r in reports},
+              "farm": {k: farm_ledger[k] for k in
+                       ("wall_time", "n_workers", "attempts", "jobs",
+                        "ok")},
+              "ok": (not failed and farm_ledger["ok"]
+                     and (not dead or dead_ok))}
+    if out is not None:
+        os.makedirs(out, exist_ok=True)
+        with open(os.path.join(out, "chaos-ledger.json"), "w") as f:
+            json.dump(ledger, f, indent=1, default=str)
+    if not ledger["ok"]:
+        print(f"chaos --farm: FAILED (rounds {failed} violated an "
+              f"invariant; dead-lettered {dead}"
+              f"{'' if dead_ok else ' without failure reports'})",
+              file=stream)
+        return 1
+    print(f"chaos --farm: all {rounds} round(s) green under "
+          f"{len(farm_ledger['worker_kills'])} worker kill(s) "
+          f"({ledger['reclaims']} lease reclaim(s), "
+          f"{ledger['requeues']} requeue(s))", file=stream)
     return 0

@@ -58,7 +58,8 @@ from repro.resilience.report import FailureReport
 
 __all__ = ["Heartbeat", "IsolationEvent", "IsolationPolicy",
            "IsolatedRunner", "current_process_heartbeat",
-           "set_process_heartbeat"]
+           "set_process_heartbeat", "signal_group", "kill_pid_tree",
+           "terminate_process"]
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +148,50 @@ def set_process_heartbeat(hb: Heartbeat | None):
 def current_process_heartbeat() -> Heartbeat | None:
     """The heartbeat installed for this process, if any."""
     return _PROCESS_HEARTBEAT
+
+
+# ----------------------------------------------------------------------
+# process-tree killing (one code path for every supervisor)
+# ----------------------------------------------------------------------
+
+def signal_group(pid: int | None, sig: int) -> None:
+    """Deliver ``sig`` to ``pid``'s process group, falling back to the
+    process alone while it has not yet moved into its own group."""
+    if pid is None:
+        return
+    try:
+        os.killpg(pid, sig)
+    except (ProcessLookupError, PermissionError, OSError):
+        try:
+            os.kill(pid, sig)
+        except (ProcessLookupError, OSError):
+            pass
+
+
+def terminate_process(proc, *, grace: float = 2.0) -> None:
+    """SIGTERM -> grace -> SIGKILL a ``multiprocessing.Process`` and its
+    whole group; SIGCONT alongside so a SIGSTOPped tree still dies.
+
+    Used by :class:`IsolatedRunner` on budget violations and by the
+    farm supervisor (:mod:`repro.resilience.farm`) on worker kills —
+    the same escalation everywhere a child must die.
+    """
+    signal_group(proc.pid, signal.SIGTERM)
+    signal_group(proc.pid, signal.SIGCONT)
+    proc.join(grace)
+    if proc.is_alive():
+        signal_group(proc.pid, signal.SIGKILL)
+        signal_group(proc.pid, signal.SIGCONT)
+        proc.join(10.0)
+    proc.join(0.1)   # reap
+
+
+def kill_pid_tree(pid: int | None) -> None:
+    """SIGKILL a process group we cannot ``join`` (not our direct
+    child): the farm uses this to take down the orphaned sandbox
+    children of a SIGKILLed worker."""
+    signal_group(pid, signal.SIGKILL)
+    signal_group(pid, signal.SIGCONT)
 
 
 # ----------------------------------------------------------------------
@@ -341,30 +386,10 @@ class IsolatedRunner:
         proc.start()
         return proc
 
-    def _signal(self, proc, sig):
-        """Deliver ``sig`` to the child's process group (fall back to
-        the child alone while it has not yet moved into its own group)."""
-        if proc.pid is None:
-            return
-        try:
-            os.killpg(proc.pid, sig)
-        except (ProcessLookupError, PermissionError, OSError):
-            try:
-                os.kill(proc.pid, sig)
-            except (ProcessLookupError, OSError):
-                pass
-
     def _kill(self, proc):
         """SIGTERM -> grace -> SIGKILL; SIGCONT first so a stopped
         (SIGSTOPped) child can actually receive the termination."""
-        self._signal(proc, signal.SIGTERM)
-        self._signal(proc, signal.SIGCONT)
-        proc.join(self.policy.term_grace)
-        if proc.is_alive():
-            self._signal(proc, signal.SIGKILL)
-            self._signal(proc, signal.SIGCONT)
-            proc.join(10.0)
-        proc.join(0.1)   # reap
+        terminate_process(proc, grace=self.policy.term_grace)
 
     def _read_beat(self, hb_path):
         try:

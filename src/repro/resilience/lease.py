@@ -1,0 +1,225 @@
+"""Lease-based job ownership and heartbeat-age liveness.
+
+A distributed farm needs one answer to one question: *who owns this
+job, and are they still alive?*  This module gives both halves a single
+implementation:
+
+* :class:`LeaseManager` — filesystem leases.  A worker claims a job by
+  exclusively creating ``lease-<job>.json`` (``O_CREAT | O_EXCL`` — the
+  kernel arbitrates, so exactly one claimant wins no matter how many
+  race), embeds a random fencing ``token`` plus an expiry clock, and
+  renews by atomically rewriting the file.  A worker that dies simply
+  stops renewing; any process may then :meth:`~LeaseManager.reap` the
+  expired lease and the job returns to the pending pool.  The token
+  fences late writers: a worker that lost its lease (reaped while
+  stalled) discovers the token mismatch before committing a result and
+  abandons it instead of double-completing.
+
+* :func:`heartbeat_ages` / :func:`stalest_index` /
+  :func:`expired_indices` — the one liveness-by-silence code path
+  shared by the farm supervisor (worker heartbeat files), the stencil
+  pool (:mod:`repro.parallel.executor` names its stalest worker with
+  these) and lease expiry itself.  "Dead" always means the same thing:
+  silent longer than the timeout, aged against the observer's own
+  clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import time
+from dataclasses import dataclass
+
+from repro.errors import InputError
+
+__all__ = ["Lease", "LeaseManager", "expired_indices", "format_ages",
+           "heartbeat_ages", "stalest_index"]
+
+
+# ----------------------------------------------------------------------
+# liveness by silence (shared helpers)
+# ----------------------------------------------------------------------
+
+def heartbeat_ages(last_beats, now: float | None = None) -> list[float]:
+    """Age of each heartbeat against ``now`` (monotonic seconds).
+
+    A beat of 0.0 (or negative) means "never beat" and ages to
+    ``inf`` — a member that never reported is always the prime suspect.
+    """
+    if now is None:
+        now = time.monotonic()
+    return [(now - b) if b > 0.0 else float("inf") for b in last_beats]
+
+
+def stalest_index(ages: list[float]) -> int:
+    """Index of the member silent the longest."""
+    if not ages:
+        raise InputError("stalest_index needs at least one member")
+    return max(range(len(ages)), key=ages.__getitem__)
+
+
+def expired_indices(ages: list[float], timeout: float) -> list[int]:
+    """Members silent past ``timeout`` — the declared-dead set."""
+    if timeout <= 0.0:
+        raise InputError("liveness timeout must be positive")
+    return [i for i, a in enumerate(ages) if a > timeout]
+
+
+def format_ages(ages: list[float]) -> str:
+    """``w0=1.2s, w1=never`` summary used in diagnostics."""
+    return ", ".join(
+        f"w{i}={'never' if a == float('inf') else f'{a:.1f}s'}"
+        for i, a in enumerate(ages))
+
+
+# ----------------------------------------------------------------------
+# filesystem leases
+# ----------------------------------------------------------------------
+
+@dataclass
+class Lease:
+    """One granted job lease.
+
+    ``token`` is the fencing credential: every mutation the holder
+    commits is validated against the token on disk, so a holder whose
+    lease was reaped (and possibly re-granted) cannot clobber the new
+    owner's work.
+    """
+
+    job_id: str
+    owner: str
+    token: str
+    ttl: float
+    renewed: float   # wall clock of the last successful renewal
+
+    @property
+    def expires_at(self) -> float:
+        return self.renewed + self.ttl
+
+    def to_payload(self) -> dict:
+        return {"job_id": self.job_id, "owner": self.owner,
+                "token": self.token, "ttl": self.ttl,
+                "renewed": self.renewed}
+
+
+class LeaseManager:
+    """Grant, renew, verify and reap filesystem leases in one directory.
+
+    All clocks are wall-clock (``time.time``) because expiry must be
+    comparable across processes; the ttl should therefore be generous
+    relative to clock skew on one host (seconds, not milliseconds).
+    """
+
+    def __init__(self, dir, *, ttl: float = 15.0):
+        if ttl <= 0.0:
+            raise InputError("lease ttl must be positive")
+        self.dir = os.fspath(dir)
+        self.ttl = float(ttl)
+        os.makedirs(self.dir, exist_ok=True)
+
+    def _path(self, job_id: str) -> str:
+        return os.path.join(self.dir, f"lease-{job_id}.json")
+
+    def _read(self, job_id: str) -> dict | None:
+        try:
+            with open(self._path(job_id)) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return None
+
+    # -- grant / renew / release ---------------------------------------
+
+    def acquire(self, job_id: str, owner: str) -> Lease | None:
+        """Exclusively claim ``job_id``; None when someone else holds it.
+
+        The ``O_CREAT | O_EXCL`` create is the arbitration point: of N
+        racing workers exactly one syscall succeeds.
+        """
+        lease = Lease(job_id=job_id, owner=owner,
+                      token=secrets.token_hex(8), ttl=self.ttl,
+                      renewed=time.time())
+        try:
+            fd = os.open(self._path(job_id),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return None
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(lease.to_payload(), f)
+        except OSError:
+            return None
+        return lease
+
+    def renew(self, lease: Lease) -> bool:
+        """Push the expiry forward; False when the lease was lost
+        (reaped, re-granted, or the file vanished) — the holder must
+        then abandon the job."""
+        held = self._read(lease.job_id)
+        if held is None or held.get("token") != lease.token:
+            return False
+        lease.renewed = time.time()
+        tmp = f"{self._path(lease.job_id)}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "w") as f:
+                json.dump(lease.to_payload(), f)
+            os.replace(tmp, self._path(lease.job_id))
+        except OSError:
+            return False
+        return True
+
+    def verify(self, lease: Lease) -> bool:
+        """Does the on-disk lease still carry the holder's token?"""
+        held = self._read(lease.job_id)
+        return held is not None and held.get("token") == lease.token
+
+    def release(self, lease: Lease) -> None:
+        """Drop the lease (only when still held — never unlink a
+        successor's grant)."""
+        if self.verify(lease):
+            try:
+                os.remove(self._path(lease.job_id))
+            except OSError:
+                pass
+
+    # -- expiry ---------------------------------------------------------
+
+    def holder(self, job_id: str) -> dict | None:
+        """Current on-disk lease payload, if any."""
+        return self._read(job_id)
+
+    def is_expired(self, job_id: str, now: float | None = None) -> bool:
+        held = self._read(job_id)
+        if held is None:
+            return False
+        if now is None:
+            now = time.time()
+        age = now - float(held.get("renewed", 0.0))
+        return bool(expired_indices([age], float(held.get("ttl",
+                                                          self.ttl))))
+
+    def reap(self, now: float | None = None) -> list[str]:
+        """Remove every expired lease; returns the freed job ids.
+
+        Any process may reap — the farm supervisor does it each poll,
+        so a SIGKILLed worker's jobs return to the pool within one ttl.
+        """
+        if now is None:
+            now = time.time()
+        freed: list[str] = []
+        try:
+            names = os.listdir(self.dir)
+        except FileNotFoundError:
+            return freed
+        for name in names:
+            if not (name.startswith("lease-") and name.endswith(".json")):
+                continue
+            job_id = name[len("lease-"):-len(".json")]
+            if self.is_expired(job_id, now):
+                try:
+                    os.remove(os.path.join(self.dir, name))
+                except OSError:
+                    continue
+                freed.append(job_id)
+        return freed

@@ -282,6 +282,32 @@ class SnapshotStore:
                 os.fsync(f.fileno())
         os.replace(tmp, path)
 
+    def _commit_exclusive(self, path: str, data: bytes) -> bool:
+        """Commit ``data`` at ``path`` only if no one else has: the
+        ``os.link`` fails on an existing target, so of two concurrent
+        writers racing one generation number exactly one commits and
+        the loser moves on to the next seq.  (The farm can produce such
+        co-writers: an orphaned sandbox child still marching while its
+        reclaimed job's successor marches the same deterministic
+        trajectory into the same store.)"""
+        tmp = os.path.join(self.dir,
+                           f".tmp-{os.getpid()}-{os.path.basename(path)}")
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            if self.policy.fsync:
+                os.fsync(f.fileno())
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        return True
+
     # -- save -----------------------------------------------------------
 
     def save(self, solver, *, march: dict | None = None,
@@ -290,8 +316,10 @@ class SnapshotStore:
         """Commit one durable snapshot of ``solver``; returns its seq.
 
         Ordering makes the write crash-safe: payload tempfile → fsync →
-        rename, manifest tempfile → fsync → rename (the commit point),
-        directory fsync, *then* retention trims old generations.
+        rename, manifest tempfile → fsync → exclusive hard link (the
+        commit point — concurrent writers racing one generation number
+        settle there, the loser retries on the next seq), directory
+        fsync, *then* retention trims old generations.
         """
         config = solver.persist_config()
         construct = (solver.persist_arrays()
@@ -300,29 +328,36 @@ class SnapshotStore:
         os.makedirs(self.dir, exist_ok=True)
         seqs = self.sequences()
         seq = (seqs[-1] + 1) if seqs else 0
-        npz_path, man_path = self._paths(seq)
         buf = io.BytesIO()
         np.savez(buf, **arrays)
-        self._atomic_write(npz_path, buf.getvalue())
-        manifest = {
-            "schema_version": MANIFEST_SCHEMA_VERSION,
-            "seq": seq,
-            "label": label or type(solver).__name__,
-            "solver_class": _class_path(type(solver)),
-            "config": config,
-            "fingerprint": solver_fingerprint(type(solver), config),
-            "step": int(getattr(solver, "steps", 0) or 0),
-            "t": float(getattr(solver, "t", 0.0) or 0.0),
-            "march": dict(march or {}),
-            "run": dict(run or {}),
-            "completed": bool(completed),
-            "converged": bool(converged),
-            "payload": entries,
-            "npz": os.path.basename(npz_path),
-            "created": time.time(),
-        }
-        self._atomic_write(man_path,
-                           json.dumps(manifest, indent=1).encode())
+        while True:
+            npz_path, man_path = self._paths(seq)
+            self._atomic_write(npz_path, buf.getvalue())
+            manifest = {
+                "schema_version": MANIFEST_SCHEMA_VERSION,
+                "seq": seq,
+                "label": label or type(solver).__name__,
+                "solver_class": _class_path(type(solver)),
+                "config": config,
+                "fingerprint": solver_fingerprint(type(solver), config),
+                "step": int(getattr(solver, "steps", 0) or 0),
+                "t": float(getattr(solver, "t", 0.0) or 0.0),
+                "march": dict(march or {}),
+                "run": dict(run or {}),
+                "completed": bool(completed),
+                "converged": bool(converged),
+                "payload": entries,
+                "npz": os.path.basename(npz_path),
+                "created": time.time(),
+            }
+            if self._commit_exclusive(
+                    man_path, json.dumps(manifest, indent=1).encode()):
+                break
+            # a concurrent writer committed this generation between our
+            # sequences() scan and the link: take the next number (at
+            # worst the race leaves one generation whose payload the
+            # checksum rejects at load, and the walk falls back)
+            seq += 1
         self._fsync_dir()
         if self.faults is not None:
             self.faults.corrupt_snapshot(npz_path, man_path)

@@ -1,0 +1,441 @@
+"""Durable filesystem work queue: atomic claims, crash-safe journal,
+retry/backoff requeue and a dead-letter ledger.
+
+The queue is a directory; every mutation is an atomic filesystem
+operation, so any number of worker processes can share it and a crash
+at any instant leaves a state the survivors can read:
+
+```
+queue-dir/
+  jobs/<id>.json      immutable job spec (atomic write at enqueue)
+  state/<id>.json     mutable status record (atomic replace)
+  leases/lease-<id>.json   ownership (O_EXCL create, see lease.py)
+  results/<id>.json   result payload of a completed job
+  dead/<id>.json      dead-letter record (error + FailureReport)
+  work/<id>/          per-job workdir: ckpt/ (durable snapshots) and
+                      sandbox/ (isolation heartbeat + error notes)
+  journal.jsonl       append-only campaign ledger (fsync'd lines)
+```
+
+A job moves through a small state machine::
+
+    pending --claim--> running --complete--> done
+       ^                  |
+       |                  +--fail (attempts < max) --> pending
+       |                  |     (not_before = now + backoff + jitter)
+       |                  +--fail (attempts == max) --> dead
+       |                  +--preempt (drain; attempt not counted)
+       +---reclaim (lease expired: owner died) ---------+
+
+Claims are arbitrated by the lease file (exactly one ``O_EXCL`` create
+wins); completion and failure are fenced by the lease token so a
+worker that lost its lease mid-job cannot clobber its successor.  The
+journal records every transition — enqueue, claim, complete, fail,
+requeue, reclaim, preempt, dead-letter, worker kills — and is the raw
+material for the campaign ledger and the ``BENCH_farm.json``
+throughput numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import InputError, SolverError
+from repro.resilience.lease import Lease, LeaseManager
+
+__all__ = ["BackoffPolicy", "Job", "WorkQueue"]
+
+
+# ----------------------------------------------------------------------
+# retry / backoff
+# ----------------------------------------------------------------------
+
+@dataclass
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Delay before attempt ``n+1`` (after ``n`` failed attempts) is
+    ``min(max_delay, base * factor**(n-1)) * (1 + jitter * u)`` where
+    ``u`` in [0, 1) is a pure function of (job id, attempt) — the same
+    campaign replays with the same requeue times, yet concurrent
+    failures of different jobs never thundering-herd the same instant.
+    """
+
+    max_attempts: int = 3
+    base: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise InputError("max_attempts must be >= 1")
+        if self.base < 0.0 or self.max_delay < 0.0 or self.jitter < 0.0:
+            raise InputError("backoff delays and jitter must be >= 0")
+        if self.factor < 1.0:
+            raise InputError("backoff factor must be >= 1")
+
+    def delay(self, job_id: str, attempt: int) -> float:
+        """Requeue delay after ``attempt`` (1-based) failed attempts."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.max_delay, self.base * self.factor ** (attempt - 1))
+        h = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+        u = int.from_bytes(h[:8], "big") / 2.0 ** 64
+        return raw * (1.0 + self.jitter * u)
+
+
+# ----------------------------------------------------------------------
+# job spec
+# ----------------------------------------------------------------------
+
+@dataclass
+class Job:
+    """Immutable description of one unit of work.
+
+    ``kind`` names a registered executor in
+    :data:`repro.resilience.farm.JOB_KINDS`; ``payload`` is its
+    JSON-able argument.  The three budget fields become the per-job
+    :class:`~repro.resilience.isolation.IsolationPolicy` the worker
+    sandboxes the job under (None = farm default).
+    """
+
+    id: str
+    kind: str
+    payload: dict = field(default_factory=dict)
+    priority: int = 0
+    max_attempts: int | None = None
+    deadline: float | None = None
+    memory_mb: float | None = None
+    stall_timeout: float | None = None
+
+    def __post_init__(self):
+        if (not self.id or "/" in self.id or self.id != self.id.strip()
+                or self.id.startswith(".")):
+            raise InputError(f"invalid job id {self.id!r} (must be a "
+                             f"clean filename fragment)")
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "kind": self.kind,
+                "payload": dict(self.payload),
+                "priority": int(self.priority),
+                "max_attempts": self.max_attempts,
+                "deadline": self.deadline, "memory_mb": self.memory_mb,
+                "stall_timeout": self.stall_timeout}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Job":
+        return cls(id=d["id"], kind=d["kind"],
+                   payload=dict(d.get("payload") or {}),
+                   priority=int(d.get("priority", 0)),
+                   max_attempts=d.get("max_attempts"),
+                   deadline=d.get("deadline"),
+                   memory_mb=d.get("memory_mb"),
+                   stall_timeout=d.get("stall_timeout"))
+
+
+#: terminal statuses — a campaign is over when every job reaches one
+TERMINAL = frozenset(("done", "dead"))
+
+
+# ----------------------------------------------------------------------
+# the queue
+# ----------------------------------------------------------------------
+
+class WorkQueue:
+    """Shared, durable job queue rooted at ``dir``.
+
+    Every process (enqueuer, N workers, the supervising farm, a reaper)
+    opens its own ``WorkQueue`` on the same directory; there is no
+    in-memory authority to lose.
+    """
+
+    def __init__(self, dir, *, lease_ttl: float = 15.0,
+                 backoff: BackoffPolicy | None = None,
+                 fsync: bool = True):
+        self.dir = os.fspath(dir)
+        self.backoff = backoff or BackoffPolicy()
+        self.fsync = bool(fsync)
+        self.jobs_dir = os.path.join(self.dir, "jobs")
+        self.state_dir = os.path.join(self.dir, "state")
+        self.results_dir = os.path.join(self.dir, "results")
+        self.dead_dir = os.path.join(self.dir, "dead")
+        self.work_dir = os.path.join(self.dir, "work")
+        for d in (self.jobs_dir, self.state_dir, self.results_dir,
+                  self.dead_dir, self.work_dir):
+            os.makedirs(d, exist_ok=True)
+        self.leases = LeaseManager(os.path.join(self.dir, "leases"),
+                                   ttl=lease_ttl)
+        self.journal_path = os.path.join(self.dir, "journal.jsonl")
+
+    # -- atomic JSON plumbing ------------------------------------------
+
+    def _write_json(self, path: str, obj: dict) -> None:
+        tmp = os.path.join(os.path.dirname(path),
+                           f".tmp-{os.getpid()}-{os.path.basename(path)}")
+        with open(tmp, "w") as f:
+            json.dump(obj, f, indent=1, default=str)
+            f.flush()
+            if self.fsync:
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    def _read_json(self, path: str) -> dict | None:
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return None
+
+    def journal(self, event: str, **fields) -> None:
+        """Append one fsync'd line to the campaign journal.
+
+        O_APPEND writes of one line are atomic on local filesystems, so
+        concurrent workers interleave whole records, never torn ones.
+        """
+        rec = {"t": time.time(), "event": event}
+        rec.update(fields)
+        line = json.dumps(rec, default=str) + "\n"
+        fd = os.open(self.journal_path,
+                     os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+            if self.fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def read_journal(self) -> list[dict]:
+        """Every journal record, oldest first (torn tails skipped)."""
+        out: list[dict] = []
+        try:
+            with open(self.journal_path) as f:
+                for line in f:
+                    try:
+                        out.append(json.loads(line))
+                    except ValueError:
+                        continue   # torn tail from a crash mid-append
+        except OSError:
+            pass
+        return out
+
+    # -- enqueue --------------------------------------------------------
+
+    def enqueue(self, job: Job) -> bool:
+        """Add ``job``; idempotent (an existing id keeps its state and
+        returns False — re-running a campaign never resets progress)."""
+        spec_path = os.path.join(self.jobs_dir, f"{job.id}.json")
+        if os.path.exists(spec_path):
+            return False
+        self._write_json(spec_path, job.to_dict())
+        self._write_json(self._state_path(job.id),
+                         {"id": job.id, "status": "pending",
+                          "attempts": 0, "not_before": 0.0,
+                          "owner": None, "last_error": None})
+        self.journal("enqueue", job=job.id, kind=job.kind,
+                     priority=job.priority)
+        return True
+
+    # -- introspection --------------------------------------------------
+
+    def _state_path(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, f"{job_id}.json")
+
+    def job(self, job_id: str) -> Job:
+        spec = self._read_json(os.path.join(self.jobs_dir,
+                                            f"{job_id}.json"))
+        if spec is None:
+            raise SolverError(f"work queue: unknown job {job_id!r}")
+        return Job.from_dict(spec)
+
+    def state(self, job_id: str) -> dict:
+        st = self._read_json(self._state_path(job_id))
+        return st or {"id": job_id, "status": "unknown", "attempts": 0}
+
+    def job_ids(self) -> list[str]:
+        try:
+            names = os.listdir(self.jobs_dir)
+        except FileNotFoundError:
+            return []
+        return sorted(n[:-len(".json")] for n in names
+                      if n.endswith(".json"))
+
+    def counts(self) -> dict:
+        out: dict[str, int] = {}
+        for job_id in self.job_ids():
+            status = self.state(job_id).get("status", "unknown")
+            out[status] = out.get(status, 0) + 1
+        return out
+
+    def all_terminal(self) -> bool:
+        return all(self.state(j).get("status") in TERMINAL
+                   for j in self.job_ids())
+
+    def result(self, job_id: str) -> dict | None:
+        return self._read_json(os.path.join(self.results_dir,
+                                            f"{job_id}.json"))
+
+    def dead_letter(self, job_id: str) -> dict | None:
+        return self._read_json(os.path.join(self.dead_dir,
+                                            f"{job_id}.json"))
+
+    def job_workdir(self, job_id: str) -> str:
+        d = os.path.join(self.work_dir, job_id)
+        os.makedirs(d, exist_ok=True)
+        return d
+
+    # -- claim ----------------------------------------------------------
+
+    def ready(self, now: float | None = None) -> list[str]:
+        """Pending, unleased, past-backoff job ids in (priority, id)
+        order."""
+        if now is None:
+            now = time.time()
+        out = []
+        for job_id in self.job_ids():
+            st = self.state(job_id)
+            if st.get("status") != "pending":
+                continue
+            if float(st.get("not_before") or 0.0) > now:
+                continue
+            if self.leases.holder(job_id) is not None:
+                continue
+            out.append(job_id)
+        out.sort(key=lambda j: (self.job(j).priority, j))
+        return out
+
+    def claim(self, owner: str, now: float | None = None
+              ) -> tuple[Job, Lease] | None:
+        """Claim the first ready job for ``owner``; None when nothing is
+        claimable right now.  Losing every race returns None too — the
+        caller just polls again."""
+        for job_id in self.ready(now):
+            lease = self.leases.acquire(job_id, owner)
+            if lease is None:
+                continue
+            st = self.state(job_id)
+            job = self.job(job_id)
+            limit = (self.backoff.max_attempts if job.max_attempts is
+                     None else int(job.max_attempts))
+            if int(st.get("attempts", 0)) >= limit:
+                # poison job: every past attempt took its worker down
+                # (reclaims charge the attempt but never reach fail()),
+                # so it must dead-letter here or loop forever
+                self._write_json(
+                    os.path.join(self.dead_dir, f"{job_id}.json"),
+                    {"id": job_id, "attempts": st["attempts"],
+                     "worker": owner, "report": None, "t": time.time(),
+                     "error": (st.get("last_error")
+                               or "attempt budget exhausted: every "
+                                  "attempt lost its worker (lease "
+                                  "reclaimed, no failure recorded)")})
+                st.update(status="dead", owner=None)
+                self._write_json(self._state_path(job_id), st)
+                self.journal("dead-letter", job=job_id, worker=owner,
+                             attempts=st["attempts"],
+                             error="attempt budget exhausted on claim")
+                self.leases.release(lease)
+                continue
+            st.update(status="running", owner=owner,
+                      attempts=int(st.get("attempts", 0)) + 1)
+            self._write_json(self._state_path(job_id), st)
+            self.journal("claim", job=job_id, worker=owner,
+                         attempt=st["attempts"])
+            return job, lease
+        return None
+
+    # -- completion / failure / preemption ------------------------------
+
+    def complete(self, job: Job, lease: Lease, result: dict | None
+                 ) -> bool:
+        """Commit a result.  Returns False (and journals ``fenced``)
+        when the lease was lost — the successor owns the job now and
+        this result is discarded."""
+        if not self.leases.verify(lease):
+            self.journal("fenced", job=job.id, worker=lease.owner,
+                         action="complete")
+            return False
+        self._write_json(os.path.join(self.results_dir,
+                                      f"{job.id}.json"),
+                         {"id": job.id, "result": result,
+                          "worker": lease.owner, "t": time.time()})
+        st = self.state(job.id)
+        st.update(status="done", owner=None)
+        self._write_json(self._state_path(job.id), st)
+        self.journal("complete", job=job.id, worker=lease.owner,
+                     attempt=st.get("attempts"))
+        self.leases.release(lease)
+        return True
+
+    def fail(self, job: Job, lease: Lease, error: str, *,
+             report: dict | None = None) -> str:
+        """Record a failed attempt: requeue with backoff, or dead-letter
+        once attempts are exhausted.  Returns the resulting status."""
+        if not self.leases.verify(lease):
+            self.journal("fenced", job=job.id, worker=lease.owner,
+                         action="fail")
+            return self.state(job.id).get("status", "unknown")
+        st = self.state(job.id)
+        attempts = int(st.get("attempts", 0))
+        limit = (self.backoff.max_attempts if job.max_attempts is None
+                 else int(job.max_attempts))
+        if attempts >= limit:
+            self._write_json(os.path.join(self.dead_dir,
+                                          f"{job.id}.json"),
+                             {"id": job.id, "error": error,
+                              "attempts": attempts,
+                              "worker": lease.owner,
+                              "report": report, "t": time.time()})
+            st.update(status="dead", owner=None, last_error=error)
+            self._write_json(self._state_path(job.id), st)
+            self.journal("dead-letter", job=job.id, worker=lease.owner,
+                         attempts=attempts, error=error)
+            status = "dead"
+        else:
+            delay = self.backoff.delay(job.id, attempts)
+            st.update(status="pending", owner=None, last_error=error,
+                      not_before=time.time() + delay)
+            self._write_json(self._state_path(job.id), st)
+            self.journal("requeue", job=job.id, worker=lease.owner,
+                         attempt=attempts, backoff=round(delay, 3),
+                         error=error)
+            status = "pending"
+        self.leases.release(lease)
+        return status
+
+    def preempt(self, job: Job, lease: Lease) -> None:
+        """Return a job to the pool without charging an attempt (the
+        graceful-drain path: the worker checkpointed and is exiting)."""
+        if not self.leases.verify(lease):
+            self.journal("fenced", job=job.id, worker=lease.owner,
+                         action="preempt")
+            return
+        st = self.state(job.id)
+        st.update(status="pending", owner=None,
+                  attempts=max(0, int(st.get("attempts", 1)) - 1),
+                  not_before=0.0)
+        self._write_json(self._state_path(job.id), st)
+        self.journal("preempt", job=job.id, worker=lease.owner)
+        self.leases.release(lease)
+
+    # -- lease expiry ----------------------------------------------------
+
+    def reclaim_expired(self, now: float | None = None) -> list[str]:
+        """Reap expired leases and return their jobs to the pending
+        pool (attempt already charged at claim).  The dead worker's
+        durable snapshots remain under ``work/<id>/ckpt``, so the next
+        attempt resumes the march instead of restarting it."""
+        freed = self.leases.reap(now)
+        for job_id in freed:
+            st = self.state(job_id)
+            if st.get("status") != "running":
+                continue   # completed/failed just before expiry
+            owner = st.get("owner")
+            st.update(status="pending", owner=None, not_before=0.0)
+            self._write_json(self._state_path(job_id), st)
+            self.journal("reclaim", job=job_id, worker=owner)
+        return freed

@@ -45,3 +45,10 @@ def titan_gas(titan9):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(20260706)
+
+
+@pytest.fixture()
+def silent():
+    """Throwaway output stream for chatty harnesses (farm, chaos)."""
+    import io
+    return io.StringIO()

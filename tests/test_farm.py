@@ -1,0 +1,422 @@
+"""Solve-farm tests: queue, leases, retry/backoff, dead-letter, drain
+and kill-and-resume campaigns.
+
+The contract under test (ISSUE 6 acceptance criteria and DESIGN.md
+"Fault-tolerant solve farm"):
+
+* the filesystem queue is durable and idempotent: atomic claims (one
+  winner per job no matter how many workers race), crash-safe journal,
+  re-enqueue never resets progress,
+* lease ownership fences: an expired lease is reclaimed and the late
+  holder's commit is discarded (``fenced``), never double-applied,
+* retry/backoff: a failing job requeues with deterministic jittered
+  exponential backoff and dead-letters at ``max_attempts`` with its
+  :class:`~repro.resilience.FailureReport` attached,
+* SIGKILLing a random worker mid-campaign still completes the campaign
+  with solver results **bitwise identical** to an unkilled reference,
+* graceful drain: SIGTERM preempts the running job back to the queue
+  (attempt uncharged) and the worker exits 0.
+"""
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.resilience.chaos import CASES
+from repro.resilience.farm import (Farm, FarmPolicy, WorkerKillPlan,
+                                   bench_from_journal, build_ledger,
+                                   run_campaign, state_fingerprint,
+                                   write_bench_json)
+from repro.resilience.lease import (LeaseManager, expired_indices,
+                                    format_ages, heartbeat_ages,
+                                    stalest_index)
+from repro.resilience.queue import BackoffPolicy, Job, WorkQueue
+
+FAST = BackoffPolicy(max_attempts=3, base=0.01, factor=2.0,
+                     max_delay=0.05, jitter=0.5)
+
+
+def fast_policy(**kw):
+    kw.setdefault("n_workers", 2)
+    kw.setdefault("lease_ttl", 4.0)
+    kw.setdefault("poll_interval", 0.05)
+    kw.setdefault("backoff", FAST)
+    return FarmPolicy(**kw)
+
+
+# ----------------------------------------------------------------------
+# queue mechanics
+# ----------------------------------------------------------------------
+
+
+class TestQueue:
+    def test_enqueue_claim_complete_roundtrip(self, tmp_path):
+        q = WorkQueue(tmp_path / "q", backoff=FAST)
+        assert q.enqueue(Job(id="a", kind="sleep",
+                             payload={"duration": 0.01}))
+        assert q.state("a")["status"] == "pending"
+        job, lease = q.claim("w0")
+        assert job.id == "a"
+        assert q.state("a")["status"] == "running"
+        assert q.claim("w1") is None  # exclusively leased
+        assert q.complete(job, lease, {"x": 1})
+        assert q.state("a")["status"] == "done"
+        assert q.result("a")["result"] == {"x": 1}
+        assert q.all_terminal()
+        events = [r["event"] for r in q.read_journal()]
+        assert events == ["enqueue", "claim", "complete"]
+
+    def test_enqueue_is_idempotent(self, tmp_path):
+        q = WorkQueue(tmp_path / "q", backoff=FAST)
+        assert q.enqueue(Job(id="a", kind="sleep"))
+        job, lease = q.claim("w0")
+        q.complete(job, lease, None)
+        # re-running the campaign re-enqueues: progress must survive
+        assert not q.enqueue(Job(id="a", kind="sleep"))
+        assert q.state("a")["status"] == "done"
+
+    def test_claim_exclusivity_under_racing_workers(self, tmp_path):
+        q = WorkQueue(tmp_path / "q", backoff=FAST)
+        for i in range(5):
+            q.enqueue(Job(id=f"j{i}", kind="sleep"))
+        claims = [q.claim(f"w{i}") for i in range(8)]
+        got = [c[0].id for c in claims if c is not None]
+        assert sorted(got) == [f"j{i}" for i in range(5)]
+        assert claims[5:] == [None, None, None]
+
+    def test_bad_job_id_rejected(self, tmp_path):
+        with pytest.raises(InputError):
+            Job(id="../escape", kind="sleep")
+        with pytest.raises(InputError):
+            Job(id="", kind="sleep")
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        pol = BackoffPolicy(max_attempts=5, base=0.5, factor=2.0,
+                            max_delay=4.0, jitter=0.5)
+        d1 = [pol.delay("job-x", n) for n in range(1, 6)]
+        d2 = [pol.delay("job-x", n) for n in range(1, 6)]
+        assert d1 == d2  # same job+attempt -> same jitter
+        assert pol.delay("job-y", 1) != pol.delay("job-x", 1)
+        for n, d in enumerate(d1, start=1):
+            raw = min(4.0, 0.5 * 2.0 ** (n - 1))
+            assert raw <= d <= raw * 1.5
+
+    def test_fail_requeues_with_backoff_then_dead_letters(self, tmp_path):
+        q = WorkQueue(tmp_path / "q",
+                      backoff=BackoffPolicy(max_attempts=2, base=5.0,
+                                            jitter=0.0))
+        q.enqueue(Job(id="a", kind="sleep"))
+        job, lease = q.claim("w0")
+        assert q.fail(job, lease, "boom 1") == "pending"
+        st = q.state("a")
+        assert st["attempts"] == 1 and st["last_error"] == "boom 1"
+        assert st["not_before"] > time.time() + 1.0  # backoff armed
+        assert q.claim("w0") is None  # not ready until backoff passes
+        job, lease = q.claim("w0", now=time.time() + 60.0)
+        assert q.fail(job, lease, "boom 2",
+                      report={"error": "boom 2"}) == "dead"
+        assert q.state("a")["status"] == "dead"
+        rec = q.dead_letter("a")
+        assert rec["error"] == "boom 2"
+        assert rec["report"] == {"error": "boom 2"}
+        assert q.all_terminal()
+
+
+# ----------------------------------------------------------------------
+# leases: expiry, reclaim, fencing
+# ----------------------------------------------------------------------
+
+
+class TestLeases:
+    def test_acquire_is_exclusive_and_released(self, tmp_path):
+        lm = LeaseManager(tmp_path / "leases", ttl=5.0)
+        lease = lm.acquire("job", "w0")
+        assert lease is not None
+        assert lm.acquire("job", "w1") is None
+        lm.release(lease)
+        assert lm.acquire("job", "w1") is not None
+
+    def test_expired_lease_reaped_and_job_reclaimed(self, tmp_path):
+        q = WorkQueue(tmp_path / "q", lease_ttl=0.2, backoff=FAST)
+        q.enqueue(Job(id="a", kind="sleep"))
+        job, lease = q.claim("w0")
+        assert q.reclaim_expired() == []  # still fresh
+        time.sleep(0.3)  # owner "dies": no renewals
+        assert q.reclaim_expired() == ["a"]
+        st = q.state("a")
+        assert st["status"] == "pending" and st["attempts"] == 1
+        job2, lease2 = q.claim("w1")
+        assert job2.id == "a" and q.state("a")["attempts"] == 2
+
+    def test_late_holder_is_fenced_after_reclaim(self, tmp_path):
+        q = WorkQueue(tmp_path / "q", lease_ttl=0.2, backoff=FAST)
+        q.enqueue(Job(id="a", kind="sleep"))
+        job, stale = q.claim("w0")
+        time.sleep(0.3)
+        q.reclaim_expired()
+        job2, lease2 = q.claim("w1")
+        # the stalled original holder wakes up and tries to commit
+        assert not q.complete(job, stale, {"from": "w0"})
+        assert q.state("a")["status"] == "running"  # w1 still owns it
+        assert q.fail(job, stale, "late failure") == "running"
+        assert q.complete(job2, lease2, {"from": "w1"})
+        assert q.result("a")["result"] == {"from": "w1"}
+        fenced = [r for r in q.read_journal() if r["event"] == "fenced"]
+        assert {f["action"] for f in fenced} == {"complete", "fail"}
+
+    def test_renew_extends_and_detects_loss(self, tmp_path):
+        lm = LeaseManager(tmp_path / "leases", ttl=0.3)
+        lease = lm.acquire("job", "w0")
+        time.sleep(0.2)
+        assert lm.renew(lease)
+        time.sleep(0.2)
+        assert not lm.is_expired("job")  # renewal pushed expiry out
+        time.sleep(0.25)
+        assert lm.reap() == ["job"]
+        assert not lm.renew(lease)  # loss detected on next renewal
+
+    def test_poison_job_dead_letters_at_claim(self, tmp_path):
+        """A job whose every attempt kills its worker never reaches
+        fail(); the attempt budget must still end it, at claim time."""
+        q = WorkQueue(tmp_path / "q", lease_ttl=0.1,
+                      backoff=BackoffPolicy(max_attempts=2, base=0.0,
+                                            jitter=0.0))
+        q.enqueue(Job(id="a", kind="sleep"))
+        for _ in range(2):  # two claims, two owner deaths
+            assert q.claim("w0") is not None
+            time.sleep(0.15)
+            assert q.reclaim_expired() == ["a"]
+        assert q.claim("w0") is None  # third claim dead-letters instead
+        assert q.state("a")["status"] == "dead"
+        assert "attempt budget" in q.dead_letter("a")["error"]
+
+    def test_liveness_helpers_shared_with_executor(self):
+        ages = heartbeat_ages([10.0, 0.0, 12.0], now=13.0)
+        # catlint: disable=CAT010 -- 13.0 - 10.0 is exact in binary fp,
+        # and inf compares exactly by definition
+        assert ages[0] == 3.0 and ages[1] == float("inf")
+        assert stalest_index(ages) == 1
+        assert expired_indices(ages, 2.5) == [0, 1]
+        assert format_ages(ages) == "w0=3.0s, w1=never, w2=1.0s"
+
+
+# ----------------------------------------------------------------------
+# campaigns end to end
+# ----------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_flaky_job_retries_then_succeeds(self, tmp_path, silent):
+        jobs = [Job(id="fl", kind="flaky", payload={"fail_first": 2},
+                    max_attempts=4)]
+        ledger = run_campaign(tmp_path / "q", jobs,
+                              policy=fast_policy(n_workers=1),
+                              stream=silent)
+        assert ledger["ok"] and ledger["jobs"] == {"done": 1}
+        q = WorkQueue(tmp_path / "q")
+        assert q.result("fl")["result"]["attempts_used"] == 3
+        assert ledger["requeues"] == 2
+
+    def test_exhausted_job_dead_letters_with_report(self, tmp_path,
+                                                    silent):
+        jobs = [Job(id="bad", kind="flaky", payload={"fail_first": 99},
+                    max_attempts=2),
+                Job(id="ok", kind="sleep", payload={"duration": 0.01})]
+        ledger = run_campaign(tmp_path / "q", jobs,
+                              policy=fast_policy(), stream=silent)
+        assert ledger["jobs"] == {"dead": 1, "done": 1}
+        assert ledger["ok"]  # dead-lettered *with accounting* is ok
+        [dead] = ledger["dead_letter"]
+        assert dead["id"] == "bad" and dead["has_report"]
+        rec = WorkQueue(tmp_path / "q").dead_letter("bad")
+        assert rec["report"]["attempts"]  # FailureReport attached
+
+    def test_campaign_is_resumable_from_queue_dir(self, tmp_path,
+                                                  silent):
+        jobs = [Job(id=f"s{i}", kind="sleep",
+                    payload={"duration": 0.01}) for i in range(3)]
+        run_campaign(tmp_path / "q", jobs, policy=fast_policy(),
+                     stream=silent)
+        # second run over the same durable queue: nothing recomputes
+        ledger = run_campaign(tmp_path / "q", jobs,
+                              policy=fast_policy(), stream=silent)
+        assert ledger["ok"] and ledger["attempts"] == 3  # not 6
+
+    def test_bench_record_from_journal(self, tmp_path, silent):
+        jobs = [Job(id=f"s{i}", kind="sleep",
+                    payload={"duration": 0.02}) for i in range(4)]
+        run_campaign(tmp_path / "q", jobs, policy=fast_policy(),
+                     stream=silent)
+        q = WorkQueue(tmp_path / "q")
+        bench = bench_from_journal(q, wall_time=1.0, n_workers=2)
+        assert bench["jobs_done"] == 4
+        # catlint: disable=CAT010 -- round(4 / 1.0, 4) is exactly 4.0
+        assert bench["requests_per_s"] == 4.0
+        assert bench["per_job_latency_s"]["mean"] >= 0.02
+        path = tmp_path / "BENCH_farm.json"
+        write_bench_json(path, bench)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["bench"] == "farm" and on_disk["jobs_done"] == 4
+
+
+# ----------------------------------------------------------------------
+# kill-and-resume: the acceptance scenario
+# ----------------------------------------------------------------------
+
+
+def _reference_fingerprints(names):
+    out = {}
+    for n in names:
+        factory, run_kwargs, _, _ = CASES[n]
+        solver = factory()
+        solver.run(**run_kwargs)
+        out[n] = state_fingerprint(solver)
+    return out
+
+
+class TestKillAndResume:
+    def test_sigkilled_worker_campaign_bitwise_identical(self, tmp_path,
+                                                         silent):
+        """SIGKILL workers mid-campaign; every solver job must still
+        complete with a final state bitwise identical to an unkilled
+        in-process reference march."""
+        names = ["euler1d", "euler2d"]
+        ref = _reference_fingerprints(names)
+        # solver cases first (priority), sleep ballast keeps the
+        # campaign alive past the kill schedule so the kills land
+        jobs = ([Job(id=f"case-{n}", kind="solver_case", priority=-1,
+                     payload={"case": n, "every_n_steps": 2},
+                     max_attempts=8) for n in names]
+                + [Job(id=f"pad{i}", kind="sleep", max_attempts=8,
+                       payload={"duration": 0.5}) for i in range(6)])
+        policy = fast_policy(
+            n_workers=2, lease_ttl=1.5, worker_restart_budget=8,
+            backoff=BackoffPolicy(max_attempts=8, base=0.02,
+                                  max_delay=0.1))
+        plan = WorkerKillPlan(seed=3, kills=2, min_interval=0.25,
+                              max_interval=0.5)
+        ledger = run_campaign(tmp_path / "q", jobs, policy=policy,
+                              stream=silent, kill_plan=plan)
+        assert ledger["ok"], ledger
+        assert ledger["worker_kills"], "no kill landed — tune the plan"
+        q = WorkQueue(tmp_path / "q")
+        for n in names:
+            res = q.result(f"case-{n}")
+            assert res is not None, q.state(f"case-{n}")
+            assert res["result"]["state_sha256"] == ref[n], \
+                f"{n}: resumed state differs from unkilled reference"
+
+    def test_kill_plan_is_deterministic(self):
+        a = WorkerKillPlan(seed=5, kills=4).schedule()
+        b = WorkerKillPlan(seed=5, kills=4).schedule()
+        assert a == b and len(a) == 4
+        assert a == sorted(a)  # cumulative offsets
+        assert WorkerKillPlan(seed=6, kills=4).schedule() != a
+
+    def test_worker_death_reclaims_via_lease_expiry(self, tmp_path,
+                                                    silent):
+        """Kill the *only* worker's claim path directly: a SIGKILLed
+        worker never completes its job, the lease expires, the farm
+        reclaims and a replacement worker finishes."""
+        jobs = [Job(id=f"s{i}", kind="sleep",
+                    payload={"duration": 0.6}, max_attempts=5)
+                for i in range(2)]
+        policy = fast_policy(
+            n_workers=1, lease_ttl=1.0, worker_restart_budget=4,
+            backoff=BackoffPolicy(max_attempts=5, base=0.02,
+                                  max_delay=0.1))
+        plan = WorkerKillPlan(seed=11, kills=1, min_interval=0.3,
+                              max_interval=0.4)
+        ledger = run_campaign(tmp_path / "q", jobs, policy=policy,
+                              stream=silent, kill_plan=plan)
+        assert ledger["ok"] and ledger["jobs"] == {"done": 2}
+        assert len(ledger["worker_kills"]) == 1
+        # the killed worker's job came back through reclaim or the
+        # poison-guard; either way the journal shows the recovery
+        events = {r["event"] for r in
+                  WorkQueue(tmp_path / "q").read_journal()}
+        assert "worker-kill" in events
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_sigterm_preempts_and_drains(self, tmp_path, silent):
+        """SIGTERM mid-campaign: the farm stops, running jobs are
+        preempted (attempt uncharged) or finished, and a later campaign
+        on the same queue completes the rest."""
+        import threading
+
+        jobs = [Job(id=f"s{i}", kind="sleep",
+                    payload={"duration": 0.4}) for i in range(6)]
+        policy = fast_policy(n_workers=2)
+        queue = WorkQueue(tmp_path / "q", lease_ttl=policy.lease_ttl,
+                          backoff=policy.backoff)
+        for j in jobs:
+            queue.enqueue(j)
+        farm = Farm(queue, policy, stream=silent)
+        timer = threading.Timer(0.6, lambda: setattr(farm, "_stop",
+                                                     True))
+        timer.start()
+        ledger = farm.run()
+        timer.cancel()
+        done_first = ledger["jobs"].get("done", 0)
+        assert done_first < 6  # interrupted mid-campaign
+        # preempted jobs are pending again with attempts uncharged
+        for job_id in queue.job_ids():
+            st = queue.state(job_id)
+            assert st["status"] in ("pending", "done")
+            if st["status"] == "pending":
+                assert st["attempts"] == 0
+        ledger2 = run_campaign(tmp_path / "q", jobs, policy=policy,
+                               stream=silent)
+        assert ledger2["ok"]
+        assert ledger2["jobs"] == {"done": 6}
+
+    def test_ledger_accounts_for_every_job(self, tmp_path, silent):
+        jobs = ([Job(id=f"s{i}", kind="sleep",
+                     payload={"duration": 0.01}) for i in range(3)]
+                + [Job(id="bad", kind="flaky",
+                       payload={"fail_first": 99}, max_attempts=1)])
+        ledger = run_campaign(tmp_path / "q", jobs,
+                              policy=fast_policy(), stream=silent)
+        assert ledger["n_jobs"] == 4
+        assert ledger["jobs"]["done"] + len(ledger["dead_letter"]) == 4
+        assert ledger["throughput_jobs_per_s"] > 0
+        rebuilt = build_ledger(WorkQueue(tmp_path / "q"), wall_time=1.0,
+                               label="rebuild", n_workers=2)
+        assert rebuilt["jobs"] == ledger["jobs"]  # journal is durable
+
+
+# ----------------------------------------------------------------------
+# farm policy validation
+# ----------------------------------------------------------------------
+
+
+class TestPolicy:
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(InputError):
+            FarmPolicy(n_workers=0)
+        with pytest.raises(InputError):
+            FarmPolicy(lease_ttl=0.0)
+        with pytest.raises(InputError):
+            BackoffPolicy(max_attempts=0)
+        with pytest.raises(InputError):
+            BackoffPolicy(factor=0.5)
+
+    def test_unknown_job_kind_dead_letters(self, tmp_path, silent):
+        jobs = [Job(id="x", kind="no-such-kind", max_attempts=1)]
+        ledger = run_campaign(tmp_path / "q", jobs,
+                              policy=fast_policy(n_workers=1),
+                              stream=silent)
+        assert ledger["jobs"] == {"dead": 1}
+        rec = WorkQueue(tmp_path / "q").dead_letter("x")
+        assert "unknown job kind" in rec["error"]
