@@ -61,6 +61,7 @@ commands:
                          to FILE (default degradation_ledger.json)
   chaos [--rounds N] [--seed S] [--out D] [--deadline S]
         [--farm] [-j N] [--kill-workers K] [--queue-dir D]
+        [--hosts N] [--skew[=S]] [--partition]
                          randomized fault campaign: every round runs a
                          solver with sampled faults (hangs, memory
                          balloons, crashes, snapshot corruption, NaN
@@ -75,9 +76,29 @@ commands:
                                              (default 2; 0 disables)
                            --queue-dir D     farm queue directory
                                              (default <out>/farm-queue)
-  campaign (--figures | --jobs FILE) [-j N] [--full] [--queue-dir D]
+                           --hosts N         distributed mode (with
+                                             --farm): N supervisor
+                                             "hosts" share one queue;
+                                             one host is SIGKILLed and
+                                             the survivors' results are
+                                             bitwise-verified; --rounds
+                                             counts solver jobs and
+                                             --deadline bounds the whole
+                                             campaign (default 240 s)
+                           --skew[=S]        inject alternating +/-S s
+                                             wall-clock skew per host
+                                             (bare --skew: 5 s)
+                           --partition       SIGSTOP the surviving host
+                                             past its lease ttl (frozen
+                                             beacon included), then heal
+                                             it: stale commits must be
+                                             fenced, jobs done once
+  campaign (--figures | --jobs FILE | --retry-dead-letters
+            | --merge-ledgers L1,L2,...)
+           [-j N] [--full] [--queue-dir D]
            [--ledger FILE] [--bench FILE] [--compare-serial]
            [--kill-workers K] [--seed S] [--deadline S]
+           [--host-id H] [--max-skew S]
                          enqueue a job set and drive the farm until every
                          job is done or dead-lettered
                            --figures         the nine-figure suite as jobs
@@ -96,11 +117,43 @@ commands:
                                              seeded random times
                            --seed S          kill-schedule seed (default 0)
                            --deadline S      per-job wall-clock budget
+                           --host-id H       this host's identity in a
+                                             shared (multi-host) queue
+                           --max-skew S      cross-host clock-skew bound
+                                             for lease reaping (default 2)
+                           --retry-dead-letters
+                                             requeue the queue's dead-
+                                             lettered jobs with a fresh
+                                             attempt budget (prior
+                                             failure reports preserved)
+                                             and re-run the farm; needs
+                                             --queue-dir, excludes
+                                             --figures/--jobs
+                           --merge-ledgers L1,L2,...
+                                             merge per-host campaign
+                                             ledgers into --ledger FILE;
+                                             with --queue-dir also runs
+                                             the exactly-once journal
+                                             audit over the shared queue
   serve --queue-dir D [-j N] [--lease-ttl S] [--poll S]
+        [--host-id H] [--max-skew S] [--clock-offset S] [--ledger FILE]
                          long-running worker pool on a durable queue:
                          drains jobs as they are enqueued (by campaign
                          or other processes) until SIGTERM/SIGINT, then
                          finishes-or-checkpoints and exits
+                           --host-id H       identity under which leases,
+                                             journal lines and workers
+                                             (host:pid) are written —
+                                             several hosts may serve one
+                                             shared/NFS queue directory
+                           --max-skew S      cross-host clock-skew bound
+                                             for lease reaping (default 2)
+                           --clock-offset S  inject S seconds of wall-
+                                             clock skew (chaos/testing;
+                                             may be negative)
+                           --ledger FILE     write this host's campaign
+                                             ledger JSON after the drain
+                                             (for --merge-ledgers)
   -h, --help             show this message
 
 exit codes: 0 success, 1 solver/invariant failure, 2 usage error\
@@ -263,12 +316,26 @@ def _cmd_stagnation(args: list[str]) -> int:
 
 
 def _cmd_chaos(args: list[str]) -> int:
-    rounds, seed, out, deadline = 5, 0, "chaos-reports", 30.0
+    rounds, seed, out, deadline = 5, 0, "chaos-reports", None
     farm, n_workers, kill_workers, queue_dir = False, 2, 2, None
+    hosts, skew, partition = 0, 0.0, False
     it = iter(args)
     for a in it:
         if a == "--farm":
             farm = True
+        elif a == "--partition":
+            partition = True
+        elif a == "--hosts":
+            hosts = _positive_int("chaos", a, next(it, None))
+        elif a.startswith("--hosts="):
+            hosts = _positive_int("chaos", "--hosts",
+                                  a.split("=", 1)[1])
+        elif a == "--skew":
+            # bare --skew injects the default ±5 s; --skew=S tunes it
+            skew = 5.0
+        elif a.startswith("--skew="):
+            skew = _positive_float("chaos", "--skew",
+                                   a.split("=", 1)[1])
         elif a == "-j":
             n_workers = _positive_int("chaos", a, next(it, None))
         elif a.startswith("-j="):
@@ -331,6 +398,21 @@ def _cmd_chaos(args: list[str]) -> int:
                                        a.split("=", 1)[1])
         else:
             _usage_error("chaos", f"unknown option {a!r}")
+    if hosts and not farm:
+        _usage_error("chaos", "--hosts requires --farm")
+    if (skew or partition) and not hosts:
+        _usage_error("chaos", "--skew/--partition require --hosts N")
+    if hosts:
+        # distributed mode: --rounds counts bitwise-verified solver
+        # jobs and --deadline bounds the whole campaign
+        from repro.resilience.chaos import run_chaos_hosts
+        return run_chaos_hosts(
+            hosts=hosts, rounds=rounds, seed=seed, out=out,
+            n_workers=n_workers, skew=skew, partition=partition,
+            deadline=240.0 if deadline is None else deadline,
+            queue_dir=queue_dir)
+    if deadline is None:
+        deadline = 30.0
     if farm:
         from repro.resilience.chaos import run_chaos_farm
         return run_chaos_farm(rounds=rounds, seed=seed, out=out,
@@ -445,10 +527,54 @@ def _cmd_degrade_smoke(args: list[str]) -> int:
     return _degrade_smoke(out)
 
 
+def _merge_ledgers_cmd(paths: list[str], ledger_file: str | None,
+                       queue_dir: str | None) -> int:
+    """``campaign --merge-ledgers``: fold per-host campaign ledgers
+    into one view; with ``--queue-dir`` also run the exactly-once
+    journal audit over the shared queue."""
+    import json
+
+    from repro.resilience.farm import audit_exactly_once, merge_ledgers
+    ledgers = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                ledgers.append(json.load(f))
+        except (OSError, ValueError) as exc:
+            _usage_error("campaign",
+                         f"cannot read ledger {path!r}: {exc}")
+    merged = merge_ledgers(ledgers)
+    ok = bool(merged.get("ok"))
+    if queue_dir is not None:
+        from repro.resilience.queue import WorkQueue
+        audit = audit_exactly_once(WorkQueue(queue_dir))
+        merged["exactly_once_audit"] = audit
+        ok = ok and audit["ok"]
+        print(f"campaign: exactly-once audit over {queue_dir}: "
+              f"{'ok' if audit['ok'] else 'VIOLATED'} "
+              f"({audit['jobs_completed']} completion(s), "
+              f"{len(audit['double_completions'])} double, "
+              f"{len(audit['done_without_complete'])} unaccounted)")
+    if ledger_file is not None:
+        with open(ledger_file, "w") as f:
+            json.dump(merged, f, indent=1, default=str)
+        print(f"campaign: merged ledger ({len(ledgers)} host ledger(s))"
+              f" written to {ledger_file}")
+    else:
+        print(json.dumps(merged, indent=1, default=str))
+    print(f"campaign: merged view — jobs {merged.get('jobs')}, hosts "
+          f"{sorted(merged.get('hosts') or {})}, wall "
+          f"{merged.get('wall_time')} s "
+          f"({merged.get('host_seconds')} host-seconds)")
+    return 0 if ok else 1
+
+
 def _cmd_campaign(args: list[str]) -> int:
     figures, jobs_file, n_workers, full = False, None, 4, False
     queue_dir, ledger_file, bench_file = None, None, None
     compare_serial, kill_workers, seed, deadline = False, 0, 0, None
+    merge_paths: list[str] = []
+    retry_dead, host_id, max_skew = False, None, 2.0
     it = iter(args)
     for a in it:
         if a == "--figures":
@@ -457,6 +583,28 @@ def _cmd_campaign(args: list[str]) -> int:
             full = True
         elif a == "--compare-serial":
             compare_serial = True
+        elif a == "--retry-dead-letters":
+            retry_dead = True
+        elif a == "--merge-ledgers":
+            value = next(it, None)
+            if value is None:
+                _usage_error("campaign", "--merge-ledgers needs ledger "
+                             "path(s), comma-separated or repeated")
+            merge_paths.extend(p for p in value.split(",") if p)
+        elif a.startswith("--merge-ledgers="):
+            merge_paths.extend(p for p in
+                               a.split("=", 1)[1].split(",") if p)
+        elif a == "--host-id":
+            host_id = next(it, None)
+            if host_id is None:
+                _usage_error("campaign", "--host-id needs a name")
+        elif a.startswith("--host-id="):
+            host_id = a.split("=", 1)[1]
+        elif a == "--max-skew":
+            max_skew = _positive_float("campaign", a, next(it, None))
+        elif a.startswith("--max-skew="):
+            max_skew = _positive_float("campaign", "--max-skew",
+                                       a.split("=", 1)[1])
         elif a == "-j":
             n_workers = _positive_int("campaign", a, next(it, None))
         elif a.startswith("-j="):
@@ -512,7 +660,21 @@ def _cmd_campaign(args: list[str]) -> int:
                 bench_file = value
         else:
             _usage_error("campaign", f"unknown option {a!r}")
-    if figures == (jobs_file is not None):
+    if merge_paths:
+        if figures or jobs_file or retry_dead or compare_serial:
+            _usage_error("campaign", "--merge-ledgers merges existing "
+                         "per-host ledgers; it excludes --figures/"
+                         "--jobs/--retry-dead-letters/--compare-serial")
+        return _merge_ledgers_cmd(merge_paths, ledger_file, queue_dir)
+    if retry_dead:
+        if queue_dir is None:
+            _usage_error("campaign", "--retry-dead-letters needs "
+                         "--queue-dir (the queue holding the dead "
+                         "letters)")
+        if figures or jobs_file is not None:
+            _usage_error("campaign", "--retry-dead-letters re-runs the "
+                         "existing queue; it excludes --figures/--jobs")
+    elif figures == (jobs_file is not None):
         _usage_error("campaign",
                      "exactly one of --figures / --jobs FILE required")
     if compare_serial and not figures:
@@ -541,15 +703,27 @@ def _cmd_campaign(args: list[str]) -> int:
 
     if queue_dir is None:
         queue_dir = tempfile.mkdtemp(prefix="repro-campaign-")
-    policy = FarmPolicy(n_workers=n_workers, deadline=deadline)
+    policy = FarmPolicy(n_workers=n_workers, deadline=deadline,
+                        host_id=host_id, max_skew=max_skew)
     queue = WorkQueue(queue_dir, lease_ttl=policy.lease_ttl,
-                      backoff=policy.backoff)
-    if figures:
+                      backoff=policy.backoff, host_id=host_id,
+                      max_skew=max_skew)
+    if retry_dead:
+        requeued = queue.retry_dead_letters()
+        if not requeued:
+            print(f"campaign: no dead-lettered jobs in {queue_dir}")
+            return 0
+        print(f"campaign: requeued {len(requeued)} dead-lettered "
+              f"job(s) with a fresh attempt budget: "
+              f"{', '.join(requeued)}")
+    elif figures:
         from repro.experiments.runner import _MODULES
         jobs = [Job(id=name, kind="figure",
                     payload={"module": mod.__name__.rsplit(".", 1)[1],
                              "quick": not full})
                 for name, mod in _MODULES]
+        for job in jobs:
+            queue.enqueue(job)
     else:
         try:
             with open(jobs_file) as f:
@@ -561,8 +735,8 @@ def _cmd_campaign(args: list[str]) -> int:
             _usage_error("campaign", "--jobs FILE must hold a JSON "
                          "list of job specs")
         jobs = [Job.from_dict(s) for s in specs]
-    for job in jobs:
-        queue.enqueue(job)
+        for job in jobs:
+            queue.enqueue(job)
     plan = None
     if kill_workers:
         plan = WorkerKillPlan(seed=seed + 1000, kills=kill_workers,
@@ -598,8 +772,21 @@ def _cmd_campaign(args: list[str]) -> int:
     return 0 if ledger["ok"] and not n_dead else 1
 
 
+def _float_any(prefix: str, flag: str, value: str | None) -> float:
+    """A float flag that may legitimately be negative (clock offsets,
+    skews injected in either direction)."""
+    if value is None:
+        _usage_error(prefix, f"{flag} needs a value")
+    try:
+        return float(value)
+    except ValueError:
+        _usage_error(prefix, f"{flag} needs a number, got {value!r}")
+
+
 def _cmd_serve(args: list[str]) -> int:
     queue_dir, n_workers, lease_ttl, poll = None, 2, 15.0, 0.25
+    host_id, max_skew, clock_offset = None, 2.0, 0.0
+    ledger_file = None
     it = iter(args)
     for a in it:
         if a == "--queue-dir":
@@ -608,6 +795,12 @@ def _cmd_serve(args: list[str]) -> int:
                 _usage_error("serve", "--queue-dir needs a directory")
         elif a.startswith("--queue-dir="):
             queue_dir = a.split("=", 1)[1]
+        elif a == "--host-id":
+            host_id = next(it, None)
+            if host_id is None:
+                _usage_error("serve", "--host-id needs a name")
+        elif a.startswith("--host-id="):
+            host_id = a.split("=", 1)[1]
         elif a == "-j":
             n_workers = _positive_int("serve", a, next(it, None))
         elif a.startswith("-j="):
@@ -617,22 +810,49 @@ def _cmd_serve(args: list[str]) -> int:
         elif a.startswith("--lease-ttl="):
             lease_ttl = _positive_float("serve", "--lease-ttl",
                                         a.split("=", 1)[1])
+        elif a == "--max-skew":
+            max_skew = _positive_float("serve", a, next(it, None))
+        elif a.startswith("--max-skew="):
+            max_skew = _positive_float("serve", "--max-skew",
+                                       a.split("=", 1)[1])
+        elif a == "--clock-offset":
+            # chaos/testing knob: inject wall-clock skew (either sign)
+            clock_offset = _float_any("serve", a, next(it, None))
+        elif a.startswith("--clock-offset="):
+            clock_offset = _float_any("serve", "--clock-offset",
+                                      a.split("=", 1)[1])
         elif a == "--poll":
             poll = _positive_float("serve", a, next(it, None))
         elif a.startswith("--poll="):
             poll = _positive_float("serve", "--poll",
                                    a.split("=", 1)[1])
+        elif a == "--ledger":
+            ledger_file = next(it, None)
+            if ledger_file is None:
+                _usage_error("serve", "--ledger needs a path")
+        elif a.startswith("--ledger="):
+            ledger_file = a.split("=", 1)[1]
         else:
             _usage_error("serve", f"unknown option {a!r}")
     if queue_dir is None:
         _usage_error("serve", "--queue-dir is required (the durable "
                      "queue other processes enqueue into)")
+    import json
+
     from repro.resilience.farm import Farm, FarmPolicy
     policy = FarmPolicy(n_workers=n_workers, lease_ttl=lease_ttl,
-                        poll_interval=poll, drain_when_idle=False)
-    print(f"serve: {n_workers} worker(s) on {queue_dir} "
-          f"(SIGTERM to drain)")
-    return Farm(queue_dir, policy, label="serve").serve()
+                        poll_interval=poll, drain_when_idle=False,
+                        host_id=host_id, max_skew=max_skew,
+                        clock_offset=clock_offset)
+    farm = Farm(queue_dir, policy, label="serve")
+    print(f"serve: {n_workers} worker(s) on {queue_dir} as host "
+          f"{farm.host} (SIGTERM to drain)")
+    code = farm.serve()
+    if ledger_file and farm.last_ledger is not None:
+        with open(ledger_file, "w") as f:
+            json.dump(farm.last_ledger, f, indent=1)
+        print(f"serve: ledger written to {ledger_file}")
+    return code
 
 
 _COMMANDS = {

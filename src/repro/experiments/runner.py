@@ -203,7 +203,9 @@ def run_all_farm(quick: bool = True, *, n_workers: int = 4,
                  stream=None, queue_dir: str | None = None,
                  deadline: float | None = None,
                  stall_timeout: float | None = None,
-                 memory_mb: float | None = None, kill_plan=None) -> dict:
+                 memory_mb: float | None = None, kill_plan=None,
+                 host_id: str | None = None,
+                 max_skew: float = 2.0) -> dict:
     """Run the nine-figure suite on the solve farm (``figures --farm``).
 
     Each figure becomes one ``figure`` job on a durable
@@ -227,9 +229,11 @@ def run_all_farm(quick: bool = True, *, n_workers: int = 4,
         queue_dir = tempfile.mkdtemp(prefix="repro-figures-farm-")
     policy = FarmPolicy(n_workers=n_workers, deadline=deadline,
                         stall_timeout=stall_timeout,
-                        memory_mb=memory_mb)
+                        memory_mb=memory_mb, host_id=host_id,
+                        max_skew=max_skew)
     queue = WorkQueue(queue_dir, lease_ttl=policy.lease_ttl,
-                      backoff=policy.backoff)
+                      backoff=policy.backoff, host_id=host_id,
+                      max_skew=max_skew)
     for name, mod in _MODULES:
         queue.enqueue(Job(
             id=name, kind="figure",

@@ -37,13 +37,22 @@ This package provides the machinery the solver stack wires through:
   N supervised workers under lease-based ownership, retry with
   exponential backoff, a dead-letter ledger, kill-and-resume campaigns
   and graceful drain (see :mod:`repro.resilience.farm`,
-  :mod:`repro.resilience.queue` and :mod:`repro.resilience.lease`).
+  :mod:`repro.resilience.queue` and :mod:`repro.resilience.lease`),
+* :class:`HostBeacon` / :func:`merge_ledgers` /
+  :func:`audit_exactly_once` — the multi-host layer: several
+  supervisors (each a ``host_id`` with ``host:pid`` workers) drain one
+  shared queue directory under clock-skew-tolerant leases, fenced
+  commits, per-host journals with rotation/compaction, advisory clock
+  beacons, cross-host ledger merging and an exactly-once journal audit.
 """
 
 from repro.resilience.checkpoint import Checkpoint
 from repro.resilience.farm import (Farm, FarmPolicy, WorkerKillPlan,
-                                   run_campaign)
-from repro.resilience.lease import Lease, LeaseManager
+                                   audit_exactly_once, merge_ledgers,
+                                   run_campaign, sweep_orphans)
+from repro.resilience.lease import (HostBeacon, Lease, LeaseManager,
+                                    default_host_id, estimate_skew,
+                                    read_beacons)
 from repro.resilience.queue import BackoffPolicy, Job, WorkQueue
 from repro.resilience.isolation import (Heartbeat, IsolatedRunner,
                                         IsolationEvent, IsolationPolicy)
@@ -66,11 +75,13 @@ __all__ = ["BackoffPolicy", "Checkpoint", "ConservationWatchdog",
            "DegradationController", "DegradationLedger",
            "DegradationPolicy", "Farm", "FarmPolicy", "Fault",
            "FaultInjector", "FailureReport", "Heartbeat",
-           "IsolatedRunner", "IsolationEvent", "IsolationPolicy",
-           "Job", "Lease", "LeaseManager", "LoadedSnapshot",
-           "MANIFEST_SCHEMA_VERSION", "PersistencePolicy",
-           "RetryPolicy", "RunSupervisor", "SimulatedCrash",
-           "SnapshotStore", "WatchdogEvent", "WatchdogPolicy",
-           "WorkQueue", "WorkerKillPlan", "drain_ledgers",
+           "HostBeacon", "IsolatedRunner", "IsolationEvent",
+           "IsolationPolicy", "Job", "Lease", "LeaseManager",
+           "LoadedSnapshot", "MANIFEST_SCHEMA_VERSION",
+           "PersistencePolicy", "RetryPolicy", "RunSupervisor",
+           "SimulatedCrash", "SnapshotStore", "WatchdogEvent",
+           "WatchdogPolicy", "WorkQueue", "WorkerKillPlan",
+           "audit_exactly_once", "default_host_id", "drain_ledgers",
+           "estimate_skew", "merge_ledgers", "read_beacons",
            "resume_run", "run_campaign", "solver_config",
-           "solver_fingerprint", "supervised_call"]
+           "solver_fingerprint", "supervised_call", "sweep_orphans"]

@@ -33,6 +33,16 @@ reclaim, retry/backoff and worker replacement under fire.  Farm rounds
 seed per-round rngs (``[seed, index]``) so they are order-independent
 across workers; the serial and farm schedules for one seed therefore
 differ, but each is individually deterministic.
+
+``--farm --hosts N`` escalates once more, to the **distributed** farm:
+N supervisor processes — each a separate "host" with its own
+``host_id``, injected wall-clock skew and per-host journal — drain one
+shared queue directory while the harness suspends a host mid-claim
+(SIGSTOP: a network partition), freezes its clock beacon, delays its
+queue I/O (stale NFS), heals it, and finally SIGKILLs a different host
+outright.  The surviving host must finish every job exactly once
+(journal audit) and the solver jobs' final states must be bitwise
+identical to a single-host in-process reference.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from __future__ import annotations
 import json
 import multiprocessing as mp
 import os
+import signal
 import sys
 import tempfile
 import time
@@ -51,8 +62,8 @@ from repro.resilience.faults import FaultInjector
 from repro.resilience.isolation import (IsolatedRunner, IsolationPolicy,
                                         _read_rss_mb)
 
-__all__ = ["CASES", "run_chaos", "run_chaos_farm", "run_round",
-           "sample_schedule"]
+__all__ = ["CASES", "run_chaos", "run_chaos_farm", "run_chaos_hosts",
+           "run_round", "sample_schedule"]
 
 
 # ----------------------------------------------------------------------
@@ -432,4 +443,272 @@ def run_chaos_farm(*, rounds: int = 5, seed: int = 0, out: str | None =
           f"{len(farm_ledger['worker_kills'])} worker kill(s) "
           f"({ledger['reclaims']} lease reclaim(s), "
           f"{ledger['requeues']} requeue(s))", file=stream)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# distributed mode: several supervisor "hosts", one shared queue
+# ----------------------------------------------------------------------
+
+def _chaos_host_main(queue_dir: str, host_id: str, cfg: dict) -> None:
+    """One chaos "host": a farm supervisor serving the shared queue
+    under its own identity, injected clock skew and chaos knobs."""
+    try:
+        os.setpgid(0, 0)
+    except OSError:
+        pass
+    if cfg.get("io_delay"):
+        # stale-NFS simulation: every queue I/O on this host sleeps
+        os.environ["REPRO_QUEUE_IO_DELAY"] = str(cfg["io_delay"])
+    from repro.resilience.farm import Farm, FarmPolicy
+    from repro.resilience.queue import BackoffPolicy
+    policy = FarmPolicy(
+        n_workers=int(cfg["n_workers"]),
+        lease_ttl=float(cfg["lease_ttl"]), poll_interval=0.1,
+        worker_stall_timeout=60.0,
+        worker_restart_budget=int(cfg.get("restart_budget", 4)),
+        deadline=float(cfg["deadline"]), stall_timeout=None,
+        backoff=BackoffPolicy(max_attempts=6, base=0.2, max_delay=2.0),
+        drain_when_idle=False,   # serve mode: driver SIGTERMs us
+        host_id=host_id, max_skew=float(cfg["max_skew"]),
+        beacon_interval=0.2,
+        clock_offset=float(cfg.get("clock_offset", 0.0)),
+        freeze_beacon_after=cfg.get("freeze_beacon_after"))
+    stream = sys.stdout if cfg.get("verbose") else open(os.devnull, "w")
+    farm = Farm(queue_dir, policy, label=f"chaos-{host_id}",
+                stream=stream)
+    ledger = farm.run()
+    if cfg.get("out"):
+        path = os.path.join(cfg["out"], f"ledger-{host_id}.json")
+        with open(path, "w") as f:
+            json.dump(ledger, f, indent=1, default=str)
+
+
+def _host_pids(queue, host_id: str, proc) -> list[int]:
+    """The supervisor pid plus the worker pids its beacon advertises."""
+    from repro.resilience.lease import read_beacons
+    pids = [proc.pid]
+    beacon = read_beacons(queue.hosts_dir).get(host_id) or {}
+    pids.extend(int(p) for p in beacon.get("workers") or [])
+    return pids
+
+
+def run_chaos_hosts(*, hosts: int = 2, rounds: int = 2, seed: int = 0,
+                    out: str | None = "chaos-hosts-reports",
+                    n_workers: int = 1, skew: float = 0.0,
+                    partition: bool = False, deadline: float = 240.0,
+                    queue_dir: str | None = None, stream=None) -> int:
+    """Distributed chaos campaign; returns a process exit code.
+
+    ``hosts`` supervisor processes (each its own ``host_id`` and, with
+    ``skew``, an alternating ±skew wall-clock offset) drain one shared
+    queue of ``rounds`` bitwise-verifiable solver jobs plus sleep
+    ballast.  With ``partition`` the campaign SIGSTOPs the surviving
+    host mid-run (its beacon frozen, its queue I/O delayed after heal)
+    long enough for its leases to be reaped, then resumes it; then host
+    0 is SIGKILLed outright (supervisor, workers and sandbox children).
+    The survivors must finish every job **exactly once** — the merged
+    journal audit finds no double completion, every fenced stale commit
+    is rejected, and each solver job's final state is bitwise identical
+    to a single-host in-process reference march.
+    """
+    stream = stream or sys.stdout
+    from repro.resilience.farm import (audit_exactly_once,
+                                       merge_ledgers, state_fingerprint,
+                                       sweep_orphans)
+    from repro.resilience.isolation import kill_pid_tree
+    from repro.resilience.queue import Job, WorkQueue
+    if hosts < 2:
+        raise SolverError("chaos --hosts: need at least 2 hosts")
+    if queue_dir is None:
+        queue_dir = (os.path.join(out, "farm-queue") if out is not None
+                     else tempfile.mkdtemp(prefix="chaos-hosts-"))
+    if out is not None:
+        os.makedirs(out, exist_ok=True)
+    lease_ttl, max_skew = 1.5, 1.0
+    offsets = [0.0] * hosts
+    if skew:
+        # alternating ±skew: host clocks disagree by up to 2*skew
+        offsets = [skew if i % 2 == 0 else -skew for i in range(hosts)]
+    print(f"chaos --hosts: {hosts} host(s) x {n_workers} worker(s), "
+          f"{rounds} solver round(s), skew {offsets}, "
+          f"partition {partition}, queue {queue_dir}", file=stream)
+
+    # bitwise reference: uninterrupted in-process marches
+    case_names = [("euler1d" if i % 2 == 0 else "euler2d")
+                  for i in range(rounds)]
+    ref = {}
+    for name in sorted(set(case_names)):
+        factory, run_kwargs, _, _ = CASES[name]
+        solver = factory()
+        solver.run(**run_kwargs)
+        ref[name] = state_fingerprint(solver)
+
+    queue = WorkQueue(queue_dir, lease_ttl=lease_ttl,
+                      host_id="chaos-driver", max_skew=max_skew)
+    jobs = ([Job(id=f"case-{i:02d}", kind="solver_case", priority=-1,
+                 payload={"case": case_names[i], "every_n_steps": 2},
+                 max_attempts=8)
+             for i in range(rounds)]
+            + [Job(id=f"pad-{i:02d}", kind="sleep", max_attempts=8,
+                   payload={"duration": 0.5})
+               for i in range(2 * hosts * n_workers)])
+    for job in jobs:
+        queue.enqueue(job)
+
+    survivor = hosts - 1    # last host outlives the campaign
+    base_cfg = {"n_workers": n_workers, "lease_ttl": lease_ttl,
+                "max_skew": max_skew, "deadline": deadline / 2.0,
+                "out": out}
+    ctx = mp.get_context("fork")
+    procs = []
+    for i in range(hosts):
+        cfg = dict(base_cfg)
+        cfg["clock_offset"] = offsets[i]
+        if partition and i == survivor:
+            # the partitioned host also loses its beacon (frozen) —
+            # advisory beacons must not get its leases reaped early
+            cfg["freeze_beacon_after"] = 0.5
+        host_id = f"host{i}"
+        proc = ctx.Process(target=_chaos_host_main,
+                           args=(queue_dir, host_id, cfg),
+                           daemon=False)
+        proc.start()
+        procs.append({"host": host_id, "proc": proc, "index": i})
+        print(f"  host {host_id} up (pid {proc.pid}, "
+              f"skew {offsets[i]:+.1f} s)", file=stream)
+
+    t0 = time.monotonic()
+    events: list[dict] = []
+
+    def _elapsed():
+        return time.monotonic() - t0
+
+    def _wait(cond, budget):
+        while not cond():
+            if _elapsed() > budget:
+                return False
+            time.sleep(0.1)
+        return True
+
+    ok = True
+    try:
+        # let every host claim work before injecting anything
+        _wait(lambda: any(r.get("event") == "claim"
+                          for r in queue.read_journal()),
+              deadline / 4.0)
+
+        if partition:
+            # -- partition the survivor: SIGSTOP its whole process
+            # tree long enough for its leases to expire on the other
+            # hosts' monotonic clocks, then heal it
+            victim = procs[survivor]
+            pids = _host_pids(queue, victim["host"], victim["proc"])
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGSTOP)
+                except OSError:
+                    pass
+            hold = lease_ttl + max_skew + 1.0
+            events.append({"t": round(_elapsed(), 2),
+                           "event": "partition",
+                           "host": victim["host"], "pids": pids,
+                           "hold": hold})
+            print(f"  t={_elapsed():.1f}s partition: SIGSTOP "
+                  f"{victim['host']} ({len(pids)} pid(s)) for "
+                  f"{hold:.1f} s", file=stream)
+            time.sleep(hold)
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGCONT)
+                except OSError:
+                    pass
+            events.append({"t": round(_elapsed(), 2), "event": "heal",
+                           "host": victim["host"]})
+            print(f"  t={_elapsed():.1f}s heal: SIGCONT "
+                  f"{victim['host']}", file=stream)
+
+        # -- kill host 0 outright: supervisor, workers, sandboxes
+        victim = procs[0]
+        pids = _host_pids(queue, victim["host"], victim["proc"])
+        for pid in pids:
+            kill_pid_tree(pid)
+        victim["proc"].join(10.0)
+        swept = sweep_orphans(queue, host=victim["host"])
+        events.append({"t": round(_elapsed(), 2), "event": "host-kill",
+                       "host": victim["host"], "pids": pids,
+                       "orphans_swept": len(swept)})
+        print(f"  t={_elapsed():.1f}s host-kill: SIGKILL "
+              f"{victim['host']} ({len(pids)} pid(s), {len(swept)} "
+              f"orphan(s) swept)", file=stream)
+
+        # -- the survivors must drain the queue
+        ok = _wait(queue.all_terminal, deadline)
+        if not ok:
+            print(f"chaos --hosts: FAILED — queue not drained within "
+                  f"{deadline:.0f} s: {queue.counts()}", file=stream)
+    finally:
+        # graceful stop for every live supervisor (writes its ledger)
+        for rec in procs:
+            if rec["proc"].is_alive():
+                try:
+                    os.kill(rec["proc"].pid, signal.SIGTERM)
+                except OSError:
+                    pass
+        for rec in procs:
+            rec["proc"].join(20.0)
+            if rec["proc"].is_alive():
+                kill_pid_tree(rec["proc"].pid)
+                rec["proc"].join(5.0)
+
+    # -- verdict: exactly-once + bitwise identity + dead letters ------
+    audit = audit_exactly_once(queue)
+    checks = {"drained": ok, "exactly_once": audit["ok"],
+              "no_dead_letters":
+                  not queue.counts().get("dead", 0)}
+    mismatches = []
+    for i in range(rounds):
+        res = queue.result(f"case-{i:02d}")
+        if res is None:
+            mismatches.append({"job": f"case-{i:02d}",
+                               "error": "no result"})
+            continue
+        got = res["result"]["state_sha256"]
+        if got != ref[case_names[i]]:
+            mismatches.append({"job": f"case-{i:02d}", "got": got,
+                               "want": ref[case_names[i]]})
+    checks["bitwise_match"] = not mismatches
+
+    ledgers = []
+    if out is not None:
+        for rec in procs:
+            path = os.path.join(out, f"ledger-{rec['host']}.json")
+            try:
+                with open(path) as f:
+                    ledgers.append(json.load(f))
+            except (OSError, ValueError):
+                pass
+    merged = merge_ledgers(ledgers) if ledgers else None
+    fenced = sum(1 for r in queue.read_journal()
+                 if r.get("event") == "fenced")
+    ledger = {"mode": "hosts", "hosts": hosts, "rounds": rounds,
+              "seed": seed, "skew": offsets, "partition": partition,
+              "events": events, "checks": checks, "audit": audit,
+              "fenced": fenced, "mismatches": mismatches,
+              "jobs": queue.counts(), "merged_ledger": merged,
+              "ok": all(checks.values())}
+    if out is not None:
+        with open(os.path.join(out, "chaos-ledger.json"), "w") as f:
+            json.dump(ledger, f, indent=1, default=str)
+    if not ledger["ok"]:
+        failed = [k for k, v in checks.items() if not v]
+        print(f"chaos --hosts: FAILED ({', '.join(failed)}); audit "
+              f"{audit}", file=stream)
+        return 1
+    print(f"chaos --hosts: green — {queue.counts().get('done', 0)} "
+          f"job(s) done exactly once across {hosts} host(s) "
+          f"({fenced} stale commit(s) fenced, "
+          f"{audit['jobs_completed']} completion(s) audited), "
+          f"solver states bitwise-identical to the single-host "
+          f"reference", file=stream)
     return 0

@@ -34,10 +34,22 @@ This module assembles them:
   retried), chaos rounds, arbitrary callables, and two scripted kinds
   (``sleep``, ``flaky``) the tests and smoke campaigns lean on.
 
+The farm is **multi-host aware**: each supervisor runs under a
+``host_id`` (defaulting to the machine hostname), names its workers
+``host:pid`` so journal lines, leases, orphan sweeps and dead-letter
+reports attribute work to a machine, and publishes an advisory clock
+beacon (``hosts/<host>.json``) every ``beacon_interval`` seconds.
+Several supervisors on different machines can drain one shared
+(NFS-mounted) queue directory; cross-host lease reaping never compares
+wall clocks (see :mod:`repro.resilience.lease`), and
+:func:`audit_exactly_once` proves from the merged journal that no job
+was completed twice.
+
 Every attempt, kill, requeue, reclaim, preemption and dead-letter is a
 line in the queue's crash-safe journal; :func:`build_ledger` folds the
 journal into the campaign ledger and :func:`bench_from_journal` into
-the ``BENCH_farm.json`` throughput record.
+the ``BENCH_farm.json`` throughput record.  Ledgers from separate
+farms sharing one campaign merge with :func:`merge_ledgers`.
 """
 
 from __future__ import annotations
@@ -61,13 +73,16 @@ from repro.resilience.isolation import (Heartbeat, IsolatedRunner,
                                         IsolationPolicy,
                                         current_process_heartbeat,
                                         kill_pid_tree, terminate_process)
-from repro.resilience.lease import (expired_indices, format_ages,
-                                    heartbeat_ages)
+from repro.resilience.lease import (HostBeacon, default_host_id,
+                                    estimate_skew, expired_indices,
+                                    format_ages, heartbeat_ages,
+                                    read_beacons)
 from repro.resilience.queue import BackoffPolicy, Job, WorkQueue
 
 __all__ = ["Farm", "FarmPolicy", "JOB_KINDS", "WorkerKillPlan",
-           "bench_from_journal", "build_ledger", "job_kind",
-           "run_campaign", "write_bench_json"]
+           "audit_exactly_once", "bench_from_journal", "build_ledger",
+           "job_kind", "merge_ledgers", "run_campaign",
+           "sweep_orphans", "write_bench_json"]
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +260,22 @@ class FarmPolicy:
         ``serve`` loop sets this False and waits for new work instead.
     max_wall_time:
         Campaign wall-clock budget [s]; None = unbounded.
+    host_id:
+        This supervisor's identity in the shared queue directory;
+        defaults to the machine hostname.  Workers are named
+        ``host_id:pid``.
+    max_skew:
+        Cross-host clock-skew bound [s] granted before reaping another
+        host's lease (see :class:`~repro.resilience.lease.LeaseManager`).
+    beacon_interval:
+        Cadence [s] of the advisory ``hosts/<host>.json`` clock beacon.
+    clock_offset:
+        Injected wall-clock skew [s] for this farm and its workers —
+        chaos/testing knob, equivalent to setting ``REPRO_CLOCK_SKEW``.
+    freeze_beacon_after:
+        Chaos knob: stop refreshing the host beacon after this many
+        seconds of campaign time (a frozen beacon must *not* get the
+        host's leases reaped — beacons are advisory).
     """
 
     n_workers: int = 2
@@ -259,6 +290,11 @@ class FarmPolicy:
     backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
     drain_when_idle: bool = True
     max_wall_time: float | None = None
+    host_id: str | None = None
+    max_skew: float = 2.0
+    beacon_interval: float = 2.0
+    clock_offset: float = 0.0
+    freeze_beacon_after: float | None = None
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -266,6 +302,8 @@ class FarmPolicy:
         if self.lease_ttl <= 0.0 or self.poll_interval <= 0.0:
             raise InputError("lease_ttl and poll_interval must be "
                              "positive")
+        if self.max_skew < 0.0:
+            raise InputError("max_skew must be >= 0")
 
     def worker_config(self) -> dict:
         return {"lease_ttl": self.lease_ttl,
@@ -274,7 +312,22 @@ class FarmPolicy:
                 "stall_timeout": self.stall_timeout,
                 "snapshot_every": self.snapshot_every,
                 "backoff": asdict(self.backoff),
-                "drain_when_idle": self.drain_when_idle}
+                "drain_when_idle": self.drain_when_idle,
+                "host_id": self.host_id or default_host_id(),
+                "max_skew": self.max_skew,
+                "clock_offset": self.clock_offset}
+
+    def clock(self):
+        """Wall clock for this farm, honouring ``clock_offset``."""
+        return _offset_clock(self.clock_offset)
+
+
+def _offset_clock(offset: float):
+    """A ``time.time``-alike shifted by ``offset`` seconds (0 → the
+    default clock, which itself honours ``REPRO_CLOCK_SKEW``)."""
+    if not offset:
+        return None
+    return lambda: time.time() + offset
 
 
 @dataclass
@@ -323,6 +376,40 @@ def _renew_loop(queue: WorkQueue, lease, stop: threading.Event,
 
 def _child_pid_path(workdir: str) -> str:
     return os.path.join(workdir, "child.json")
+
+
+def sweep_orphans(queue: WorkQueue, *, worker: str | None = None,
+                  host: str | None = None) -> list[dict]:
+    """SIGKILL the sandbox children a dead worker (or a whole dead
+    host) left behind — they live in their own process groups, so
+    killing the worker's group does not reach them.
+
+    Matches the advertised ``work/<job>/child.json`` records against
+    ``worker`` (exact ``host:pid`` identity) or ``host`` (every worker
+    whose name carries that host prefix).  Returns the swept records.
+    """
+    swept = []
+    for job_id in queue.job_ids():
+        path = _child_pid_path(os.path.join(queue.work_dir, job_id))
+        try:
+            with open(path) as f:
+                rec = json.load(f)
+        except (OSError, ValueError):
+            continue
+        owner = str(rec.get("worker") or "")
+        if worker is not None and owner != worker:
+            continue
+        if host is not None and not owner.startswith(f"{host}:"):
+            continue
+        kill_pid_tree(rec.get("pid"))
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        queue.journal("orphan-sweep", worker=owner,
+                      job=rec.get("job"), pid=rec.get("pid"))
+        swept.append(rec)
+    return swept
 
 
 def _run_one(queue: WorkQueue, job: Job, lease, name: str, cfg: dict,
@@ -407,18 +494,32 @@ def _run_one(queue: WorkQueue, job: Job, lease, name: str, cfg: dict,
             pass
 
 
-def _worker_main(queue_dir: str, name: str, cfg: dict) -> None:
+def worker_name(host_id: str, pid: int) -> str:
+    """The canonical ``host:pid`` worker identity — computed the same
+    way by the supervisor (from the spawned pid) and by the worker
+    itself (from ``os.getpid()``), so both sides agree without an IPC
+    handshake."""
+    return f"{host_id}:{pid}"
+
+
+def _worker_main(queue_dir: str, cfg: dict) -> None:
     """A worker process: claim → sandbox → commit, until drained."""
     try:
         os.setpgid(0, 0)
     except OSError:
         pass
+    host = cfg.get("host_id") or default_host_id()
+    name = worker_name(host, os.getpid())
     queue = WorkQueue(queue_dir, lease_ttl=cfg["lease_ttl"],
-                      backoff=BackoffPolicy(**cfg["backoff"]))
+                      backoff=BackoffPolicy(**cfg["backoff"]),
+                      host_id=host,
+                      max_skew=float(cfg.get("max_skew", 2.0)),
+                      clock=_offset_clock(
+                          float(cfg.get("clock_offset", 0.0))))
     workers_dir = os.path.join(queue.dir, "workers")
     os.makedirs(workers_dir, exist_ok=True)
     hb = Heartbeat(os.path.join(workers_dir, f"{name}.json"),
-                   min_interval=0.02)
+                   min_interval=0.02, host=host)
     flags = {"draining": False, "raise_on_term": False}
 
     def on_term(signum, frame):
@@ -465,32 +566,42 @@ class Farm:
     def __init__(self, queue, policy: FarmPolicy | None = None, *,
                  label: str = "farm", stream=None, kill_plan=None):
         self.policy = policy or FarmPolicy()
+        self.host = self.policy.host_id or default_host_id()
         if not isinstance(queue, WorkQueue):
             queue = WorkQueue(queue, lease_ttl=self.policy.lease_ttl,
-                              backoff=self.policy.backoff)
+                              backoff=self.policy.backoff,
+                              host_id=self.host,
+                              max_skew=self.policy.max_skew,
+                              clock=self.policy.clock())
         self.queue = queue
         self.label = label
         self.stream = stream or sys.stdout
         self.kill_plan = kill_plan
         self.kills: list[dict] = []
+        self.beacon = HostBeacon(self.queue.hosts_dir,
+                                 host_id=self.host,
+                                 interval=self.policy.beacon_interval,
+                                 clock=self.queue.clock)
         self._stop = False
         self._workers: list[dict] = []   # {proc, name, index, last_raw,
         #                                   last_change}
         self._spawned = 0
+        #: the most recent campaign ledger (``serve --ledger`` writes
+        #: it to disk after the drain, for ``campaign --merge-ledgers``)
+        self.last_ledger: dict | None = None
 
     # -- worker lifecycle ----------------------------------------------
 
     def _spawn_worker(self, index: int) -> dict:
-        gen = self._spawned
         self._spawned += 1
-        name = f"w{index}" if gen < self.policy.n_workers \
-            else f"w{index}.{gen}"
         ctx = mp.get_context("fork")
         proc = ctx.Process(target=_worker_main,
-                           args=(self.queue.dir, name,
+                           args=(self.queue.dir,
                                  self.policy.worker_config()),
                            daemon=False)
         proc.start()
+        # the worker derives the same host:pid name from os.getpid()
+        name = worker_name(self.host, proc.pid)
         rec = {"proc": proc, "name": name, "index": index,
                "last_raw": None, "last_change": time.monotonic()}
         print(f"[{self.label}] worker {name} started (pid {proc.pid})",
@@ -512,26 +623,7 @@ class Farm:
             rec["last_raw"], rec["last_change"] = raw, now
 
     def _sweep_orphans(self, victim: str) -> None:
-        """SIGKILL the sandbox children a dead worker left behind (they
-        live in their own process groups, so killing the worker's group
-        does not reach them)."""
-        for job_id in self.queue.job_ids():
-            path = _child_pid_path(os.path.join(self.queue.work_dir,
-                                                job_id))
-            try:
-                with open(path) as f:
-                    rec = json.load(f)
-            except (OSError, ValueError):
-                continue
-            if rec.get("worker") != victim:
-                continue
-            kill_pid_tree(rec.get("pid"))
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-            self.queue.journal("orphan-sweep", worker=victim,
-                               job=rec.get("job"), pid=rec.get("pid"))
+        sweep_orphans(self.queue, worker=victim)
 
     def _kill_worker(self, rec: dict, *, kind: str, reason: str) -> None:
         proc = rec["proc"]
@@ -587,6 +679,8 @@ class Farm:
         t0 = time.monotonic()
         self._workers = [self._spawn_worker(i)
                          for i in range(pol.n_workers)]
+        self.beacon.workers = [r["proc"].pid for r in self._workers]
+        self.beacon.write(force=True)
         restarts_left = pol.worker_restart_budget
         kill_times = (self.kill_plan.schedule()
                       if self.kill_plan is not None else [])
@@ -598,6 +692,13 @@ class Farm:
                 time.sleep(pol.poll_interval)
                 now = time.monotonic()
                 elapsed = now - t0
+                if (pol.freeze_beacon_after is not None
+                        and elapsed >= pol.freeze_beacon_after):
+                    self.beacon.frozen = True
+                self.beacon.workers = [r["proc"].pid
+                                       for r in self._workers
+                                       if r["proc"].is_alive()]
+                self.beacon.write()
                 for job_id in self.queue.reclaim_expired():
                     print(f"[{self.label}] lease expired: job "
                           f"{job_id} reclaimed", file=self.stream)
@@ -660,6 +761,7 @@ class Farm:
                               n_workers=pol.n_workers)
         self.queue.journal("campaign-end", label=self.label,
                            wall=round(wall, 2), ok=ledger["ok"])
+        self.last_ledger = ledger
         return ledger
 
     def serve(self) -> int:
@@ -701,12 +803,35 @@ class Farm:
 def build_ledger(queue: WorkQueue, *, wall_time: float, label: str,
                  kills: list | None = None, n_workers: int | None = None
                  ) -> dict:
-    """Fold the journal + job states into the campaign ledger."""
+    """Fold the journal + job states into the campaign ledger.
+
+    The journal read merges every host's per-host files (and compacted
+    segment summaries), so a ledger built on any host of a shared-queue
+    campaign covers the whole campaign; ``hosts`` breaks claims /
+    completes / kills down per writer host.
+    """
     journal = queue.read_journal()
     by_event: dict[str, int] = {}
+    by_host: dict[str, dict[str, int]] = {}
+
+    def _host_count(host, event, n=1):
+        hc = by_host.setdefault(host or "?", {})
+        hc[event] = hc.get(event, 0) + n
+
     for rec in journal:
-        by_event[rec.get("event", "?")] = \
-            by_event.get(rec.get("event", "?"), 0) + 1
+        ev = rec.get("event", "?")
+        if ev == "journal-compact":
+            # a compacted summary stands in for its absorbed segments
+            for name, n in (rec.get("events") or {}).items():
+                by_event[name] = by_event.get(name, 0) + int(n)
+                if name in ("claim", "complete", "worker-kill"):
+                    _host_count(rec.get("host"), name, int(n))
+            continue
+        by_event[ev] = by_event.get(ev, 0) + 1
+        if ev in ("claim", "complete", "worker-kill"):
+            _host_count(rec.get("host"), ev)
+    skews = estimate_skew(read_beacons(queue.hosts_dir),
+                          host_id=queue.host_id, clock=queue.clock)
     counts = queue.counts()
     dead = []
     for job_id in queue.job_ids():
@@ -719,6 +844,10 @@ def build_ledger(queue: WorkQueue, *, wall_time: float, label: str,
     done = counts.get("done", 0)
     return {"label": label, "wall_time": round(wall_time, 3),
             "n_workers": n_workers,
+            "host": queue.host_id,
+            "hosts": by_host,
+            "skew_estimates": {h: round(s, 3)
+                               for h, s in skews.items()},
             "jobs": counts, "n_jobs": n_jobs,
             "attempts": by_event.get("claim", 0),
             "requeues": by_event.get("requeue", 0),
@@ -742,7 +871,16 @@ def bench_from_journal(queue: WorkQueue, *, wall_time: float,
     claims: dict[str, float] = {}
     latencies: list[float] = []
     for rec in queue.read_journal():
-        if rec.get("event") == "claim":
+        if rec.get("event") == "journal-compact":
+            # compacted segments survive as last-claim / last-complete
+            # timestamps per job in the summary record
+            for job, t in (rec.get("claims") or {}).items():
+                claims.setdefault(job, float(t))
+            for job, t in (rec.get("completes") or {}).items():
+                t_claim = claims.get(job)
+                if t_claim is not None:
+                    latencies.append(float(t) - t_claim)
+        elif rec.get("event") == "claim":
             claims[rec.get("job")] = float(rec["t"])
         elif rec.get("event") == "complete":
             t_claim = claims.get(rec.get("job"))
@@ -768,6 +906,80 @@ def bench_from_journal(queue: WorkQueue, *, wall_time: float,
             "per_job_latency_s": stats}
 
 
+def audit_exactly_once(queue: WorkQueue) -> dict:
+    """Prove from the merged multi-host journal that every done job was
+    completed **exactly once**.
+
+    A fenced commit (stale token rejected after a reclaim) journals
+    ``fenced``, not ``complete``, so any job with two ``complete``
+    lines — or a done job with none — is a real exactly-once violation,
+    whichever host wrote the lines.  Compacted segments are covered via
+    the summary's per-job complete counts.
+    """
+    completes: dict[str, int] = {}
+    for rec in queue.read_journal():
+        ev = rec.get("event")
+        if ev == "complete":
+            job = rec.get("job")
+            completes[job] = completes.get(job, 0) + 1
+        elif ev == "journal-compact":
+            for job, n in (rec.get("complete_counts") or {}).items():
+                completes[job] = completes.get(job, 0) + int(n)
+    double = {job: n for job, n in completes.items() if n > 1}
+    missing = [job_id for job_id in queue.job_ids()
+               if queue.state(job_id).get("status") == "done"
+               and completes.get(job_id, 0) == 0]
+    return {"ok": not double and not missing,
+            "jobs_completed": len(completes),
+            "double_completions": double,
+            "done_without_complete": sorted(missing)}
+
+
+def merge_ledgers(ledgers: list[dict]) -> dict:
+    """Merge per-host campaign ledgers into one campaign view.
+
+    Each ``serve``/``campaign`` invocation on a shared queue builds its
+    ledger from the *merged* journal, so job/event counts agree across
+    hosts — the merge takes the freshest view for those, unions the
+    per-host breakdowns, kills and skew estimates, and sums wall time
+    as aggregate host-seconds (``wall_time`` keeps the max).
+    """
+    if not ledgers:
+        raise InputError("merge_ledgers: no ledgers given")
+    best = max(ledgers, key=lambda led: (
+        sum((led.get("jobs") or {}).values()),
+        (led.get("events") or {}).get("complete", 0)))
+    merged = dict(best)
+    hosts: dict[str, dict] = {}
+    skews: dict[str, float] = {}
+    kills: list[dict] = []
+    labels: list[str] = []
+    for led in ledgers:
+        for host, counts in (led.get("hosts") or {}).items():
+            slot = hosts.setdefault(host, {})
+            for ev, n in counts.items():
+                slot[ev] = max(slot.get(ev, 0), int(n))
+        skews.update(led.get("skew_estimates") or {})
+        for kill in led.get("worker_kills") or []:
+            if kill not in kills:
+                kills.append(kill)
+        if led.get("label") and led["label"] not in labels:
+            labels.append(led["label"])
+    merged["label"] = "+".join(labels) or best.get("label")
+    merged["hosts"] = hosts
+    merged["skew_estimates"] = skews
+    merged["worker_kills"] = kills
+    merged["merged_from"] = [{"label": led.get("label"),
+                              "host": led.get("host"),
+                              "wall_time": led.get("wall_time")}
+                             for led in ledgers]
+    merged["wall_time"] = max(float(led.get("wall_time") or 0.0)
+                              for led in ledgers)
+    merged["host_seconds"] = round(sum(
+        float(led.get("wall_time") or 0.0) for led in ledgers), 3)
+    return merged
+
+
 def write_bench_json(path, record: dict) -> None:
     """Atomically write a ``BENCH_*.json`` perf-trajectory artifact."""
     record = dict(record)
@@ -790,7 +1002,8 @@ def run_campaign(queue_dir, jobs: list[Job], *,
     returns the campaign ledger."""
     policy = policy or FarmPolicy()
     queue = WorkQueue(queue_dir, lease_ttl=policy.lease_ttl,
-                      backoff=policy.backoff)
+                      backoff=policy.backoff, host_id=policy.host_id,
+                      max_skew=policy.max_skew, clock=policy.clock())
     for job in jobs:
         queue.enqueue(job)
     farm = Farm(queue, policy, label=label, stream=stream,

@@ -105,11 +105,17 @@ class Heartbeat:
     never reads a torn payload.  The parent does not compare clocks —
     it watches the payload *change* and timestamps changes with its own
     monotonic clock, so no cross-process time agreement is needed.
+
+    The payload attributes the beat to its writer (``pid``, plus an
+    optional ``host``) so a shared-directory farm can tell *whose*
+    heartbeat file it is looking at after workers die and are replaced.
     """
 
-    def __init__(self, path, *, min_interval: float = 0.02):
+    def __init__(self, path, *, min_interval: float = 0.02,
+                 host: str | None = None):
         self.path = os.fspath(path)
         self.min_interval = float(min_interval)
+        self.host = host
         self._last = 0.0
         self._seq = 0
         self.beat(force=True)
@@ -123,7 +129,10 @@ class Heartbeat:
         self._seq += 1
         payload = {"seq": self._seq,
                    "step": None if step is None else int(step),
-                   "rss_mb": _read_rss_mb()}
+                   "rss_mb": _read_rss_mb(),
+                   "pid": os.getpid()}
+        if self.host is not None:
+            payload["host"] = self.host
         tmp = f"{self.path}.tmp-{os.getpid()}"
         try:
             with open(tmp, "w") as f:

@@ -1,19 +1,42 @@
-"""Lease-based job ownership and heartbeat-age liveness.
+"""Lease-based job ownership, heartbeat-age liveness and host clocks.
 
 A distributed farm needs one answer to one question: *who owns this
 job, and are they still alive?*  This module gives both halves a single
-implementation:
+implementation — and, since PR 7, an answer that stays correct when the
+claimants live on **different machines with different clocks**:
 
 * :class:`LeaseManager` — filesystem leases.  A worker claims a job by
   exclusively creating ``lease-<job>.json`` (``O_CREAT | O_EXCL`` — the
   kernel arbitrates, so exactly one claimant wins no matter how many
-  race), embeds a random fencing ``token`` plus an expiry clock, and
-  renews by atomically rewriting the file.  A worker that dies simply
-  stops renewing; any process may then :meth:`~LeaseManager.reap` the
-  expired lease and the job returns to the pending pool.  The token
-  fences late writers: a worker that lost its lease (reaped while
-  stalled) discovers the token mismatch before committing a result and
-  abandons it instead of double-completing.
+  race), embeds a random fencing ``token``, its ``host`` identity and a
+  monotonic heartbeat ``epoch``, and renews by atomically rewriting the
+  file with the epoch incremented.  A worker that dies simply stops
+  renewing; any process may then :meth:`~LeaseManager.reap` the expired
+  lease and the job returns to the pending pool.  The token fences late
+  writers: a worker that lost its lease (reaped while stalled or
+  partitioned) discovers the token mismatch before committing a result
+  and abandons it instead of double-completing.
+
+* **Clock-skew-tolerant expiry.**  Same-host leases age on the shared
+  wall clock as before.  A *cross-host* lease is never aged by
+  comparing the holder's wall timestamps to the observer's clock
+  (raw mtime comparison double-frees jobs the moment two hosts
+  disagree by more than a ttl): instead the observer watches the
+  lease's ``(token, epoch)`` pair and ages *changes* on its **own
+  monotonic clock** — exactly the convention the
+  :class:`~repro.resilience.isolation.Heartbeat` channel uses.  A
+  cross-host lease expires only after it has been *observed unchanged*
+  for ``ttl + max_skew`` seconds; a freshly started reaper therefore
+  waits out one full observation window before touching anything,
+  which is the safe direction to fail.
+
+* :class:`HostBeacon` / :func:`read_beacons` / :func:`estimate_skew` —
+  each farm supervisor periodically writes ``hosts/<host>.json``
+  containing its wall clock, monotonic clock, epoch counter and live
+  worker pids.  Beacons are advisory: skew estimates feed diagnostics
+  and cross-host ledger merging, never reaping decisions (a frozen
+  beacon must not get a healthy host's jobs reaped — lease epochs, not
+  beacons, prove liveness).
 
 * :func:`heartbeat_ages` / :func:`stalest_index` /
   :func:`expired_indices` — the one liveness-by-silence code path
@@ -22,6 +45,11 @@ implementation:
   these) and lease expiry itself.  "Dead" always means the same thing:
   silent longer than the timeout, aged against the observer's own
   clock.
+
+Testing hook: ``REPRO_CLOCK_SKEW`` (seconds, float) offsets the wall
+clock every :func:`default_clock` returns — the distributed chaos
+harness sets it per supervisor process to inject +/- skew between
+hosts without touching the system clock.
 """
 
 from __future__ import annotations
@@ -29,13 +57,48 @@ from __future__ import annotations
 import json
 import os
 import secrets
+import socket
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import InputError
 
-__all__ = ["Lease", "LeaseManager", "expired_indices", "format_ages",
-           "heartbeat_ages", "stalest_index"]
+__all__ = ["HostBeacon", "Lease", "LeaseManager", "default_clock",
+           "default_host_id", "estimate_skew", "expired_indices",
+           "format_ages", "heartbeat_ages", "read_beacons",
+           "stalest_index"]
+
+
+# ----------------------------------------------------------------------
+# host identity and (injectable) clocks
+# ----------------------------------------------------------------------
+
+def default_host_id() -> str:
+    """This machine's identity in the queue directory (hostname).
+
+    Every process on one machine shares it, so their wall clocks are
+    mutually comparable; ``serve --host-id`` overrides it when two
+    logical "hosts" share a box (tests, containers).
+    """
+    return socket.gethostname() or "localhost"
+
+
+def default_clock():
+    """Wall clock, plus the ``REPRO_CLOCK_SKEW`` test offset.
+
+    The offset is read once (children inherit it through the
+    environment at fork), so a chaos host created with skew keeps that
+    skew for life — like a machine whose clock is simply wrong.
+    """
+    try:
+        offset = float(os.environ.get("REPRO_CLOCK_SKEW", "") or 0.0)
+    except ValueError:
+        offset = 0.0
+    # catlint: disable=CAT010 -- an unset/empty env var parses to the
+    # literal 0.0; this tests "no skew configured", not a computed value
+    if offset == 0.0:
+        return time.time
+    return lambda: time.time() + offset
 
 
 # ----------------------------------------------------------------------
@@ -85,14 +148,18 @@ class Lease:
     ``token`` is the fencing credential: every mutation the holder
     commits is validated against the token on disk, so a holder whose
     lease was reaped (and possibly re-granted) cannot clobber the new
-    owner's work.
+    owner's work.  ``host`` names the clock domain the ``renewed``
+    timestamp belongs to; ``epoch`` increments on every renewal and is
+    what cross-host observers age instead of the timestamp.
     """
 
     job_id: str
     owner: str
     token: str
     ttl: float
-    renewed: float   # wall clock of the last successful renewal
+    renewed: float   # holder's wall clock at the last renewal
+    host: str = ""
+    epoch: int = 0
 
     @property
     def expires_at(self) -> float:
@@ -101,22 +168,51 @@ class Lease:
     def to_payload(self) -> dict:
         return {"job_id": self.job_id, "owner": self.owner,
                 "token": self.token, "ttl": self.ttl,
-                "renewed": self.renewed}
+                "renewed": self.renewed, "host": self.host,
+                "epoch": self.epoch}
 
 
 class LeaseManager:
     """Grant, renew, verify and reap filesystem leases in one directory.
 
-    All clocks are wall-clock (``time.time``) because expiry must be
-    comparable across processes; the ttl should therefore be generous
-    relative to clock skew on one host (seconds, not milliseconds).
+    Parameters
+    ----------
+    dir:
+        The lease directory (inside the shared queue directory).
+    ttl:
+        Renewal deadline [s].  Holders renew every ttl/3.
+    host_id:
+        This process's clock domain (default: hostname).  Leases whose
+        ``host`` matches are aged on the wall clock; everything else is
+        aged by observed ``(token, epoch)`` change on this process's
+        monotonic clock.
+    max_skew:
+        Cross-host slack [s]: a foreign lease must sit unchanged for
+        ``ttl + max_skew`` before it is declared expired.  Generous
+        values only delay reclaim; small values never cause premature
+        reaping (expiry is observation-based), they just leave less
+        margin for slow NFS propagation of renew writes.
+    clock:
+        Wall clock callable (injectable for skew tests; defaults to
+        :func:`default_clock`).
     """
 
-    def __init__(self, dir, *, ttl: float = 15.0):
+    def __init__(self, dir, *, ttl: float = 15.0,
+                 host_id: str | None = None, max_skew: float = 2.0,
+                 clock=None):
         if ttl <= 0.0:
             raise InputError("lease ttl must be positive")
+        if max_skew < 0.0:
+            raise InputError("max_skew must be >= 0")
         self.dir = os.fspath(dir)
         self.ttl = float(ttl)
+        self.host_id = host_id or default_host_id()
+        self.max_skew = float(max_skew)
+        self.clock = clock or default_clock()
+        #: job_id -> ((token, epoch), first-observed monotonic time):
+        #: the cross-host expiry state.  Per-process, never persisted —
+        #: a fresh reaper simply starts its observation window anew.
+        self._observed: dict[str, tuple[tuple, float]] = {}
         os.makedirs(self.dir, exist_ok=True)
 
     def _path(self, job_id: str) -> str:
@@ -139,7 +235,7 @@ class LeaseManager:
         """
         lease = Lease(job_id=job_id, owner=owner,
                       token=secrets.token_hex(8), ttl=self.ttl,
-                      renewed=time.time())
+                      renewed=self.clock(), host=self.host_id, epoch=0)
         try:
             fd = os.open(self._path(job_id),
                          os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
@@ -153,13 +249,14 @@ class LeaseManager:
         return lease
 
     def renew(self, lease: Lease) -> bool:
-        """Push the expiry forward; False when the lease was lost
-        (reaped, re-granted, or the file vanished) — the holder must
-        then abandon the job."""
+        """Push the expiry forward (epoch +1); False when the lease was
+        lost (reaped, re-granted, or the file vanished) — the holder
+        must then abandon the job."""
         held = self._read(lease.job_id)
         if held is None or held.get("token") != lease.token:
             return False
-        lease.renewed = time.time()
+        lease.renewed = self.clock()
+        lease.epoch += 1
         tmp = f"{self._path(lease.job_id)}.tmp-{os.getpid()}"
         try:
             with open(tmp, "w") as f:
@@ -182,6 +279,7 @@ class LeaseManager:
                 os.remove(self._path(lease.job_id))
             except OSError:
                 pass
+            self._observed.pop(lease.job_id, None)
 
     # -- expiry ---------------------------------------------------------
 
@@ -190,36 +288,172 @@ class LeaseManager:
         return self._read(job_id)
 
     def is_expired(self, job_id: str, now: float | None = None) -> bool:
+        """Has this lease's holder gone silent past its deadline?
+
+        Same-host leases (holder's ``host`` equals ours, so one wall
+        clock covers both) age as ``now - renewed > ttl``.  Cross-host
+        leases — or legacy leases without a host field — expire only
+        after their ``(token, epoch)`` has been **observed unchanged**
+        for ``ttl + max_skew`` on *this process's* monotonic clock:
+        no cross-machine timestamp is ever compared, so a +/- 5 s (or
+        +/- 5 h) wall-clock disagreement can neither reap a healthy
+        holder nor immortalise a dead one.
+        """
         held = self._read(job_id)
         if held is None:
+            self._observed.pop(job_id, None)
             return False
-        if now is None:
-            now = time.time()
-        age = now - float(held.get("renewed", 0.0))
-        return bool(expired_indices([age], float(held.get("ttl",
-                                                          self.ttl))))
+        if held.get("host") == self.host_id:
+            if now is None:
+                now = self.clock()
+            age = now - float(held.get("renewed", 0.0))
+            return bool(expired_indices(
+                [age], float(held.get("ttl", self.ttl))))
+        key = (held.get("token"), held.get("epoch"))
+        mono = time.monotonic()
+        seen = self._observed.get(job_id)
+        if seen is None or seen[0] != key:
+            self._observed[job_id] = (key, mono)
+            return False
+        unchanged_for = mono - seen[1]
+        return unchanged_for > float(held.get("ttl", self.ttl)) \
+            + self.max_skew
 
     def reap(self, now: float | None = None) -> list[str]:
         """Remove every expired lease; returns the freed job ids.
 
         Any process may reap — the farm supervisor does it each poll,
-        so a SIGKILLed worker's jobs return to the pool within one ttl.
+        so a SIGKILLed worker's jobs return to the pool within one ttl
+        (plus ``max_skew`` when the dead holder lived on another host).
+        Concurrent reapers race on the ``os.remove``; the kernel picks
+        exactly one winner per lease.
         """
-        if now is None:
-            now = time.time()
         freed: list[str] = []
         try:
             names = os.listdir(self.dir)
         except FileNotFoundError:
             return freed
+        live = set()
         for name in names:
             if not (name.startswith("lease-") and name.endswith(".json")):
                 continue
             job_id = name[len("lease-"):-len(".json")]
+            live.add(job_id)
             if self.is_expired(job_id, now):
                 try:
                     os.remove(os.path.join(self.dir, name))
                 except OSError:
                     continue
+                self._observed.pop(job_id, None)
                 freed.append(job_id)
+        # drop observation state for leases released elsewhere
+        for job_id in list(self._observed):
+            if job_id not in live:
+                del self._observed[job_id]
         return freed
+
+
+# ----------------------------------------------------------------------
+# per-host clock beacons
+# ----------------------------------------------------------------------
+
+@dataclass
+class HostBeacon:
+    """Advisory per-host presence record in ``<queue>/hosts/``.
+
+    The farm supervisor writes it every ``interval``; the payload
+    carries the host's wall clock, monotonic clock, a change epoch and
+    its live worker pids.  Consumers use it for skew *estimates*
+    (diagnostics, cross-host ledger merging) and for host inventory
+    (the distributed chaos harness reads worker pids from here to
+    simulate whole-machine death).  Liveness decisions never depend on
+    it — a frozen beacon is a diagnostic, not a death sentence.
+    """
+
+    dir: str
+    host_id: str = ""
+    interval: float = 2.0
+    clock: object = None
+    workers: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.dir = os.fspath(self.dir)
+        self.host_id = self.host_id or default_host_id()
+        self.clock = self.clock or default_clock()
+        self._epoch = 0
+        self._last = 0.0
+        self.frozen = False
+        os.makedirs(self.dir, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.dir, f"{self.host_id}.json")
+
+    def write(self, *, force: bool = False) -> None:
+        """Atomically (re)write the beacon, throttled to ``interval``.
+
+        A frozen beacon (chaos ``--partition`` injects this) silently
+        skips the write — the file goes stale while the host keeps
+        working, which reapers must tolerate.
+        """
+        now = time.monotonic()
+        if self.frozen or (not force and now - self._last < self.interval):
+            return
+        self._last = now
+        self._epoch += 1
+        payload = {"host": self.host_id, "pid": os.getpid(),
+                   "epoch": self._epoch, "wall": self.clock(),
+                   "mono": now, "workers": list(self.workers)}
+        tmp = f"{self.path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass   # advisory: never take the farm down over a beacon
+
+
+def read_beacons(dir) -> dict:
+    """Every ``hosts/<host>.json`` payload, keyed by host id."""
+    out: dict[str, dict] = {}
+    try:
+        names = os.listdir(os.fspath(dir))
+    except OSError:
+        return out
+    for name in sorted(names):
+        if not name.endswith(".json") or name.startswith("."):
+            continue
+        try:
+            with open(os.path.join(os.fspath(dir), name)) as f:
+                payload = json.load(f)
+        except (OSError, ValueError):
+            continue
+        host = payload.get("host") or name[:-len(".json")]
+        out[host] = payload
+    return out
+
+
+def estimate_skew(beacons: dict, *, host_id: str | None = None,
+                  clock=None) -> dict:
+    """Per-host wall-clock offset estimates, seconds, *relative to this
+    process's clock* (positive = that host's clock runs ahead of ours).
+
+    The estimate is ``beacon.wall - our wall at read`` and is therefore
+    only a bound: it includes however long the beacon sat on disk
+    (up to its write interval, or forever for a frozen beacon — which
+    is why skew estimates feed diagnostics and ledger merging, never
+    reaping).  Our own host reads as 0.0 by definition.
+    """
+    clock = clock or default_clock()
+    host_id = host_id or default_host_id()
+    now = clock()
+    out: dict[str, float] = {}
+    for host, payload in beacons.items():
+        if host == host_id:
+            out[host] = 0.0
+            continue
+        try:
+            out[host] = round(float(payload["wall"]) - now, 3)
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out

@@ -1,9 +1,10 @@
-"""Durable filesystem work queue: atomic claims, crash-safe journal,
-retry/backoff requeue and a dead-letter ledger.
+"""Durable filesystem work queue: atomic claims, crash-safe journals,
+retry/backoff requeue and a dead-letter ledger — safe for many hosts.
 
 The queue is a directory; every mutation is an atomic filesystem
-operation, so any number of worker processes can share it and a crash
-at any instant leaves a state the survivors can read:
+operation, so any number of worker processes **on any number of hosts
+mounting the directory** can share it and a crash at any instant
+leaves a state the survivors can read:
 
 ```
 queue-dir/
@@ -12,9 +13,15 @@ queue-dir/
   leases/lease-<id>.json   ownership (O_EXCL create, see lease.py)
   results/<id>.json   result payload of a completed job
   dead/<id>.json      dead-letter record (error + FailureReport)
+  dead/<id>-history.json   prior dead-letter records preserved across
+                      ``retry_dead_letters`` requeues
   work/<id>/          per-job workdir: ckpt/ (durable snapshots) and
                       sandbox/ (isolation heartbeat + error notes)
-  journal.jsonl       append-only campaign ledger (fsync'd lines)
+  hosts/<host>.json   advisory per-host clock beacon (see lease.py)
+  quarantine/         torn/corrupt records moved aside, never parsed
+  journal-<host>.jsonl         this host's append-only ledger
+  journal-<host>.NNNNNN.jsonl  rotated segments (size-triggered)
+  journal-<host>.compact.jsonl one-record summary of absorbed segments
 ```
 
 A job moves through a small state machine::
@@ -26,14 +33,29 @@ A job moves through a small state machine::
        |                  +--fail (attempts == max) --> dead
        |                  +--preempt (drain; attempt not counted)
        +---reclaim (lease expired: owner died) ---------+
+       +---retry-dead-letter (fresh attempt budget) --- dead
 
-Claims are arbitrated by the lease file (exactly one ``O_EXCL`` create
-wins); completion and failure are fenced by the lease token so a
-worker that lost its lease mid-job cannot clobber its successor.  The
-journal records every transition — enqueue, claim, complete, fail,
-requeue, reclaim, preempt, dead-letter, worker kills — and is the raw
-material for the campaign ledger and the ``BENCH_farm.json``
-throughput numbers.
+Claims are arbitrated by the lease file (exactly one ``O_CREAT|O_EXCL``
+create wins, kernel-arbitrated even over NFS); completion, failure and
+preemption are all fenced by the lease token so a worker that lost its
+lease mid-job — died, stalled, or **partitioned and healed** — cannot
+clobber its successor.  Multi-host safety rests on three rules:
+
+* **one journal file per host.**  ``O_APPEND`` writes are atomic on a
+  local filesystem but *not* across NFS clients; giving each host its
+  own ``journal-<host>.jsonl`` keeps every append single-writer-host.
+  :meth:`WorkQueue.read_journal` merges all hosts' files (and rotated
+  segments) back into one ledger stream.
+* **no cross-host wall-clock comparisons.**  Lease expiry is
+  observation-based (see :mod:`repro.resilience.lease`); the queue's
+  own timestamps (backoff ``not_before``, journal ``t``) tolerate
+  bounded skew because backoff delays are seconds-scale and ledger
+  folding only counts events.
+* **transient I/O failure is retried, torn state is quarantined.**
+  Reads and atomic writes retry with exponential backoff (stale NFS
+  handles, transient EIO); a state record that parses as garbage is
+  moved to ``quarantine/`` and **rebuilt from the journal** — the
+  journal, not the state file, is the source of truth.
 """
 
 from __future__ import annotations
@@ -41,11 +63,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import time
 from dataclasses import dataclass, field
 
 from repro.errors import InputError, SolverError
-from repro.resilience.lease import Lease, LeaseManager
+from repro.resilience.lease import (Lease, LeaseManager, default_clock,
+                                    default_host_id)
 
 __all__ = ["BackoffPolicy", "Job", "WorkQueue"]
 
@@ -56,13 +80,15 @@ __all__ = ["BackoffPolicy", "Job", "WorkQueue"]
 
 @dataclass
 class BackoffPolicy:
-    """Exponential backoff with deterministic jitter.
+    """Exponential backoff with deterministic, job-seeded jitter.
 
     Delay before attempt ``n+1`` (after ``n`` failed attempts) is
     ``min(max_delay, base * factor**(n-1)) * (1 + jitter * u)`` where
-    ``u`` in [0, 1) is a pure function of (job id, attempt) — the same
-    campaign replays with the same requeue times, yet concurrent
-    failures of different jobs never thundering-herd the same instant.
+    ``u`` in [0, 1) is a pure function of (job id, attempt) — never of
+    process or host state — so the same campaign replays with the same
+    requeue times on any host, retry schedules computed independently
+    by several hosts for one job agree exactly, and concurrent failures
+    of *different* jobs never thundering-herd the same instant.
     """
 
     max_attempts: int = 3
@@ -79,14 +105,19 @@ class BackoffPolicy:
         if self.factor < 1.0:
             raise InputError("backoff factor must be >= 1")
 
+    @staticmethod
+    def jitter_u(job_id: str, attempt: int) -> float:
+        """The jitter fraction in [0, 1): sha256(job:attempt), no
+        process-global or host-local state anywhere in the seed."""
+        h = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+        return int.from_bytes(h[:8], "big") / 2.0 ** 64
+
     def delay(self, job_id: str, attempt: int) -> float:
         """Requeue delay after ``attempt`` (1-based) failed attempts."""
         if attempt < 1:
             return 0.0
         raw = min(self.max_delay, self.base * self.factor ** (attempt - 1))
-        h = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
-        u = int.from_bytes(h[:8], "big") / 2.0 ** 64
-        return raw * (1.0 + self.jitter * u)
+        return raw * (1.0 + self.jitter * self.jitter_u(job_id, attempt))
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +172,19 @@ class Job:
 #: terminal statuses — a campaign is over when every job reaches one
 TERMINAL = frozenset(("done", "dead"))
 
+#: rotated journal segments carry a six-digit index suffix
+_SEGMENT_RE = re.compile(r"^(\d{6})$")
+
+
+def _safe_host(host: str) -> str:
+    """Host id as a journal-filename fragment (no separators; a purely
+    numeric id gets a prefix so it can never parse as a segment
+    index)."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", host) or "host"
+    if _SEGMENT_RE.match(safe):
+        safe = f"h{safe}"
+    return safe
+
 
 # ----------------------------------------------------------------------
 # the queue
@@ -150,78 +194,385 @@ class WorkQueue:
     """Shared, durable job queue rooted at ``dir``.
 
     Every process (enqueuer, N workers, the supervising farm, a reaper)
-    opens its own ``WorkQueue`` on the same directory; there is no
-    in-memory authority to lose.
+    — on this host or any other host mounting the directory — opens its
+    own ``WorkQueue``; there is no in-memory authority to lose.
+
+    Parameters beyond PR 6:
+
+    host_id:
+        This process's clock/journal domain (default: hostname; the
+        ``serve --host-id`` flag overrides).
+    max_skew:
+        Cross-host lease slack [s] (see
+        :class:`~repro.resilience.lease.LeaseManager`).
+    clock:
+        Injectable wall clock (skew tests / chaos).
+    rotate_bytes:
+        Journal size that triggers rotation of this host's live file
+        into a numbered segment (0 disables rotation).
+    io_retries:
+        Transient-OSError retries around every queue read/write
+        (exponential backoff from 50 ms), for stale-NFS-handle and
+        EIO-class blips.  ``REPRO_QUEUE_IO_DELAY`` (seconds) injects a
+        delay before every operation — the chaos harness's slow-NFS
+        simulation.
     """
 
     def __init__(self, dir, *, lease_ttl: float = 15.0,
                  backoff: BackoffPolicy | None = None,
-                 fsync: bool = True):
+                 fsync: bool = True, host_id: str | None = None,
+                 max_skew: float = 2.0, clock=None,
+                 rotate_bytes: int = 4 << 20, io_retries: int = 3):
         self.dir = os.fspath(dir)
         self.backoff = backoff or BackoffPolicy()
         self.fsync = bool(fsync)
+        self.host_id = host_id or default_host_id()
+        self.clock = clock or default_clock()
+        self.rotate_bytes = int(rotate_bytes)
+        self.io_retries = max(0, int(io_retries))
+        try:
+            self.io_delay = float(
+                os.environ.get("REPRO_QUEUE_IO_DELAY", "") or 0.0)
+        except ValueError:
+            self.io_delay = 0.0
         self.jobs_dir = os.path.join(self.dir, "jobs")
         self.state_dir = os.path.join(self.dir, "state")
         self.results_dir = os.path.join(self.dir, "results")
         self.dead_dir = os.path.join(self.dir, "dead")
         self.work_dir = os.path.join(self.dir, "work")
+        self.hosts_dir = os.path.join(self.dir, "hosts")
+        self.quarantine_dir = os.path.join(self.dir, "quarantine")
         for d in (self.jobs_dir, self.state_dir, self.results_dir,
-                  self.dead_dir, self.work_dir):
+                  self.dead_dir, self.work_dir, self.hosts_dir,
+                  self.quarantine_dir):
             os.makedirs(d, exist_ok=True)
         self.leases = LeaseManager(os.path.join(self.dir, "leases"),
-                                   ttl=lease_ttl)
-        self.journal_path = os.path.join(self.dir, "journal.jsonl")
+                                   ttl=lease_ttl, host_id=self.host_id,
+                                   max_skew=max_skew, clock=self.clock)
+        self._journal_base = f"journal-{_safe_host(self.host_id)}"
+        self.journal_path = os.path.join(self.dir,
+                                         f"{self._journal_base}.jsonl")
 
-    # -- atomic JSON plumbing ------------------------------------------
+    # -- retried, atomic JSON plumbing ---------------------------------
+
+    def _with_retries(self, op, what: str):
+        """Run a filesystem operation, retrying transient OSErrors with
+        exponential backoff (stale NFS handles heal on reopen)."""
+        if self.io_delay > 0.0:
+            time.sleep(self.io_delay)
+        delay = 0.05
+        for attempt in range(self.io_retries + 1):
+            try:
+                return op()
+            except OSError:
+                if attempt >= self.io_retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2.0
 
     def _write_json(self, path: str, obj: dict) -> None:
-        tmp = os.path.join(os.path.dirname(path),
-                           f".tmp-{os.getpid()}-{os.path.basename(path)}")
-        with open(tmp, "w") as f:
-            json.dump(obj, f, indent=1, default=str)
-            f.flush()
-            if self.fsync:
-                os.fsync(f.fileno())
-        os.replace(tmp, path)
+        def op():
+            tmp = os.path.join(
+                os.path.dirname(path),
+                f".tmp-{os.getpid()}-{os.path.basename(path)}")
+            with open(tmp, "w") as f:
+                json.dump(obj, f, indent=1, default=str)
+                f.flush()
+                if self.fsync:
+                    os.fsync(f.fileno())
+            os.replace(tmp, path)
+
+        self._with_retries(op, f"write {path}")
+
+    def _read_json_checked(self, path: str) -> tuple[dict | None, bool]:
+        """``(payload, torn)``: torn means the file exists but does not
+        parse — corruption, not absence."""
+        def op():
+            try:
+                with open(path) as f:
+                    raw = f.read()
+            except FileNotFoundError:
+                return None, False
+            try:
+                return json.loads(raw), False
+            except ValueError:
+                return None, True
+
+        try:
+            return self._with_retries(op, f"read {path}")
+        except OSError:
+            return None, False
 
     def _read_json(self, path: str) -> dict | None:
+        return self._read_json_checked(path)[0]
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a torn/corrupt record aside instead of crashing on (or
+        worse, trusting) it; the original name and a timestamp survive
+        in the quarantine filename."""
+        dest = os.path.join(
+            self.quarantine_dir,
+            f"{os.path.basename(path)}.{int(self.clock() * 1e3)}"
+            f".{os.getpid()}")
         try:
-            with open(path) as f:
-                return json.load(f)
-        except (OSError, ValueError):
-            return None
+            os.replace(path, dest)
+        except OSError:
+            return
+        self.journal("quarantine", path=os.path.basename(path),
+                     reason=reason)
+
+    # -- journal: per-host, rotated, mergeable -------------------------
 
     def journal(self, event: str, **fields) -> None:
-        """Append one fsync'd line to the campaign journal.
+        """Append one fsync'd line to this host's campaign journal.
 
-        O_APPEND writes of one line are atomic on local filesystems, so
-        concurrent workers interleave whole records, never torn ones.
+        O_APPEND writes of one line are atomic on a local filesystem;
+        cross-host atomicity is not needed because every host appends
+        only to its own ``journal-<host>.jsonl``.
         """
-        rec = {"t": time.time(), "event": event}
+        rec = {"t": self.clock(), "host": self.host_id, "event": event}
         rec.update(fields)
         line = json.dumps(rec, default=str) + "\n"
-        fd = os.open(self.journal_path,
-                     os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, line.encode())
-            if self.fsync:
-                os.fsync(fd)
-        finally:
-            os.close(fd)
 
-    def read_journal(self) -> list[dict]:
-        """Every journal record, oldest first (torn tails skipped)."""
-        out: list[dict] = []
+        def op():
+            fd = os.open(self.journal_path,
+                         os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line.encode())
+                if self.fsync:
+                    os.fsync(fd)
+            finally:
+                os.close(fd)
+
+        self._with_retries(op, "journal append")
+        self._maybe_rotate()
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.dir,
+                            f"{self._journal_base}.{index:06d}.jsonl")
+
+    def _compact_path(self) -> str:
+        return os.path.join(self.dir,
+                            f"{self._journal_base}.compact.jsonl")
+
+    def _segment_indices(self) -> list[int]:
+        out = []
+        prefix = f"{self._journal_base}."
         try:
-            with open(self.journal_path) as f:
-                for line in f:
-                    try:
-                        out.append(json.loads(line))
-                    except ValueError:
-                        continue   # torn tail from a crash mid-append
+            names = os.listdir(self.dir)
+        except OSError:
+            return out
+        for name in names:
+            if not (name.startswith(prefix) and name.endswith(".jsonl")):
+                continue
+            stem = name[len(prefix):-len(".jsonl")]
+            if _SEGMENT_RE.match(stem):
+                out.append(int(stem))
+        return sorted(out)
+
+    def _maybe_rotate(self) -> None:
+        """Size-triggered rotation of this host's live journal.
+
+        The live file is *hard-linked* to the next segment name, then
+        unlinked: a concurrent appender that still holds the old fd (or
+        races the unlink) keeps writing into the segment's inode, so no
+        record is ever lost, and ``os.link`` refusing to clobber an
+        existing segment arbitrates concurrent rotators.
+        """
+        if self.rotate_bytes <= 0:
+            return
+        try:
+            if os.path.getsize(self.journal_path) < self.rotate_bytes:
+                return
+        except OSError:
+            return
+        indices = self._segment_indices()
+        seg = self._segment_path(indices[-1] + 1 if indices else 1)
+        try:
+            os.link(self.journal_path, seg)
+        except OSError:
+            return   # lost the rotation race (or FS without hard links)
+        try:
+            os.unlink(self.journal_path)
         except OSError:
             pass
+
+    def _journal_files(self) -> list[str]:
+        """Every journal file in ledger order: per host — compact
+        summary, numbered segments, live file; legacy single-file
+        ``journal.jsonl`` first.  Segments named in a compact summary's
+        ``absorbed`` list are skipped (their records live on in the
+        summary)."""
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return []
+        by_host: dict[str, dict] = {}
+        legacy = None
+        for name in names:
+            if not (name.startswith("journal") and name.endswith(".jsonl")):
+                continue
+            stem = name[len("journal"):-len(".jsonl")]
+            if stem == "":
+                legacy = name
+                continue
+            if not stem.startswith("-"):
+                continue
+            body = stem[1:]
+            rec = None
+            if body.endswith(".compact"):
+                rec = (body[:-len(".compact")], "compact", 0)
+            else:
+                head, dot, tail = body.rpartition(".")
+                if dot and _SEGMENT_RE.match(tail):
+                    rec = (head, "segment", int(tail))
+                else:
+                    rec = (body, "live", 0)
+            host, kind, idx = rec
+            slot = by_host.setdefault(host, {"compact": None,
+                                             "segments": [], "live": None})
+            if kind == "compact":
+                slot["compact"] = name
+            elif kind == "segment":
+                slot["segments"].append((idx, name))
+            else:
+                slot["live"] = name
+        absorbed: set[str] = set()
+        for slot in by_host.values():
+            if slot["compact"] is None:
+                continue
+            payload = self._read_json(os.path.join(self.dir,
+                                                   slot["compact"]))
+            if payload:
+                absorbed.update(payload.get("absorbed") or [])
+        out: list[str] = []
+        if legacy:
+            out.append(legacy)
+        for host in sorted(by_host):
+            slot = by_host[host]
+            if slot["compact"]:
+                out.append(slot["compact"])
+            out.extend(name for _, name in sorted(slot["segments"])
+                       if name not in absorbed)
+            if slot["live"]:
+                out.append(slot["live"])
         return out
+
+    def read_journal(self) -> list[dict]:
+        """Every journal record from every host and rotated segment,
+        oldest first (torn tails skipped).
+
+        With a single writing host, file order is authoritative; with
+        several hosts the streams are merged by timestamp (stable, so
+        each host's internal order is preserved — cross-host order is
+        only as good as the clocks, which ledger folding never relies
+        on).
+        """
+        files = self._journal_files()
+        out: list[dict] = []
+        hosts = set()
+        for name in files:
+            if self.io_delay > 0.0:
+                time.sleep(self.io_delay)
+            try:
+                with open(os.path.join(self.dir, name)) as f:
+                    for line in f:
+                        try:
+                            rec = json.loads(line)
+                        except ValueError:
+                            continue   # torn tail from a crash mid-append
+                        if not isinstance(rec, dict):
+                            continue   # a journal line is always a record
+                        hosts.add(rec.get("host"))
+                        out.append(rec)
+            except OSError:
+                continue
+        if len(hosts) > 1:
+            out.sort(key=lambda r: float(r.get("t", 0.0)))
+        return out
+
+    def compact_journal(self) -> int:
+        """Fold this host's rotated segments (and any prior summary)
+        into a single one-record summary file; returns the number of
+        segment files absorbed.
+
+        The summary preserves everything ledger reconstruction and
+        ``bench_from_journal`` need — per-event counts, each job's last
+        claim / complete / fail timestamps and terminal transitions —
+        so a compacted queue still folds into the identical campaign
+        ledger.  The live file is untouched (writers keep appending);
+        call from a single actor per host (the farm at campaign end, or
+        ``campaign --merge-ledgers``).
+        """
+        indices = self._segment_indices()
+        if not indices:
+            return 0
+        seg_names = [os.path.basename(self._segment_path(i))
+                     for i in indices]
+        counts: dict[str, int] = {}
+        claims: dict[str, float] = {}
+        completes: dict[str, float] = {}
+        complete_counts: dict[str, int] = {}
+        t_min = None
+        absorbed: list[str] = list(seg_names)
+        prior = self._read_json(self._compact_path())
+        if prior and prior.get("event") == "journal-compact":
+            counts.update(prior.get("events") or {})
+            claims.update(prior.get("claims") or {})
+            completes.update(prior.get("completes") or {})
+            complete_counts.update(prior.get("complete_counts") or {})
+            absorbed.extend(prior.get("absorbed") or [])
+            t_min = prior.get("t")
+        for name in seg_names:
+            try:
+                with open(os.path.join(self.dir, name)) as f:
+                    lines = f.readlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                ev = rec.get("event", "?")
+                counts[ev] = counts.get(ev, 0) + 1
+                t = float(rec.get("t", 0.0))
+                t_min = t if t_min is None else min(float(t_min), t)
+                if ev == "claim":
+                    claims[rec.get("job")] = t
+                elif ev == "complete":
+                    completes[rec.get("job")] = t
+                    complete_counts[rec.get("job")] = \
+                        complete_counts.get(rec.get("job"), 0) + 1
+        summary = {"t": t_min if t_min is not None else self.clock(),
+                   "host": self.host_id, "event": "journal-compact",
+                   "segments": len(seg_names), "events": counts,
+                   "claims": claims, "completes": completes,
+                   "complete_counts": complete_counts,
+                   "absorbed": sorted(set(absorbed))}
+
+        # one JSONL record, not a pretty-printed document:
+        # read_journal parses journal files line by line
+        def op():
+            path = self._compact_path()
+            tmp = os.path.join(
+                os.path.dirname(path),
+                f".tmp-{os.getpid()}-{os.path.basename(path)}")
+            with open(tmp, "w") as f:
+                json.dump(summary, f, default=str)
+                f.write("\n")
+                f.flush()
+                if self.fsync:
+                    os.fsync(f.fileno())
+            os.replace(tmp, path)
+
+        self._with_retries(op, f"write {self._compact_path()}")
+        for name in seg_names:
+            try:
+                os.unlink(os.path.join(self.dir, name))
+            except OSError:
+                pass
+        return len(seg_names)
 
     # -- enqueue --------------------------------------------------------
 
@@ -252,9 +603,59 @@ class WorkQueue:
             raise SolverError(f"work queue: unknown job {job_id!r}")
         return Job.from_dict(spec)
 
+    def _state_from_journal(self, job_id: str) -> dict | None:
+        """Rebuild a job's state record by replaying its journal
+        transitions — the recovery path for a torn state file.  Returns
+        None when the journal has never heard of the job."""
+        st = None
+        for rec in self.read_journal():
+            if rec.get("job") != job_id:
+                continue
+            ev = rec.get("event")
+            if ev == "enqueue":
+                st = {"id": job_id, "status": "pending", "attempts": 0,
+                      "not_before": 0.0, "owner": None,
+                      "last_error": None}
+            elif st is None:
+                continue
+            elif ev == "claim":
+                st.update(status="running", owner=rec.get("worker"),
+                          attempts=int(rec.get("attempt")
+                                       or st["attempts"] + 1))
+            elif ev == "complete":
+                st.update(status="done", owner=None)
+            elif ev == "requeue":
+                st.update(status="pending", owner=None, not_before=0.0,
+                          last_error=rec.get("error"))
+            elif ev in ("reclaim", "retry-dead-letter"):
+                st.update(status="pending", owner=None, not_before=0.0)
+                if ev == "retry-dead-letter":
+                    st["attempts"] = 0
+            elif ev == "preempt":
+                st.update(status="pending", owner=None,
+                          attempts=max(0, st["attempts"] - 1),
+                          not_before=0.0)
+            elif ev == "dead-letter":
+                st.update(status="dead", owner=None,
+                          last_error=rec.get("error"))
+        return st
+
     def state(self, job_id: str) -> dict:
-        st = self._read_json(self._state_path(job_id))
-        return st or {"id": job_id, "status": "unknown", "attempts": 0}
+        path = self._state_path(job_id)
+        st, torn = self._read_json_checked(path)
+        if st is not None:
+            return st
+        if torn:
+            # corrupt record (torn NFS write, bitrot): quarantine it
+            # and rebuild the truth from the journal
+            self._quarantine(path, "unparseable state record")
+            rebuilt = self._state_from_journal(job_id)
+            if rebuilt is not None:
+                self._write_json(path, rebuilt)
+                self.journal("state-rebuilt", job=job_id,
+                             status=rebuilt.get("status"))
+                return rebuilt
+        return {"id": job_id, "status": "unknown", "attempts": 0}
 
     def job_ids(self) -> list[str]:
         try:
@@ -283,6 +684,13 @@ class WorkQueue:
         return self._read_json(os.path.join(self.dead_dir,
                                             f"{job_id}.json"))
 
+    def dead_letter_history(self, job_id: str) -> list[dict]:
+        """Dead-letter records preserved from *prior* attempt budgets
+        (``retry_dead_letters`` moves the active record here)."""
+        payload = self._read_json(os.path.join(
+            self.dead_dir, f"{job_id}-history.json"))
+        return list(payload.get("records") or []) if payload else []
+
     def job_workdir(self, job_id: str) -> str:
         d = os.path.join(self.work_dir, job_id)
         os.makedirs(d, exist_ok=True)
@@ -294,7 +702,7 @@ class WorkQueue:
         """Pending, unleased, past-backoff job ids in (priority, id)
         order."""
         if now is None:
-            now = time.time()
+            now = self.clock()
         out = []
         for job_id in self.job_ids():
             st = self.state(job_id)
@@ -328,7 +736,7 @@ class WorkQueue:
                 self._write_json(
                     os.path.join(self.dead_dir, f"{job_id}.json"),
                     {"id": job_id, "attempts": st["attempts"],
-                     "worker": owner, "report": None, "t": time.time(),
+                     "worker": owner, "report": None, "t": self.clock(),
                      "error": (st.get("last_error")
                                or "attempt budget exhausted: every "
                                   "attempt lost its worker (lease "
@@ -354,15 +762,45 @@ class WorkQueue:
                  ) -> bool:
         """Commit a result.  Returns False (and journals ``fenced``)
         when the lease was lost — the successor owns the job now and
-        this result is discarded."""
+        this result is discarded.
+
+        The token is checked **twice**: before staging the result and
+        again before publishing it, so a holder that is reaped while
+        writing (a partitioned worker healing mid-commit) is caught in
+        the narrowest possible window.  The residual race — reaped
+        between the second check and the rename — is bounded by one
+        write and is exactly what the journal's exactly-once audit
+        (:func:`repro.resilience.farm.audit_exactly_once`) detects.
+        """
         if not self.leases.verify(lease):
             self.journal("fenced", job=job.id, worker=lease.owner,
                          action="complete")
             return False
-        self._write_json(os.path.join(self.results_dir,
-                                      f"{job.id}.json"),
-                         {"id": job.id, "result": result,
-                          "worker": lease.owner, "t": time.time()})
+        path = os.path.join(self.results_dir, f"{job.id}.json")
+        tmp = os.path.join(self.results_dir,
+                           f".tmp-{os.getpid()}-{job.id}.json")
+
+        def stage():
+            with open(tmp, "w") as f:
+                json.dump({"id": job.id, "result": result,
+                           "worker": lease.owner, "host": lease.host,
+                           "token": lease.token, "t": self.clock()},
+                          f, indent=1, default=str)
+                f.flush()
+                if self.fsync:
+                    os.fsync(f.fileno())
+
+        self._with_retries(stage, f"stage result {job.id}")
+        if not self.leases.verify(lease):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            self.journal("fenced", job=job.id, worker=lease.owner,
+                         action="complete")
+            return False
+        self._with_retries(lambda: os.replace(tmp, path),
+                           f"publish result {job.id}")
         st = self.state(job.id)
         st.update(status="done", owner=None)
         self._write_json(self._state_path(job.id), st)
@@ -389,7 +827,7 @@ class WorkQueue:
                              {"id": job.id, "error": error,
                               "attempts": attempts,
                               "worker": lease.owner,
-                              "report": report, "t": time.time()})
+                              "report": report, "t": self.clock()})
             st.update(status="dead", owner=None, last_error=error)
             self._write_json(self._state_path(job.id), st)
             self.journal("dead-letter", job=job.id, worker=lease.owner,
@@ -398,7 +836,7 @@ class WorkQueue:
         else:
             delay = self.backoff.delay(job.id, attempts)
             st.update(status="pending", owner=None, last_error=error,
-                      not_before=time.time() + delay)
+                      not_before=self.clock() + delay)
             self._write_json(self._state_path(job.id), st)
             self.journal("requeue", job=job.id, worker=lease.owner,
                          attempt=attempts, backoff=round(delay, 3),
@@ -409,7 +847,9 @@ class WorkQueue:
 
     def preempt(self, job: Job, lease: Lease) -> None:
         """Return a job to the pool without charging an attempt (the
-        graceful-drain path: the worker checkpointed and is exiting)."""
+        graceful-drain path: the worker checkpointed and is exiting).
+        Fenced like complete/fail — a preempt racing a reclaim must not
+        clobber the successor's running state."""
         if not self.leases.verify(lease):
             self.journal("fenced", job=job.id, worker=lease.owner,
                          action="preempt")
@@ -439,3 +879,42 @@ class WorkQueue:
             self._write_json(self._state_path(job_id), st)
             self.journal("reclaim", job=job_id, worker=owner)
         return freed
+
+    # -- dead-letter requeue --------------------------------------------
+
+    def retry_dead_letters(self, job_ids=None) -> list[str]:
+        """Requeue dead-lettered jobs with a fresh attempt budget
+        (``campaign --retry-dead-letters``).
+
+        The exhausted dead-letter record — error, attempts, the
+        attached FailureReport — is *preserved* by appending it to
+        ``dead/<id>-history.json`` before the job returns to pending
+        with ``attempts=0``.  Returns the requeued job ids.
+        """
+        requeued: list[str] = []
+        for job_id in (self.job_ids() if job_ids is None
+                       else list(job_ids)):
+            st = self.state(job_id)
+            if st.get("status") != "dead":
+                continue
+            rec = self.dead_letter(job_id)
+            hist_path = os.path.join(self.dead_dir,
+                                     f"{job_id}-history.json")
+            if rec is not None:
+                hist = self._read_json(hist_path) or {"id": job_id,
+                                                      "records": []}
+                hist["records"].append(rec)
+                self._write_json(hist_path, hist)
+                try:
+                    os.remove(os.path.join(self.dead_dir,
+                                           f"{job_id}.json"))
+                except OSError:
+                    pass
+            st.update(status="pending", owner=None, attempts=0,
+                      not_before=0.0)
+            self._write_json(self._state_path(job_id), st)
+            self.journal("retry-dead-letter", job=job_id,
+                         prior_attempts=rec.get("attempts")
+                         if rec else None)
+            requeued.append(job_id)
+        return requeued

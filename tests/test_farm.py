@@ -29,7 +29,8 @@ import pytest
 from repro.errors import InputError
 from repro.resilience.chaos import CASES
 from repro.resilience.farm import (Farm, FarmPolicy, WorkerKillPlan,
-                                   bench_from_journal, build_ledger,
+                                   audit_exactly_once, bench_from_journal,
+                                   build_ledger, merge_ledgers,
                                    run_campaign, state_fingerprint,
                                    write_bench_json)
 from repro.resilience.lease import (LeaseManager, expired_indices,
@@ -420,3 +421,294 @@ class TestPolicy:
         assert ledger["jobs"] == {"dead": 1}
         rec = WorkQueue(tmp_path / "q").dead_letter("x")
         assert "unknown job kind" in rec["error"]
+
+
+# ----------------------------------------------------------------------
+# multi-host leases under clock skew
+# ----------------------------------------------------------------------
+
+
+def _skewed(offset):
+    """A wall clock that is simply wrong by ``offset`` seconds."""
+    return lambda: time.time() + offset
+
+
+class TestLeaseSkew:
+    def test_skew_alone_never_expires_a_cross_host_lease(self, tmp_path):
+        """A wall-clock disagreement far beyond max_skew — in either
+        direction — must not free a freshly granted foreign lease:
+        cross-host expiry is observation-based, never mtime-based."""
+        for offset in (60.0, -60.0):
+            d = tmp_path / f"leases{offset:+.0f}"
+            holder = LeaseManager(d, ttl=5.0, host_id="hostA",
+                                  clock=_skewed(offset))
+            reaper = LeaseManager(d, ttl=5.0, host_id="hostB",
+                                  max_skew=0.5)
+            assert holder.acquire("job", "hostA:1") is not None
+            assert not reaper.is_expired("job")
+            assert reaper.reap() == []
+
+    def test_renewed_cross_host_lease_survives_reaper(self, tmp_path):
+        """Concurrent renew-vs-reap: as long as the holder keeps
+        bumping the lease epoch, a skewed observer must never reap it,
+        even long past ttl + max_skew of wall time."""
+        import threading
+
+        holder = LeaseManager(tmp_path / "l", ttl=0.15, host_id="hostA",
+                              clock=_skewed(120.0))
+        reaper = LeaseManager(tmp_path / "l", ttl=0.15, host_id="hostB",
+                              max_skew=0.1)
+        lease = holder.acquire("job", "hostA:1")
+        lost = []
+        stop = threading.Event()
+
+        def renew_loop():
+            while not stop.is_set():
+                if not holder.renew(lease):
+                    lost.append(True)
+                    return
+                time.sleep(0.03)
+
+        t = threading.Thread(target=renew_loop)
+        t.start()
+        freed = []
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            freed += reaper.reap()
+            time.sleep(0.02)
+        stop.set()
+        t.join()
+        assert freed == [] and not lost
+        assert lease.epoch > 5  # renewals really happened
+
+    def test_dead_cross_host_holder_reaped_after_window(self, tmp_path):
+        """A foreign holder that stops renewing is reclaimed — but only
+        after its (token, epoch) sat unchanged for ttl + max_skew on
+        the observer's own monotonic clock."""
+        holder = LeaseManager(tmp_path / "l", ttl=0.2, host_id="hostA",
+                              clock=_skewed(-120.0))
+        reaper = LeaseManager(tmp_path / "l", ttl=0.2, host_id="hostB",
+                              max_skew=0.2)
+        holder.acquire("job", "hostA:1")  # hostA then "dies": no renews
+        assert reaper.reap() == []        # opens the observation window
+        time.sleep(0.6)                   # > ttl + max_skew, unchanged
+        assert reaper.reap() == ["job"]
+
+    def test_stale_commit_fenced_after_cross_host_reclaim(self, tmp_path):
+        """A partitioned hostA worker whose job was reclaimed by hostB
+        must have its late commit fenced, and the exactly-once audit
+        must count a single completion."""
+        qa = WorkQueue(tmp_path / "q", lease_ttl=0.2, backoff=FAST,
+                       host_id="hostA", max_skew=0.2, clock=_skewed(7.0))
+        qb = WorkQueue(tmp_path / "q", lease_ttl=0.2, backoff=FAST,
+                       host_id="hostB", max_skew=0.2)
+        qa.enqueue(Job(id="a", kind="sleep", max_attempts=5))
+        job, stale = qa.claim("hostA:1")
+        assert qb.reclaim_expired() == []   # window opens, nothing freed
+        time.sleep(0.6)
+        assert qb.reclaim_expired() == ["a"]
+        job2, lease2 = qb.claim("hostB:1")
+        # partition heals; the original holder tries to commit
+        assert not qa.complete(job, stale, {"from": "hostA"})
+        assert qb.complete(job2, lease2, {"from": "hostB"})
+        assert qb.result("a")["result"] == {"from": "hostB"}
+        fenced = [r for r in qb.read_journal() if r["event"] == "fenced"]
+        assert {f["action"] for f in fenced} == {"complete"}
+        audit = audit_exactly_once(qb)
+        assert audit["ok"] and audit["jobs_completed"] == 1
+
+
+# ----------------------------------------------------------------------
+# journal rotation and compaction
+# ----------------------------------------------------------------------
+
+
+def _journal_segments(q):
+    import re
+    return sorted(n for n in os.listdir(q.dir)
+                  if re.fullmatch(r"journal-.+\.\d{6}\.jsonl", n))
+
+
+def _drain_serially(q, n):
+    for i in range(n):
+        q.enqueue(Job(id=f"s{i:02d}", kind="sleep"))
+    while True:
+        got = q.claim("w0")
+        if got is None:
+            break
+        job, lease = got
+        q.complete(job, lease, {"id": job.id})
+
+
+class TestJournalRotation:
+    def test_rotation_spills_segments_and_read_merges_all(self,
+                                                          tmp_path):
+        q = WorkQueue(tmp_path / "q", backoff=FAST, rotate_bytes=600)
+        _drain_serially(q, 12)
+        assert _journal_segments(q), \
+            "rotation never triggered — shrink rotate_bytes"
+        events = [r["event"] for r in q.read_journal()]
+        assert events.count("enqueue") == 12
+        assert events.count("complete") == 12
+
+    def test_compaction_preserves_ledger_bench_and_audit(self,
+                                                         tmp_path):
+        q = WorkQueue(tmp_path / "q", backoff=FAST, rotate_bytes=600)
+        _drain_serially(q, 12)
+        before = build_ledger(q, wall_time=1.0, label="pre",
+                              n_workers=1)
+        bench_before = bench_from_journal(q, wall_time=1.0, n_workers=1)
+        assert q.compact_journal() > 0
+        assert _journal_segments(q) == []  # absorbed and unlinked
+        after = build_ledger(q, wall_time=1.0, label="post",
+                             n_workers=1)
+        assert after["jobs"] == before["jobs"] == {"done": 12}
+        assert after["attempts"] == before["attempts"] == 12
+        assert after["events"]["complete"] == 12
+        bench_after = bench_from_journal(q, wall_time=1.0, n_workers=1)
+        assert bench_after["jobs_done"] == bench_before["jobs_done"]
+        audit = audit_exactly_once(q)
+        assert audit["ok"] and audit["jobs_completed"] == 12
+        assert q.compact_journal() == 0  # idempotent: nothing left
+
+    def test_audit_counts_completions_across_compaction(self, tmp_path):
+        """The compact summary must preserve per-job completion counts,
+        not just the last timestamp — otherwise a double completion
+        hidden in an absorbed segment would pass the audit."""
+        q = WorkQueue(tmp_path / "q", backoff=FAST, rotate_bytes=200)
+        _drain_serially(q, 4)
+        # forge a duplicate completion record, then rotate it into a
+        # segment and compact that segment away
+        n_segs = len(_journal_segments(q))
+        q.journal("complete", job="s00", worker="w-evil")
+        while len(_journal_segments(q)) == n_segs:
+            q.journal("noise", filler="x" * 64)
+        q.compact_journal()
+        audit = audit_exactly_once(q)
+        assert not audit["ok"]
+        assert audit["double_completions"] == {"s00": 2}
+
+
+# ----------------------------------------------------------------------
+# dead-letter retry with a fresh budget
+# ----------------------------------------------------------------------
+
+
+class TestRetryDeadLetters:
+    def test_retry_restores_budget_and_preserves_history(self,
+                                                         tmp_path):
+        q = WorkQueue(tmp_path / "q",
+                      backoff=BackoffPolicy(max_attempts=1, base=0.0,
+                                            jitter=0.0))
+        q.enqueue(Job(id="a", kind="sleep", max_attempts=1))
+        job, lease = q.claim("w0")
+        assert q.fail(job, lease, "boom",
+                      report={"error": "boom"}) == "dead"
+        assert q.retry_dead_letters() == ["a"]
+        st = q.state("a")
+        assert st["status"] == "pending" and st["attempts"] == 0
+        assert q.dead_letter("a") is None  # active record cleared...
+        [hist] = q.dead_letter_history("a")  # ...but never lost
+        assert hist["error"] == "boom"
+        assert hist["report"] == {"error": "boom"}
+        job, lease = q.claim("w1")
+        assert q.complete(job, lease, {"ok": True})
+        assert q.state("a")["status"] == "done"
+        retries = [r for r in q.read_journal()
+                   if r["event"] == "retry-dead-letter"]
+        assert retries and retries[0]["prior_attempts"] == 1
+
+    def test_retry_is_selective_and_skips_live_jobs(self, tmp_path):
+        q = WorkQueue(tmp_path / "q",
+                      backoff=BackoffPolicy(max_attempts=1, base=0.0,
+                                            jitter=0.0))
+        for jid in ("dead1", "dead2", "ok"):
+            q.enqueue(Job(id=jid, kind="sleep", max_attempts=1))
+        for jid in ("dead1", "dead2"):
+            job, lease = q.claim("w0", now=time.time() + 60.0)
+            q.fail(job, lease, f"{jid} boom")
+        assert q.retry_dead_letters(["dead2", "ok"]) == ["dead2"]
+        assert q.state("dead1")["status"] == "dead"  # not selected
+        assert q.state("dead2")["status"] == "pending"
+        assert q.state("ok")["status"] == "pending"  # untouched
+
+    def test_jitter_unit_is_pure_and_job_seeded(self):
+        """Satellite: backoff jitter is a pure hash of (job id,
+        attempt) — identical on every host, no shared RNG state."""
+        u = BackoffPolicy.jitter_u("case-01", 1)
+        assert 0.0 <= u < 1.0
+        # catlint: disable=CAT010 -- sha256-derived values are exact
+        assert BackoffPolicy.jitter_u("case-01", 1) == u
+        assert BackoffPolicy.jitter_u("case-02", 1) != u
+        assert BackoffPolicy.jitter_u("case-01", 2) != u
+        # two policy instances (two hosts, in real life) agree on the
+        # whole delay schedule
+        a = BackoffPolicy(max_attempts=5, jitter=0.5)
+        b = BackoffPolicy(max_attempts=5, jitter=0.5)
+        assert [a.delay("j", n) for n in (1, 2, 3)] \
+            == [b.delay("j", n) for n in (1, 2, 3)]
+
+
+# ----------------------------------------------------------------------
+# two hosts, one queue
+# ----------------------------------------------------------------------
+
+
+class TestTwoHostCampaign:
+    def test_two_skewed_hosts_drain_one_queue_exactly_once(
+            self, tmp_path, silent):
+        """Two supervisors with ±5 s clock skew drain one shared queue:
+        every job completes exactly once and the per-host ledgers merge
+        into one consistent campaign view."""
+        import threading
+
+        qdir = tmp_path / "q"
+        seed = WorkQueue(qdir, backoff=FAST, host_id="hostA")
+        for i in range(8):
+            seed.enqueue(Job(id=f"s{i}", kind="sleep",
+                             payload={"duration": 0.2}, max_attempts=5))
+        ledgers = {}
+
+        def serve(host, offset):
+            pol = fast_policy(n_workers=1, lease_ttl=3.0, host_id=host,
+                              max_skew=1.0, clock_offset=offset,
+                              beacon_interval=0.2)
+            farm = Farm(WorkQueue(qdir, lease_ttl=3.0, backoff=FAST,
+                                  host_id=host, max_skew=1.0,
+                                  clock=pol.clock()),
+                        pol, label=host, stream=silent)
+            ledgers[host] = farm.run()
+
+        threads = [
+            threading.Thread(target=serve, args=("hostA", 5.0)),
+            threading.Thread(target=serve, args=("hostB", -5.0))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(90.0)
+        assert not any(t.is_alive() for t in threads)
+        q = WorkQueue(qdir, host_id="driver")
+        assert q.all_terminal()
+        assert all(q.state(j)["status"] == "done" for j in q.job_ids())
+        audit = audit_exactly_once(q)
+        assert audit["ok"], audit
+        assert audit["jobs_completed"] == 8
+        merged = merge_ledgers([ledgers["hostA"], ledgers["hostB"]])
+        assert merged["ok"] and merged["jobs"] == {"done": 8}
+        assert sum(h.get("complete", 0)
+                   for h in merged["hosts"].values()) == 8
+        # each host saw the other's beacon ~10 s ahead/behind itself
+        assert ledgers["hostB"]["skew_estimates"]["hostA"] > 5.0
+        assert ledgers["hostA"]["skew_estimates"]["hostB"] < -5.0
+
+    def test_merge_ledgers_validates_and_labels(self, tmp_path, silent):
+        with pytest.raises(InputError):
+            merge_ledgers([])
+        jobs = [Job(id="a", kind="sleep", payload={"duration": 0.01})]
+        led = run_campaign(tmp_path / "q", jobs,
+                           policy=fast_policy(n_workers=1),
+                           stream=silent)
+        merged = merge_ledgers([led])
+        assert merged["jobs"] == led["jobs"]
+        assert [m["host"] for m in merged["merged_from"]] \
+            == [led["host"]]
