@@ -4,9 +4,29 @@ Every figure benchmark runs its experiment once (rounds=1) — these are
 solver-scale reproductions, not microsecond kernels — and prints the
 series the paper's figure reports (visible with ``pytest -s`` and
 recorded in bench_output.txt).
+
+Per-kernel timings use the ``kernel_bench`` fixture instead of
+pytest-benchmark: it needs no plugin (CI runs the bare scientific
+stack), and everything it records is flushed to one JSON artifact at
+session end — ``BENCH_kernels.json``, the ROADMAP item-2 perf
+trajectory.  Enable the artifact with ``--bench-kernels-json PATH`` or
+``BENCH_KERNELS_JSON=PATH``.
 """
 
+import json
+import os
+import time
+
 import pytest
+
+#: kernel name -> timing record, accumulated across the session.
+_KERNEL_RECORDS = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-kernels-json", default=None, metavar="PATH",
+        help="write per-kernel timings (kernel_bench fixture) to PATH")
 
 
 @pytest.fixture
@@ -19,3 +39,70 @@ def once(benchmark):
                                   warmup_rounds=0)
 
     return _run
+
+
+@pytest.fixture
+def kernel_bench(request):
+    """Time a kernel and record it for ``BENCH_kernels.json``.
+
+    ``result = kernel_bench(fn, *args, label=..., meta=..., **kwargs)``
+    warms the kernel up once, then runs it repeatedly until ~0.2 s of
+    clock (at least 3, at most 200 rounds) and records min/median/mean
+    seconds per call under ``label`` (default: the test name minus its
+    ``test_bench_`` prefix).  ``meta`` merges extra keys (sizes,
+    derived speedups) into the record.  Returns the kernel's last
+    result so the test can assert on it.
+    """
+
+    def _run(fn, *args, label=None, meta=None, min_time=0.2,
+             max_rounds=200, **kwargs):
+        name = label or request.node.name.replace("test_bench_", "")
+        result = fn(*args, **kwargs)          # warmup, untimed
+        times = []
+        deadline = time.perf_counter() + min_time
+        while len(times) < max_rounds:
+            t0 = time.perf_counter()
+            result = fn(*args, **kwargs)
+            times.append(time.perf_counter() - t0)
+            if len(times) >= 3 and time.perf_counter() >= deadline:
+                break
+        times.sort()
+        record = {
+            "min_s": times[0],
+            "median_s": times[len(times) // 2],
+            "mean_s": sum(times) / len(times),
+            "rounds": len(times),
+        }
+        if meta:
+            record.update(meta)
+        _KERNEL_RECORDS[name] = record
+        return result
+
+    return _run
+
+
+@pytest.fixture
+def kernel_records():
+    """Direct access to the session's accumulated kernel records."""
+    return _KERNEL_RECORDS
+
+
+def _kernels_json_path(config):
+    return (config.getoption("--bench-kernels-json")
+            or os.environ.get("BENCH_KERNELS_JSON"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = _kernels_json_path(session.config)
+    if not path or not _KERNEL_RECORDS:
+        return
+    doc = {
+        "schema": "bench-kernels/1",
+        "unit": "seconds per call",
+        "kernels": dict(sorted(_KERNEL_RECORDS.items())),
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)

@@ -5,6 +5,13 @@
   (the design choice behind the era's curve-fit EOS codes),
 * upwind flux kernels,
 * 2-D Euler residual evaluation.
+
+The ``test_bench_kernel_*`` family additionally records its timings
+through the ``kernel_bench`` fixture (no pytest-benchmark needed) into
+the ``BENCH_kernels.json`` CI artifact — the ROADMAP item-2 per-kernel
+perf trajectory: Gibbs equilibrium solve, kinetics source terms,
+MUSCL+flux sweep, tangent-slab radiation, NASA-7 evaluation, and the
+species-profile interpolation (loop vs vectorized ablation).
 """
 
 import numpy as np
@@ -128,3 +135,112 @@ def test_bench_kinetics_wdot(benchmark):
     T = np.linspace(2000.0, 12000.0, 3000)
     w = benchmark(mech.wdot, rho, T, y)
     assert w.shape == (3000, 11)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_kernels.json trajectory (kernel_bench fixture, plugin-free)
+# ---------------------------------------------------------------------------
+
+def test_bench_kernel_gibbs_equilibrium(kernel_bench, air_gas):
+    """Gibbs equilibrium solve: batched composition_rho_T."""
+    n = 512
+    rho = np.full(n, 0.01)
+    T = np.linspace(500.0, 12000.0, n)
+    y = kernel_bench(air_gas.composition_rho_T, rho, T,
+                     label="gibbs_equilibrium", meta={"states": n})
+    assert y.shape == (n, 11)
+
+
+def test_bench_kernel_kinetics_source(kernel_bench):
+    """Finite-rate source terms: park_air_mechanism.wdot."""
+    from repro.thermo.kinetics import park_air_mechanism
+    mech = park_air_mechanism("air11")
+    rng = np.random.default_rng(5)
+    n = 3000
+    y = rng.random((n, 11))
+    y /= y.sum(axis=1, keepdims=True)
+    rho = np.full(n, 0.01)
+    T = np.linspace(2000.0, 12000.0, n)
+    w = kernel_bench(mech.wdot, rho, T, y,
+                     label="kinetics_source", meta={"cells": n})
+    assert w.shape == (n, 11)
+
+
+def test_bench_kernel_muscl_flux_sweep(kernel_bench):
+    """One MUSCL reconstruction + HLLE flux pass over a 1-D line."""
+    from repro.numerics.muscl import muscl_interface_states
+    UL, UR = _face_states(20000)
+    eos = IdealGasEOS(1.4)
+    W = np.concatenate([UL, UR[-1:]], axis=0)
+
+    def sweep():
+        WL, WR = muscl_interface_states(W, axis=0)
+        return hlle_flux(WL, WR, eos)
+
+    F = kernel_bench(sweep, label="muscl_flux_sweep",
+                     meta={"faces": W.shape[0] - 1})
+    assert np.all(np.isfinite(F))
+
+
+def test_bench_kernel_tangent_slab(kernel_bench):
+    """Tangent-slab radiative wall flux over a synthetic shock layer."""
+    from repro.radiation.tangent_slab import tangent_slab_flux
+    ny, nw = 64, 256
+    y = np.linspace(0.0, 0.05, ny)
+    T = np.linspace(2000.0, 11000.0, ny)
+    lam = np.linspace(2e-7, 1.2e-6, nw)
+    j = (1e9 * np.exp(-((lam[None, :] - 6e-7) / 2e-7) ** 2)
+         * (T[:, None] / 1e4) ** 4)
+    q, q_lam = kernel_bench(tangent_slab_flux, y, j, T, lam,
+                            label="tangent_slab",
+                            meta={"layers": ny, "wavelengths": nw})
+    assert np.isfinite(q)
+    assert q_lam.shape == (nw,)
+
+
+def test_bench_kernel_nasa7_eval(kernel_bench):
+    """NASA-7 cp/h/g0 evaluation over a temperature batch, all species."""
+    from repro.thermo.nasa7 import fit_nasa7
+    from repro.thermo.statmech import ThermoSet
+    db = species_set("air11")
+    polys = [fit_nasa7(sp) for sp in ThermoSet(db).each]
+    T = np.linspace(300.0, 5800.0, 4000)
+
+    def eval_all():
+        return np.stack([p.cp(T) + p.h(T) + p.g0(T) for p in polys],
+                        axis=-1)
+
+    out = kernel_bench(eval_all, label="nasa7_eval",
+                       meta={"species": len(polys), "T_points": T.size})
+    assert out.shape == (T.size, len(polys))
+
+
+def test_bench_kernel_species_interp(kernel_bench, kernel_records):
+    """Species-profile interpolation: per-j listcomp vs interp_columns.
+
+    The vectorized form is what `solvers/vsl.py` and
+    `solvers/shock_relaxation.py` now use (PERF002 fix); the recorded
+    ``speedup`` is the measured loop/vectorized ratio.
+    """
+    from repro.numerics.interp import interp_columns
+    rng = np.random.default_rng(11)
+    nx, ns, nq = 400, 11, 160
+    x = np.linspace(0.0, 1.0, nx)
+    Y = rng.normal(size=(nx, ns))
+    xq = np.linspace(-0.05, 1.05, nq)
+
+    def loop():
+        return np.stack([np.interp(xq, x, Y[:, j]) for j in range(ns)],
+                        axis=-1)
+
+    ref = kernel_bench(loop, label="species_interp_loop",
+                       meta={"points": nq, "species": ns})
+    out = kernel_bench(interp_columns, xq, x, Y,
+                       label="species_interp_vectorized",
+                       meta={"points": nq, "species": ns})
+    assert np.allclose(out, ref, atol=1e-14)
+
+    lo = kernel_records["species_interp_loop"]["median_s"]
+    vec = kernel_records["species_interp_vectorized"]["median_s"]
+    kernel_records["species_interp_vectorized"]["speedup_vs_loop"] = (
+        round(lo / vec, 2))

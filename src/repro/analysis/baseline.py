@@ -23,6 +23,12 @@ from repro.analysis.findings import Finding
 #: Default baseline location, relative to the repo root / CWD.
 DEFAULT_BASELINE_PATH = ".catlint-baseline.json"
 
+#: Baseline for the PERF rule family (``repro.analysis perf``) — kept
+#: separate from the catlint baseline: perf findings are a ranked
+#: worklist to burn down, not correctness hazards, and the two files
+#: regenerate on different cadences.
+DEFAULT_PERF_BASELINE_PATH = ".perflint-baseline.json"
+
 _FORMAT_VERSION = 1
 
 

@@ -1,0 +1,280 @@
+"""Static call graph over the repo, with loop-depth-weighted edges.
+
+The performance linter needs to know *where code runs*, not just what
+it looks like: a scalar ``math.exp`` is harmless in a config loader and
+a disaster inside the flux sweep.  This module builds the call graph
+the hot-path inference (:mod:`repro.analysis.hotpath`) walks:
+
+* every function/method definition becomes a :class:`FunctionNode`
+  keyed by ``(path, qualname)``;
+* every call site inside a function becomes a :class:`CallSite`
+  carrying the **loop depth** at the call — the number of enclosing
+  ``for``/``while`` statements and comprehension clauses within that
+  function.  Loop depth is what propagates along call edges: a
+  function invoked from depth 2 runs O(n^2) times per caller entry.
+* a nested ``def`` whose name is later passed as a call argument
+  (``solve_ivp(rhs, ...)``, shooting residuals, quad integrands) gets a
+  **callback edge** from its parent with one extra loop level: the
+  consumer will call it many times per invocation.
+
+Resolution is by trailing call name (``self._newton`` -> every known
+``_newton``), the same convention the units checker uses — it
+over-approximates on generic names, which is the right failure mode
+for a linter that must never miss a hot kernel.  A stoplist drops
+builtin-ish method names (``append``, ``get``, ``items``, ...) that
+would otherwise wire the graph to everything.
+
+Stdlib-only by design, like the rest of :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.engine import dotted_name, iter_python_files
+
+#: Method names never resolved to repo functions: they are almost
+#: always stdlib/numpy attribute calls, and by-name resolution through
+#: them would connect the graph to everything.
+RESOLUTION_STOPLIST = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "copy",
+    "get", "items", "keys", "values", "update", "setdefault",
+    "join", "split", "strip", "lstrip", "rstrip", "format", "replace",
+    "startswith", "endswith", "encode", "decode", "lower", "upper",
+    "add", "discard", "union", "intersection", "sort", "sorted",
+    "read", "write", "close", "open", "print", "len", "range",
+    "isinstance", "issubclass", "enumerate", "zip", "map", "filter",
+    "sum", "min", "max", "abs", "all", "any", "repr", "str", "int",
+    "float", "bool", "list", "dict", "set", "tuple", "type", "super",
+    "hasattr", "getattr", "setattr", "iter", "next", "vars", "id",
+})
+
+
+@dataclass
+class CallSite:
+    """One call inside a function body."""
+
+    callee: str              #: dotted name as written ("self._newton")
+    lineno: int
+    loop_depth: int          #: enclosing for/while/comprehension count
+    #: resolution override for synthetic edges (nested-callback defs):
+    #: a (path, qualname) key that bypasses by-name resolution.
+    direct: tuple[str, str] | None = None
+
+    @property
+    def bare_name(self) -> str:
+        return self.callee.rsplit(".", 1)[-1]
+
+
+@dataclass
+class FunctionNode:
+    """One function or method definition."""
+
+    path: str
+    qualname: str            #: e.g. "EquilibriumSolver._newton"
+    name: str                #: bare name
+    lineno: int
+    end_lineno: int
+    parent: str | None       #: qualname of the enclosing function, if any
+    is_method: bool
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.path, self.qualname)
+
+
+class _Collector(ast.NodeVisitor):
+    """Walk one module collecting FunctionNodes and their call sites."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.nodes: list[FunctionNode] = []
+        self._class_stack: list[str] = []
+        self._fn_stack: list[FunctionNode] = []
+        self._loop_stack: list[int] = []   # loop depth per function frame
+
+    # -- scope bookkeeping ------------------------------------------------
+
+    def _qualprefix(self) -> str:
+        parts: list[str] = []
+        if self._fn_stack:
+            parts.append(self._fn_stack[-1].qualname + ".<locals>")
+        elif self._class_stack:
+            parts.append(".".join(self._class_stack))
+        return parts[0] + "." if parts else ""
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        fn = FunctionNode(
+            path=self.path,
+            qualname=self._qualprefix() + node.name,
+            name=node.name,
+            lineno=node.lineno,
+            end_lineno=getattr(node, "end_lineno", node.lineno),
+            parent=(self._fn_stack[-1].qualname if self._fn_stack
+                    else None),
+            is_method=bool(self._class_stack and not self._fn_stack),
+        )
+        if self._fn_stack:
+            # synthetic parent -> child edge; hotpath upgrades it to a
+            # callback edge (+1 loop) when the name is passed as an
+            # argument somewhere in the parent (see CallGraph.finish).
+            self._fn_stack[-1].calls.append(CallSite(
+                callee=node.name, lineno=node.lineno,
+                loop_depth=self._loop_stack[-1], direct=fn.key))
+        self.nodes.append(fn)
+        self._fn_stack.append(fn)
+        self._loop_stack.append(0)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loop_stack.pop()
+        self._fn_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- loop depth -------------------------------------------------------
+
+    def _visit_loop(self, node) -> None:
+        if not self._fn_stack:
+            self.generic_visit(node)
+            return
+        # the iterable/test evaluates at the enclosing depth; the body
+        # one level deeper
+        if isinstance(node, ast.For):
+            self.visit(node.iter)
+            self.visit(node.target)
+        else:
+            self.visit(node.test)
+        self._loop_stack[-1] += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loop_stack[-1] -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    visit_For = _visit_loop
+    visit_While = _visit_loop
+
+    def _visit_comprehension(self, node) -> None:
+        if not self._fn_stack:
+            self.generic_visit(node)
+            return
+        depth = len(node.generators)
+        for gen in node.generators:
+            self.visit(gen.iter)       # first iterable: enclosing depth
+        self._loop_stack[-1] += depth
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        for gen in node.generators:
+            for cond in gen.ifs:
+                self.visit(cond)
+        self._loop_stack[-1] -= depth
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- call sites -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._fn_stack:
+            name = dotted_name(node.func)
+            if name:
+                self._fn_stack[-1].calls.append(CallSite(
+                    callee=name, lineno=node.lineno,
+                    loop_depth=self._loop_stack[-1]))
+        self.generic_visit(node)
+
+
+class CallGraph:
+    """All FunctionNodes of a file set, indexed for resolution."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[tuple[str, str], FunctionNode] = {}
+        self.by_name: dict[str, list[tuple[str, str]]] = {}
+        #: (path, qualname) of nested defs used as call arguments —
+        #: callbacks handed to integrators/root-finders.
+        self.callbacks: set[tuple[str, str]] = set()
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>",
+                    graph: "CallGraph | None" = None) -> "CallGraph":
+        graph = graph if graph is not None else cls()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return graph
+        collector = _Collector(path)
+        collector.visit(tree)
+        for fn in collector.nodes:
+            graph.nodes[fn.key] = fn
+            graph.by_name.setdefault(fn.name, []).append(fn.key)
+        graph._mark_callbacks(tree, path)
+        return graph
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str]) -> "CallGraph":
+        graph = cls()
+        for path in iter_python_files(paths):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+            except (OSError, UnicodeDecodeError):
+                continue
+            cls.from_source(source, path=path, graph=graph)
+        return graph
+
+    def _mark_callbacks(self, tree: ast.Module, path: str) -> None:
+        """Find nested defs whose name is passed as a call argument."""
+        nested = {key[1].rsplit(".", 1)[-1]: key
+                  for key in self.nodes
+                  if key[0] == path and self.nodes[key].parent is not None}
+        if not nested:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                if isinstance(arg, ast.Name) and arg.id in nested:
+                    self.callbacks.add(nested[arg.id])
+
+    # -- queries ----------------------------------------------------------
+
+    def resolve(self, site: CallSite) -> list[tuple[str, str]]:
+        """Candidate definitions a call site may reach."""
+        if site.direct is not None:
+            return [site.direct] if site.direct in self.nodes else []
+        bare = site.bare_name
+        if bare in RESOLUTION_STOPLIST:
+            return []
+        return self.by_name.get(bare, [])
+
+    def function_at(self, path: str, lineno: int) -> FunctionNode | None:
+        """Innermost function whose span contains ``lineno``."""
+        best: FunctionNode | None = None
+        for (p, _), fn in self.nodes.items():
+            if p != path or not (fn.lineno <= lineno <= fn.end_lineno):
+                continue
+            if best is None or fn.lineno >= best.lineno:
+                best = fn
+        return best
+
+
+def module_parts(path: str) -> list[str]:
+    """Normalised path components, for subtree predicates."""
+    return path.replace(os.sep, "/").split("/")

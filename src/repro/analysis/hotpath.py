@@ -1,0 +1,177 @@
+"""Hot-path inference: which functions run per-cell/per-step, how deep.
+
+Anchored reachability over the :class:`~repro.analysis.callgraph.CallGraph`:
+
+**Anchors** (depth 0) are the scopes known to sit on the solve path:
+
+* the solver families' entry points — ``run``/``march``/``step``/
+  ``solve``/``residual``/``advance`` methods under ``solvers/``;
+* every public module-level function under ``numerics/`` (the sweep
+  kernels);
+* public kernels under ``thermo/``, ``transport/`` and ``radiation/``
+  (module functions and methods of public classes);
+* everything a ``benchmarks/test_bench_*`` test calls (the benchmark
+  suite *defines* what we consider performance-relevant).
+
+**Propagation**: along every call edge, ``depth(callee) >=
+depth(caller) + loop_depth(call site)``, taken as a capped maximum to a
+fixed point (monotone, so cycles terminate).  A call made from two
+nested loops hands its callee two orders of trip-count magnitude.
+Nested defs passed as call arguments (``solve_ivp(rhs, ...)``) get one
+extra level — the consumer calls them many times per invocation.
+
+**Multiplicity** counts distinct hot call sites reaching a function —
+a kernel invoked from eight sweeps matters more than a helper with one
+caller.
+
+The index also keeps a sample ``via`` chain (anchor -> ... -> scope),
+so a worklist entry can say *which* solver path makes a loop hot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionNode,
+    module_parts,
+)
+
+#: Depth cap: beyond this, scoring is saturated anyway and capping
+#: guarantees the fixed-point iteration terminates on cycles.
+MAX_DEPTH = 8
+
+#: Solver entry-point method names ("the four solvers' step/march/run"
+#: plus the one-shot solvers' solve()/residual()).
+SOLVER_ENTRY_NAMES = frozenset({
+    "run", "march", "step", "solve", "residual", "advance",
+    # profile-sampling entry points (called per output station)
+    "station",
+})
+
+#: Subtrees whose public callables are kernel anchors.
+KERNEL_SUBTREES = ("thermo", "transport", "radiation")
+
+
+def default_anchor(fn: FunctionNode) -> bool:
+    """Is this function an entry point of the hot region?"""
+    parts = module_parts(fn.path)
+    base = parts[-1] if parts else ""
+    if fn.parent is not None:         # nested defs are never anchors
+        return False
+    if "solvers" in parts and fn.name in SOLVER_ENTRY_NAMES:
+        return True
+    if "numerics" in parts and not fn.name.startswith("_"):
+        return True
+    if any(p in parts for p in KERNEL_SUBTREES):
+        if not fn.name.startswith("_"):
+            return True
+    if base.startswith("test_bench_") and fn.name.startswith("test_"):
+        return True
+    return False
+
+
+@dataclass
+class HotInfo:
+    """Hotness of one function scope."""
+
+    depth: int                 #: propagated loop depth from the anchors
+    multiplicity: int          #: distinct hot call sites reaching it
+    via: tuple[str, ...]       #: sample chain "path::qualname" strings
+    is_anchor: bool = False
+
+
+class HotPathIndex:
+    """Answers: is (path, qualname) on a hot path, and how hot?"""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.info: dict[tuple[str, str], HotInfo] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: CallGraph,
+              anchor: Callable[[FunctionNode], bool] = default_anchor,
+              max_depth: int = MAX_DEPTH) -> "HotPathIndex":
+        idx = cls(graph)
+        pending: list[tuple[str, str]] = []
+        for key, fn in graph.nodes.items():
+            if anchor(fn):
+                idx.info[key] = HotInfo(
+                    depth=0, multiplicity=1,
+                    via=(f"{key[0]}::{key[1]}",), is_anchor=True)
+                pending.append(key)
+        # monotone max-propagation to a fixed point (depths only grow,
+        # capped, so this terminates on any cycle structure)
+        while pending:
+            caller_key = pending.pop()
+            caller = graph.nodes[caller_key]
+            base = idx.info[caller_key]
+            for site in caller.calls:
+                extra = site.loop_depth
+                if site.direct is not None and site.direct in graph.callbacks:
+                    extra += 1         # callback: consumer iterates it
+                cand = min(base.depth + extra, max_depth)
+                for callee_key in graph.resolve(site):
+                    if callee_key == caller_key:
+                        continue       # direct recursion adds no info
+                    cur = idx.info.get(callee_key)
+                    if cur is not None and cur.depth >= cand:
+                        continue
+                    via = base.via
+                    if len(via) >= 6:
+                        via = via[:3] + ("...",) + via[-2:]
+                    idx.info[callee_key] = HotInfo(
+                        depth=cand,
+                        multiplicity=(cur.multiplicity if cur else 1),
+                        via=via + (f"{callee_key[0]}::{callee_key[1]}",),
+                        is_anchor=bool(cur and cur.is_anchor))
+                    pending.append(callee_key)
+        idx._count_multiplicity()
+        return idx
+
+    def _count_multiplicity(self) -> None:
+        counts: dict[tuple[str, str], set[tuple[str, int]]] = {}
+        for caller_key, hot in self.info.items():
+            caller = self.graph.nodes.get(caller_key)
+            if caller is None:
+                continue
+            for site in caller.calls:
+                for callee_key in self.graph.resolve(site):
+                    if callee_key in self.info:
+                        counts.setdefault(callee_key, set()).add(
+                            (caller_key[0] + "::" + caller_key[1],
+                             site.lineno))
+        for key, sites in counts.items():
+            info = self.info[key]
+            info.multiplicity = max(1, len(sites))
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, path: str, qualname: str) -> HotInfo | None:
+        return self.info.get((path, qualname))
+
+    def hot_at(self, path: str, lineno: int) -> HotInfo | None:
+        """Hot info of the innermost function containing a line."""
+        fn = self.graph.function_at(path, lineno)
+        while fn is not None:
+            hit = self.info.get(fn.key)
+            if hit is not None:
+                return hit
+            fn = (self.graph.nodes.get((path, fn.parent))
+                  if fn.parent else None)
+        return None
+
+    def hot_functions(self, path: str) -> dict[str, HotInfo]:
+        """qualname -> HotInfo for every hot scope in one file."""
+        return {q: inf for (p, q), inf in self.info.items() if p == path}
+
+
+def build_index(paths: Iterable[str],
+                anchor: Callable[[FunctionNode], bool] = default_anchor,
+                ) -> HotPathIndex:
+    """Convenience: parse ``paths`` and build the hot-path index."""
+    return HotPathIndex.build(CallGraph.from_paths(paths), anchor=anchor)

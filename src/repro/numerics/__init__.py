@@ -20,6 +20,7 @@ from repro.numerics.muscl import muscl_interface_states
 from repro.numerics.riemann import exact_riemann, sample_riemann, sod_exact
 from repro.numerics.time_integration import (cfl_timestep_1d,
                                              ssp_rk2_step, ssp_rk3_step)
+from repro.numerics.interp import interp_columns
 from repro.numerics.tridiag import block_thomas, thomas
 from repro.numerics.implicit import point_implicit_species_update
 from repro.numerics.safety import (TINY, clamp_positive, safe_div,
@@ -31,6 +32,7 @@ __all__ = [
     "van_leer_flux", "minmod", "superbee", "van_albada", "van_leer",
     "muscl_interface_states", "exact_riemann", "sample_riemann",
     "sod_exact", "cfl_timestep_1d", "ssp_rk2_step", "ssp_rk3_step",
-    "block_thomas", "thomas", "point_implicit_species_update",
+    "block_thomas", "thomas", "interp_columns",
+    "point_implicit_species_update",
     "TINY", "clamp_positive", "safe_div", "safe_log", "safe_sqrt",
 ]

@@ -35,6 +35,7 @@ from scipy.integrate import solve_ivp
 
 from repro.constants import R_UNIVERSAL
 from repro.errors import ConvergenceError, InputError
+from repro.numerics.interp import interp_columns
 from repro.solvers.shock import frozen_post_shock_state
 from repro.thermo.kinetics import ReactionMechanism, park_air_mechanism
 from repro.thermo.species import SpeciesDB, species_set
@@ -74,8 +75,7 @@ class RelaxationProfile:
                "rho": np.interp(xq, self.x, self.rho),
                "u": np.interp(xq, self.x, self.u),
                "p": np.interp(xq, self.x, self.p)}
-        out["y"] = np.stack([np.interp(xq, self.x, self.y[:, j])
-                             for j in range(self.y.shape[1])], axis=-1)
+        out["y"] = interp_columns(xq, self.x, self.y)
         return out
 
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import CatError, InputError
 from repro.heating.fay_riddell import newtonian_velocity_gradient
+from repro.numerics.interp import interp_columns
 from repro.radiation.spectra import EmissionModel
 from repro.radiation.tangent_slab import tangent_slab_flux
 from repro.solvers.boundary_layer import StagnationSimilarityBL
@@ -186,8 +187,7 @@ class StagnationVSL:
         # downsample to n_profile points
         yq = np.linspace(0.0, y_full[-1], n_profile)
         T_prof = np.interp(yq, y_full, T_full)
-        comp_prof = np.stack([np.interp(yq, y_full, comp_full[:, j])
-                              for j in range(self.db.n)], axis=-1)
+        comp_prof = interp_columns(yq, y_full, comp_full)
         h_prof = np.interp(yq, y_full, np.concatenate(
             [h_eta, np.full(len(y_full) - len(h_eta), h_eta[-1], dtype=np.float64)]))
 

@@ -1,0 +1,287 @@
+"""Call-graph construction + hot-path inference unit tests."""
+
+import textwrap
+
+from repro.analysis.callgraph import (
+    RESOLUTION_STOPLIST,
+    CallGraph,
+    module_parts,
+)
+from repro.analysis.hotpath import (
+    MAX_DEPTH,
+    HotPathIndex,
+    build_index,
+    default_anchor,
+)
+
+SOLVER = "src/repro/solvers/example.py"
+LIB = "src/repro/heating/example.py"
+
+
+def graph_of(source, path=SOLVER):
+    return CallGraph.from_source(textwrap.dedent(source), path=path)
+
+
+class TestCollector:
+    def test_functions_methods_and_nested_qualnames(self):
+        g = graph_of("""
+        def top():
+            def inner():
+                pass
+            return inner
+
+        class Solver:
+            def step(self):
+                pass
+        """)
+        quals = {q for (_, q) in g.nodes}
+        assert quals == {"top", "top.<locals>.inner", "Solver.step"}
+        assert g.nodes[(SOLVER, "Solver.step")].is_method
+        assert g.nodes[(SOLVER, "top.<locals>.inner")].parent == "top"
+
+    def test_call_sites_carry_loop_depth(self):
+        g = graph_of("""
+        def run(xs):
+            f0()
+            for x in xs:
+                f1()
+                while x:
+                    f2()
+            g0 = [f3(i) for i in xs]
+            return g0
+        """)
+        run = g.nodes[(SOLVER, "run")]
+        depths = {s.callee: s.loop_depth for s in run.calls}
+        assert depths["f0"] == 0
+        assert depths["f1"] == 1
+        assert depths["f2"] == 2
+        assert depths["f3"] == 1       # comprehension elt: one level
+
+    def test_loop_iterable_evaluates_at_enclosing_depth(self):
+        g = graph_of("""
+        def run(xs):
+            for x in make_iter(xs):
+                body_call(x)
+        """)
+        run = g.nodes[(SOLVER, "run")]
+        depths = {s.callee: s.loop_depth for s in run.calls}
+        assert depths["make_iter"] == 0
+        assert depths["body_call"] == 1
+
+    def test_nested_def_callback_marking(self):
+        g = graph_of("""
+        def solve(z0):
+            def rhs(t, z):
+                return z
+            def unused(t):
+                return t
+            return integrate(rhs, z0)
+        """)
+        assert (SOLVER, "solve.<locals>.rhs") in g.callbacks
+        assert (SOLVER, "solve.<locals>.unused") not in g.callbacks
+
+    def test_syntax_error_returns_graph(self):
+        g = CallGraph.from_source("def broken(:", path=SOLVER)
+        assert g.nodes == {}
+
+
+class TestResolution:
+    def test_by_trailing_name(self):
+        g = graph_of("""
+        class A:
+            def _newton(self):
+                pass
+
+        def run(a):
+            a._newton()
+        """)
+        run = g.nodes[(SOLVER, "run")]
+        site = [s for s in run.calls if s.bare_name == "_newton"][0]
+        assert g.resolve(site) == [(SOLVER, "A._newton")]
+
+    def test_stoplist_blocks_builtinish_names(self):
+        g = graph_of("""
+        def append(x):
+            pass
+
+        def run(xs):
+            xs.append(1)
+        """)
+        run = g.nodes[(SOLVER, "run")]
+        site = run.calls[0]
+        assert site.bare_name in RESOLUTION_STOPLIST
+        assert g.resolve(site) == []
+
+    def test_function_at_innermost(self):
+        g = graph_of("""
+        def outer():
+            def inner():
+                x = 1
+                return x
+            return inner
+        """)
+        # line 4 ("x = 1") is inside inner, which is inside outer
+        fn = g.function_at(SOLVER, 4)
+        assert fn.qualname == "outer.<locals>.inner"
+        assert g.function_at(SOLVER, 999) is None
+
+
+class TestAnchors:
+    def test_solver_entry_names_anchor(self):
+        g = graph_of("""
+        class S:
+            def step(self):
+                pass
+            def helper(self):
+                pass
+        """)
+        assert default_anchor(g.nodes[(SOLVER, "S.step")])
+        assert not default_anchor(g.nodes[(SOLVER, "S.helper")])
+
+    def test_numerics_public_functions_anchor(self):
+        path = "src/repro/numerics/example.py"
+        g = graph_of("""
+        def sweep(U):
+            pass
+        def _private(U):
+            pass
+        """, path=path)
+        assert default_anchor(g.nodes[(path, "sweep")])
+        assert not default_anchor(g.nodes[(path, "_private")])
+
+    def test_kernel_subtrees_anchor_public(self):
+        path = "src/repro/thermo/example.py"
+        g = graph_of("""
+        def cp_mix(T):
+            pass
+        """, path=path)
+        assert default_anchor(g.nodes[(path, "cp_mix")])
+
+    def test_bench_tests_anchor(self):
+        path = "benchmarks/test_bench_example.py"
+        g = graph_of("""
+        def test_bench_thing(kernel_bench):
+            pass
+        def helper():
+            pass
+        """, path=path)
+        assert default_anchor(g.nodes[(path, "test_bench_thing")])
+        assert not default_anchor(g.nodes[(path, "helper")])
+
+    def test_nested_defs_never_anchor(self):
+        g = graph_of("""
+        def run():
+            def solve():
+                pass
+            return solve
+        """)
+        assert not default_anchor(g.nodes[(SOLVER, "run.<locals>.solve")])
+
+
+class TestPropagation:
+    def test_depth_adds_call_site_loop_depth(self):
+        g = graph_of("""
+        def run(xs):
+            for x in xs:
+                for y in x:
+                    kernel(y)
+
+        def kernel(y):
+            inner(y)
+
+        def inner(y):
+            pass
+        """)
+        idx = HotPathIndex.build(g)
+        assert idx.lookup(SOLVER, "run").depth == 0
+        assert idx.lookup(SOLVER, "run").is_anchor
+        assert idx.lookup(SOLVER, "kernel").depth == 2
+        assert idx.lookup(SOLVER, "inner").depth == 2
+
+    def test_cold_functions_absent(self):
+        g = graph_of("""
+        def helper(x):
+            return x
+        """, path=LIB)
+        idx = HotPathIndex.build(g)
+        assert idx.lookup(LIB, "helper") is None
+
+    def test_cycles_terminate_and_cap(self):
+        g = graph_of("""
+        def run(x):
+            for i in x:
+                ping(i)
+
+        def ping(x):
+            for i in x:
+                pong(i)
+
+        def pong(x):
+            for i in x:
+                ping(i)
+        """)
+        idx = HotPathIndex.build(g)
+        assert idx.lookup(SOLVER, "ping").depth == MAX_DEPTH
+        assert idx.lookup(SOLVER, "pong").depth == MAX_DEPTH
+
+    def test_callback_edge_adds_a_level(self):
+        g = graph_of("""
+        def solve(z0):
+            def rhs(t, z):
+                return z
+            return integrate(rhs, z0)
+        """)
+        idx = HotPathIndex.build(g)
+        assert idx.lookup(SOLVER, "solve").depth == 0
+        assert idx.lookup(SOLVER, "solve.<locals>.rhs").depth == 1
+
+    def test_multiplicity_counts_distinct_hot_sites(self):
+        g = graph_of("""
+        def run(x):
+            kernel(x)
+            kernel(x)
+
+        def march(x):
+            kernel(x)
+
+        def kernel(x):
+            pass
+        """)
+        idx = HotPathIndex.build(g)
+        assert idx.lookup(SOLVER, "kernel").multiplicity == 3
+
+    def test_via_chain_names_the_anchor(self):
+        g = graph_of("""
+        def run(x):
+            for i in x:
+                kernel(i)
+
+        def kernel(i):
+            pass
+        """)
+        idx = HotPathIndex.build(g)
+        via = idx.lookup(SOLVER, "kernel").via
+        assert via[0] == f"{SOLVER}::run"
+        assert via[-1] == f"{SOLVER}::kernel"
+
+    def test_hot_at_climbs_nested_scopes(self):
+        g = graph_of("""
+        def run(x):
+            def local(y):
+                return y
+            return local(x)
+        """)
+        idx = HotPathIndex.build(g)
+        # line 3 is inside the nested def, which inherits run's hotness
+        assert idx.hot_at(SOLVER, 3) is not None
+        assert idx.hot_at("nope.py", 3) is None
+
+
+class TestBuildIndex:
+    def test_over_real_tree_smoke(self):
+        idx = build_index(["src/repro/analysis"])
+        # analysis/ is not a hot subtree: nothing anchors
+        assert all(not i.is_anchor for i in idx.info.values())
+
+    def test_module_parts(self):
+        assert module_parts("src/repro/solvers/vsl.py")[-2] == "solvers"

@@ -1,0 +1,419 @@
+"""Positive + negative fixtures for every PERF rule.
+
+Same convention as test_rules.py: offending code lives in string
+literals.  Each source is linted under a hot-path index built from the
+same module, placed on a solver path so entry-point names anchor.
+"""
+
+import textwrap
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.hotpath import HotPathIndex
+from repro.analysis.perf_rules import (
+    DEFAULT_TRIP,
+    ELEMENT_TRIP,
+    SPECIES_TRIP,
+    estimate_trips,
+    perf_lint_source,
+    rank_worklist,
+)
+
+SOLVER = "src/repro/solvers/example.py"
+LIB = "src/repro/util/example.py"
+
+
+def findings(source, path=SOLVER):
+    source = textwrap.dedent(source)
+    graph = CallGraph.from_source(source, path=path)
+    index = HotPathIndex.build(graph)
+    return perf_lint_source(source, path, index)
+
+
+def codes(source, path=SOLVER):
+    return [pf.finding.rule for pf in findings(source, path=path)]
+
+
+class TestPERF001PerElementLoop:
+    def test_positive(self):
+        src = """
+        import numpy as np
+        def solve(x):
+            out = np.empty_like(x)
+            for i in range(x.shape[0]):
+                out[i] = x[i] * 2.0
+            return out
+        """
+        assert "PERF001" in codes(src)
+
+    def test_negative_no_indexing(self):
+        src = """
+        def solve(x):
+            acc = 1.0
+            for _ in range(80):
+                acc = 0.5 * (acc + x / acc)
+            return acc
+        """
+        assert "PERF001" not in codes(src)
+
+    def test_negative_cold_scope(self):
+        src = """
+        import numpy as np
+        def build_table(x):
+            out = np.empty_like(x)
+            for i in range(x.shape[0]):
+                out[i] = x[i]
+            return out
+        """
+        assert codes(src, path=LIB) == []
+
+
+class TestPERF002ListCompToArray:
+    def test_positive(self):
+        src = """
+        import numpy as np
+        def solve(xq, x, Y):
+            return np.stack([np.interp(xq, x, Y[:, j])
+                             for j in range(Y.shape[1])], axis=-1)
+        """
+        assert "PERF002" in codes(src)
+
+    def test_negative_literal_list(self):
+        src = """
+        import numpy as np
+        def solve(a, b):
+            return np.array([a, b])
+        """
+        assert "PERF002" not in codes(src)
+
+    def test_pragma_suppresses(self):
+        src = """
+        import numpy as np
+        def solve(xs):
+            # catlint: disable=PERF002 -- tiny fixed axis
+            return np.array([f(x) for x in xs])
+        """
+        assert "PERF002" not in codes(src)
+
+
+class TestPERF003ScalarMathInLoop:
+    def test_positive_math_call(self):
+        src = """
+        import math
+        def step(xs, out):
+            for i in range(len(xs)):
+                out[i] = math.exp(xs[i])
+        """
+        assert "PERF003" in codes(src)
+
+    def test_positive_float_coercion(self):
+        src = """
+        import numpy as np
+        def step(xs, out):
+            for i in range(len(xs)):
+                out[i] = float(np.clip(xs[i], 0.0, 1.0))
+        """
+        assert "PERF003" in codes(src)
+
+    def test_positive_in_callback(self):
+        src = """
+        import math
+        def solve(z0):
+            def rhs(t, z):
+                return math.exp(t) * z
+            return integrate(rhs, z0)
+        """
+        assert "PERF003" in codes(src)
+
+    def test_negative_outside_loop(self):
+        src = """
+        import math
+        def step(x):
+            return math.sqrt(x)
+        """
+        assert "PERF003" not in codes(src)
+
+
+class TestPERF004AllocInLoop:
+    def test_positive_ctor(self):
+        src = """
+        import numpy as np
+        def march(n):
+            x = 0.0
+            while x < 1.0:
+                buf = np.zeros(n, dtype=np.float64)
+                x = x + buf.sum()
+            return x
+        """
+        assert "PERF004" in codes(src)
+
+    def test_positive_copy(self):
+        src = """
+        def step(y, n):
+            for j in range(n):
+                yj = y.copy()
+                use(yj)
+        """
+        assert "PERF004" in codes(src)
+
+    def test_negative_hoisted(self):
+        src = """
+        import numpy as np
+        def march(n):
+            buf = np.zeros(n, dtype=np.float64)
+            for _ in range(10):
+                buf += 1.0
+            return buf
+        """
+        assert "PERF004" not in codes(src)
+
+
+class TestPERF005ArrayGrowthInLoop:
+    def test_positive(self):
+        src = """
+        import numpy as np
+        def march(xs):
+            hist = np.zeros(0)
+            for x in xs:
+                hist = np.append(hist, x)
+            return hist
+        """
+        assert "PERF005" in codes(src)
+
+    def test_negative_outside_loop(self):
+        src = """
+        import numpy as np
+        def march(a, b):
+            return np.concatenate([a, b])
+        """
+        assert "PERF005" not in codes(src)
+
+    def test_listcomp_arg_is_perf002_not_perf005(self):
+        src = """
+        import numpy as np
+        def march(xs):
+            for _ in range(3):
+                out = np.concatenate([f(x) for x in xs])
+            return out
+        """
+        got = codes(src)
+        assert "PERF002" in got
+        assert "PERF005" not in got
+
+
+class TestPERF006LoopInvariantKernel:
+    def test_positive(self):
+        src = """
+        def solve(db, T, xs):
+            acc = 0.0
+            for i in range(8):
+                acc = acc + db.cp(T)
+            return acc
+        """
+        assert "PERF006" in codes(src)
+
+    def test_negative_loop_variant_arg(self):
+        src = """
+        def solve(db, T, xs):
+            acc = 0.0
+            for i in range(8):
+                acc = acc + db.cp(T[i])
+            return acc
+        """
+        # T[i] depends on the loop variable: hoisting would be wrong
+        assert "PERF006" not in codes(src)
+
+    def test_negative_not_a_known_kernel(self):
+        src = """
+        def solve(db, T):
+            acc = 0.0
+            for i in range(8):
+                acc = acc + db.sample(T)
+            return acc
+        """
+        assert "PERF006" not in codes(src)
+
+
+class TestPERF007ScalarAccumulation:
+    def test_positive_augassign(self):
+        src = """
+        def solve(x, n):
+            s = 0.0
+            for i in range(n):
+                s += x[i]
+            return s
+        """
+        assert "PERF007" in codes(src)
+
+    def test_positive_sum_genexp(self):
+        src = """
+        def solve(x, n):
+            return sum(x[i] * 2.0 for i in range(n))
+        """
+        assert "PERF007" in codes(src)
+
+    def test_negative_plain_counter(self):
+        src = """
+        def solve(n):
+            total = 0.0
+            for _ in range(n):
+                total += 1.0
+            return total
+        """
+        assert "PERF007" not in codes(src)
+
+
+class TestPERF008DtypeChurnInLoop:
+    def test_positive_astype(self):
+        src = """
+        import numpy as np
+        def step(xs, n):
+            for _ in range(n):
+                ys = xs.astype(np.float64)
+                use(ys)
+        """
+        assert "PERF008" in codes(src)
+
+    def test_positive_rewrap(self):
+        src = """
+        import numpy as np
+        def step(xs, n):
+            for _ in range(n):
+                ys = np.asarray(xs)
+                use(ys)
+        """
+        assert "PERF008" in codes(src)
+
+    def test_negative_outside_loop(self):
+        src = """
+        import numpy as np
+        def step(xs):
+            return xs.astype(np.float64)
+        """
+        assert "PERF008" not in codes(src)
+
+
+class TestTripEstimate:
+    def trips(self, source):
+        import ast
+        tree = ast.parse(textwrap.dedent(source))
+        loop = next(n for n in ast.walk(tree) if isinstance(n, ast.For))
+        return estimate_trips(loop.iter)
+
+    def test_constant_range(self):
+        assert self.trips("for i in range(80): pass") == (80, "constant")
+
+    def test_constant_range_start_stop(self):
+        assert self.trips("for i in range(2, 10): pass") == (8, "constant")
+
+    def test_species_axis_name(self):
+        n, basis = self.trips("for j in range(db.n): pass")
+        assert (n, basis) == (SPECIES_TRIP, "species-axis")
+
+    def test_element_axis_name(self):
+        n, basis = self.trips("for k in range(n_el): pass")
+        assert (n, basis) == (ELEMENT_TRIP, "element-axis")
+
+    def test_unknown_defaults_to_cell_axis(self):
+        n, basis = self.trips("for i in range(nx): pass")
+        assert (n, basis) == (DEFAULT_TRIP, "assumed-cell-axis")
+
+
+class TestScoringAndRanking:
+    def test_score_formula(self):
+        src = """
+        import numpy as np
+        def solve(x):
+            out = np.empty_like(x)
+            for i in range(80):
+                out[i] = x[i]
+            return out
+        """
+        (pf,) = findings(src)
+        assert pf.finding.rule == "PERF001"
+        assert pf.hot_depth == 0 and pf.local_depth == 1
+        assert pf.trips == 80 and pf.multiplicity == 1
+        # catlint: disable=CAT010 -- integer-product score, exact float
+        assert pf.score == 80.0
+
+    def test_rescue_path_discount(self):
+        src = """
+        import numpy as np
+        def solve(x, out):
+            for i in range(100):
+                try:
+                    out[i] = x[i]
+                except ValueError:
+                    fallback = np.array([v * 2.0 for v in x])
+                    out[i] = fallback[i]
+        """
+        all_f = findings(src)
+        steady = next(pf for pf in all_f if pf.finding.rule == "PERF001")
+        assert not steady.rescue_path
+        # findings landing in the except handler are discounted 100x
+        rescue = [pf for pf in all_f if pf.rescue_path]
+        assert rescue, "expected a rescue-path finding in the handler"
+        for pf in rescue:
+            assert pf.score < steady.score
+
+    def test_rank_worklist_orders_by_score(self):
+        src = """
+        import numpy as np
+        def solve(x):
+            small = np.empty(4)
+            for i in range(4):
+                small[i] = x[i]
+            big = np.empty(500)
+            for i in range(500):
+                big[i] = x[i]
+            return small, big
+        """
+        ranked = rank_worklist(findings(src))
+        assert ranked[0].trips == 500
+        assert ranked[0].score >= ranked[-1].score
+
+    def test_worklist_entry_dict_shape(self):
+        src = """
+        import numpy as np
+        def solve(x):
+            out = np.empty_like(x)
+            for i in range(x.shape[0]):
+                out[i] = x[i]
+            return out
+        """
+        (pf,) = findings(src)
+        doc = pf.to_dict()
+        for field in ("rule", "path", "line", "score", "function",
+                      "hot_depth", "local_depth", "loop_depth",
+                      "trip_estimate", "trip_basis", "multiplicity",
+                      "rescue_path", "hot_via", "key"):
+            assert field in doc
+        assert doc["function"] == "solve"
+        assert doc["hot_via"][0].endswith("::solve")
+
+
+class TestHotGating:
+    def test_rules_need_hot_context(self):
+        # the generic lint engine never attaches hotness: PERF rules
+        # must stay silent there even on flagrant sources
+        from repro.analysis.engine import lint_source
+        src = textwrap.dedent("""
+        import numpy as np
+        def solve(x):
+            out = np.empty_like(x)
+            for i in range(x.shape[0]):
+                out[i] = x[i]
+            return out
+        """)
+        got = [f.rule for f in lint_source(src, path=SOLVER)]
+        assert not any(r.startswith("PERF") for r in got)
+
+    def test_test_files_exempt(self):
+        src = """
+        import numpy as np
+        def solve(x):
+            out = np.empty_like(x)
+            for i in range(x.shape[0]):
+                out[i] = x[i]
+            return out
+        """
+        assert codes(src, path="tests/test_example.py") == []
