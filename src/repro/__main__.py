@@ -7,6 +7,9 @@
 ``python -m repro degrade-smoke``   — degradation-cascade smoke run
 ``python -m repro chaos``           — randomized fault campaign under
                                       process isolation
+``python -m repro batch``           — batch evaluation service
+                                      (JSON-lines requests in,
+                                      envelopes out)
 ``python -m repro campaign``        — run a job campaign on the solve
                                       farm to completion
 ``python -m repro serve``           — long-running farm worker pool on
@@ -59,9 +62,40 @@ commands:
                          without the degradation cascade and complete
                          with it; writes the degradation ledger JSON
                          to FILE (default degradation_ledger.json)
+  batch [FILE] [--out FILE] [--ledger FILE] [--bench FILE]
+        [--deadline S] [--request-deadline S] [--shed-above N]
+        [--isolate auto|always|never] [--allow-faults] [--no-dedup]
+        [--farm] [-j N] [--queue-dir D] [--chunk-size N]
+                         batch evaluation service: JSON-lines requests
+                         (FILE or stdin), one outcome envelope per line
+                         on stdout (or --out); exits 0 only when every
+                         request came back ok/degraded
+                           --deadline S      whole-batch wall budget
+                           --request-deadline S
+                                             per-request wall budget
+                                             (sandboxed rungs are
+                                             killed at S, not waited)
+                           --shed-above N    reject batches larger
+                                             than N (typed overload)
+                           --isolate MODE    sandboxing: auto (heavy
+                                             rungs + faults), always,
+                                             never
+                           --allow-faults    honor chaos "fault"
+                                             fields in requests
+                           --no-dedup        execute duplicate request
+                                             keys instead of copying
+                           --farm            shard into chunk jobs on
+                                             the solve farm
+                           -j N              farm worker count
+                           --queue-dir D     durable farm queue
+                           --chunk-size N    requests per chunk job
+                           --ledger FILE     write the batch ledger
+                           --bench FILE      write BENCH_batch.json
+                                             (req/s, p50/p99 latency)
   chaos [--rounds N] [--seed S] [--out D] [--deadline S]
         [--farm] [-j N] [--kill-workers K] [--queue-dir D]
         [--hosts N] [--skew[=S]] [--partition]
+        [--batch [--requests N] [--faulted M]]
                          randomized fault campaign: every round runs a
                          solver with sampled faults (hangs, memory
                          balloons, crashes, snapshot corruption, NaN
@@ -93,6 +127,18 @@ commands:
                                              beacon included), then heal
                                              it: stale commits must be
                                              fenced, jobs done once
+                           --batch           batch-service campaign:
+                                             fault-injected requests
+                                             mixed into a good batch;
+                                             good results must be
+                                             bitwise-identical to a
+                                             fault-free reference and
+                                             breaker transitions
+                                             deterministic
+                           --requests N      batch campaign size
+                                             (default 200)
+                           --faulted M       fault-injected requests
+                                             in it (default 20)
   campaign (--figures | --jobs FILE | --retry-dead-letters
             | --merge-ledgers L1,L2,...)
            [-j N] [--full] [--queue-dir D]
@@ -319,9 +365,22 @@ def _cmd_chaos(args: list[str]) -> int:
     rounds, seed, out, deadline = 5, 0, "chaos-reports", None
     farm, n_workers, kill_workers, queue_dir = False, 2, 2, None
     hosts, skew, partition = 0, 0.0, False
+    batch_mode, b_requests, b_faulted = False, 200, 20
     it = iter(args)
     for a in it:
-        if a == "--farm":
+        if a == "--batch":
+            batch_mode = True
+        elif a == "--requests":
+            b_requests = _positive_int("chaos", a, next(it, None))
+        elif a.startswith("--requests="):
+            b_requests = _positive_int("chaos", "--requests",
+                                       a.split("=", 1)[1])
+        elif a == "--faulted":
+            b_faulted = _positive_int("chaos", a, next(it, None))
+        elif a.startswith("--faulted="):
+            b_faulted = _positive_int("chaos", "--faulted",
+                                      a.split("=", 1)[1])
+        elif a == "--farm":
             farm = True
         elif a == "--partition":
             partition = True
@@ -398,6 +457,21 @@ def _cmd_chaos(args: list[str]) -> int:
                                        a.split("=", 1)[1])
         else:
             _usage_error("chaos", f"unknown option {a!r}")
+    if batch_mode:
+        if farm or hosts or queue_dir is not None:
+            _usage_error("chaos", "--batch excludes --farm/--hosts/"
+                         "--queue-dir (use 'batch --farm' for the "
+                         "farm-sharded service path)")
+        if b_faulted >= b_requests:
+            _usage_error("chaos", f"--faulted {b_faulted} must be "
+                         f"below --requests {b_requests}")
+        from repro.service.chaos import run_chaos_batch
+        return run_chaos_batch(requests=b_requests, faulted=b_faulted,
+                               seed=seed, out=out,
+                               deadline=(120.0 if deadline is None
+                                         else deadline))
+    if b_requests != 200 or b_faulted != 20:
+        _usage_error("chaos", "--requests/--faulted require --batch")
     if hosts and not farm:
         _usage_error("chaos", "--hosts requires --farm")
     if (skew or partition) and not hosts:
@@ -855,11 +929,175 @@ def _cmd_serve(args: list[str]) -> int:
     return code
 
 
+def _read_jsonl_requests(path: str | None) -> list:
+    """JSON-lines requests from a file or stdin.  A line that is not
+    valid JSON is kept as the raw string — the service turns it into a
+    typed invalid-request envelope instead of aborting the batch."""
+    import json
+    if path is None or path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(path) as f:
+                lines = f.read().splitlines()
+        except OSError as err:
+            _usage_error("batch", f"cannot read {path!r}: {err}")
+    requests = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            requests.append(json.loads(line))
+        except json.JSONDecodeError:
+            requests.append(line)
+    return requests
+
+
+def _cmd_batch(args: list[str]) -> int:
+    import json
+
+    infile, out, ledger_file, bench_file = None, None, None, None
+    farm, n_workers, queue_dir, chunk_size = False, None, None, None
+    deadline, request_deadline, shed_above = None, None, None
+    isolate, allow_faults, dedup = "auto", False, True
+    it = iter(args)
+    for a in it:
+        if a == "--farm":
+            farm = True
+        elif a == "--allow-faults":
+            allow_faults = True
+        elif a == "--no-dedup":
+            dedup = False
+        elif a == "-j":
+            n_workers = _positive_int("batch", a, next(it, None))
+        elif a.startswith("-j="):
+            n_workers = _positive_int("batch", "-j", a.split("=", 1)[1])
+        elif a == "--queue-dir":
+            queue_dir = next(it, None)
+            if queue_dir is None:
+                _usage_error("batch", "--queue-dir needs a directory")
+        elif a.startswith("--queue-dir="):
+            queue_dir = a.split("=", 1)[1]
+        elif a == "--chunk-size":
+            chunk_size = _positive_int("batch", a, next(it, None))
+        elif a.startswith("--chunk-size="):
+            chunk_size = _positive_int("batch", "--chunk-size",
+                                       a.split("=", 1)[1])
+        elif a == "--deadline":
+            deadline = _positive_float("batch", a, next(it, None))
+        elif a.startswith("--deadline="):
+            deadline = _positive_float("batch", "--deadline",
+                                       a.split("=", 1)[1])
+        elif a == "--request-deadline":
+            request_deadline = _positive_float("batch", a,
+                                               next(it, None))
+        elif a.startswith("--request-deadline="):
+            request_deadline = _positive_float(
+                "batch", "--request-deadline", a.split("=", 1)[1])
+        elif a == "--shed-above":
+            shed_above = _positive_int("batch", a, next(it, None))
+        elif a.startswith("--shed-above="):
+            shed_above = _positive_int("batch", "--shed-above",
+                                       a.split("=", 1)[1])
+        elif a == "--isolate":
+            isolate = next(it, None)
+            if isolate not in ("auto", "always", "never"):
+                _usage_error("batch", f"--isolate needs auto/always/"
+                             f"never, got {isolate!r}")
+        elif a.startswith("--isolate="):
+            isolate = a.split("=", 1)[1]
+            if isolate not in ("auto", "always", "never"):
+                _usage_error("batch", f"--isolate needs auto/always/"
+                             f"never, got {isolate!r}")
+        elif a == "--out":
+            out = next(it, None)
+            if out is None:
+                _usage_error("batch", "--out needs a path")
+        elif a.startswith("--out="):
+            out = a.split("=", 1)[1]
+        elif a == "--ledger":
+            ledger_file = next(it, None)
+            if ledger_file is None:
+                _usage_error("batch", "--ledger needs a path")
+        elif a.startswith("--ledger="):
+            ledger_file = a.split("=", 1)[1]
+        elif a == "--bench":
+            bench_file = next(it, None)
+            if bench_file is None:
+                _usage_error("batch", "--bench needs a path")
+        elif a.startswith("--bench="):
+            bench_file = a.split("=", 1)[1]
+        elif a.startswith("-"):
+            _usage_error("batch", f"unknown option {a!r}")
+        elif infile is None:
+            infile = a
+        else:
+            _usage_error("batch", f"unexpected argument {a!r}")
+    if not farm and (queue_dir is not None or chunk_size is not None
+                     or n_workers is not None):
+        _usage_error("batch", "-j/--queue-dir/--chunk-size require "
+                     "--farm")
+
+    requests = _read_jsonl_requests(infile)
+    if not requests:
+        _usage_error("batch", "no requests (JSON-lines on stdin or in "
+                     "FILE, one request object per line)")
+
+    from repro.service.batch import (BatchPolicy, batch_bench_record,
+                                     evaluate_batch,
+                                     evaluate_batch_farm)
+    kwargs = {"deadline": deadline, "shed_above": shed_above,
+              "isolate": isolate, "allow_faults": allow_faults,
+              "dedup": dedup}
+    if request_deadline is not None:
+        kwargs["request_deadline"] = request_deadline
+    if chunk_size is not None:
+        kwargs["chunk_size"] = chunk_size
+    policy = BatchPolicy(**kwargs)
+
+    if farm:
+        import tempfile
+        qdir = queue_dir or tempfile.mkdtemp(prefix="batch-queue-")
+        result = evaluate_batch_farm(requests, policy, queue_dir=qdir,
+                                     n_workers=n_workers or 2,
+                                     chunk_size=chunk_size,
+                                     stream=sys.stderr)
+    else:
+        result = evaluate_batch(requests, policy)
+
+    lines = "\n".join(json.dumps(e.to_dict(), default=str)
+                      for e in result.envelopes)
+    if out:
+        with open(out, "w") as f:
+            f.write(lines + "\n")
+    else:
+        print(lines)
+    if ledger_file:
+        with open(ledger_file, "w") as f:
+            json.dump(result.ledger, f, indent=1, default=str)
+    if bench_file:
+        from repro.resilience.farm import write_bench_json
+        write_bench_json(bench_file,
+                         batch_bench_record(
+                             result, mode="farm" if farm else "local",
+                             n_workers=n_workers if farm else 1))
+    led = result.ledger
+    counts = led.get("counts", {})
+    n_failed = counts.get("failed", 0)
+    print(f"batch: {led['n_requests']} requests -> "
+          f"{counts.get('ok', 0)} ok, {counts.get('degraded', 0)} "
+          f"degraded, {n_failed} failed "
+          f"({led.get('requests_per_s')} req/s)", file=sys.stderr)
+    return 0 if led.get("ok") and n_failed == 0 else 1
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "stagnation": _cmd_stagnation,
     "degrade-smoke": _cmd_degrade_smoke,
     "chaos": _cmd_chaos,
+    "batch": _cmd_batch,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
 }

@@ -35,6 +35,8 @@ resilience ladder: retry → degrade → isolate → abort.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.atmosphere import EarthAtmosphere
@@ -50,25 +52,59 @@ __all__ = ["stagnation_environment", "windward_heating", "heat_pulse",
            "make_gas"]
 
 
-def make_gas(name: str) -> EquilibriumGas:
+def _build_air() -> EquilibriumGas:
+    db = species_set("air11")
+    return EquilibriumGas(db, air_reference_mass_fractions(db))
+
+
+def _build_titan() -> EquilibriumGas:
+    db = species_set("titan9")
+    return EquilibriumGas(db, titan_reference_mass_fractions(db))
+
+
+def _build_jupiter() -> EquilibriumGas:
+    db = species_set("jupiter3")
+    y = np.zeros(db.n)
+    y[db.index["H2"]] = 0.75
+    y[db.index["He"]] = 0.25
+    return EquilibriumGas(db, y)
+
+
+#: Registry of named gas models the front door accepts.
+GAS_MODELS = {"equilibrium-air": _build_air, "titan": _build_titan,
+              "jupiter": _build_jupiter}
+
+_GAS_CACHE: dict[str, EquilibriumGas] = {}
+_GAS_CACHE_LOCK = threading.Lock()
+
+
+def make_gas(name: str, *, cached: bool = True) -> EquilibriumGas:
     """Build a named equilibrium gas model.
 
-    Options: "equilibrium-air", "titan", "jupiter".
+    Options: "equilibrium-air", "titan", "jupiter".  An unknown name
+    raises a typed :class:`~repro.errors.InputError` listing the valid
+    names.  Models are cached after first construction (building the
+    species database and reference composition is the expensive part),
+    so repeated batch requests share one instance; pass ``cached=False``
+    to force a fresh build.
     """
-    if name == "equilibrium-air":
-        db = species_set("air11")
-        return EquilibriumGas(db, air_reference_mass_fractions(db))
-    if name == "titan":
-        db = species_set("titan9")
-        return EquilibriumGas(db, titan_reference_mass_fractions(db))
-    if name == "jupiter":
-        db = species_set("jupiter3")
-        y = np.zeros(db.n)
-        y[db.index["H2"]] = 0.75
-        y[db.index["He"]] = 0.25
-        return EquilibriumGas(db, y)
-    raise InputError(f"unknown gas model {name!r}; options: "
-                     f"equilibrium-air, titan, jupiter")
+    builder = GAS_MODELS.get(name)
+    if builder is None:
+        raise InputError(f"unknown gas model {name!r}; options: "
+                         f"{', '.join(sorted(GAS_MODELS))}")
+    if not cached:
+        return builder()
+    with _GAS_CACHE_LOCK:
+        gas = _GAS_CACHE.get(name)
+        if gas is None:
+            gas = _GAS_CACHE[name] = builder()
+    return gas
+
+
+def clear_gas_cache() -> None:
+    """Drop all cached gas models (test isolation hook)."""
+    with _GAS_CACHE_LOCK:
+        _GAS_CACHE.clear()
 
 
 _ON_FAILURE = ("raise", "report", "degrade", "isolate")
@@ -274,7 +310,14 @@ def _windward_correlation(atm, *, h, V, nose_radius, length, n_stations,
             "result": None}
 
 
-def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth") -> dict:
+def _point_failure(i, t, reason) -> dict:
+    """Per-point failure record for :func:`heat_pulse` report mode."""
+    return {"index": int(i), "t": float(t), "error_type": "InputError",
+            "reason": reason}
+
+
+def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth",
+               on_failure="raise") -> dict:
     """Correlation-level heating pulse along an integrated trajectory.
 
     Parameters
@@ -285,23 +328,79 @@ def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth") -> dict:
         [m].
     atmosphere_key:
         Sutton-Graves constant selector ("earth", "titan", "jupiter").
+    on_failure:
+        ``"raise"`` (default) propagates the typed
+        :class:`~repro.errors.InputError` if *any* trajectory point is
+        non-physical; ``"report"`` instead records each bad point in a
+        per-point ``failures`` list, masks it out of the arrays (NaN)
+        and integrates the heat load over the remaining valid points —
+        one corrupt sample never aborts the whole trajectory integral.
 
     Returns dict with per-time q_conv, q_rad, totals and the peak point.
     """
-    q_conv = sutton_graves_heating(trajectory.rho, trajectory.V,
-                                   nose_radius,
+    if on_failure not in ("raise", "report"):
+        raise InputError(f"unknown on_failure {on_failure!r}; options: "
+                         f"raise, report")
+    t = np.asarray(trajectory.t, dtype=float)
+    rho = np.asarray(trajectory.rho, dtype=float)
+    V = np.asarray(trajectory.V, dtype=float)
+
+    if on_failure == "raise":
+        q_conv = sutton_graves_heating(rho, V, nose_radius,
+                                       atmosphere=atmosphere_key)
+        if atmosphere_key == "earth":
+            q_rad = tauber_sutton_radiative(rho, V, nose_radius)
+        else:
+            q_rad = np.zeros_like(q_conv)
+        q_total = q_conv + q_rad
+        i = int(np.argmax(q_total))
+        return {"t": trajectory.t, "q_conv": q_conv, "q_rad": q_rad,
+                "q_total": q_total,
+                "heat_load": float(np.trapezoid(q_total, t)),
+                "peak": {"t": float(trajectory.t[i]),
+                         "q": float(q_total[i]),
+                         "h": float(trajectory.h[i]),
+                         "V": float(trajectory.V[i])}}
+
+    finite = np.isfinite(t) & np.isfinite(rho) & np.isfinite(V)
+    physical = finite & (rho > 0.0) & (V >= 0.0)
+    failures = []
+    for i in np.flatnonzero(~physical):
+        if not finite[i]:
+            reason = "non-finite trajectory point"
+        elif rho[i] <= 0.0:
+            reason = f"non-positive density rho={rho[i]:.3g}"
+        else:
+            reason = f"negative velocity V={V[i]:.3g}"
+        failures.append(_point_failure(i, t[i] if np.isfinite(t[i])
+                                       else np.nan, reason))
+
+    # Evaluate the correlations on placeholder-filled arrays (both
+    # correlations validate the whole array), then mask the bad points
+    # back to NaN so they are visible but never poison the integral.
+    rho_v = np.where(physical, rho, 1e-6)
+    V_v = np.where(physical, V, 1.0)
+    q_conv = sutton_graves_heating(rho_v, V_v, nose_radius,
                                    atmosphere=atmosphere_key)
     if atmosphere_key == "earth":
-        q_rad = tauber_sutton_radiative(trajectory.rho, trajectory.V,
-                                        nose_radius)
+        q_rad = tauber_sutton_radiative(rho_v, V_v, nose_radius)
     else:
         q_rad = np.zeros_like(q_conv)
     q_total = q_conv + q_rad
-    i = int(np.argmax(q_total))
+    q_conv = np.where(physical, q_conv, np.nan)
+    q_rad = np.where(physical, q_rad, np.nan)
+    q_total = np.where(physical, q_total, np.nan)
+    if not np.any(physical):
+        raise InputError("heat_pulse: no valid trajectory points "
+                         f"({len(failures)} of {t.size} failed "
+                         "validation)")
+    heat_load = float(np.trapezoid(q_total[physical], t[physical]))
+    i = int(np.nanargmax(q_total))
     return {"t": trajectory.t, "q_conv": q_conv, "q_rad": q_rad,
             "q_total": q_total,
-            "heat_load": float(np.trapezoid(q_total, trajectory.t)),
+            "heat_load": heat_load,
             "peak": {"t": float(trajectory.t[i]),
                      "q": float(q_total[i]),
                      "h": float(trajectory.h[i]),
-                     "V": float(trajectory.V[i])}}
+                     "V": float(trajectory.V[i])},
+            "failures": failures, "n_failed": len(failures)}

@@ -116,6 +116,35 @@ class SolverError(CatError, RuntimeError):
         self.exitcode = exitcode
 
 
+class OverloadError(CatError):
+    """The batch service refused work at admission time.
+
+    Raised by the admission controller when accepting a batch would
+    exceed the configured queue depth, or recorded in a per-request
+    envelope when no in-flight slot frees up within the admission
+    timeout.  Carries enough context for the caller to implement
+    client-side backoff instead of a blind retry loop.
+
+    Attributes
+    ----------
+    queued:
+        Requests already admitted and waiting when the rejection fired.
+    limit:
+        The configured bound that was exceeded.
+    retry_after:
+        Suggested wait [s] before retrying, if the service can estimate
+        one.
+    """
+
+    def __init__(self, message: str, *, queued: int | None = None,
+                 limit: int | None = None,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.queued = queued
+        self.limit = limit
+        self.retry_after = retry_after
+
+
 class CheckpointError(CatError):
     """A durable snapshot could not be written, read or verified.
 

@@ -158,6 +158,25 @@ def _job_chaos_round(payload: dict, ctx: dict) -> dict:
     return {"report": report}
 
 
+@job_kind("batch")
+def _job_batch(payload: dict, ctx: dict) -> dict:
+    """One chunk of a sharded batch-service call: payload
+    ``{"requests": [...], "policy": {...}, "offset": N}``.
+
+    The chunk runs :func:`repro.service.batch.evaluate_batch` inside
+    the worker's sandbox; envelopes come back with chunk-local indices
+    (the merger re-offsets them).  Chunk job ids derive from the batch
+    content key, so retry after preemption re-executes the same
+    requests idempotently and the exactly-once audit still holds.
+    """
+    from repro.service.batch import BatchPolicy, evaluate_batch
+    policy = BatchPolicy.from_dict(payload.get("policy"))
+    result = evaluate_batch(payload["requests"], policy)
+    return {"offset": int(payload.get("offset", 0)),
+            "envelopes": [e.to_dict() for e in result.envelopes],
+            "ledger": result.ledger}
+
+
 @job_kind("callable")
 def _job_callable(payload: dict, ctx: dict) -> dict:
     """``{"module": "pkg.mod", "func": "name", "kwargs": {...}}`` —

@@ -1,0 +1,25 @@
+"""Batch evaluation service: the "millions of users" front door.
+
+``evaluate_batch`` answers thousands of (vehicle, flight-condition,
+method) requests per call with production failure semantics: up-front
+validation into typed records, per-request outcome envelopes, admission
+control, deadline budgets, circuit breakers per method rung and
+idempotent request keys.  ``evaluate_batch_farm`` shards the same batch
+across the solve farm's durable work queue.  See DESIGN.md §8.
+"""
+
+from repro.service.batch import (ADMISSION, AdmissionController,
+                                 BatchPolicy, BatchResult, batch_jobs,
+                                 batch_bench_record, evaluate_batch,
+                                 evaluate_batch_farm, shard_requests)
+from repro.service.breaker import BreakerBoard, BreakerPolicy
+from repro.service.request import (Envelope, METHODS, Request,
+                                   canonical_request, request_key,
+                                   validate_request)
+
+__all__ = ["ADMISSION", "AdmissionController", "BatchPolicy",
+           "BatchResult", "BreakerBoard", "BreakerPolicy", "Envelope",
+           "METHODS", "Request", "batch_bench_record", "batch_jobs",
+           "canonical_request", "evaluate_batch",
+           "evaluate_batch_farm", "request_key", "shard_requests",
+           "validate_request"]

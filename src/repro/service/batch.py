@@ -1,0 +1,780 @@
+"""The batch evaluation front door: ``evaluate_batch`` and friends.
+
+Production failure semantics, end to end:
+
+* every request is validated *up front* into a typed per-request
+  :class:`~repro.errors.InputError` record — one malformed request
+  never aborts the batch;
+* admission control bounds queue depth and in-flight requests with a
+  typed :class:`~repro.errors.OverloadError` (raised at the door for
+  queue-depth rejection, recorded in the envelope for a slot timeout)
+  — never a hang;
+* per-request and whole-batch wall-clock deadlines are threaded into
+  :class:`~repro.resilience.isolation.IsolatedRunner` for sandboxed
+  (heavy/fault-carrying) requests, so a hung solve is killed and
+  recorded, not waited on;
+* circuit breakers per method rung and condition class trip after K
+  consecutive failures and route requests straight down the model
+  ladder during cooldown (see :mod:`repro.service.breaker`);
+* idempotent request keys dedup identical requests within a batch and
+  make farm-chunk retry safe across preemption.
+
+Exactly one :class:`~repro.service.request.Envelope` comes back per
+request; the only exception ``evaluate_batch`` ever raises (beyond
+programming errors) is ``OverloadError`` at admission time, before any
+work starts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+
+from repro.errors import CatError, OverloadError, SolverError
+from repro.service.breaker import BreakerBoard, BreakerPolicy
+from repro.service.request import Envelope, METHODS, validate_request
+
+__all__ = ["BatchPolicy", "BatchResult", "AdmissionController",
+           "evaluate_batch", "evaluate_batch_farm", "batch_jobs",
+           "shard_requests", "batch_bench_record"]
+
+
+# ----------------------------------------------------------------- policy
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Budgets and knobs of one batch evaluation.
+
+    Attributes
+    ----------
+    deadline:
+        Whole-batch wall-clock budget [s]; requests the budget expires
+        before get ``failed/deadline`` envelopes instead of running.
+    request_deadline:
+        Per-request wall-clock budget [s], enforced preemptively (kill
+        + FailureReport) for sandboxed requests and used to bound every
+        sandbox attempt.  A request may carry its own ``deadline``
+        field; the effective budget is the minimum of both and of the
+        remaining batch budget.
+    max_in_flight:
+        Concurrent executing requests across every batch sharing the
+        admission controller.
+    admit_timeout:
+        Seconds a request waits for an in-flight slot before failing
+        with an ``overload`` envelope.
+    max_queued:
+        Queue-depth bound: admitting a batch that would push the
+        controller's admitted-but-unfinished count past this raises
+        :class:`~repro.errors.OverloadError` at the door.
+    shed_above:
+        Reject any single batch larger than this outright (load
+        shedding), also via ``OverloadError``.
+    isolate:
+        ``"auto"`` (default) sandboxes heavy solver rungs and any
+        fault-carrying request; ``"always"``/``"never"`` force it.
+        Hang/crash faults are always sandboxed regardless.
+    allow_faults:
+        Honor chaos ``fault`` fields (tests/chaos only); otherwise a
+        fault field is invalid input.
+    dedup:
+        Collapse requests with identical idempotency keys to one
+        execution.
+    breaker:
+        :class:`~repro.service.breaker.BreakerPolicy` for the board.
+    chunk_size:
+        Requests per farm chunk job (``evaluate_batch_farm``).
+    """
+
+    deadline: float | None = None
+    request_deadline: float | None = 10.0
+    max_in_flight: int = 8
+    admit_timeout: float = 5.0
+    max_queued: int = 100_000
+    shed_above: int | None = None
+    isolate: str = "auto"
+    allow_faults: bool = False
+    dedup: bool = True
+    memory_mb: float | None = None
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    chunk_size: int = 64
+
+    def __post_init__(self):
+        if self.isolate not in ("auto", "always", "never"):
+            raise ValueError(f"isolate must be auto/always/never, got "
+                             f"{self.isolate!r}")
+
+    def to_dict(self) -> dict:
+        return {"deadline": self.deadline,
+                "request_deadline": self.request_deadline,
+                "max_in_flight": self.max_in_flight,
+                "admit_timeout": self.admit_timeout,
+                "max_queued": self.max_queued,
+                "shed_above": self.shed_above,
+                "isolate": self.isolate,
+                "allow_faults": self.allow_faults,
+                "dedup": self.dedup, "memory_mb": self.memory_mb,
+                "breaker": self.breaker.to_dict(),
+                "chunk_size": self.chunk_size}
+
+    @classmethod
+    def from_dict(cls, d: dict | None) -> "BatchPolicy":
+        d = dict(d or {})
+        d["breaker"] = BreakerPolicy.from_dict(d.get("breaker"))
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+# ------------------------------------------------------------- admission
+
+class AdmissionController:
+    """Process-wide admission gauge: queue depth + in-flight slots.
+
+    ``admit`` is the front door — it raises a typed
+    :class:`~repro.errors.OverloadError` when accepting the batch would
+    exceed the queue-depth bound (or the batch alone exceeds
+    ``shed_above``).  ``slot`` bounds concurrency: it waits up to
+    ``admit_timeout`` for an in-flight slot and raises ``OverloadError``
+    on timeout — a saturated service rejects, it never hangs.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.queued = 0
+        self.in_flight = 0
+        self.peak_queued = 0
+        self.peak_in_flight = 0
+        self.shed_batches = 0
+        self.slot_timeouts = 0
+
+    def admit(self, n: int, policy: BatchPolicy) -> None:
+        with self._cond:
+            if (policy.shed_above is not None
+                    and n > policy.shed_above):
+                self.shed_batches += 1
+                raise OverloadError(
+                    f"batch of {n} requests exceeds shed_above="
+                    f"{policy.shed_above}; split it or raise the limit",
+                    queued=self.queued, limit=policy.shed_above)
+            if self.queued + n > policy.max_queued:
+                self.shed_batches += 1
+                raise OverloadError(
+                    f"admitting {n} requests would push queue depth to "
+                    f"{self.queued + n} > max_queued="
+                    f"{policy.max_queued}",
+                    queued=self.queued, limit=policy.max_queued,
+                    retry_after=policy.request_deadline)
+            self.queued += n
+            self.peak_queued = max(self.peak_queued, self.queued)
+
+    def release(self, n: int) -> None:
+        with self._cond:
+            self.queued -= n
+            self._cond.notify_all()
+
+    @contextmanager
+    def slot(self, policy: BatchPolicy):
+        with self._cond:
+            got = self._cond.wait_for(
+                lambda: self.in_flight < policy.max_in_flight,
+                timeout=policy.admit_timeout)
+            if not got:
+                self.slot_timeouts += 1
+                raise OverloadError(
+                    f"no in-flight slot freed within "
+                    f"{policy.admit_timeout}s "
+                    f"(in_flight={self.in_flight}, "
+                    f"max_in_flight={policy.max_in_flight})",
+                    queued=self.queued, limit=policy.max_in_flight,
+                    retry_after=policy.admit_timeout)
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight,
+                                      self.in_flight)
+        try:
+            yield
+        finally:
+            with self._cond:
+                self.in_flight -= 1
+                self._cond.notify_all()
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {"queued": self.queued,
+                    "in_flight": self.in_flight,
+                    "peak_queued": self.peak_queued,
+                    "peak_in_flight": self.peak_in_flight,
+                    "shed_batches": self.shed_batches,
+                    "slot_timeouts": self.slot_timeouts}
+
+
+#: The process-wide controller every batch shares by default.
+ADMISSION = AdmissionController()
+
+
+# ------------------------------------------------------------- executors
+
+def _atmosphere_key(gas: str) -> str:
+    from repro.core.api import _GAS_ATMOSPHERE
+    return _GAS_ATMOSPHERE.get(gas, "earth")
+
+
+def _correlation_point(params: dict) -> dict:
+    """Sutton-Graves + Tauber-Sutton at one freestream point."""
+    from repro.atmosphere import EarthAtmosphere
+    from repro.heating import sutton_graves_heating
+    from repro.radiation.correlations import tauber_sutton_radiative
+    key = _atmosphere_key(params.get("gas", "equilibrium-air"))
+    rho = float(EarthAtmosphere().density(params["h"]))
+    V, rn = params["V"], params["nose_radius"]
+    q_conv = float(sutton_graves_heating(rho, V, rn, atmosphere=key))
+    q_rad = (float(tauber_sutton_radiative(rho, V, rn))
+             if key == "earth" and rho > 0.0 and V > 0.0 else 0.0)
+    return {"q_conv": q_conv, "q_rad": q_rad,
+            "q_total": q_conv + q_rad, "p_stag": rho * V * V,
+            "rho": rho}
+
+
+def _exec_stagnation_vsl(params: dict) -> dict:
+    from repro.core.api import stagnation_environment
+    r = stagnation_environment(V=params["V"], h=params["h"],
+                               nose_radius=params["nose_radius"],
+                               gas=params.get("gas", "equilibrium-air"),
+                               T_wall=params.get("T_wall", 1500.0),
+                               quick=True, on_failure="raise")
+    return {"q_conv": float(r["q_conv"]), "q_rad": float(r["q_rad"]),
+            "q_total": float(r["q_conv"]) + float(r["q_rad"]),
+            "standoff": float(r["standoff"]),
+            "p_stag": float(r["p_stag"]),
+            "T_edge": float(r["T_edge"])}
+
+
+def _exec_windward_pns(params: dict) -> dict:
+    from repro.core.api import windward_heating
+    r = windward_heating(V=params["V"], h=params["h"],
+                         alpha_deg=params["alpha_deg"],
+                         nose_radius=params.get("nose_radius", 1.3),
+                         length=params.get("length", 32.77),
+                         gas=params.get("gas", "equilibrium-air"),
+                         on_failure="raise")
+    q = r["q"]
+    return {"q_stag": float(r["q_stag"]), "q_max": float(max(q)),
+            "q_tail": float(q[-1])}
+
+
+def _exec_windward_correlation(params: dict) -> dict:
+    from repro.atmosphere import EarthAtmosphere
+    from repro.heating import sutton_graves_heating
+    rn = params.get("nose_radius", 1.3)
+    length = params.get("length", 32.77)
+    rho = float(EarthAtmosphere().density(params["h"]))
+    q_stag = float(sutton_graves_heating(rho, params["V"], rn))
+    q_tail = q_stag / math.sqrt(1.0 + length / rn)
+    return {"q_stag": q_stag, "q_max": q_stag, "q_tail": q_tail}
+
+
+def _exec_equilibrium_gibbs(params: dict) -> dict:
+    from repro.core.api import make_gas
+    gas = make_gas(params.get("gas", "equilibrium-air"))
+    y, rho = gas.composition_T_p(params["T"], params["p"])
+    comp = {name: float(y[i]) for i, name in enumerate(gas.db.names)
+            if float(y[i]) > 1.0e-12}
+    return {"rho": float(rho), "y": comp}
+
+
+_EXECUTORS = {
+    ("stagnation", "vsl"): _exec_stagnation_vsl,
+    ("stagnation", "correlation"): _correlation_point,
+    ("stagnation_correlation", "correlation"): _correlation_point,
+    ("windward", "pns"): _exec_windward_pns,
+    ("windward", "correlation"): _exec_windward_correlation,
+    ("heat_point", "correlation"): _correlation_point,
+    ("equilibrium_composition", "gibbs"): _exec_equilibrium_gibbs,
+}
+
+
+def _apply_fault(fault: dict | None) -> None:
+    if not fault:
+        return
+    kind = fault.get("kind")
+    if kind == "hang":
+        while True:          # killed by the sandbox deadline
+            time.sleep(0.2)
+    if kind == "crash":
+        import os
+        os._exit(77)         # hard child death, no cleanup
+    if kind == "fail":
+        raise SolverError("injected fault: fail")
+    if kind == "slow":
+        time.sleep(float(fault.get("seconds", 0.2)))
+
+
+def _run_rung_child(method: str, rung: str, params: dict,
+                    fault: dict | None) -> dict:
+    """The unit of work — also the callable a sandbox child runs."""
+    _apply_fault(fault)
+    result = _EXECUTORS[(method, rung)](params)
+    if fault and fault.get("kind") == "nan":
+        result = {k: (float("nan") if isinstance(v, float) else v)
+                  for k, v in result.items()}
+    return result
+
+
+# ------------------------------------------------------------ the engine
+
+def _needs_sandbox(policy: BatchPolicy, heavy: bool,
+                   fault: dict | None) -> bool:
+    if fault and fault.get("kind") in ("hang", "crash"):
+        return True          # only a child process can absorb these
+    if policy.isolate == "always":
+        return True
+    if policy.isolate == "never":
+        return False
+    return heavy
+
+
+def _effective_deadline(policy, req, remaining) -> float | None:
+    budgets = [b for b in (policy.request_deadline, req.deadline,
+                           remaining) if b is not None]
+    return min(budgets) if budgets else None
+
+
+def _error_kind(err: CatError) -> str:
+    report = getattr(err, "report", None)
+    events = getattr(report, "isolation", None) or []
+    kinds = {e.get("kind") for e in events if isinstance(e, dict)}
+    if kinds & {"deadline", "hang"}:
+        return "hang"
+    if "oom" in kinds:
+        return "oom"
+    if "crash" in kinds:
+        return "crash"
+    return "solver"
+
+
+def _report_dict(err: CatError) -> dict | None:
+    report = getattr(err, "report", None)
+    if report is None:
+        return None
+    return report.to_dict() if hasattr(report, "to_dict") else report
+
+
+def _failure_record(rung: str, err: CatError) -> dict:
+    return {"rung": rung, "error_type": type(err).__name__,
+            "kind": _error_kind(err), "message": str(err),
+            "report": _report_dict(err)}
+
+
+def _run_one(req, rung: str, fault: dict | None, *,
+             policy: BatchPolicy, deadline: float | None) -> dict:
+    sandbox = _needs_sandbox(policy, req.spec.heavy, fault)
+    if sandbox:
+        from repro.resilience.isolation import (IsolatedRunner,
+                                                IsolationPolicy)
+        pol = IsolationPolicy(deadline=deadline,
+                              memory_mb=policy.memory_mb,
+                              stall_timeout=None, max_restarts=0,
+                              poll_interval=0.02, term_grace=0.5)
+        label = f"batch[{req.index}]:{req.method}/{rung}"
+        result = IsolatedRunner(pol, label=label).run_callable(
+            _run_rung_child, args=(req.method, rung, req.params, fault))
+    else:
+        result = _run_rung_child(req.method, rung, req.params, fault)
+    if not isinstance(result, dict):
+        raise SolverError(f"rung {req.method}/{rung} returned "
+                          f"{type(result).__name__}, expected dict")
+    bad = [k for k, v in result.items()
+           if isinstance(v, float) and not math.isfinite(v)]
+    if bad:
+        raise SolverError(f"non-finite result fields {bad} from "
+                          f"{req.method}/{rung}")
+    return result
+
+
+def _execute_request(req, policy: BatchPolicy, board: BreakerBoard,
+                     remaining: float | None) -> Envelope:
+    """Walk the method's model ladder for one request.  Returns an
+    envelope; never raises a CatError."""
+    spec = req.spec
+    captured: list = []
+    routed = False
+    for rung in spec.rungs:
+        cell = board.cell(req.method, rung, req.condition_class)
+        if not cell.allow(request_index=req.index):
+            captured.append({"rung": rung, "skipped": "breaker-open",
+                             "cell": cell.name})
+            routed = True
+            continue
+        fault = req.fault
+        if fault and fault.get("rung") not in (None, rung):
+            fault = None
+        deadline = _effective_deadline(policy, req, remaining)
+        try:
+            result = _run_one(req, rung, fault, policy=policy,
+                              deadline=deadline)
+        except CatError as err:
+            cell.record_failure(request_index=req.index)
+            captured.append(_failure_record(rung, err))
+            continue
+        cell.record_success(request_index=req.index)
+        degraded = rung != spec.rungs[0]
+        return Envelope(index=req.index, key=req.key,
+                        method=req.method,
+                        status="degraded" if degraded else "ok",
+                        rung=rung, result=result,
+                        degradation=captured,
+                        routed_by_breaker=routed)
+    last = next((c for c in reversed(captured) if "error_type" in c),
+                None)
+    if last is not None:
+        error = {"error_type": last["error_type"],
+                 "kind": last["kind"], "message": last["message"]}
+        report = last.get("report")
+    else:
+        error = {"error_type": "SolverError", "kind": "breaker-open",
+                 "message": "every rung skipped by an open circuit "
+                            "breaker"}
+        report = None
+    return Envelope(index=req.index, key=req.key, method=req.method,
+                    status="failed", error=error, report=report,
+                    degradation=captured, routed_by_breaker=routed)
+
+
+def _deadline_envelope(req, message: str) -> Envelope:
+    return Envelope(index=req.index, key=req.key, method=req.method,
+                    status="failed",
+                    error={"error_type": "SolverError",
+                           "kind": "deadline", "message": message})
+
+
+def _overload_envelope(req, err: OverloadError) -> Envelope:
+    return Envelope(index=req.index, key=req.key, method=req.method,
+                    status="failed",
+                    error={"error_type": "OverloadError",
+                           "kind": "overload", "message": str(err),
+                           "queued": err.queued, "limit": err.limit,
+                           "retry_after": err.retry_after})
+
+
+def _copy_for_duplicate(src: Envelope, req) -> Envelope:
+    env = replace(src, index=req.index, key=req.key,
+                  deduped_of=src.index, latency_s=0.0,
+                  degradation=list(src.degradation))
+    return env
+
+
+def _percentile(sorted_xs: list, q: float) -> float:
+    if not sorted_xs:
+        return 0.0
+    pos = (len(sorted_xs) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_xs) - 1)
+    frac = pos - lo
+    return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac
+
+
+def _latency_summary(envelopes: list) -> dict | None:
+    lat = sorted(e.latency_s for e in envelopes
+                 if e is not None and e.deduped_of is None
+                 and e.latency_s > 0.0)
+    if not lat:
+        return None
+    return {"p50": _percentile(lat, 50.0),
+            "p99": _percentile(lat, 99.0),
+            "mean": sum(lat) / len(lat), "max": lat[-1],
+            "n": len(lat)}
+
+
+def _count(items) -> dict:
+    out: dict = {}
+    for x in items:
+        out[x] = out.get(x, 0) + 1
+    return out
+
+
+def _build_batch_ledger(envelopes, board, *, wall, policy, deduped,
+                        expired, admission) -> dict:
+    n = len(envelopes)
+    complete = all(e is not None for e in envelopes)
+    counts = _count(e.status for e in envelopes if e is not None)
+    kinds = _count((e.error or {}).get("kind", "?") for e in envelopes
+                   if e is not None and e.status == "failed")
+    return {"ok": complete,
+            "n_requests": n,
+            "counts": counts,
+            "failed_kinds": kinds,
+            "deduped": deduped,
+            "deadline_expired": expired,
+            "wall_s": round(wall, 4),
+            "requests_per_s": (round(n / wall, 2) if wall > 0
+                               else None),
+            "latency_s": _latency_summary(envelopes),
+            "methods": _count(e.method for e in envelopes
+                              if e is not None and e.method),
+            "breaker": board.snapshot(),
+            "admission": admission.stats(),
+            "policy": policy.to_dict()}
+
+
+@dataclass
+class BatchResult:
+    """Envelopes (one per request, in request order) plus the batch
+    ledger; ``columns()`` gives the columnar view."""
+
+    envelopes: list
+    ledger: dict
+
+    @property
+    def counts(self) -> dict:
+        return dict(self.ledger.get("counts", {}))
+
+    def columns(self, fields=None) -> dict:
+        import numpy as np
+        if fields is None:
+            names: set = set()
+            for e in self.envelopes:
+                if e.result:
+                    names.update(k for k, v in e.result.items()
+                                 if isinstance(v, (int, float))
+                                 and not isinstance(v, bool))
+            fields = sorted(names)
+        n = len(self.envelopes)
+        cols = {"status": np.array([e.status for e in self.envelopes]),
+                "ok": np.array([e.status == "ok"
+                                for e in self.envelopes])}
+        for name in fields:
+            col = np.full(n, np.nan)
+            for i, e in enumerate(self.envelopes):
+                v = (e.result or {}).get(name)
+                if isinstance(v, (int, float)) and not isinstance(
+                        v, bool):
+                    col[i] = float(v)
+            cols[name] = col
+        return cols
+
+    def to_dict(self) -> dict:
+        return {"envelopes": [e.to_dict() for e in self.envelopes],
+                "ledger": self.ledger}
+
+
+def evaluate_batch(requests, policy: BatchPolicy | None = None, *,
+                   breakers: BreakerBoard | None = None,
+                   admission: AdmissionController | None = None,
+                   stream=None) -> BatchResult:
+    """Evaluate a batch of requests with production failure semantics.
+
+    Returns a :class:`BatchResult` with exactly one envelope per
+    request, in request order.  Raises only
+    :class:`~repro.errors.OverloadError`, at admission time, before any
+    request runs; every later failure — invalid input, solver error,
+    hang, crash, deadline, slot exhaustion — is recorded in the
+    offending request's envelope.
+    """
+    policy = policy or BatchPolicy()
+    requests = list(requests)
+    n = len(requests)
+    adm = admission if admission is not None else ADMISSION
+    adm.admit(n, policy)
+    t0 = time.monotonic()
+    board = breakers if breakers is not None \
+        else BreakerBoard(policy.breaker)
+    envelopes: list = [None] * n
+    deduped = expired = 0
+    try:
+        run_list = []
+        primaries: dict = {}
+        dupes = []
+        for i, raw in enumerate(requests):
+            req, env = validate_request(
+                raw, index=i, allow_faults=policy.allow_faults)
+            if env is not None:
+                envelopes[i] = env
+            elif policy.dedup and req.key in primaries:
+                dupes.append((req, primaries[req.key]))
+            else:
+                primaries[req.key] = req.index
+                run_list.append(req)
+        for req in run_list:
+            remaining = None
+            if policy.deadline is not None:
+                remaining = policy.deadline - (time.monotonic() - t0)
+                if remaining <= 0.0:
+                    envelopes[req.index] = _deadline_envelope(
+                        req, "batch deadline exhausted before "
+                             "execution")
+                    expired += 1
+                    continue
+            t_req = time.monotonic()
+            try:
+                with adm.slot(policy):
+                    env = _execute_request(req, policy, board,
+                                           remaining)
+            except OverloadError as err:
+                env = _overload_envelope(req, err)
+            env.latency_s = time.monotonic() - t_req
+            envelopes[req.index] = env
+            if stream is not None and env.status != "ok":
+                print(f"[batch] #{req.index} {req.method}: "
+                      f"{env.status}", file=stream)
+        for req, primary_index in dupes:
+            envelopes[req.index] = _copy_for_duplicate(
+                envelopes[primary_index], req)
+            deduped += 1
+    finally:
+        adm.release(n)
+    wall = time.monotonic() - t0
+    ledger = _build_batch_ledger(envelopes, board, wall=wall,
+                                 policy=policy, deduped=deduped,
+                                 expired=expired, admission=adm)
+    return BatchResult(envelopes=envelopes, ledger=ledger)
+
+
+# ------------------------------------------------------------- farm glue
+
+def shard_requests(requests: list, chunk_size: int) -> list:
+    """Split a batch into ``(offset, chunk)`` shards."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [(start, requests[start:start + chunk_size])
+            for start in range(0, len(requests), chunk_size)]
+
+
+def _batch_key(requests: list) -> str:
+    from repro.service.request import request_key
+    blob = ",".join(request_key(r) if isinstance(r, dict) else repr(r)
+                    for r in requests)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def batch_jobs(requests: list, policy: BatchPolicy, *,
+               chunk_size: int | None = None) -> list:
+    """Chunk jobs for the ``batch`` farm job kind.  Job ids derive from
+    the batch content key, so re-enqueueing after a crash or preemption
+    is idempotent (the queue dedups on id) and results commit exactly
+    once."""
+    from repro.resilience.queue import Job
+    chunk_size = chunk_size or policy.chunk_size
+    key = _batch_key(requests)
+    jobs = []
+    for start, chunk in shard_requests(requests, chunk_size):
+        chunk_deadline = None
+        if policy.request_deadline is not None:
+            chunk_deadline = (policy.request_deadline * len(chunk)
+                              + 30.0)
+        jobs.append(Job(id=f"batch-{key[:12]}-c{start:06d}",
+                        kind="batch",
+                        payload={"requests": chunk,
+                                 "policy": policy.to_dict(),
+                                 "offset": start},
+                        deadline=chunk_deadline))
+    return jobs
+
+
+def _merge_chunk_breakers(chunk_ledgers: list) -> dict:
+    transitions = []
+    states: dict = {}
+    for led in chunk_ledgers:
+        brk = (led or {}).get("breaker") or {}
+        transitions.extend(brk.get("transitions") or [])
+        states.update(brk.get("states") or {})
+    return {"states": states, "transitions": transitions}
+
+
+def evaluate_batch_farm(requests, policy: BatchPolicy | None = None, *,
+                        queue_dir, n_workers: int = 2,
+                        chunk_size: int | None = None,
+                        farm_policy=None, stream=None) -> BatchResult:
+    """Shard a batch across the solve farm as ``batch`` chunk jobs.
+
+    Each chunk runs :func:`evaluate_batch` inside a farm worker (its
+    own sandboxed process, lease-protected, retried with backoff on
+    preemption); chunk envelopes merge back in request order and the
+    exactly-once audit is attached to the merged ledger.  A chunk that
+    dead-letters still yields one ``failed`` envelope per request — the
+    one-envelope-per-request invariant survives worker loss.
+    """
+    from repro.resilience.farm import (FarmPolicy, audit_exactly_once,
+                                       run_campaign)
+    from repro.resilience.queue import WorkQueue
+    policy = policy or BatchPolicy()
+    requests = list(requests)
+    n = len(requests)
+    # Admission applies at the front door of the farm path too.
+    ADMISSION.admit(n, policy)
+    try:
+        t0 = time.monotonic()
+        jobs = batch_jobs(requests, policy, chunk_size=chunk_size)
+        fpolicy = farm_policy or FarmPolicy(
+            n_workers=n_workers, max_wall_time=policy.deadline)
+        farm_ledger = run_campaign(queue_dir, jobs, policy=fpolicy,
+                                   label="batch", stream=stream)
+        queue = WorkQueue(queue_dir)
+        envelopes: list = [None] * n
+        chunk_ledgers = []
+        for job in jobs:
+            offset = job.payload["offset"]
+            chunk = job.payload["requests"]
+            rec = queue.result(job.id)
+            res = rec.get("result") if isinstance(rec, dict) else None
+            if not isinstance(res, dict) or "envelopes" not in res:
+                # catlint: disable=PERF001 -- per-chunk envelope-object synthesis, not array math
+                for i in range(offset, offset + len(chunk)):
+                    envelopes[i] = Envelope(
+                        index=i, key=None, method=None,
+                        status="failed",
+                        error={"error_type": "SolverError",
+                               "kind": "farm",
+                               "message": f"chunk job {job.id} did "
+                                          "not produce a result "
+                                          "(dead-lettered or lost)"})
+                continue
+            for d in res["envelopes"]:
+                env = Envelope.from_dict(d)
+                env.index += offset
+                if env.deduped_of is not None:
+                    env.deduped_of += offset
+                envelopes[env.index] = env
+            chunk_ledgers.append(res.get("ledger"))
+        wall = time.monotonic() - t0
+        audit = audit_exactly_once(queue)
+        counts = _count(e.status for e in envelopes if e is not None)
+        kinds = _count((e.error or {}).get("kind", "?")
+                       for e in envelopes
+                       if e is not None and e.status == "failed")
+        ledger = {"ok": (all(e is not None for e in envelopes)
+                         and bool(audit.get("ok"))),
+                  "n_requests": n,
+                  "counts": counts,
+                  "failed_kinds": kinds,
+                  "deduped": sum((led or {}).get("deduped", 0)
+                                 for led in chunk_ledgers),
+                  "wall_s": round(wall, 4),
+                  "requests_per_s": (round(n / wall, 2) if wall > 0
+                                     else None),
+                  "latency_s": _latency_summary(envelopes),
+                  "methods": _count(e.method for e in envelopes
+                                    if e is not None and e.method),
+                  "breaker": _merge_chunk_breakers(chunk_ledgers),
+                  "farm": {"label": farm_ledger.get("label"),
+                           "wall_time": farm_ledger.get("wall_time"),
+                           "jobs": len(jobs),
+                           "n_workers": n_workers},
+                  "audit": audit,
+                  "policy": policy.to_dict()}
+        return BatchResult(envelopes=envelopes, ledger=ledger)
+    finally:
+        ADMISSION.release(n)
+
+
+def batch_bench_record(result: BatchResult, *, mode: str,
+                       n_workers: int = 1) -> dict:
+    """BENCH_batch.json record: requests/sec + latency percentiles."""
+    led = result.ledger
+    return {"bench": "batch", "mode": mode, "n_workers": n_workers,
+            "n_requests": led.get("n_requests"),
+            "counts": led.get("counts"),
+            "wall_s": led.get("wall_s"),
+            "requests_per_s": led.get("requests_per_s"),
+            "latency_s": led.get("latency_s")}

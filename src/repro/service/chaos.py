@@ -1,0 +1,223 @@
+"""Chaos campaign for the batch front door (``chaos --batch``).
+
+A seeded campaign mixes fault-injected requests (hangs, child crashes,
+injected solver failures, NaN corruption) into a batch of good
+requests and asserts the service's robustness contract:
+
+* exactly one envelope per request, no exception, no hang past the
+  batch deadline;
+* every good request's result is **bitwise-identical** to a fault-free
+  reference run of the same requests;
+* every injected failure is captured in its own envelope (a failure
+  record with report, or an explicit breaker-routing record);
+* circuit-breaker open/half-open/close transitions are ledgered in a
+  deterministic sequence — the campaign drives the cooldown with an
+  offset clock, trips both faulted cells, then probes them back closed.
+
+The report lands in ``<out>/chaos-batch.json``; exit code 0 iff every
+check holds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.service.batch import BatchPolicy, evaluate_batch
+from repro.service.breaker import BreakerBoard, BreakerPolicy
+
+__all__ = ["build_campaign_requests", "run_chaos_batch"]
+
+#: Deterministic fault mix over the faulted slots (cycled in order).
+_FAULT_CYCLE = ("fail", "crash", "hang", "nan")
+
+#: Known-good VSL condition (same as the tier-1 API tests) used for the
+#: half-open probe that must re-close the tripped solver cell.
+_PROBE_STAGNATION = {"method": "stagnation", "V": 6700.0, "h": 65500.0,
+                     "nose_radius": 1.3}
+_PROBE_HEAT_TITAN = {"method": "heat_point", "V": 5200.0, "h": 60.0e3,
+                     "nose_radius": 1.1, "gas": "titan"}
+
+#: Breaker cells the campaign trips (and must re-close).
+_VSL_CELL = "stagnation/vsl:equilibrium-air"
+_TITAN_CELL = "heat_point/correlation:titan"
+
+
+def _good_request(i: int, rng) -> dict:
+    """One cheap, deterministic, always-valid request."""
+    pick = i % 3
+    if pick == 0:
+        return {"method": "heat_point",
+                "V": round(3000.0 + 9000.0 * rng.random(), 3),
+                "h": round(25.0e3 + 55.0e3 * rng.random(), 3),
+                "nose_radius": round(0.3 + 4.0 * rng.random(), 4)}
+    if pick == 1:
+        return {"method": "stagnation_correlation",
+                "V": round(4000.0 + 8000.0 * rng.random(), 3),
+                "h": round(30.0e3 + 50.0e3 * rng.random(), 3),
+                "nose_radius": round(0.5 + 3.0 * rng.random(), 4)}
+    gas = ("equilibrium-air", "titan", "jupiter")[i % 9 // 3]
+    return {"method": "equilibrium_composition",
+            "T": round(1500.0 + 6000.0 * rng.random(), 3),
+            "p": round(10.0 ** (3.0 + 2.0 * rng.random()), 3),
+            "gas": gas}
+
+
+def _faulted_request(i: int, rng) -> dict:
+    """One fault-injected request.
+
+    Solver-rung faults (fail/crash/hang) target the VSL rung of
+    ``stagnation`` — the correlation rung still answers, so these come
+    back ``degraded`` with the injected failure captured.  NaN faults
+    corrupt a single-rung ``heat_point`` on the *titan* condition class
+    (its own breaker cell, so good earth-class requests are never
+    routed), which has no rung to fall back to and fails outright.
+    """
+    kind = _FAULT_CYCLE[i % len(_FAULT_CYCLE)]
+    if kind == "nan":
+        return {"method": "heat_point",
+                "V": round(4500.0 + 10.0 * i, 3), "h": 55.0e3,
+                "nose_radius": 1.0, "gas": "titan",
+                "fault": {"kind": "nan"}}
+    req = {"method": "stagnation",
+           "V": round(7000.0 + 10.0 * i, 3), "h": 71.0e3,
+           "nose_radius": 1.3,
+           "fault": {"kind": kind, "rung": "vsl"}}
+    if kind == "hang":
+        req["deadline"] = 1.0   # the sandbox kill budget for the hang
+    return req
+
+
+def build_campaign_requests(*, requests: int, faulted: int,
+                            seed: int) -> tuple:
+    """Seeded deterministic campaign: ``requests`` total, ``faulted``
+    of them fault-injected at seeded positions.  Returns
+    ``(batch, fault_positions, good_positions)``."""
+    rng = np.random.default_rng(seed)
+    positions = sorted(rng.choice(requests, size=faulted,
+                                  replace=False).tolist())
+    fault_set = set(positions)
+    batch, n_good = [], 0
+    n_fault = 0
+    for i in range(requests):
+        if i in fault_set:
+            batch.append(_faulted_request(n_fault, rng))
+            n_fault += 1
+        else:
+            batch.append(_good_request(n_good, rng))
+            n_good += 1
+    good_positions = [i for i in range(requests) if i not in fault_set]
+    return batch, positions, good_positions
+
+
+def _transition_pairs(transitions: list, cell: str) -> list:
+    return [(t["from"], t["to"]) for t in transitions
+            if t["cell"] == cell]
+
+
+def run_chaos_batch(*, requests: int = 200, faulted: int = 20,
+                    seed: int = 0, out: str = "chaos-reports",
+                    deadline: float = 120.0, stream=None) -> int:
+    """Run the batch chaos campaign; returns the process exit code."""
+    stream = stream or sys.stdout
+    os.makedirs(out, exist_ok=True)
+    t0 = time.monotonic()
+    cooldown = 600.0
+
+    batch, fault_pos, good_pos = build_campaign_requests(
+        requests=requests, faulted=faulted, seed=seed)
+    policy = BatchPolicy(deadline=deadline, request_deadline=30.0,
+                         allow_faults=True,
+                         breaker=BreakerPolicy(trip_after=3,
+                                               cooldown=cooldown))
+
+    # Offset clock: the campaign, not the wall, decides when the
+    # breaker cooldown has elapsed — keeps the transition ledger
+    # deterministic.
+    offset = [0.0]
+    board = BreakerBoard(policy.breaker,
+                         clock=lambda: time.monotonic() + offset[0])
+
+    print(f"chaos-batch: {requests} requests ({faulted} faulted), "
+          f"seed={seed}", file=stream)
+    result = evaluate_batch(batch, policy, breakers=board)
+
+    print("chaos-batch: fault-free reference run", file=stream)
+    reference = evaluate_batch([batch[i] for i in good_pos],
+                               BatchPolicy(deadline=deadline))
+
+    # Cooldown elapses (by clock offset); half-open probes must
+    # re-close both tripped cells.
+    offset[0] += cooldown + 1.0
+    print("chaos-batch: half-open probes after cooldown", file=stream)
+    probe = evaluate_batch([_PROBE_STAGNATION, _PROBE_HEAT_TITAN],
+                           policy, breakers=board)
+
+    envelopes = result.envelopes
+    checks = {}
+    checks["one_envelope_per_request"] = (
+        len(envelopes) == requests
+        and all(e is not None and e.index == i
+                for i, e in enumerate(envelopes))
+        and bool(result.ledger["ok"]))
+    checks["deadline_respected"] = (time.monotonic() - t0) < deadline
+
+    good_ok = good_bitwise = True
+    for j, i in enumerate(good_pos):
+        env, ref = envelopes[i], reference.envelopes[j]
+        if env.status != "ok" or ref.status != "ok":
+            good_ok = False
+        elif env.result != ref.result:
+            good_bitwise = False
+    checks["good_requests_all_ok"] = good_ok
+    checks["good_results_bitwise_identical"] = good_bitwise
+
+    captured = True
+    for i in fault_pos:
+        env = envelopes[i]
+        if env.status == "ok":
+            captured = False
+            continue
+        has_failure = any("error_type" in rec for rec in
+                          env.degradation) or env.error is not None
+        if not (has_failure or env.routed_by_breaker):
+            captured = False
+    checks["injected_failures_captured"] = captured
+
+    vsl = _transition_pairs(board.transitions, _VSL_CELL)
+    titan = _transition_pairs(board.transitions, _TITAN_CELL)
+    expected = [("closed", "open"), ("open", "half_open"),
+                ("half_open", "closed")]
+    # a cell only trips (and must then walk the full open -> half-open
+    # -> closed arc) when it received >= trip_after injected failures;
+    # below that the deterministic expectation is "no transitions"
+    n_nan = sum(1 for j in range(faulted)
+                if _FAULT_CYCLE[j % len(_FAULT_CYCLE)] == "nan")
+    trip = policy.breaker.trip_after
+    checks["breaker_transitions_deterministic"] = (
+        vsl == (expected if faulted - n_nan >= trip else [])
+        and titan == (expected if n_nan >= trip else []))
+    checks["probes_reclose_ok"] = all(e.status == "ok"
+                                      for e in probe.envelopes)
+
+    ok = all(checks.values())
+    report = {"ok": ok, "checks": checks, "seed": seed,
+              "requests": requests, "faulted": faulted,
+              "fault_positions": fault_pos,
+              "elapsed_s": round(time.monotonic() - t0, 3),
+              "ledger": result.ledger,
+              "breaker_transitions": board.transitions,
+              "probe_counts": probe.ledger["counts"]}
+    path = os.path.join(out, "chaos-batch.json")
+    with open(path, "w") as f:
+        json.dump(report, f, indent=1, default=str)
+    for name, value in checks.items():
+        print(f"chaos-batch:   {name}: {'ok' if value else 'FAIL'}",
+              file=stream)
+    print(f"chaos-batch: {'PASS' if ok else 'FAIL'} "
+          f"({report['elapsed_s']} s) -> {path}", file=stream)
+    return 0 if ok else 1

@@ -19,6 +19,25 @@ class TestMakeGas:
         with pytest.raises(InputError):
             make_gas("venusian-sulfur")
 
+    def test_unknown_error_lists_options(self):
+        with pytest.raises(InputError, match="equilibrium-air"):
+            make_gas("venusian-sulfur")
+
+    def test_named_models_are_cached(self):
+        from repro.core.api import clear_gas_cache
+        clear_gas_cache()
+        assert make_gas("titan") is make_gas("titan")
+        assert make_gas("titan") is not make_gas("jupiter")
+
+    def test_cached_false_builds_fresh(self):
+        assert make_gas("titan", cached=False) is not make_gas("titan")
+
+    def test_clear_cache_drops_instances(self):
+        from repro.core.api import clear_gas_cache
+        first = make_gas("equilibrium-air")
+        clear_gas_cache()
+        assert make_gas("equilibrium-air") is not first
+
 
 class TestStagnationEnvironment:
     @pytest.fixture(scope="class")
@@ -100,6 +119,67 @@ class TestHeatPulse:
         # catlint: disable=CAT010 -- q_rad is exactly zero below the radiative-heating velocity threshold
         assert np.all(pulse["q_rad"] == 0.0)
         assert pulse["q_conv"].max() > 1e5
+
+
+class TestHeatPulseReportMode:
+    """``on_failure="report"``: per-point failure records instead of an
+    all-or-nothing InputError."""
+
+    def _poisoned(self):
+        import types
+        t = np.linspace(0.0, 100.0, 21)
+        V = np.full(21, 7000.0)
+        h = np.full(21, 60e3)
+        rho = np.full(21, 3.0e-4)
+        V[3] = np.nan          # non-finite point
+        rho[7] = -1.0e-4       # non-positive density
+        V[11] = -50.0          # negative velocity
+        return types.SimpleNamespace(t=t, V=V, h=h, rho=rho)
+
+    def test_raise_mode_aborts_on_bad_point(self):
+        with pytest.raises(InputError):
+            heat_pulse(self._poisoned(), 1.0)
+
+    def test_report_mode_records_each_bad_point(self):
+        pulse = heat_pulse(self._poisoned(), 1.0, on_failure="report")
+        assert pulse["n_failed"] == 3
+        assert [f["index"] for f in pulse["failures"]] == [3, 7, 11]
+        assert all(f["error_type"] == "InputError"
+                   for f in pulse["failures"])
+        reasons = " ".join(f["reason"] for f in pulse["failures"])
+        assert "non-finite" in reasons
+        assert "density" in reasons
+        assert "velocity" in reasons
+
+    def test_report_mode_masks_and_still_integrates(self):
+        pulse = heat_pulse(self._poisoned(), 1.0, on_failure="report")
+        assert np.isfinite(pulse["heat_load"])
+        assert pulse["heat_load"] > 0.0
+        assert np.isnan(pulse["q_total"][[3, 7, 11]]).all()
+        good = np.delete(np.arange(21), [3, 7, 11])
+        assert np.isfinite(pulse["q_total"][good]).all()
+        assert np.isfinite(pulse["peak"]["q"])
+
+    def test_report_mode_matches_raise_mode_when_clean(self):
+        from repro.atmosphere import EarthAtmosphere
+        from repro.trajectory import AOTV, integrate_entry
+        tr = integrate_entry(AOTV, EarthAtmosphere(), h0=122e3,
+                             V0=9800.0, gamma0_deg=-4.7, t_max=1200.0)
+        a = heat_pulse(tr, AOTV.nose_radius)
+        b = heat_pulse(tr, AOTV.nose_radius, on_failure="report")
+        assert b["failures"] == []
+        assert b["heat_load"] == a["heat_load"]
+        assert np.array_equal(b["q_total"], a["q_total"])
+
+    def test_all_points_bad_still_raises(self):
+        bad = self._poisoned()
+        bad.rho[:] = -1.0
+        with pytest.raises(InputError, match="no valid"):
+            heat_pulse(bad, 1.0, on_failure="report")
+
+    def test_bad_on_failure_value(self):
+        with pytest.raises(InputError):
+            heat_pulse(self._poisoned(), 1.0, on_failure="degrade")
 
 
 class TestCLI:
