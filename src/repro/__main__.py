@@ -14,6 +14,9 @@
                                       farm to completion
 ``python -m repro serve``           — long-running farm worker pool on
                                       a durable queue
+``python -m repro jobs``            — asynchronous jobs: submit returns
+                                      an id immediately; status/watch/
+                                      result/cancel/gc later
 
 Exit codes: 0 success, 1 solver/invariant failure, 2 usage error.
 """
@@ -96,6 +99,7 @@ commands:
         [--farm] [-j N] [--kill-workers K] [--queue-dir D]
         [--hosts N] [--skew[=S]] [--partition]
         [--batch [--requests N] [--faulted M]]
+        [--jobs [--steps N]]
                          randomized fault campaign: every round runs a
                          solver with sampled faults (hangs, memory
                          balloons, crashes, snapshot corruption, NaN
@@ -139,6 +143,20 @@ commands:
                                              (default 200)
                            --faulted M       fault-injected requests
                                              in it (default 20)
+                           --jobs            async-job campaign: submit
+                                             a long march as a durable
+                                             job, SIGKILL the serving
+                                             supervisor mid-march,
+                                             resume on a second host
+                                             and assert bitwise parity,
+                                             exactly-once completion, a
+                                             legal state-machine
+                                             history, cooperative
+                                             cancellation and a clean
+                                             gc; writes the job ledger
+                                             and BENCH_jobs.json to D
+                           --steps N         march length of the chaos
+                                             job (default 40)
   campaign (--figures | --jobs FILE | --retry-dead-letters
             | --merge-ledgers L1,L2,...)
            [-j N] [--full] [--queue-dir D]
@@ -181,6 +199,47 @@ commands:
                                              with --queue-dir also runs
                                              the exactly-once journal
                                              audit over the shared queue
+  jobs ACTION [...]      asynchronous jobs on a durable queue (all
+                         actions print one JSON object; a serving farm
+                         — ``serve --queue-dir D`` — executes them)
+                           submit --queue-dir D KIND [JSON]
+                                             enqueue KIND with payload
+                                             JSON (inline or @FILE);
+                                             prints the job id
+                                             immediately; --id sets an
+                                             explicit id (default:
+                                             content-addressed, so
+                                             resubmits are idempotent);
+                                             --max-attempts/--deadline/
+                                             --memory-mb/--stall-timeout
+                                             set the attempt budget
+                           status --queue-dir D ID
+                                             reconciled state, live
+                                             progress (step/t/residual
+                                             via the heartbeat channel),
+                                             snapshot generations
+                           watch --queue-dir D ID [--timeout S]
+                                             poll status until terminal,
+                                             one JSON line per change
+                           result --queue-dir D ID [--wait S]
+                                             terminal outcome (exit 1
+                                             when failed; with --wait
+                                             blocks up to S for it)
+                           cancel --queue-dir D ID [--escalate-after S]
+                                  [--wait S]
+                                             cooperative cancel flag,
+                                             then SIGTERM -> SIGKILL of
+                                             the advertised child after
+                                             S seconds
+                           gc --queue-dir D [--ttl S] [--keep-last N]
+                              [--include-failed]
+                                             remove artifacts of jobs
+                                             terminal for > S seconds
+                                             (failed ones only with
+                                             --include-failed)
+                           ledger --queue-dir D
+                                             all jobs + exactly-once and
+                                             transition-legality audits
   serve --queue-dir D [-j N] [--lease-ttl S] [--poll S]
         [--host-id H] [--max-skew S] [--clock-offset S] [--ledger FILE]
                          long-running worker pool on a durable queue:
@@ -366,10 +425,18 @@ def _cmd_chaos(args: list[str]) -> int:
     farm, n_workers, kill_workers, queue_dir = False, 2, 2, None
     hosts, skew, partition = 0, 0.0, False
     batch_mode, b_requests, b_faulted = False, 200, 20
+    jobs_mode, j_steps = False, 40
     it = iter(args)
     for a in it:
         if a == "--batch":
             batch_mode = True
+        elif a == "--jobs":
+            jobs_mode = True
+        elif a == "--steps":
+            j_steps = _positive_int("chaos", a, next(it, None))
+        elif a.startswith("--steps="):
+            j_steps = _positive_int("chaos", "--steps",
+                                    a.split("=", 1)[1])
         elif a == "--requests":
             b_requests = _positive_int("chaos", a, next(it, None))
         elif a.startswith("--requests="):
@@ -457,6 +524,17 @@ def _cmd_chaos(args: list[str]) -> int:
                                        a.split("=", 1)[1])
         else:
             _usage_error("chaos", f"unknown option {a!r}")
+    if jobs_mode:
+        if batch_mode or farm or hosts:
+            _usage_error("chaos", "--jobs excludes --batch/--farm/"
+                         "--hosts (it drives its own supervisors)")
+        from repro.service.jobs import run_chaos_jobs
+        return run_chaos_jobs(n_steps=j_steps, out=out,
+                              queue_dir=queue_dir,
+                              deadline=(240.0 if deadline is None
+                                        else deadline))
+    if j_steps != 40:
+        _usage_error("chaos", "--steps requires --jobs")
     if batch_mode:
         if farm or hosts or queue_dir is not None:
             _usage_error("chaos", "--batch excludes --farm/--hosts/"
@@ -1092,6 +1170,136 @@ def _cmd_batch(args: list[str]) -> int:
     return 0 if led.get("ok") and n_failed == 0 else 1
 
 
+def _cmd_jobs(args: list[str]) -> int:
+    """``jobs ACTION`` — the async-job client surface.  Every action
+    prints one JSON object (or one per change, for ``watch``) so the
+    output is scriptable; exit 0 on success, 1 when the job itself
+    failed or an audit is violated, 2 on usage errors."""
+    import json
+    if not args:
+        _usage_error("jobs", "expects an action: submit, status, "
+                     "watch, result, cancel, gc, ledger")
+    action, rest = args[0], args[1:]
+    if action not in ("submit", "status", "watch", "result", "cancel",
+                      "gc", "ledger"):
+        _usage_error("jobs", f"unknown action {action!r}")
+    prefix = f"jobs {action}"
+    queue_dir, job_id, payload_arg, kind = None, None, None, None
+    opts: dict = {}
+    flags_num = {"--max-attempts": ("max_attempts", int),
+                 "--priority": ("priority", int),
+                 "--keep-last": ("keep_last", int),
+                 "--deadline": ("deadline", float),
+                 "--memory-mb": ("memory_mb", float),
+                 "--stall-timeout": ("stall_timeout", float),
+                 "--timeout": ("timeout", float),
+                 "--wait": ("wait", float),
+                 "--poll": ("poll", float),
+                 "--escalate-after": ("escalate_after", float),
+                 "--ttl": ("ttl", float)}
+    it = iter(rest)
+    for a in it:
+        if a == "--queue-dir":
+            queue_dir = next(it, None)
+            if queue_dir is None:
+                _usage_error(prefix, "--queue-dir needs a directory")
+        elif a.startswith("--queue-dir="):
+            queue_dir = a.split("=", 1)[1]
+        elif a == "--id":
+            job_id = next(it, None)
+            if job_id is None:
+                _usage_error(prefix, "--id needs a job id")
+        elif a.startswith("--id="):
+            job_id = a.split("=", 1)[1]
+        elif a == "--reason":
+            opts["reason"] = next(it, None)
+            if opts["reason"] is None:
+                _usage_error(prefix, "--reason needs text")
+        elif a.startswith("--reason="):
+            opts["reason"] = a.split("=", 1)[1]
+        elif a == "--include-failed":
+            opts["include_failed"] = True
+        elif a in flags_num or a.split("=", 1)[0] in flags_num:
+            flag, _, inline = a.partition("=")
+            key, cast = flags_num[flag]
+            value = inline if inline else next(it, None)
+            if value is None:
+                _usage_error(prefix, f"{flag} needs a value")
+            try:
+                opts[key] = cast(value)
+            except ValueError:
+                _usage_error(prefix, f"{flag} needs a number, "
+                             f"got {value!r}")
+        elif a.startswith("-"):
+            _usage_error(prefix, f"unknown option {a!r}")
+        elif action == "submit" and kind is None:
+            kind = a
+        elif action == "submit" and payload_arg is None:
+            payload_arg = a
+        elif action in ("status", "watch", "result", "cancel") \
+                and job_id is None:
+            job_id = a
+        else:
+            _usage_error(prefix, f"unexpected argument {a!r}")
+    if queue_dir is None:
+        _usage_error(prefix, "--queue-dir is required (the durable "
+                     "queue a 'serve' farm drains)")
+    needs_id = action in ("status", "watch", "result", "cancel")
+    if needs_id and job_id is None:
+        _usage_error(prefix, "expects a job id")
+    if action == "submit" and kind is None:
+        _usage_error(prefix, "expects a job KIND (and optional "
+                     "payload JSON, inline or @FILE)")
+
+    from repro.service.jobs import JOB_TERMINAL, FAILED, JobManager
+    manager = JobManager(queue_dir)
+    if action == "submit":
+        payload = {}
+        if payload_arg is not None:
+            raw = payload_arg
+            if raw.startswith("@"):
+                try:
+                    with open(raw[1:]) as f:
+                        raw = f.read()
+                except OSError as exc:
+                    _usage_error(prefix, f"cannot read payload file "
+                                 f"{raw[1:]!r}: {exc}")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                _usage_error(prefix, f"payload is not valid JSON: "
+                             f"{exc}")
+            if not isinstance(payload, dict):
+                _usage_error(prefix, "payload must be a JSON object")
+        out = manager.submit(kind, payload, job_id=job_id, **opts)
+        print(json.dumps(out, indent=1, default=str))
+        return 0
+    if action == "status":
+        out = manager.status(job_id)
+        print(json.dumps(out, indent=1, default=str))
+        return 0 if out["state"] != FAILED else 1
+    if action == "watch":
+        out = manager.watch(job_id, stream=sys.stdout, **opts)
+        return 0 if (out["state"] in JOB_TERMINAL
+                     and out["state"] != FAILED) else 1
+    if action == "result":
+        out = manager.result(job_id, **opts)
+        print(json.dumps(out, indent=1, default=str))
+        return 0 if out.get("ready") and out["state"] != FAILED else 1
+    if action == "cancel":
+        out = manager.cancel(job_id, **opts)
+        print(json.dumps(out, indent=1, default=str))
+        return 0
+    if action == "gc":
+        out = manager.gc(**opts)
+        print(json.dumps(out, indent=1, default=str))
+        return 0
+    out = manager.ledger()
+    print(json.dumps(out, indent=1, default=str))
+    return 0 if (out["audit"]["ok"]
+                 and out["transitions_audit"]["ok"]) else 1
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "stagnation": _cmd_stagnation,
@@ -1100,6 +1308,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "jobs": _cmd_jobs,
 }
 
 

@@ -12,8 +12,9 @@ importable from its subpackage.
 from repro.core.gas import GasEOS, IdealGasEOS, TabulatedEOS
 from repro.core.state import FlightCondition, FreeStream
 from repro.core.api import (heat_pulse, make_gas, stagnation_environment,
-                            windward_heating)
+                            submit_async, windward_heating)
 
 __all__ = ["GasEOS", "IdealGasEOS", "TabulatedEOS", "FreeStream",
            "FlightCondition", "stagnation_environment",
-           "windward_heating", "heat_pulse", "make_gas"]
+           "windward_heating", "heat_pulse", "make_gas",
+           "submit_async"]

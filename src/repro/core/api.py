@@ -49,7 +49,33 @@ from repro.thermo.equilibrium import (EquilibriumGas,
 from repro.thermo.species import species_set
 
 __all__ = ["stagnation_environment", "windward_heating", "heat_pulse",
-           "make_gas"]
+           "make_gas", "submit_async"]
+
+
+def submit_async(kind: str, payload: dict | None = None, *, queue_dir,
+                 job_id: str | None = None, priority: int = 0,
+                 max_attempts: int | None = None,
+                 deadline: float | None = None,
+                 memory_mb: float | None = None,
+                 stall_timeout: float | None = None):
+    """Submit a long-running solve asynchronously; returns an
+    :class:`~repro.service.jobs.AsyncJob` handle immediately.
+
+    The job rides the durable work queue rooted at ``queue_dir`` and is
+    executed by whatever farm supervisor drains it (``python -m repro
+    serve --queue-dir D``) — possibly on another host, possibly after
+    this process has exited.  The handle's ``status()`` / ``watch()`` /
+    ``result()`` / ``cancel()`` read only durable state, so a fresh
+    handle from a later process (``JobManager(queue_dir)`` + the job
+    id) observes exactly the same job.  See DESIGN.md §9.
+    """
+    from repro.service.jobs import AsyncJob, JobManager
+    manager = JobManager(queue_dir)
+    sub = manager.submit(kind, payload, job_id=job_id,
+                         priority=priority, max_attempts=max_attempts,
+                         deadline=deadline, memory_mb=memory_mb,
+                         stall_timeout=stall_timeout)
+    return AsyncJob(manager, sub["job"])
 
 
 def _build_air() -> EquilibriumGas:
@@ -335,6 +361,9 @@ def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth",
         per-point ``failures`` list, masks it out of the arrays (NaN)
         and integrates the heat load over the remaining valid points —
         one corrupt sample never aborts the whole trajectory integral.
+        When *every* point fails, report mode returns ``heat_load=NaN``
+        with ``all_points_failed=True`` and ``peak=None`` — never a
+        silent 0.0 masquerading as "no heating".
 
     Returns dict with per-time q_conv, q_rad, totals and the peak point.
     """
@@ -391,9 +420,17 @@ def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth",
     q_rad = np.where(physical, q_rad, np.nan)
     q_total = np.where(physical, q_total, np.nan)
     if not np.any(physical):
-        raise InputError("heat_pulse: no valid trajectory points "
-                         f"({len(failures)} of {t.size} failed "
-                         "validation)")
+        # Report mode must not synthesize a number here: an integral
+        # over zero valid points is not 0.0 (that reads as "no
+        # heating"), it is unknown.  Return NaN with an explicit
+        # all-points-failed record so callers cannot mistake a fully
+        # corrupt trajectory for a cold one.
+        return {"t": trajectory.t, "q_conv": q_conv, "q_rad": q_rad,
+                "q_total": q_total,
+                "heat_load": float("nan"),
+                "peak": None,
+                "failures": failures, "n_failed": len(failures),
+                "all_points_failed": True}
     heat_load = float(np.trapezoid(q_total[physical], t[physical]))
     i = int(np.nanargmax(q_total))
     return {"t": trajectory.t, "q_conv": q_conv, "q_rad": q_rad,
@@ -403,4 +440,5 @@ def heat_pulse(trajectory, nose_radius, *, atmosphere_key="earth",
                      "q": float(q_total[i]),
                      "h": float(trajectory.h[i]),
                      "V": float(trajectory.V[i])},
-            "failures": failures, "n_failed": len(failures)}
+            "failures": failures, "n_failed": len(failures),
+            "all_points_failed": False}

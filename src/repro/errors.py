@@ -164,6 +164,28 @@ class CheckpointError(CatError):
         self.recovery_log = list(recovery_log or [])
 
 
+class CancelledError(CatError):
+    """A supervised run was cancelled cooperatively.
+
+    Raised by :class:`~repro.resilience.supervisor.RunSupervisor` when
+    the process-global cancel hook (see
+    :func:`repro.resilience.isolation.set_process_cancel`) reports a
+    cancellation — after committing a durable snapshot, so the march
+    could still resume if the cancellation is ever retracted.  The
+    async-job executor converts it into a terminal ``cancelled`` job
+    state rather than a failure.
+
+    Attributes
+    ----------
+    step:
+        March step at which the cancellation was observed, if known.
+    """
+
+    def __init__(self, message: str, *, step: int | None = None) -> None:
+        super().__init__(message)
+        self.step = step
+
+
 class TableRangeError(CatError):
     """A tabulated property lookup fell outside the table's domain."""
 

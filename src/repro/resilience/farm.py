@@ -92,7 +92,8 @@ __all__ = ["Farm", "FarmPolicy", "JOB_KINDS", "WorkerKillPlan",
 #: kind name -> ``fn(payload, ctx) -> JSON-able result`` executed in the
 #: sandbox child.  ``ctx`` carries ``workdir`` (durable, per-job),
 #: ``ckpt_dir`` (durable snapshot ladder — marches resume from here
-#: after a kill), ``queue_dir`` and ``job_id``.
+#: after a kill), ``queue_dir``, ``job_id``, plus the claiming lease's
+#: fencing credentials ``lease_token`` / ``worker``.
 JOB_KINDS: dict = {}
 
 
@@ -199,6 +200,17 @@ def _job_sleep(payload: dict, ctx: dict) -> dict:
     return {"slept": float(payload.get("duration", 0.1))}
 
 
+@job_kind("async")
+def _job_async(payload: dict, ctx: dict) -> dict:
+    """One attempt of a durable async job: payload ``{"kind": inner,
+    "payload": {...}}``.  The wrapper drives the inner kind under the
+    job's persisted state machine — fenced ``claimed → running →
+    checkpointing`` transitions, cancel-flag acknowledgement, progress
+    publication — see :mod:`repro.service.jobs`."""
+    from repro.service.jobs import run_async_attempt
+    return run_async_attempt(payload, ctx)
+
+
 @job_kind("flaky")
 def _job_flaky(payload: dict, ctx: dict) -> dict:
     """Fails its first ``fail_first`` attempts (scripted, durable
@@ -227,8 +239,17 @@ def state_fingerprint(solver) -> str:
     return h.hexdigest()
 
 
-def _execute_job(queue_dir: str, job_id: str):
-    """Sandbox-child entry point: resolve the job and run its kind."""
+def _execute_job(queue_dir: str, job_id: str,
+                 lease_token: str | None = None,
+                 worker: str | None = None):
+    """Sandbox-child entry point: resolve the job and run its kind.
+
+    ``lease_token``/``worker`` are the fencing credentials of the
+    claiming worker's lease: executors that commit their own durable
+    records (the async-job state machine) validate every write against
+    the token on disk, so an attempt whose lease was reaped can never
+    clobber its successor's transitions.
+    """
     queue = WorkQueue(queue_dir)
     job = queue.job(job_id)
     fn = JOB_KINDS.get(job.kind)
@@ -238,7 +259,8 @@ def _execute_job(queue_dir: str, job_id: str):
     workdir = queue.job_workdir(job_id)
     ctx = {"workdir": workdir,
            "ckpt_dir": os.path.join(workdir, "ckpt"),
-           "queue_dir": queue_dir, "job_id": job_id}
+           "queue_dir": queue_dir, "job_id": job_id,
+           "lease_token": lease_token, "worker": worker}
     return fn(job.payload, ctx)
 
 
@@ -475,7 +497,7 @@ def _run_one(queue: WorkQueue, job: Job, lease, name: str, cfg: dict,
             if flags["draining"]:
                 raise _DrainRequested()
             result = runner.run_callable(
-                _execute_job, (queue.dir, job.id),
+                _execute_job, (queue.dir, job.id, lease.token, name),
                 workdir=os.path.join(workdir, "sandbox"),
                 on_spawn=on_spawn)
             outcome = "ok"

@@ -57,7 +57,8 @@ from repro.errors import CheckpointError, SolverError
 from repro.resilience.report import FailureReport
 
 __all__ = ["Heartbeat", "IsolationEvent", "IsolationPolicy",
-           "IsolatedRunner", "current_process_heartbeat",
+           "IsolatedRunner", "current_process_cancel",
+           "current_process_heartbeat", "set_process_cancel",
            "set_process_heartbeat", "signal_group", "kill_pid_tree",
            "terminate_process"]
 
@@ -118,10 +119,20 @@ class Heartbeat:
         self.host = host
         self._last = 0.0
         self._seq = 0
+        self._progress: dict | None = None
         self.beat(force=True)
 
-    def beat(self, *, step: int | None = None, force: bool = False):
-        """Record liveness (rate-limited unless ``force``)."""
+    def beat(self, *, step: int | None = None, force: bool = False,
+             progress: dict | None = None):
+        """Record liveness (rate-limited unless ``force``).
+
+        ``progress`` attaches a JSON-able payload (march step / time /
+        residual, published by the run supervisor) that *sticks*: later
+        beats without one re-publish the last progress, so a throttled
+        or forced renewal beat never blanks what ``jobs status`` shows.
+        """
+        if progress is not None:
+            self._progress = dict(progress)
         now = time.monotonic()
         if not force and now - self._last < self.min_interval:
             return
@@ -131,6 +142,8 @@ class Heartbeat:
                    "step": None if step is None else int(step),
                    "rss_mb": _read_rss_mb(),
                    "pid": os.getpid()}
+        if self._progress is not None:
+            payload["progress"] = self._progress
         if self.host is not None:
             payload["host"] = self.host
         tmp = f"{self.path}.tmp-{os.getpid()}"
@@ -157,6 +170,25 @@ def set_process_heartbeat(hb: Heartbeat | None):
 def current_process_heartbeat() -> Heartbeat | None:
     """The heartbeat installed for this process, if any."""
     return _PROCESS_HEARTBEAT
+
+
+#: Process-global cancellation hook: a callable returning a reason
+#: string when the current run should stop (None/"" = keep going).
+#: The async-job executor installs a throttled cancel-flag file poll
+#: here; RunSupervisor.march checks it once per iteration, the same
+#: pattern as the process heartbeat.
+_PROCESS_CANCEL = None
+
+
+def set_process_cancel(fn) -> None:
+    """Install (or clear, with None) the process-global cancel hook."""
+    global _PROCESS_CANCEL
+    _PROCESS_CANCEL = fn
+
+
+def current_process_cancel():
+    """The cancel hook installed for this process, if any."""
+    return _PROCESS_CANCEL
 
 
 # ----------------------------------------------------------------------

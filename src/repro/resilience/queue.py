@@ -378,6 +378,15 @@ class WorkQueue:
         races the unlink) keeps writing into the segment's inode, so no
         record is ever lost, and ``os.link`` refusing to clobber an
         existing segment arbitrates concurrent rotators.
+
+        Two rotators of one host's journal (``serve`` plus a CLI
+        reaper) can probe the same segment number; the loser must not
+        abandon the rotation — its oversized live file would just keep
+        growing — so it probes upward to the next free number, bounded.
+        A collision on a segment that already *is* the live file (the
+        racer linked it an instant ago) means the rotation happened:
+        finish their unlink step instead of double-linking the inode
+        into two segments (which would duplicate every record).
         """
         if self.rotate_bytes <= 0:
             return
@@ -387,11 +396,23 @@ class WorkQueue:
         except OSError:
             return
         indices = self._segment_indices()
-        seg = self._segment_path(indices[-1] + 1 if indices else 1)
-        try:
-            os.link(self.journal_path, seg)
-        except OSError:
-            return   # lost the rotation race (or FS without hard links)
+        index = indices[-1] + 1 if indices else 1
+        for _ in range(8):
+            seg = self._segment_path(index)
+            try:
+                os.link(self.journal_path, seg)
+                break
+            except FileExistsError:
+                try:
+                    if os.path.samefile(self.journal_path, seg):
+                        break   # racer already rotated this very inode
+                except OSError:
+                    return   # live file vanished mid-race: rotated
+                index += 1
+            except OSError:
+                return   # FS without hard links: rotation disabled
+        else:
+            return   # probe window exhausted; retry on a later append
         try:
             os.unlink(self.journal_path)
         except OSError:

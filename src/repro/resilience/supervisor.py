@@ -42,7 +42,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.errors import CatError, ConvergenceError, StabilityError
+from repro.errors import (CancelledError, CatError, ConvergenceError,
+                          StabilityError)
 from repro.numerics.time_integration import check_state
 from repro.resilience.checkpoint import Checkpoint
 from repro.resilience.degradation import as_degradation
@@ -183,6 +184,21 @@ class RunSupervisor:
         if self.degradation is not None:
             self.solver.degradation_ledger = self.degradation.ledger
 
+    def _progress_payload(self, k, n_steps, cfl_now, retries,
+                          res) -> dict:
+        """March progress published through the heartbeat channel so a
+        supervising parent (``jobs status``/``watch``) sees step / time
+        / residual without ever touching this process."""
+        p = {"label": self.label, "step": int(k),
+             "n_steps": int(n_steps), "cfl": float(cfl_now),
+             "retries": int(retries)}
+        if res is not None:
+            p["residual"] = float(res)
+        hook = getattr(self.solver, "progress", None)
+        if callable(hook):
+            p.update(hook() or {})
+        return p
+
     # ------------------------------------------------------------------
 
     def march(self, step_fn, *, n_steps, cfl, tol=None, stop=None,
@@ -207,12 +223,14 @@ class RunSupervisor:
         :func:`~repro.resilience.persistence.resume_run` can re-enter
         the same ``run(...)`` call.
         """
+        from repro.resilience.isolation import current_process_cancel
         solver, pol, store = self.solver, self.policy, self.store
         cfl_now = float(cfl)
         retries = 0
         t0 = time.monotonic()
         k = ckpt_k = 0
         converged = False
+        last_res = None
 
         def commit(*, completed, converged):
             store.save(solver, march={"k": k, "cfl": cfl_now,
@@ -233,7 +251,23 @@ class RunSupervisor:
             commit(completed=False, converged=False)
         while k < n_steps:
             if self.heartbeat is not None:
-                self.heartbeat.beat(step=k)
+                self.heartbeat.beat(step=k,
+                                    progress=self._progress_payload(
+                                        k, n_steps, cfl_now, retries,
+                                        last_res))
+            cancel = current_process_cancel()
+            if cancel is not None:
+                reason = cancel()
+                if reason:
+                    # commit a durable snapshot first: a cancelled
+                    # march stays resumable if the request is retracted
+                    if store is not None:
+                        commit(completed=False, converged=False)
+                    solver.converged = False
+                    self._expose()
+                    raise CancelledError(
+                        f"{self.label}: march cancelled at step {k}: "
+                        f"{reason}", step=k)
             if stop is not None and stop():
                 converged = True
                 break
@@ -249,6 +283,7 @@ class RunSupervisor:
                 return False
             try:
                 res = step_fn(cfl_now)
+                last_res = res
                 if self.faults is not None:
                     self.faults.apply(solver)
                 self._guard()

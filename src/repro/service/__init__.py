@@ -6,6 +6,11 @@ validation into typed records, per-request outcome envelopes, admission
 control, deadline budgets, circuit breakers per method rung and
 idempotent request keys.  ``evaluate_batch_farm`` shards the same batch
 across the solve farm's durable work queue.  See DESIGN.md §8.
+
+:mod:`repro.service.jobs` is the *asynchronous* front door: a
+:class:`JobManager` whose ``submit`` returns a durable job id
+immediately, with a crash-safe per-job state machine, live progress,
+cancellation with escalation and TTL-based GC.  See DESIGN.md §9.
 """
 
 from repro.service.batch import (ADMISSION, AdmissionController,
@@ -13,13 +18,19 @@ from repro.service.batch import (ADMISSION, AdmissionController,
                                  batch_bench_record, evaluate_batch,
                                  evaluate_batch_farm, shard_requests)
 from repro.service.breaker import BreakerBoard, BreakerPolicy
+from repro.service.jobs import (AsyncJob, JOB_STATES, JOB_TERMINAL,
+                                JOB_TRANSITIONS, JobManager,
+                                audit_job_transitions,
+                                run_async_attempt)
 from repro.service.request import (Envelope, METHODS, Request,
                                    canonical_request, request_key,
                                    validate_request)
 
-__all__ = ["ADMISSION", "AdmissionController", "BatchPolicy",
-           "BatchResult", "BreakerBoard", "BreakerPolicy", "Envelope",
-           "METHODS", "Request", "batch_bench_record", "batch_jobs",
+__all__ = ["ADMISSION", "AdmissionController", "AsyncJob",
+           "BatchPolicy", "BatchResult", "BreakerBoard",
+           "BreakerPolicy", "Envelope", "JOB_STATES", "JOB_TERMINAL",
+           "JOB_TRANSITIONS", "JobManager", "METHODS", "Request",
+           "audit_job_transitions", "batch_bench_record", "batch_jobs",
            "canonical_request", "evaluate_batch",
-           "evaluate_batch_farm", "request_key", "shard_requests",
-           "validate_request"]
+           "evaluate_batch_farm", "request_key", "run_async_attempt",
+           "shard_requests", "validate_request"]

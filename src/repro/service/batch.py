@@ -673,13 +673,26 @@ def batch_jobs(requests: list, policy: BatchPolicy, *,
 
 
 def _merge_chunk_breakers(chunk_ledgers: list) -> dict:
+    """Merge per-chunk breaker snapshots deterministically.
+
+    Chunk boards number their transitions per-process, so bare ``seq``
+    values collide across chunks and concatenation order depends on
+    worker scheduling.  Keying by ``(cell, origin, seq)`` — origin is
+    the writing board's ``host:pid`` — and stable-sorting makes the
+    merged ledger a pure function of the chunk set, whatever order the
+    farm finished them in.
+    """
     transitions = []
     states: dict = {}
     for led in chunk_ledgers:
         brk = (led or {}).get("breaker") or {}
         transitions.extend(brk.get("transitions") or [])
         states.update(brk.get("states") or {})
-    return {"states": states, "transitions": transitions}
+    transitions.sort(key=lambda tr: (str(tr.get("cell") or ""),
+                                     str(tr.get("origin") or ""),
+                                     int(tr.get("seq") or 0)))
+    return {"states": dict(sorted(states.items())),
+            "transitions": transitions}
 
 
 def evaluate_batch_farm(requests, policy: BatchPolicy | None = None, *,

@@ -18,16 +18,31 @@ Every transition is appended to a ledger (mirroring the existing
 monotone sequence number and the request index that caused it, so a
 chaos campaign can assert the exact open/close history.  The clock is
 injectable for fake-clock tests.
+
+Sequence numbers are per-board (per-process): two farm chunks both
+count 0, 1, 2, ...  Each transition therefore also carries an
+``origin`` (``host:pid`` of the board that wrote it) so merged ledgers
+can be keyed by the globally-unique ``(cell, origin, seq)`` instead of
+the colliding bare ``seq`` — see
+:func:`repro.service.batch._merge_chunk_breakers`.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
 __all__ = ["BreakerPolicy", "BreakerCell", "BreakerBoard"]
 
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+def _default_origin() -> str:
+    """``host:pid`` identity of this board's writer process — the same
+    convention as farm worker names."""
+    from repro.resilience.lease import default_host_id
+    return f"{default_host_id()}:{os.getpid()}"
 
 
 @dataclass(frozen=True)
@@ -52,11 +67,12 @@ class BreakerCell:
     """State machine for one method/rung/condition-class cell."""
 
     def __init__(self, name: str, policy: BreakerPolicy, clock,
-                 ledger: list):
+                 ledger: list, origin: str | None = None):
         self.name = name
         self.policy = policy
         self._clock = clock
         self._ledger = ledger
+        self.origin = origin or _default_origin()
         self.state = CLOSED
         self.consecutive = 0
         self.opened_at = None
@@ -64,6 +80,7 @@ class BreakerCell:
 
     def _transition(self, to: str, *, request_index=None) -> None:
         self._ledger.append({"seq": len(self._ledger),
+                             "origin": self.origin,
                              "cell": self.name, "from": self.state,
                              "to": to, "at": float(self._clock()),
                              "consecutive": self.consecutive,
@@ -113,9 +130,10 @@ class BreakerBoard:
     transition ledger."""
 
     def __init__(self, policy: BreakerPolicy | None = None, *,
-                 clock=time.monotonic):
+                 clock=time.monotonic, origin: str | None = None):
         self.policy = policy or BreakerPolicy()
         self._clock = clock
+        self.origin = origin or _default_origin()
         self.cells: dict[str, BreakerCell] = {}
         self.transitions: list[dict] = []
 
@@ -125,7 +143,8 @@ class BreakerBoard:
         cell = self.cells.get(name)
         if cell is None:
             cell = self.cells[name] = BreakerCell(
-                name, self.policy, self._clock, self.transitions)
+                name, self.policy, self._clock, self.transitions,
+                self.origin)
         return cell
 
     def snapshot(self) -> dict:

@@ -1,4 +1,4 @@
-"""Shared degradation protocol for the marching solvers.
+"""Shared degradation + progress protocol for the marching solvers.
 
 :class:`QuarantineMixin` gives a solver the numerics-ladder half of the
 :mod:`repro.resilience.degradation` protocol: a boolean
@@ -9,6 +9,13 @@ reconstruction passes to
 ``get_state``/``set_state`` protocol on purpose — a rollback restores
 the flow field but keeps the quarantine, which is what makes the
 degraded retry different from the ones that failed.
+
+Since the async-job subsystem (PR 10) the mixin also carries the
+solvers' **progress hook**: :meth:`QuarantineMixin.progress` returns a
+small JSON-able snapshot (step counter, physical time, latest residual)
+that :class:`~repro.resilience.supervisor.RunSupervisor` merges into
+every heartbeat it publishes, so ``python -m repro jobs status`` can
+show live march progress without ever touching the child process.
 """
 
 from __future__ import annotations
@@ -47,3 +54,12 @@ class QuarantineMixin:
     def clear_quarantine(self):
         """Lift the quarantine entirely (full re-promotion)."""
         self.quarantined_cells = None
+
+    def progress(self) -> dict:
+        """Live march-progress snapshot for the heartbeat channel."""
+        out = {"steps": int(getattr(self, "steps", 0) or 0),
+               "t": float(getattr(self, "t", 0.0) or 0.0)}
+        hist = getattr(self, "residual_history", None)
+        if hist is not None and len(hist):
+            out["residual"] = float(hist[-1])
+        return out

@@ -171,11 +171,21 @@ class TestHeatPulseReportMode:
         assert b["heat_load"] == a["heat_load"]
         assert np.array_equal(b["q_total"], a["q_total"])
 
-    def test_all_points_bad_still_raises(self):
+    def test_all_points_bad_returns_nan_record(self):
+        # a 0.0 heat load (or an abort) would hide total trajectory
+        # corruption; report mode must say NaN and flag it explicitly
         bad = self._poisoned()
         bad.rho[:] = -1.0
-        with pytest.raises(InputError, match="no valid"):
-            heat_pulse(bad, 1.0, on_failure="report")
+        pulse = heat_pulse(bad, 1.0, on_failure="report")
+        assert np.isnan(pulse["heat_load"])
+        assert pulse["peak"] is None
+        assert pulse["all_points_failed"] is True
+        assert pulse["n_failed"] == 21
+        assert np.isnan(pulse["q_total"]).all()
+
+    def test_partial_failure_not_flagged_all_failed(self):
+        pulse = heat_pulse(self._poisoned(), 1.0, on_failure="report")
+        assert pulse["all_points_failed"] is False
 
     def test_bad_on_failure_value(self):
         with pytest.raises(InputError):

@@ -712,3 +712,57 @@ class TestTwoHostCampaign:
         assert merged["jobs"] == led["jobs"]
         assert [m["host"] for m in merged["merged_from"]] \
             == [led["host"]]
+
+
+# ----------------------------------------------------------------------
+# rotation collision arbitration (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestRotationCollision:
+    """Two rotators of one host's journal (``serve`` plus a CLI reaper)
+    can probe the same segment number; the loser must probe upward
+    rather than abandon the rotation, and a collision with a segment
+    that *is* the live inode means the racer already rotated — finish
+    the unlink instead of double-linking the records."""
+
+    def test_probe_skips_occupied_segment(self, tmp_path, monkeypatch):
+        q = WorkQueue(tmp_path / "q", backoff=FAST, rotate_bytes=0)
+        for i in range(8):
+            q.journal("noise", idx=i, filler="x" * 64)
+        # a racer committed segment 1 after our (stale) directory scan
+        with open(q._segment_path(1), "w") as f:
+            f.write(json.dumps({"t": 0.0, "host": q.host_id,
+                                "event": "foreign"}) + "\n")
+        monkeypatch.setattr(q, "_segment_indices", lambda: [])
+        q.rotate_bytes = 1
+        q._maybe_rotate()
+        monkeypatch.undo()
+        # the rotation landed on the next free number, not nowhere
+        assert q._segment_indices() == [1, 2]
+        assert not os.path.exists(q.journal_path)
+        events = [r for r in q.read_journal() if r["event"] == "noise"]
+        assert sorted(r["idx"] for r in events) == list(range(8))
+
+    def test_samefile_collision_finishes_the_rotation(self, tmp_path,
+                                                      monkeypatch):
+        q = WorkQueue(tmp_path / "q", backoff=FAST, rotate_bytes=0)
+        for i in range(8):
+            q.journal("noise", idx=i, filler="x" * 64)
+        # the racer hard-linked the live file to segment 1 and died
+        # before its unlink step
+        os.link(q.journal_path, q._segment_path(1))
+        monkeypatch.setattr(q, "_segment_indices", lambda: [])
+        q.rotate_bytes = 1
+        q._maybe_rotate()
+        monkeypatch.undo()
+        # detected via samefile: no second segment holding the same
+        # inode, live file unlinked, every record present exactly once
+        assert q._segment_indices() == [1]
+        assert not os.path.exists(q.journal_path)
+        events = [r for r in q.read_journal() if r["event"] == "noise"]
+        assert sorted(r["idx"] for r in events) == list(range(8))
+        # appends keep working into a fresh live file afterwards
+        q.journal("noise", idx=8)
+        events = [r for r in q.read_journal() if r["event"] == "noise"]
+        assert sorted(r["idx"] for r in events) == list(range(9))

@@ -447,3 +447,66 @@ class TestBatchCLI:
         assert ledger["counts"] == {"ok": 4}
         assert record["requests_per_s"] > 0
         assert set(record["latency_s"]) >= {"p50", "p99"}
+
+
+# ----------------------------------------------------------------------
+# breaker ledger merge determinism (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestBreakerMergeDeterminism:
+    """Chunk boards number transitions per-process, so bare ``seq``
+    values collide across chunks; the merged ledger keys by
+    ``(cell, origin, seq)`` and must be a pure function of the chunk
+    set, whatever order the farm finished the chunks in."""
+
+    @staticmethod
+    def _chunk(origin, cells):
+        return {"breaker": {
+            "states": {c: "open" for c in cells},
+            "transitions": [{"seq": i, "origin": origin, "cell": c,
+                             "frm": "closed", "to": "open",
+                             "request": 10 * i}
+                            for i, c in enumerate(cells)]}}
+
+    def test_merge_is_chunk_order_invariant(self):
+        import random
+        from repro.service.batch import _merge_chunk_breakers
+        chunks = [self._chunk("hostA:11", ["c2", "c0", "c1"]),
+                  self._chunk("hostB:7", ["c1", "c0"]),
+                  self._chunk("hostA:90", ["c2"]),
+                  {"breaker": {}},   # chunk with no trips
+                  None]              # dead-lettered chunk
+        ref = _merge_chunk_breakers(chunks)
+        assert len(ref["transitions"]) == 6
+        assert list(ref["states"]) == sorted(ref["states"])
+        for seed in range(8):
+            shuffled = list(chunks)
+            random.Random(seed).shuffle(shuffled)
+            merged = _merge_chunk_breakers(shuffled)
+            assert merged["transitions"] == ref["transitions"]
+            assert list(merged["states"]) == list(ref["states"])
+
+    def test_colliding_bare_seqs_stay_distinct(self):
+        from repro.service.batch import _merge_chunk_breakers
+        merged = _merge_chunk_breakers(
+            [self._chunk("hostA:1", ["c0"]),
+             self._chunk("hostB:2", ["c0"])])
+        # both chunks tripped cell c0 with seq 0; the composite key
+        # keeps both records instead of deduplicating one away
+        keys = {(t["cell"], t["origin"], t["seq"])
+                for t in merged["transitions"]}
+        assert len(keys) == len(merged["transitions"]) == 2
+
+    def test_live_boards_stamp_distinct_origins(self):
+        from repro.service.breaker import BreakerBoard, BreakerPolicy
+        a = BreakerBoard(BreakerPolicy(), origin="hostA:1")
+        b = BreakerBoard(BreakerPolicy(), origin="hostB:2")
+        for board in (a, b):
+            cell = board.cell("stag", "euler", "laminar")
+            for i in range(board.policy.trip_after):
+                cell.record_failure(request_index=i)
+        trips = (a.snapshot()["transitions"]
+                 + b.snapshot()["transitions"])
+        assert len(trips) == 2
+        assert {t["origin"] for t in trips} == {"hostA:1", "hostB:2"}
